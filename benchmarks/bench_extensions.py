@@ -1,0 +1,70 @@
+"""Benchmarks for the §7 extension implementations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bf16 import gaussian_bf16_matrix
+from repro.experiments import run_experiment
+from repro.extensions import (
+    compress_kv_block,
+    compress_quantized,
+    decompress_kv_block,
+    delta_snapshot,
+    quantize_int8,
+    restore_snapshot,
+)
+
+KV_BLOCK = gaussian_bf16_matrix(16, 2048, sigma=0.05, seed=0)
+BASE = gaussian_bf16_matrix(512, 512, sigma=0.015, seed=1)
+
+
+def test_ext_kvcomp_experiment(benchmark):
+    result = benchmark(run_experiment, "ext_kvcomp", quick=True)
+    assert result.summary["e2e_throughput_gain"] > 1.0
+    assert 1.3 < result.summary["capacity_gain"] < 1.5
+
+
+def test_ext_quant_experiment(benchmark):
+    result = benchmark(run_experiment, "ext_quant", quick=True)
+    assert result.summary["combo_speedup_vs_marlin"] > 1.0
+
+
+def test_ext_continuous_experiment(benchmark):
+    result = benchmark(run_experiment, "ext_continuous", quick=True)
+    assert result.summary["throughput_gain"] > 1.05
+
+
+def test_kv_block_compress(benchmark):
+    blob = benchmark(compress_kv_block, KV_BLOCK)
+    assert blob.ratio > 1.3
+
+
+def test_kv_block_decompress(benchmark):
+    blob = compress_kv_block(KV_BLOCK)
+    out = benchmark(decompress_kv_block, blob, KV_BLOCK.shape)
+    assert np.array_equal(out, KV_BLOCK)
+
+
+def test_delta_snapshot_encode(benchmark):
+    current = BASE.copy()
+    current.ravel()[::97] ^= np.uint16(1)
+
+    snap = benchmark(delta_snapshot, "layer", BASE, current)
+    assert snap.ratio > 5.0
+
+
+def test_delta_snapshot_restore(benchmark):
+    current = BASE.copy()
+    current.ravel()[::97] ^= np.uint16(1)
+    snap = delta_snapshot("layer", BASE, current)
+    out = benchmark(restore_snapshot, BASE, snap)
+    assert np.array_equal(out, current)
+
+
+def test_quantize_and_compress(benchmark):
+    def pipeline():
+        return compress_quantized(quantize_int8(BASE))
+
+    blob = benchmark(pipeline)
+    assert blob.ratio_vs_int8 > 1.02

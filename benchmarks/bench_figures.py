@@ -1,0 +1,144 @@
+"""One benchmark per paper figure: regenerate its data, check its headline.
+
+Each benchmark times the experiment driver that reproduces the figure and
+asserts the headline numbers stay inside the accepted band around the
+paper's values (bands documented in EXPERIMENTS.md).  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+
+def test_fig01_pipeline_overhead(benchmark, paper_check):
+    result = benchmark(run_experiment, "fig01")
+    paper_check(result.summary["decomp_over_gemm_min"], 1.4, 2.4,
+                "decomp/gemm min (paper 1.56)")
+    paper_check(result.summary["decomp_over_gemm_max"], 2.6, 4.0,
+                "decomp/gemm max (paper 3.44)")
+
+
+def test_fig02_exponent_distribution(benchmark, paper_check):
+    result = benchmark(run_experiment, "fig02", quick=True)
+    paper_check(result.summary["min_top7_coverage"], 0.95, 1.0,
+                "top-7 coverage (paper >= 0.95)")
+    paper_check(result.summary["entropy_bits_max"], 2.3, 2.9,
+                "exponent entropy (paper 2.57-2.74)")
+    paper_check(result.summary["contiguity_rate"], 0.99, 1.0,
+                "top-7 contiguity (paper 0.996)")
+
+
+def test_fig05_roofline(benchmark, paper_check):
+    result = benchmark(run_experiment, "fig05")
+    paper_check(result.summary["ci_degradation_n8"], 0.61, 0.64,
+                "CI degradation N=8 (paper 0.623)")
+    paper_check(result.summary["ci_gain_avg"], 0.45, 0.55,
+                "fused CI gain (paper ~0.50)")
+
+
+def test_fig11_kernel_speedups(benchmark, paper_check):
+    result = benchmark(run_experiment, "fig11", quick=True)
+    paper_check(result.summary["zipgemm_avg_rtx4090"], 1.15, 1.5,
+                "ZipGEMM avg RTX4090 (paper 1.31)")
+    paper_check(result.summary["zipgemm_avg_l40s"], 1.15, 1.5,
+                "ZipGEMM avg L40S (paper 1.36)")
+    paper_check(result.summary["dietgpu_avg_l40s"], 0.1, 0.45,
+                "DietGPU avg L40S (paper 0.20)")
+    paper_check(result.summary["dfloat11_avg_l40s"], 0.2, 0.55,
+                "DFloat11 avg L40S (paper 0.34)")
+
+
+def test_fig12_micro_analysis(benchmark, paper_check):
+    result = benchmark(run_experiment, "fig12", quick=True)
+    paper_check(result.summary["dram_read_reduction"], 0.26, 0.32,
+                "DRAM read reduction (paper 0.293)")
+    paper_check(result.summary["tc_util_vs_cublas"], 0.5, 0.9,
+                "TC utilisation vs cuBLAS (paper 0.716)")
+    assert result.summary["lut_bank_conflicts"] > 100 * max(
+        result.summary["zip_bank_conflicts"], 1.0
+    )
+
+
+def test_fig13_decompression(benchmark, paper_check):
+    result = benchmark(run_experiment, "fig13")
+    paper_check(result.summary["speedup_vs_dietgpu"], 1.7, 2.5,
+                "vs DietGPU (paper 2.14)")
+    paper_check(result.summary["speedup_vs_nvcomp"], 1.5, 2.3,
+                "vs nvCOMP (paper 1.83)")
+    paper_check(result.summary["speedup_vs_dfloat11"], 1.02, 1.3,
+                "vs DFloat11 (paper 1.10)")
+
+
+def test_fig14_cross_generation(benchmark, paper_check):
+    result = benchmark(run_experiment, "fig14")
+    paper_check(result.summary["rtx5090_speedup_llama3.1"], 1.25, 1.6,
+                "RTX5090 speedup (paper 1.34)")
+    assert (result.summary["rtx5090_deficit_zip_llama3.1"]
+            < result.summary["rtx5090_deficit_std_llama3.1"])
+
+
+def test_fig15_n_sweep(benchmark, paper_check):
+    result = benchmark(run_experiment, "fig15")
+    paper_check(result.summary["fused_speedup_n32"], 1.25, 1.55,
+                "fused speedup N=32")
+    paper_check(result.summary["prefill_overhead_n8192"], 0.0, 0.06,
+                "prefill overhead N=8192 (paper ~0.04)")
+    paper_check(result.summary["prefill_overhead_n16384"], 0.0, 0.04,
+                "prefill overhead N=16384 (paper ~0.02)")
+
+
+def test_fig16_end_to_end(benchmark, paper_check):
+    result = benchmark(run_experiment, "fig16", quick=True)
+    paper_check(result.summary["throughput_vs_vllm"], 1.1, 1.45,
+                "throughput vs vLLM (paper 1.22)")
+    paper_check(result.summary["throughput_vs_transformers"], 2.2, 4.5,
+                "throughput vs Transformers (paper 3.18)")
+    paper_check(result.summary["throughput_vs_dfloat11"], 5.0, 14.0,
+                "throughput vs DFloat11 (paper 8.52)")
+
+
+def test_fig17_breakdown(benchmark, paper_check):
+    result = benchmark(run_experiment, "fig17", quick=True)
+    paper_check(result.summary["linear_speedup"], 1.2, 1.75,
+                "linear-layer speedup (paper 1.69)")
+    paper_check(result.summary["kv_expansion"], 1.5, 2.1,
+                "KV expansion (paper 1.70)")
+
+
+def test_fig18_datacenter(benchmark, paper_check):
+    result = benchmark(run_experiment, "fig18")
+    assert result.summary["zipgemm_vs_cublas_min"] < 1.0
+    paper_check(result.summary["marlin_gap"], 1.25, 1.55,
+                "Marlin gap (paper 1.36)")
+
+
+def test_tab_codeword(benchmark, paper_check):
+    result = benchmark(run_experiment, "tab_codeword")
+    paper_check(result.summary["avg_bits_3"], 10.8, 11.8,
+                "AverageBits(3) (paper 11.3)")
+    assert result.summary["avg_bits_3"] < result.summary["avg_bits_2"]
+    assert result.summary["avg_bits_3"] < result.summary["avg_bits_4"]
+
+
+def test_tab_memory(benchmark, paper_check):
+    result = benchmark(run_experiment, "tab_memory")
+    paper_check(result.summary["fraction_8b"], 0.70, 0.74,
+                "8B footprint fraction (paper 0.724)")
+    paper_check(result.summary["fraction_70b"], 0.69, 0.73,
+                "70B footprint fraction (paper 0.711)")
+
+
+def test_tab_offline_cost(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("tab_offline_cost",),
+        kwargs={"quick": True}, iterations=1, rounds=3,
+    )
+    assert result.summary["extrapolated_8b_minutes"] < 30
+
+
+def test_tab_theory(benchmark):
+    result = benchmark(run_experiment, "tab_theory", quick=True)
+    assert result.summary["all_unimodal"] == 1.0
+    assert result.summary["all_top7_contiguous"] == 1.0

@@ -1,0 +1,18 @@
+"""Benchmark-suite configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def paper_check():
+    """Helper asserting a measured value sits in a band around the paper's."""
+
+    def check(measured: float, low: float, high: float, label: str = ""):
+        assert low <= measured <= high, (
+            f"{label}: {measured} outside the accepted band [{low}, {high}]"
+        )
+        return measured
+
+    return check

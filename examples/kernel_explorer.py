@@ -1,0 +1,62 @@
+"""Kernel explorer: where does fused decompression win, and why?
+
+Sweeps batch size N for one layer shape across GPUs and prints the modelled
+resource bottleneck of every point — memory, decode ALU, or tensor cores —
+making the paper's two regime boundaries visible:
+
+* fused vs decoupled (Figure 15's stage-aware crossover around N ~ 128);
+* consumer vs datacenter GPUs (Figure 18: on HBM parts the decode ALU work
+  stops hiding behind memory).
+
+Run: ``python examples/kernel_explorer.py [M] [K]``
+"""
+
+import sys
+
+from repro import get_gpu
+from repro.kernels import cublas_gemm, stage_aware_linear, zipgemm
+
+NS = (1, 8, 32, 128, 512, 2048, 8192)
+GPUS = ("rtx4090", "l40s", "a100", "h800")
+
+
+def bottleneck(details: dict) -> str:
+    terms = {
+        "memory": details["mem_time_s"],
+        "decode-alu": details["alu_time_s"],
+        "tensor-core": details["compute_time_s"],
+    }
+    return max(terms, key=terms.get)
+
+
+def main(m: int = 28672, k: int = 4096) -> None:
+    print(f"== ZipGEMM regimes for W[{m}x{k}] ==\n")
+    for gpu_name in GPUS:
+        gpu = get_gpu(gpu_name)
+        print(f"-- {gpu.marketing_name} ({gpu.dram_gbps:.0f} GB/s,"
+              f" {gpu.sm_count} SMs @ {gpu.clock_ghz:.2f} GHz)")
+        print(f"{'N':>6s} {'cublas':>10s} {'zipgemm':>10s} {'speedup':>8s}"
+              f" {'bound-by':>12s} {'stage-aware':>12s}")
+        for n in NS:
+            cb = cublas_gemm(gpu, m, k, n)
+            zg = zipgemm(gpu, m, k, n)
+            auto = stage_aware_linear(gpu, m, k, n)
+            print(
+                f"{n:6d} {cb.time_s * 1e6:9.1f}u {zg.time_s * 1e6:9.1f}u"
+                f" {cb.time_s / zg.time_s:7.2f}x"
+                f" {bottleneck(zg.details):>12s}"
+                f" {auto.details['path']:>12s}"
+            )
+        print()
+
+    print(
+        "Reading: on GDDR GPUs decode ALU hides under the memory roof and"
+        " the fused kernel wins at decode N; on HBM GPUs (A100/H800) the"
+        " ALU term surfaces and ZipGEMM loses its edge (§7).  At prefill N"
+        " the engine switches to the decoupled path."
+    )
+
+
+if __name__ == "__main__":
+    args = [int(a) for a in sys.argv[1:3]]
+    main(*args) if args else main()

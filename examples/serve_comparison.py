@@ -1,0 +1,65 @@
+"""Serving-system shoot-out: ZipServ vs vLLM vs Transformers vs DFloat11.
+
+A compact version of the paper's Figure 16: fixed batches of identical
+requests on LLaMA-3.1-8B / RTX4090, sweeping output lengths, reporting
+latency and throughput per backend plus normalised speedups.
+
+Run: ``python examples/serve_comparison.py``
+"""
+
+from repro import ZipServ
+from repro.core.report import compare_backends
+
+MODEL, GPU = "llama3.1-8b", "rtx4090"
+BATCH, PROMPT = 32, 128
+OUTPUT_LENS = (128, 512, 1024, 2048)
+BACKENDS = ("zipserv", "vllm", "transformers", "dfloat11")
+
+
+def main() -> None:
+    engines = {
+        name: ZipServ(MODEL, GPU, backend=name) for name in BACKENDS
+    }
+    print(f"== {MODEL} on {GPU}, batch {BATCH}, prompt {PROMPT} ==\n")
+    header = f"{'out_len':>8s}" + "".join(f"{b:>14s}" for b in BACKENDS)
+    print(header + "   (tokens/s)")
+    for out_len in OUTPUT_LENS:
+        results = {
+            name: engine.generate(BATCH, PROMPT, out_len)
+            for name, engine in engines.items()
+        }
+        row = f"{out_len:8d}"
+        for name in BACKENDS:
+            row += f"{results[name].throughput_tok_s:14.1f}"
+        extras = ""
+        if results["vllm"].n_waves > 1:
+            extras = (f"   <- vLLM preempted to"
+                      f" {results['vllm'].effective_batch} seqs (KV full)")
+        print(row + extras)
+
+    print("\nNormalised against vLLM at out_len=1024:")
+    results = {
+        name: engine.generate(BATCH, PROMPT, 1024)
+        for name, engine in engines.items()
+    }
+    for row in compare_backends(results, reference="vllm"):
+        print(
+            f"  {row.backend:13s} latency {row.latency_s:7.2f}s "
+            f"throughput {row.throughput_tok_s:8.1f} tok/s "
+            f"({row.speedup_vs_reference:.2f}x vLLM)"
+        )
+
+    step = engines["zipserv"].decode_step_breakdown(BATCH, 1024)
+    vstep = engines["vllm"].decode_step_breakdown(BATCH, 1024)
+    print(
+        f"\nDecode-step breakdown @ ctx 1024 (zipserv vs vllm, ms):\n"
+        f"  linear    {step.linear_s * 1e3:6.2f} vs {vstep.linear_s * 1e3:6.2f}\n"
+        f"  attention {step.attention_s * 1e3:6.2f} vs"
+        f" {vstep.attention_s * 1e3:6.2f}\n"
+        f"  other     {(step.other_s + step.dispatch_s) * 1e3:6.2f} vs"
+        f" {(vstep.other_s + vstep.dispatch_s) * 1e3:6.2f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

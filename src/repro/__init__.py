@@ -1,0 +1,66 @@
+"""repro — a reproduction of ZipServ (ASPLOS'26).
+
+*ZipServ: Fast and Memory-Efficient LLM Inference with Hardware-Aware
+Lossless Compression*, Fan et al.
+
+The package implements the paper's two co-designed contributions and every
+substrate they depend on:
+
+* :mod:`repro.tcatbe` — the TCA-TBE lossless format (Algorithms 1 and 2);
+* :mod:`repro.kernels` — bit-exact fused execution plus analytical GPU cost
+  models for ZipGEMM, cuBLAS, the standalone decompressors and attention;
+* :mod:`repro.codecs` — working Huffman/rANS baseline codecs (DFloat11,
+  DietGPU, nvCOMP analogues);
+* :mod:`repro.gpu` — device specs, roofline, SIMT divergence, bank conflicts,
+  tensor-core fragment layouts;
+* :mod:`repro.serving` — model zoo, paged KV cache, scheduler, tensor
+  parallelism and the end-to-end inference engine;
+* :mod:`repro.experiments` — one driver per paper figure (see DESIGN.md).
+
+Quick start::
+
+    from repro import ZipServ
+
+    zs = ZipServ(model="llama3.1-8b", gpu="rtx4090")
+    print(zs.compression_report().summary())
+    print(zs.generate(batch_size=32, prompt_len=128, output_len=256))
+"""
+
+from .core import ZipServ, ZipServConfig, compress_weights, decompress_weights
+from .errors import (
+    CapacityError,
+    CodecError,
+    ConfigError,
+    FormatError,
+    ReproError,
+    SchedulingError,
+    ShapeError,
+    UnknownSpecError,
+)
+from .gpu.specs import GPUS, get_gpu
+from .serving.backends import BACKENDS, get_backend
+from .serving.models import MODELS, get_model
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ZipServ",
+    "ZipServConfig",
+    "compress_weights",
+    "decompress_weights",
+    "GPUS",
+    "get_gpu",
+    "MODELS",
+    "get_model",
+    "BACKENDS",
+    "get_backend",
+    "ReproError",
+    "FormatError",
+    "CodecError",
+    "ShapeError",
+    "ConfigError",
+    "UnknownSpecError",
+    "CapacityError",
+    "SchedulingError",
+    "__version__",
+]

@@ -1,0 +1,39 @@
+"""Theoretical analysis (Appendix A) and model calibration constants."""
+
+from .calibration import (
+    BASELINE_DECODE_BW_FRAC,
+    ISSUE_CONTENTION,
+    PIPELINE_ISSUE_OVERHEAD,
+    decode_cycles_per_element,
+)
+from .codec_efficiency import (
+    CodecEfficiency,
+    dfloat11_efficiency,
+    dietgpu_efficiency,
+    efficiency_report,
+    tcatbe_efficiency,
+)
+from .theory import (
+    exponent_pmf_gaussian,
+    gaussian_exponent_entropy,
+    pmf_is_unimodal,
+    top_k_is_contiguous,
+    window_coverage_gaussian,
+)
+
+__all__ = [
+    "BASELINE_DECODE_BW_FRAC",
+    "ISSUE_CONTENTION",
+    "PIPELINE_ISSUE_OVERHEAD",
+    "decode_cycles_per_element",
+    "CodecEfficiency",
+    "dfloat11_efficiency",
+    "dietgpu_efficiency",
+    "efficiency_report",
+    "tcatbe_efficiency",
+    "exponent_pmf_gaussian",
+    "gaussian_exponent_entropy",
+    "pmf_is_unimodal",
+    "top_k_is_contiguous",
+    "window_coverage_gaussian",
+]

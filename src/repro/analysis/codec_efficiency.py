@@ -1,0 +1,111 @@
+"""Deriving baseline decoder efficiencies from first principles (§3.2).
+
+The performance model uses the paper's measured achieved-bandwidth fractions
+for the baseline decompressors (DietGPU 43.7%, DFloat11 76.5%).  This module
+*derives* comparable numbers from the implemented codecs and the GPU
+simulators, so the calibration constants can be cross-checked rather than
+trusted:
+
+* **DFloat11 (Huffman)** — lockstep-divergence simulation over the *actual*
+  per-symbol code lengths of an exponent stream, times a serial-dependency
+  factor for the pointer-advance chain (§3.2 stage 3);
+* **DietGPU (rANS)** — constant-time symbols, but every decode step gathers
+  from the slot/alias tables: the bank-conflict replay factor over the
+  measured table size gates throughput;
+* **TCA-TBE** — fixed-length, conflict-free: efficiency ~1 relative to the
+  coalesced-streaming ceiling.
+
+The absolute ceiling (what fraction of DRAM peak a perfectly regular
+decompressor reaches) is taken from the device spec; what this module
+predicts is each codec's *penalty* below that ceiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..bf16 import exponent_field, gaussian_bf16_sample
+from ..codecs.huffman import HuffmanCodec
+from ..codecs.rans import PROB_SCALE
+from ..gpu.memory import lut_gather_addresses, simulate_bank_conflicts
+from ..gpu.warp import huffman_divergence
+
+#: Serial-dependency penalty of Huffman pointer advancement: the next peek
+#: depends on the previous symbol's length (no ILP across symbols within a
+#: lane).  One extra issue slot in a ~4-deep useful chain.
+_POINTER_CHAIN_FACTOR = 0.85
+
+#: Fraction of rANS decode time spent in table gathers (slot -> symbol and
+#: frequency lookups) that bank conflicts serialise.
+_RANS_GATHER_SHARE = 0.55
+
+
+@dataclass(frozen=True)
+class CodecEfficiency:
+    """Predicted relative decoder efficiency (1.0 = regular streaming)."""
+
+    codec: str
+    simt_efficiency: float
+    memory_penalty: float
+
+    @property
+    def relative_efficiency(self) -> float:
+        """Combined fraction of the streaming ceiling."""
+        return self.simt_efficiency * self.memory_penalty
+
+
+def dfloat11_efficiency(n_symbols: int = 100_000, sigma: float = 0.015,
+                        seed: int = 0) -> CodecEfficiency:
+    """Huffman decoder efficiency from measured symbol-length divergence."""
+    stream = exponent_field(gaussian_bf16_sample(n_symbols, sigma, seed))
+    lengths = HuffmanCodec().symbol_lengths(stream)
+    divergence = huffman_divergence(lengths)
+    return CodecEfficiency(
+        codec="dfloat11",
+        simt_efficiency=divergence.efficiency * _POINTER_CHAIN_FACTOR,
+        memory_penalty=1.0,
+    )
+
+
+def dietgpu_efficiency(n_requests: int = 2048, seed: int = 0) -> CodecEfficiency:
+    """rANS decoder efficiency from table-gather bank conflicts."""
+    report = simulate_bank_conflicts(
+        lut_gather_addresses(n_requests, table_bytes=PROB_SCALE, seed=seed)
+    )
+    # Gather phase is slowed by the average replay degree; the rest of the
+    # step (state update, renorm read) is regular.
+    gather_slowdown = report.n_cycles / report.n_requests
+    memory_penalty = 1.0 / (
+        _RANS_GATHER_SHARE * gather_slowdown + (1.0 - _RANS_GATHER_SHARE)
+    )
+    return CodecEfficiency(
+        codec="dietgpu",
+        simt_efficiency=1.0,  # constant-time symbols: no length divergence
+        memory_penalty=memory_penalty,
+    )
+
+
+def tcatbe_efficiency() -> CodecEfficiency:
+    """Fixed-length decoding: uniform lanes, conflict-free accesses."""
+    return CodecEfficiency(
+        codec="tcatbe", simt_efficiency=1.0, memory_penalty=1.0
+    )
+
+
+def efficiency_report() -> dict[str, float]:
+    """Predicted relative efficiencies for the §3.2 cross-check.
+
+    Paper measurement (fractions of DRAM peak): TCA-TBE-class streaming
+    ~0.88, DFloat11 0.765, DietGPU 0.437 — i.e. *relative* efficiencies of
+    1.0, ~0.87 and ~0.50.  The derivations reproduce the ordering and the
+    DietGPU spacing (~0.43 derived vs ~0.50); the first-order divergence
+    model is more pessimistic about DFloat11 (~0.60 vs ~0.87) because it
+    does not credit the hierarchical LUT and per-thread bit buffering that
+    amortise long-code stalls.  The performance model therefore keeps the
+    paper's measured constants and uses this module as a cross-check.
+    """
+    return {
+        "tcatbe": tcatbe_efficiency().relative_efficiency,
+        "dfloat11": dfloat11_efficiency().relative_efficiency,
+        "dietgpu": dietgpu_efficiency().relative_efficiency,
+    }

@@ -1,0 +1,103 @@
+"""Appendix A: why BF16 exponents of LLM weights are skewed and contiguous.
+
+For weights ``w ~ N(0, sigma^2)``, the probability that a weight uses raw
+exponent field ``E`` (actual exponent ``x = E - 127``) is the Gaussian mass
+of the magnitude interval ``[2^x, 2^(x+1))``::
+
+    P(X = x) = erf(2^(x+1) / (sigma sqrt(2))) - erf(2^x / (sigma sqrt(2)))
+
+Appendix A proves this pmf is unimodal (single interior maximum at
+``u0 = sqrt(ln 2 / 3)``), and that unimodality implies the top-K most
+probable exponents always form a numerically contiguous run — the structural
+property ("exponent contiguity") that lets TCA-TBE replace a codebook with
+``base + code`` arithmetic.  This module evaluates the closed forms so tests
+and experiments can check the claims numerically.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.special import erf
+
+from ..bf16.dtype import EXPONENT_BIAS
+
+#: Location of the continuous maximiser from Theorem A.1: u0 = sqrt(ln2 / 3),
+#: where u = 2^x / (sigma sqrt(2)).
+U_STAR = math.sqrt(math.log(2.0) / 3.0)
+
+
+def exponent_pmf_gaussian(sigma: float) -> np.ndarray:
+    """Pmf over the 256 raw exponent-field values for N(0, sigma^2) weights.
+
+    Bin 0 aggregates zero and subnormal magnitudes (|w| < 2^-126); bin 255
+    (inf/NaN) receives the negligible tail mass above 2^128.
+    """
+    if sigma <= 0:
+        raise ValueError(f"sigma must be positive, got {sigma}")
+    exps = np.arange(1, 255, dtype=np.float64)
+    x = exps - EXPONENT_BIAS
+    scale = sigma * math.sqrt(2.0)
+    lo = np.exp2(x) / scale
+    hi = np.exp2(x + 1.0) / scale
+    pmf = np.zeros(256, dtype=np.float64)
+    pmf[1:255] = erf(hi) - erf(lo)
+    pmf[0] = erf(np.exp2(1.0 - EXPONENT_BIAS) / scale)  # |w| < 2^-126
+    pmf[255] = max(0.0, 1.0 - pmf.sum())
+    return pmf
+
+
+def pmf_is_unimodal(pmf: np.ndarray, tol: float = 1e-15) -> bool:
+    """Check that a pmf rises to a single peak then falls (Theorem A.1)."""
+    pmf = np.asarray(pmf, dtype=np.float64)
+    support = np.flatnonzero(pmf > tol)
+    if support.size <= 2:
+        return True
+    values = pmf[support[0]: support[-1] + 1]
+    diffs = np.diff(values)
+    signs = np.sign(np.where(np.abs(diffs) <= tol, 0.0, diffs))
+    signs = signs[signs != 0]
+    # Once the sequence starts decreasing it must never increase again.
+    decreasing = False
+    for s in signs:
+        if s < 0:
+            decreasing = True
+        elif decreasing:
+            return False
+    return True
+
+
+def top_k_is_contiguous(pmf: np.ndarray, k: int) -> bool:
+    """Check Theorem A.2: the k most probable values form a contiguous run."""
+    pmf = np.asarray(pmf, dtype=np.float64)
+    top = np.sort(np.argsort(-pmf, kind="stable")[:k])
+    return bool(top[-1] - top[0] == k - 1)
+
+
+def window_coverage_gaussian(sigma: float, k: int = 7) -> float:
+    """Coverage of the best k-wide contiguous exponent window (analytic).
+
+    §3.1 measures ~97.1% average coverage for k = 7 on real checkpoints;
+    the Gaussian model predicts essentially the same value for any sigma in
+    the LLM range because the pmf shape is scale-invariant up to a shift.
+    """
+    pmf = exponent_pmf_gaussian(sigma)
+    window_sums = np.convolve(pmf, np.ones(k), "valid")
+    return float(window_sums[1:].max())
+
+
+def gaussian_exponent_entropy(sigma: float) -> float:
+    """Entropy (bits) of the exponent pmf (paper: 2.57-2.74 for real LLMs)."""
+    pmf = exponent_pmf_gaussian(sigma)
+    p = pmf[pmf > 0]
+    return float(-(p * np.log2(p)).sum())
+
+
+def mode_exponent(sigma: float) -> int:
+    """Raw exponent field value at the pmf mode.
+
+    The continuous analysis puts the peak near ``2^x ≈ u0 sigma sqrt(2)``;
+    this returns the exact discrete argmax.
+    """
+    return int(np.argmax(exponent_pmf_gaussian(sigma)))

@@ -1,0 +1,37 @@
+"""BFloat16 substrate.
+
+All compressed formats in this repository operate on raw BF16 bit patterns
+stored as ``numpy.uint16`` arrays.  This package provides the conversions and
+bit-field helpers shared by the TCA-TBE format and the baseline codecs.
+"""
+
+from .dtype import (
+    EXPONENT_BIAS,
+    EXPONENT_BITS,
+    MANTISSA_BITS,
+    assemble,
+    bf16_to_f32,
+    exponent_field,
+    f32_to_bf16,
+    mantissa_field,
+    pack_sign_mantissa,
+    sign_field,
+    unpack_sign_mantissa,
+)
+from .random import gaussian_bf16_matrix, gaussian_bf16_sample
+
+__all__ = [
+    "EXPONENT_BIAS",
+    "EXPONENT_BITS",
+    "MANTISSA_BITS",
+    "assemble",
+    "bf16_to_f32",
+    "exponent_field",
+    "f32_to_bf16",
+    "mantissa_field",
+    "pack_sign_mantissa",
+    "sign_field",
+    "unpack_sign_mantissa",
+    "gaussian_bf16_matrix",
+    "gaussian_bf16_sample",
+]

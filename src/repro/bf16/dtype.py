@@ -1,0 +1,139 @@
+"""BFloat16 bit-level representation (§2.2 of the paper).
+
+A BF16 value is a 16-bit word: 1 sign bit, 8 exponent bits, 7 mantissa bits::
+
+    bit:   15 | 14 .. 7  | 6 .. 0
+           S  | exponent | mantissa
+
+    value = (-1)^S * 2^(exponent - 127) * (1.mantissa)
+
+We keep BF16 tensors as ``numpy.uint16`` arrays holding the raw bit patterns,
+which makes lossless round-trips testable with exact equality and makes field
+extraction a couple of shifts — the same operations the CUDA decompressor
+performs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+
+#: Exponent bias of BF16 (identical to IEEE-754 binary32).
+EXPONENT_BIAS = 127
+
+#: Width of the exponent field in bits.
+EXPONENT_BITS = 8
+
+#: Width of the explicit mantissa field in bits.
+MANTISSA_BITS = 7
+
+_SIGN_SHIFT = 15
+_EXP_SHIFT = 7
+_EXP_MASK = np.uint16(0xFF << _EXP_SHIFT)
+_MANT_MASK = np.uint16(0x7F)
+
+#: Canonical quiet-NaN bit pattern used when converting float32 NaNs.
+QUIET_NAN = np.uint16(0x7FC0)
+
+
+def f32_to_bf16(values: np.ndarray) -> np.ndarray:
+    """Convert float32 values to BF16 bit patterns (round-to-nearest-even).
+
+    This matches the truncation-with-rounding performed by hardware
+    ``cvt.rn.bf16.f32``: the low 16 bits of the float32 word are dropped after
+    adding ``0x7FFF + lsb`` so ties round to even.  NaNs map to the canonical
+    quiet NaN.
+
+    Parameters
+    ----------
+    values:
+        Array of float32 (anything else is cast to float32 first).
+
+    Returns
+    -------
+    numpy.ndarray of uint16 with the same shape.
+    """
+    f32 = np.ascontiguousarray(values, dtype=np.float32)
+    bits = f32.view(np.uint32)
+    lsb = (bits >> np.uint32(16)) & np.uint32(1)
+    rounded = bits + np.uint32(0x7FFF) + lsb
+    bf16 = (rounded >> np.uint32(16)).astype(np.uint16)
+    nan_mask = np.isnan(f32)
+    if nan_mask.any():
+        bf16 = np.where(nan_mask, QUIET_NAN, bf16)
+    return bf16
+
+
+def bf16_to_f32(bits: np.ndarray) -> np.ndarray:
+    """Convert BF16 bit patterns (uint16) back to float32 values exactly."""
+    u16 = _as_u16(bits)
+    return (u16.astype(np.uint32) << np.uint32(16)).view(np.float32)
+
+
+def sign_field(bits: np.ndarray) -> np.ndarray:
+    """Extract the sign bit (0 or 1) from BF16 bit patterns."""
+    return (_as_u16(bits) >> np.uint16(_SIGN_SHIFT)).astype(np.uint8)
+
+
+def exponent_field(bits: np.ndarray) -> np.ndarray:
+    """Extract the raw 8-bit exponent field (0..255) from BF16 bit patterns."""
+    return ((_as_u16(bits) & _EXP_MASK) >> np.uint16(_EXP_SHIFT)).astype(np.uint8)
+
+
+def mantissa_field(bits: np.ndarray) -> np.ndarray:
+    """Extract the 7-bit mantissa field (0..127) from BF16 bit patterns."""
+    return (_as_u16(bits) & _MANT_MASK).astype(np.uint8)
+
+
+def assemble(
+    sign: np.ndarray, exponent: np.ndarray, mantissa: np.ndarray
+) -> np.ndarray:
+    """Assemble BF16 bit patterns from their three fields.
+
+    This is the ``MakeBF16`` step of Algorithm 2: a shift-or of the sign bit,
+    the reconstructed exponent, and the stored mantissa.
+    """
+    s = np.asarray(sign, dtype=np.uint16)
+    e = np.asarray(exponent, dtype=np.uint16)
+    m = np.asarray(mantissa, dtype=np.uint16)
+    if (e > 0xFF).any():
+        raise ValueError("exponent field out of range [0, 255]")
+    if (m > 0x7F).any():
+        raise ValueError("mantissa field out of range [0, 127]")
+    if (s > 1).any():
+        raise ValueError("sign field must be 0 or 1")
+    return (
+        (s << np.uint16(_SIGN_SHIFT)) | (e << np.uint16(_EXP_SHIFT)) | m
+    ).astype(np.uint16)
+
+
+def pack_sign_mantissa(bits: np.ndarray) -> np.ndarray:
+    """Pack sign and mantissa of BF16 words into one byte each.
+
+    The TCA-TBE high-frequency buffer stores exactly this byte per element::
+
+        bit:   7 | 6 .. 0
+               S | mantissa
+    """
+    u16 = _as_u16(bits)
+    return (
+        ((u16 >> np.uint16(8)) & np.uint16(0x80)) | (u16 & _MANT_MASK)
+    ).astype(np.uint8)
+
+
+def unpack_sign_mantissa(packed: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Split packed sign+mantissa bytes back into (sign, mantissa) fields."""
+    p = np.asarray(packed, dtype=np.uint8)
+    sign = (p >> np.uint8(7)).astype(np.uint8)
+    mantissa = (p & np.uint8(0x7F)).astype(np.uint8)
+    return sign, mantissa
+
+
+def _as_u16(bits: np.ndarray) -> np.ndarray:
+    array = np.asarray(bits)
+    if array.dtype != np.uint16:
+        raise ShapeError(
+            f"BF16 bit patterns must be uint16 arrays, got dtype {array.dtype}"
+        )
+    return array

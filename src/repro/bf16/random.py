@@ -1,0 +1,53 @@
+"""Synthetic BF16 weight generation.
+
+The paper's Appendix A models LLM weights in a layer as ``w ~ N(0, sigma^2)``
+and proves that the resulting BF16 exponent distribution is unimodal (hence
+top-K contiguous) and highly skewed.  Because we have no pretrained
+checkpoints in this environment, every experiment that needs weight *values*
+samples them from this model; experiments that only need weight *shapes* use
+:mod:`repro.serving.models` directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dtype import f32_to_bf16
+
+
+def gaussian_bf16_sample(
+    n: int, sigma: float = 0.02, seed: int | None = 0
+) -> np.ndarray:
+    """Sample ``n`` BF16 bit patterns from N(0, sigma^2).
+
+    Parameters
+    ----------
+    n:
+        Number of samples.
+    sigma:
+        Standard deviation of the Gaussian; typical trained LLM layers fall
+        in the 0.01–0.04 range.
+    seed:
+        Seed for reproducibility; ``None`` draws fresh entropy.
+
+    Returns
+    -------
+    numpy.ndarray of uint16, shape ``(n,)``.
+    """
+    if n < 0:
+        raise ValueError(f"sample count must be non-negative, got {n}")
+    if sigma <= 0:
+        raise ValueError(f"sigma must be positive, got {sigma}")
+    rng = np.random.default_rng(seed)
+    values = rng.normal(0.0, sigma, size=n).astype(np.float32)
+    return f32_to_bf16(values)
+
+
+def gaussian_bf16_matrix(
+    rows: int, cols: int, sigma: float = 0.02, seed: int | None = 0
+) -> np.ndarray:
+    """Sample a ``rows x cols`` BF16 weight matrix from N(0, sigma^2)."""
+    if rows <= 0 or cols <= 0:
+        raise ValueError(f"matrix dims must be positive, got {rows}x{cols}")
+    flat = gaussian_bf16_sample(rows * cols, sigma=sigma, seed=seed)
+    return flat.reshape(rows, cols)

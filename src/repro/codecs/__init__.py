@@ -1,0 +1,40 @@
+"""Entropy codecs used by the baseline lossless-compression systems.
+
+The paper compares ZipServ against three entropy-coded systems:
+
+* **DFloat11** — canonical Huffman over the BF16 exponent plane, decoded on
+  GPU from a chunked bitstream (:class:`repro.codecs.huffman.HuffmanCodec`).
+* **DietGPU** — interleaved rANS over byte planes
+  (:class:`repro.codecs.rans.RansCodec`).
+* **nvCOMP** — vendor rANS plus a separate BF16 reassembly pass
+  (modelled in :mod:`repro.codecs.bf16_split`).
+
+These are complete, working codecs (bit-exact round-trips), not mocks; their
+measured symbol statistics feed the GPU divergence model.
+"""
+
+from .base import EncodedStream, get_byte_codec, register_byte_codec
+from .bitstream import BitReader, pack_bits
+from .bf16_split import (
+    BF16_CODECS,
+    BF16LosslessCodec,
+    CompressedBF16,
+    get_bf16_codec,
+)
+from .huffman import HuffmanCodec, huffman_code_lengths
+from .rans import RansCodec
+
+__all__ = [
+    "BitReader",
+    "pack_bits",
+    "EncodedStream",
+    "register_byte_codec",
+    "get_byte_codec",
+    "HuffmanCodec",
+    "huffman_code_lengths",
+    "RansCodec",
+    "BF16LosslessCodec",
+    "CompressedBF16",
+    "BF16_CODECS",
+    "get_bf16_codec",
+]

@@ -1,0 +1,205 @@
+"""Interleaved range-ANS codec (DietGPU / nvCOMP-style).
+
+DietGPU decodes floating-point tensors with a GPU-native rANS coder: the
+symbol stream is split across many independent ANS states that renormalise in
+16-bit words, one state per GPU lane.  This module implements the same
+construction with the lane dimension vectorised in numpy:
+
+* frequencies normalised to a 2^12 probability scale;
+* ``num_streams`` interleaved encoders, symbol ``i`` belonging to stream
+  ``i % num_streams``;
+* 32-bit states, 16-bit renormalisation (at most one word in or out per
+  symbol, which is what makes the lane loop vectorisable).
+
+Round-trips are bit-exact.  The codec's GPU *cost* (table gathers, scattered
+payload reads) is modelled separately in :mod:`repro.kernels.decompress`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import CodecError
+from .base import EncodedStream, as_u8, register_byte_codec
+from ..utils import ceil_div, round_up
+
+#: Probability resolution: frequencies are scaled to sum to 2^PROB_BITS.
+PROB_BITS = 12
+PROB_SCALE = 1 << PROB_BITS
+
+#: Lower bound of the ANS state interval [2^16, 2^32).
+STATE_LOW = np.uint64(1) << np.uint64(16)
+
+
+def normalize_freqs(freqs: np.ndarray, prob_scale: int = PROB_SCALE) -> np.ndarray:
+    """Scale raw counts so they sum to ``prob_scale``, keeping present >= 1."""
+    freqs = np.asarray(freqs, dtype=np.int64)
+    if freqs.shape != (256,):
+        raise CodecError(f"freqs must have shape (256,), got {freqs.shape}")
+    total = int(freqs.sum())
+    if total == 0:
+        return np.zeros(256, dtype=np.int64)
+    scaled = np.floor(freqs * (prob_scale / total) + 0.5).astype(np.int64)
+    scaled[(freqs > 0) & (scaled == 0)] = 1
+    diff = prob_scale - int(scaled.sum())
+    while diff != 0:
+        if diff > 0:
+            idx = int(np.argmax(scaled))
+            scaled[idx] += 1
+            diff -= 1
+        else:
+            adjustable = np.where(scaled > 1, scaled, -1)
+            idx = int(np.argmax(adjustable))
+            if adjustable[idx] <= 1:
+                raise CodecError("cannot normalise frequency table")
+            scaled[idx] -= 1
+            diff += 1
+    return scaled
+
+
+def _auto_streams(n: int) -> int:
+    """Pick a lane count: multiples of a warp, ~512 symbols per lane."""
+    if n == 0:
+        return 32
+    return min(4096, max(32, round_up(ceil_div(n, 512), 32)))
+
+
+@dataclass
+class RansCodec:
+    """Interleaved rANS byte codec."""
+
+    num_streams: int | None = None
+    prob_bits: int = PROB_BITS
+    name: str = "rans"
+
+    def encode(self, data: np.ndarray) -> EncodedStream:
+        """Encode a uint8 array into interleaved rANS streams."""
+        data = as_u8(data)
+        n = data.size
+        k = self.num_streams or _auto_streams(n)
+        prob_scale = 1 << self.prob_bits
+        if n == 0:
+            return EncodedStream(
+                codec=self.name,
+                payload=np.zeros(0, dtype=np.uint8),
+                n_symbols=0,
+                header_nbytes=0,
+                meta={"num_streams": k},
+            )
+        freqs = normalize_freqs(np.bincount(data, minlength=256), prob_scale)
+        cum = np.concatenate([[0], np.cumsum(freqs)])[:256].astype(np.uint64)
+        freqs_u = freqs.astype(np.uint64)
+
+        # Lay out symbols as (streams, steps); pad the ragged tail.
+        steps = ceil_div(n, k)
+        padded = np.zeros(k * steps, dtype=np.uint8)
+        padded[:n] = data
+        lanes = padded.reshape(steps, k).T  # (k, steps)
+        valid = (np.arange(k)[:, None] + np.arange(steps)[None, :] * k) < n
+
+        x = np.full(k, STATE_LOW, dtype=np.uint64)
+        emit_stream: list[np.ndarray] = []
+        emit_word: list[np.ndarray] = []
+        shift16 = np.uint64(16)
+        pbits = np.uint64(self.prob_bits)
+        # Encode in reverse symbol order so the decoder runs forward.
+        for step in range(steps - 1, -1, -1):
+            syms = lanes[:, step].astype(np.int64)
+            active = valid[:, step]
+            # Inactive (padding) lanes may map to zero-frequency symbols;
+            # substitute 1 so the vectorised division is well-defined (their
+            # state update is discarded by the mask below).
+            f = np.where(active, freqs_u[syms], np.uint64(1))
+            x_max = (f << np.uint64(20)) if self.prob_bits == 12 else (
+                (STATE_LOW >> pbits) << shift16
+            ) * f
+            renorm = active & (x >= x_max)
+            if renorm.any():
+                emit_stream.append(np.flatnonzero(renorm).astype(np.int64))
+                emit_word.append((x[renorm] & np.uint64(0xFFFF)).astype(np.uint16))
+                x[renorm] >>= shift16
+            q = x // f
+            r = x - q * f
+            x_new = (q << pbits) + r + cum[syms]
+            x = np.where(active, x_new, x)
+
+        if emit_stream:
+            streams_cat = np.concatenate(emit_stream)
+            words_cat = np.concatenate(emit_word)
+        else:
+            streams_cat = np.zeros(0, dtype=np.int64)
+            words_cat = np.zeros(0, dtype=np.uint16)
+        # Per-stream payload in decode (reverse-of-emission) order.
+        order = np.argsort(streams_cat, kind="stable")
+        counts = np.bincount(streams_cat, minlength=k)
+        sorted_words = words_cat[order]
+        offsets = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+        payload_words = np.empty_like(sorted_words)
+        for j in range(k):
+            seg = sorted_words[offsets[j]:offsets[j + 1]]
+            payload_words[offsets[j]:offsets[j + 1]] = seg[::-1]
+
+        header_nbytes = 512 + 8 * k + 16  # freq table + per-stream state/offset
+        return EncodedStream(
+            codec=self.name,
+            payload=payload_words.view(np.uint8).copy(),
+            n_symbols=n,
+            header_nbytes=header_nbytes,
+            meta={
+                "num_streams": k,
+                "freqs": freqs,
+                "states": x.copy(),
+                "word_offsets": offsets,
+                "prob_bits": self.prob_bits,
+            },
+        )
+
+    def decode(self, stream: EncodedStream) -> np.ndarray:
+        """Decode interleaved rANS streams; bit-exact inverse of encode."""
+        n = stream.n_symbols
+        if n == 0:
+            return np.zeros(0, dtype=np.uint8)
+        k = stream.meta["num_streams"]
+        prob_bits = stream.meta["prob_bits"]
+        prob_scale = 1 << prob_bits
+        freqs = stream.meta["freqs"].astype(np.uint64)
+        cum = np.concatenate([[0], np.cumsum(freqs)])[:256].astype(np.uint64)
+        slot_to_sym = np.repeat(
+            np.arange(256, dtype=np.uint8), freqs.astype(np.int64)
+        )
+        if slot_to_sym.size != prob_scale:
+            raise CodecError("corrupt rANS frequency table")
+
+        words = stream.payload.view(np.uint16)
+        offsets = stream.meta["word_offsets"]
+        cursor = offsets[:-1].astype(np.int64).copy()
+        limit = offsets[1:].astype(np.int64)
+        x = stream.meta["states"].astype(np.uint64).copy()
+
+        steps = ceil_div(n, k)
+        out = np.zeros((k, steps), dtype=np.uint8)
+        mask = np.uint64(prob_scale - 1)
+        pbits = np.uint64(prob_bits)
+        shift16 = np.uint64(16)
+        for step in range(steps):
+            active = (np.arange(k) + step * k) < n
+            slot = x & mask
+            syms = slot_to_sym[slot.astype(np.int64)]
+            f = freqs[syms]
+            x_new = f * (x >> pbits) + slot - cum[syms]
+            x = np.where(active, x_new, x)
+            out[active, step] = syms[active]
+            renorm = active & (x < STATE_LOW)
+            if renorm.any():
+                idx = np.flatnonzero(renorm)
+                take = cursor[idx]
+                if (take >= limit[idx]).any():
+                    raise CodecError("corrupt rANS stream: payload underrun")
+                x[idx] = (x[idx] << shift16) | words[take].astype(np.uint64)
+                cursor[idx] += 1
+        return out.T.reshape(-1)[:n].copy()
+
+
+register_byte_codec(RansCodec())

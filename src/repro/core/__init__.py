@@ -1,0 +1,25 @@
+"""Public facade of the ZipServ reproduction.
+
+Typical use::
+
+    from repro.core import ZipServ
+
+    zs = ZipServ(model="llama3.1-8b", gpu="rtx4090")
+    report = zs.compression_report()
+    result = zs.generate(batch_size=32, prompt_len=128, output_len=512)
+    print(result.throughput_tok_s)
+"""
+
+from .api import ZipServ, compress_weights, decompress_weights
+from .config import ZipServConfig
+from .report import CompressionReport, ComparisonRow, compare_backends
+
+__all__ = [
+    "ZipServ",
+    "ZipServConfig",
+    "CompressionReport",
+    "ComparisonRow",
+    "compare_backends",
+    "compress_weights",
+    "decompress_weights",
+]

@@ -1,0 +1,150 @@
+"""The ZipServ facade: compress, plan, serve, report.
+
+Bundles the offline compressor (TCA-TBE over every linear layer), the memory
+planner, and the inference engine behind one object with the workflow of
+Figure 6: *offline compressor* on the left, *online inference engine* on the
+right.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpu.specs import GpuSpec
+from ..kernels.pipeline import stage_aware_linear
+from ..serving.backends import BackendConfig
+from ..serving.engine import InferenceEngine, ServeResult, StepBreakdown
+from ..serving.memory_plan import MemoryPlan, plan_memory
+from ..serving.models import ModelSpec
+from ..serving.weights import (
+    estimate_layer_compression,
+    layer_sigma,
+    model_compression_report,
+)
+from ..tcatbe import TcaTbeMatrix, compress, decompress
+from .config import ZipServConfig
+from .report import CompressionReport
+
+
+def compress_weights(weights: np.ndarray) -> TcaTbeMatrix:
+    """Losslessly compress one BF16 (uint16) weight matrix with TCA-TBE."""
+    return compress(weights)
+
+
+def decompress_weights(matrix: TcaTbeMatrix) -> np.ndarray:
+    """Recover the exact BF16 weights from a TCA-TBE matrix."""
+    return decompress(matrix)
+
+
+class ZipServ:
+    """One serving deployment: model + GPU(s) + backend.
+
+    Parameters
+    ----------
+    model, gpu, backend:
+        Registry names (e.g. ``"llama3.1-8b"``, ``"rtx4090"``, ``"zipserv"``)
+        or resolved spec objects.
+    tensor_parallel:
+        Number of GPUs the model is sharded across.
+    """
+
+    def __init__(
+        self,
+        model: str | ModelSpec,
+        gpu: str | GpuSpec,
+        backend: str | BackendConfig = "zipserv",
+        tensor_parallel: int = 1,
+    ):
+        self.config = ZipServConfig.resolve(
+            model, gpu, backend, tensor_parallel
+        )
+        self.engine = InferenceEngine(
+            self.config.model,
+            self.config.gpu,
+            self.config.backend,
+            tensor_parallel=self.config.tensor_parallel,
+            gpu_mem_util=self.config.gpu_mem_util,
+        )
+
+    # ------------------------------------------------------------------
+    # Offline side
+    # ------------------------------------------------------------------
+    def compression_report(self) -> CompressionReport:
+        """Model-wide compression accounting under the backend's scheme."""
+        scheme = self.config.backend.weight_scheme
+        if scheme == "dense":
+            dense = float(self.config.model.weight_bytes_bf16)
+            return CompressionReport(
+                model=self.config.model.name,
+                scheme="dense",
+                dense_bytes=dense,
+                compressed_bytes=dense,
+            )
+        report = model_compression_report(self.config.model, scheme)
+        gib = float(1 << 30)
+        return CompressionReport(
+            model=self.config.model.name,
+            scheme=scheme,
+            dense_bytes=report["dense_gib"] * gib,
+            compressed_bytes=report["compressed_gib"] * gib,
+            per_layer=report["per_layer"],
+        )
+
+    # ------------------------------------------------------------------
+    # Online side
+    # ------------------------------------------------------------------
+    @property
+    def memory_plan(self) -> MemoryPlan:
+        """Per-GPU memory budget of this deployment."""
+        return self.engine.plan
+
+    def generate(
+        self, batch_size: int, prompt_len: int, output_len: int
+    ) -> ServeResult:
+        """Simulate one fixed-batch generation benchmark (§6.5 setup)."""
+        return self.engine.run(batch_size, prompt_len, output_len)
+
+    def decode_step_breakdown(
+        self, batch_size: int, context_len: int
+    ) -> StepBreakdown:
+        """Per-step time composition at a given context (Figure 17)."""
+        return self.engine.decode_step(batch_size, context_len)
+
+    def linear_layer_profile(self, kind: str, n_tokens: int):
+        """Kernel profile of one named linear layer at ``n_tokens``.
+
+        Only meaningful for the ZipServ backend (stage-aware execution);
+        raises ``KeyError`` for unknown layer kinds.
+        """
+        for layer in self.config.model.linear_layers():
+            if layer.kind == kind:
+                comp = estimate_layer_compression(
+                    layer.m, layer.k,
+                    layer_sigma(layer.kind, layer.m, layer.k),
+                    "tcatbe",
+                )
+                return stage_aware_linear(
+                    self.config.gpu, layer.m, layer.k, n_tokens, comp
+                )
+        raise KeyError(f"unknown layer kind {kind!r}")
+
+    def fits(self, batch_size: int, context_len: int) -> bool:
+        """Whether a batch at the given context fits without preemption."""
+        return self.engine.max_wave_batch(context_len) >= batch_size
+
+
+def plan_for(
+    model: str | ModelSpec,
+    gpu: str | GpuSpec,
+    backend: str | BackendConfig = "zipserv",
+    tensor_parallel: int = 1,
+) -> MemoryPlan:
+    """Standalone memory planning without constructing an engine."""
+    config = ZipServConfig.resolve(model, gpu, backend, tensor_parallel)
+    return plan_memory(
+        config.model,
+        config.gpu,
+        config.backend.weight_scheme,
+        config.tensor_parallel,
+        config.gpu_mem_util,
+    )

@@ -1,0 +1,52 @@
+"""Top-level configuration for the :class:`~repro.core.api.ZipServ` facade."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..gpu.specs import GpuSpec, get_gpu
+from ..serving.backends import BackendConfig, get_backend
+from ..serving.memory_plan import DEFAULT_GPU_MEM_UTIL
+from ..serving.models import ModelSpec, get_model
+
+
+@dataclass(frozen=True)
+class ZipServConfig:
+    """Resolved configuration of one serving deployment."""
+
+    model: ModelSpec
+    gpu: GpuSpec
+    backend: BackendConfig
+    tensor_parallel: int = 1
+    gpu_mem_util: float = DEFAULT_GPU_MEM_UTIL
+
+    def __post_init__(self) -> None:
+        if self.tensor_parallel < 1:
+            raise ConfigError("tensor_parallel must be >= 1")
+        if not 0.0 < self.gpu_mem_util <= 1.0:
+            raise ConfigError("gpu_mem_util must be in (0, 1]")
+
+    @classmethod
+    def resolve(
+        cls,
+        model: str | ModelSpec,
+        gpu: str | GpuSpec,
+        backend: str | BackendConfig = "zipserv",
+        tensor_parallel: int = 1,
+        gpu_mem_util: float = DEFAULT_GPU_MEM_UTIL,
+    ) -> "ZipServConfig":
+        """Build a config from names or already-resolved spec objects."""
+        model_spec = model if isinstance(model, ModelSpec) else get_model(model)
+        gpu_spec = gpu if isinstance(gpu, GpuSpec) else get_gpu(gpu)
+        backend_cfg = (
+            backend if isinstance(backend, BackendConfig)
+            else get_backend(backend)
+        )
+        return cls(
+            model=model_spec,
+            gpu=gpu_spec,
+            backend=backend_cfg,
+            tensor_parallel=tensor_parallel,
+            gpu_mem_util=gpu_mem_util,
+        )

@@ -1,0 +1,77 @@
+"""Reporting types produced by the public API."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..serving.engine import ServeResult
+from ..utils import GIB
+
+
+@dataclass
+class CompressionReport:
+    """Whole-model compression summary (the offline compressor's receipt)."""
+
+    model: str
+    scheme: str
+    dense_bytes: float
+    compressed_bytes: float
+    per_layer: dict = field(default_factory=dict)
+
+    @property
+    def dense_gib(self) -> float:
+        """Uncompressed BF16 footprint in GiB."""
+        return self.dense_bytes / GIB
+
+    @property
+    def compressed_gib(self) -> float:
+        """Compressed footprint in GiB."""
+        return self.compressed_bytes / GIB
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio (dense / compressed)."""
+        return self.dense_bytes / self.compressed_bytes
+
+    @property
+    def size_fraction(self) -> float:
+        """Compressed size as a fraction of dense (paper: ~70-72%)."""
+        return self.compressed_bytes / self.dense_bytes
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.model} [{self.scheme}]: {self.dense_gib:.2f} GiB ->"
+            f" {self.compressed_gib:.2f} GiB"
+            f" ({100 * self.size_fraction:.1f}%, {self.ratio:.2f}x)"
+        )
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One backend's end-to-end result, normalised against a reference."""
+
+    backend: str
+    latency_s: float
+    throughput_tok_s: float
+    speedup_vs_reference: float
+
+
+def compare_backends(
+    results: dict[str, ServeResult], reference: str = "vllm"
+) -> list[ComparisonRow]:
+    """Normalise a set of :class:`ServeResult` against a reference backend."""
+    if reference not in results:
+        raise KeyError(f"reference backend {reference!r} not in results")
+    ref_tput = results[reference].throughput_tok_s
+    rows = []
+    for name, result in sorted(results.items()):
+        rows.append(
+            ComparisonRow(
+                backend=name,
+                latency_s=result.latency_s,
+                throughput_tok_s=result.throughput_tok_s,
+                speedup_vs_reference=result.throughput_tok_s / ref_tput,
+            )
+        )
+    return rows

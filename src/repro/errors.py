@@ -1,0 +1,47 @@
+"""Exception hierarchy for the ZipServ reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class FormatError(ReproError):
+    """A compressed payload is malformed or inconsistent with its metadata."""
+
+
+class CodecError(ReproError):
+    """An entropy codec failed to encode or decode a payload."""
+
+
+class ShapeError(ReproError):
+    """An array shape is incompatible with the requested operation."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class UnknownSpecError(ConfigError):
+    """A GPU, model, or backend name was not found in its registry."""
+
+    def __init__(self, kind: str, name: str, known: list[str]):
+        self.kind = kind
+        self.name = name
+        self.known = sorted(known)
+        super().__init__(
+            f"unknown {kind} {name!r}; known {kind}s: {', '.join(self.known)}"
+        )
+
+
+class CapacityError(ReproError):
+    """A memory plan or KV-cache allocation does not fit on the device."""
+
+
+class SchedulingError(ReproError):
+    """The request scheduler was driven into an invalid state."""

@@ -1,0 +1,35 @@
+"""Experiment drivers: one per paper figure / table (see DESIGN.md).
+
+Importing this package registers every driver; use::
+
+    from repro.experiments import run_experiment, list_experiments
+    result = run_experiment("fig11", quick=True)
+    print(result.report())
+
+or the CLI: ``python -m repro.experiments fig11``.
+"""
+
+from . import (  # noqa: F401  (imported for registration side effects)
+    ext_continuous,
+    ext_kvcomp,
+    ext_quant,
+    fig01_pipeline_overhead,
+    fig02_exponent_distribution,
+    fig05_roofline,
+    fig11_kernel_speedups,
+    fig12_micro_analysis,
+    fig13_decompression,
+    fig14_cross_generation,
+    fig15_n_sweep,
+    fig16_end_to_end,
+    fig17_breakdown,
+    fig18_datacenter,
+    tab_codeword,
+    tab_memory,
+    tab_offline_cost,
+    tab_pipeline,
+    tab_theory,
+)
+from .common import ExperimentResult, list_experiments, run_experiment
+
+__all__ = ["ExperimentResult", "list_experiments", "run_experiment"]

@@ -1,0 +1,76 @@
+"""CLI for the experiment drivers.
+
+Usage::
+
+    python -m repro.experiments --list
+    python -m repro.experiments fig11 [--quick]
+    python -m repro.experiments all [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import list_experiments, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description="Run ZipServ reproduction experiments",
+    )
+    parser.add_argument(
+        "name", nargs="?", default=None,
+        help="experiment name, or 'all' to run every one",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list registered experiments"
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced sweeps for fast smoke runs",
+    )
+    parser.add_argument(
+        "--chart", action="store_true",
+        help="render an ASCII chart for sweep-shaped experiments",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write results as JSON to PATH",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or args.name is None:
+        for name in list_experiments():
+            print(name)
+        return 0
+
+    names = list_experiments() if args.name == "all" else [args.name]
+    collected = []
+    for name in names:
+        result = run_experiment(name, quick=args.quick)
+        collected.append(result)
+        print(result.report())
+        if args.chart:
+            from .charts import chart_for_result
+
+            chart = chart_for_result(result)
+            if chart:
+                print()
+                print(chart)
+        print()
+
+    if args.json:
+        import json
+        from pathlib import Path
+
+        payload = {r.experiment: r.to_dict() for r in collected}
+        Path(args.json).write_text(json.dumps(payload, indent=2))
+        print(f"wrote {len(collected)} result(s) to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,112 @@
+"""Terminal line charts for experiment results.
+
+The paper's evaluation figures are line/bar charts; the CLI can render the
+same series as ASCII so `python -m repro.experiments fig16 --chart` gives a
+visual read without a plotting stack (nothing beyond numpy is available
+offline).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigError
+
+#: Plot glyphs per series, cycled.
+_GLYPHS = "ox+*#@"
+
+
+def ascii_line_chart(
+    series: dict[str, list[tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    log_x: bool = False,
+) -> str:
+    """Render (x, y) series as a fixed-size ASCII chart.
+
+    Parameters
+    ----------
+    series:
+        Mapping of series name to (x, y) points.
+    width, height:
+        Plot area size in characters.
+    log_x:
+        Logarithmic x axis (the paper's N sweeps span 1..16384).
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise ConfigError("chart needs at least one point")
+    if width < 8 or height < 4:
+        raise ConfigError("chart area too small")
+
+    def tx(x: float) -> float:
+        return math.log10(x) if log_x else x
+
+    xs = [tx(x) for x, _ in points]
+    ys = [y for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, pts) in enumerate(series.items()):
+        glyph = _GLYPHS[index % len(_GLYPHS)]
+        for x, y in pts:
+            col = int((tx(x) - x_lo) / x_span * (width - 1))
+            row = int((y - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:>10.4g} +" + "-" * width + "+")
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row) + "|")
+    lines.append(f"{y_lo:>10.4g} +" + "-" * width + "+")
+    x_label_lo = 10 ** x_lo if log_x else x_lo
+    x_label_hi = 10 ** x_hi if log_x else x_hi
+    lines.append(
+        " " * 12 + f"{x_label_lo:<.4g}" + " " * (width - 16)
+        + f"{x_label_hi:>.4g}"
+    )
+    legend = "   ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def chart_for_result(result) -> str | None:
+    """Best-effort chart for an :class:`ExperimentResult`.
+
+    Recognises the two sweep-shaped experiments: ``fig15`` (time vs N) and
+    ``fig16`` (throughput vs output length per backend); returns ``None``
+    for tabular experiments.
+    """
+    if result.experiment == "fig15":
+        series = {
+            "cublas_ms": [(row[0], row[1]) for row in result.rows],
+            "zipserv_ms": [
+                (row[0], row[2] if row[4] == "fused" else row[3])
+                for row in result.rows
+            ],
+        }
+        return ascii_line_chart(
+            series, title=result.title, log_x=True
+        )
+    if result.experiment == "fig16":
+        series: dict[str, list[tuple[float, float]]] = {}
+        for row in result.rows:
+            model, tp, backend, batch, out_len, _lat, tput = row
+            if model == result.rows[0][0] and batch == 32:
+                series.setdefault(backend, []).append((out_len, tput))
+        if not series:
+            return None
+        return ascii_line_chart(
+            series,
+            title=f"{result.rows[0][0]} throughput (tok/s) vs output length",
+        )
+    return None

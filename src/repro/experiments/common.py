@@ -1,0 +1,109 @@
+"""Experiment infrastructure: result type, registry, table rendering.
+
+Every paper figure/table has a driver module exposing ``run(quick=False)``
+returning an :class:`ExperimentResult`; the registry powers the CLI
+(``python -m repro.experiments``) and the benchmark suite.  Results carry
+both the measured headline numbers and the paper's, so EXPERIMENTS.md can be
+regenerated mechanically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import UnknownSpecError
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment driver."""
+
+    experiment: str
+    title: str
+    columns: list[str]
+    rows: list[tuple]
+    summary: dict[str, float] = field(default_factory=dict)
+    paper: dict[str, float] = field(default_factory=dict)
+    notes: str = ""
+
+    def table(self, max_rows: int | None = None) -> str:
+        """Render rows as an aligned text table."""
+        rows = self.rows if max_rows is None else self.rows[:max_rows]
+        cells = [[_fmt(c) for c in row] for row in rows]
+        widths = [
+            max([len(h)] + [len(r[i]) for r in cells])
+            for i, h in enumerate(self.columns)
+        ]
+        lines = [
+            "  ".join(h.ljust(w) for h, w in zip(self.columns, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for row in cells:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if max_rows is not None and len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (for EXPERIMENTS.md regeneration)."""
+        return {
+            "experiment": self.experiment,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+            "summary": dict(self.summary),
+            "paper": dict(self.paper),
+            "notes": self.notes,
+        }
+
+    def report(self) -> str:
+        """Full human-readable report: title, table, headline comparison."""
+        parts = [f"== {self.experiment}: {self.title} ==", self.table(40)]
+        if self.summary:
+            parts.append("")
+            parts.append("headline (measured vs paper):")
+            for key, value in self.summary.items():
+                paper = self.paper.get(key)
+                paper_txt = f"  paper={_fmt(paper)}" if paper is not None else ""
+                parts.append(f"  {key} = {_fmt(value)}{paper_txt}")
+        if self.notes:
+            parts.append("")
+            parts.append(self.notes)
+        return "\n".join(parts)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+_REGISTRY: dict[str, Callable[..., ExperimentResult]] = {}
+
+
+def experiment(name: str):
+    """Decorator: register an experiment driver under ``name``."""
+
+    def decorate(fn: Callable[..., ExperimentResult]):
+        _REGISTRY[name] = fn
+        return fn
+
+    return decorate
+
+
+def list_experiments() -> list[str]:
+    """Registered experiment names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def run_experiment(name: str, quick: bool = False) -> ExperimentResult:
+    """Run one registered experiment by name."""
+    if name not in _REGISTRY:
+        raise UnknownSpecError("experiment", name, list(_REGISTRY))
+    return _REGISTRY[name](quick=quick)

@@ -1,0 +1,90 @@
+"""Extension experiment: lossless KV-cache compression (§7, direction 1).
+
+Quantifies the paper's first future-work direction on top of the serving
+engine: Vector-TBE-compressed KV blocks multiply token capacity ~1.4x and
+cut decode-attention traffic, which compounds with the weight-compression
+gains at long contexts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..bf16 import gaussian_bf16_matrix
+from ..extensions.kvcomp import (
+    compress_kv_block,
+    decompress_kv_block,
+    kv_compression_ratio,
+    paged_attention_decode_compressed,
+)
+from ..gpu.specs import get_gpu
+from ..kernels.attention import paged_attention_decode
+from ..serving.backends import get_backend
+from ..serving.engine import InferenceEngine
+from ..serving.models import get_model
+from .common import ExperimentResult, experiment
+
+CONTEXTS = (1024, 4096, 16384)
+BATCH = 16
+
+
+@experiment("ext_kvcomp")
+def run(quick: bool = False) -> ExperimentResult:
+    """Functional ratio, attention kernel gain, and end-to-end effect."""
+    model = get_model("llama3.1-8b")
+    gpu = get_gpu("rtx4090")
+
+    # Functional: measured block-level ratio, bit-exact round trip.
+    block = gaussian_bf16_matrix(16, model.n_kv_heads * model.head_dim * 2,
+                                 sigma=0.05, seed=1)
+    blob = compress_kv_block(block)
+    assert np.array_equal(decompress_kv_block(blob, block.shape), block)
+    measured_ratio = blob.ratio
+    analytic_ratio = kv_compression_ratio()
+
+    # Kernel: compressed vs plain paged attention across contexts.
+    rows = []
+    for ctx in (CONTEXTS[:1] if quick else CONTEXTS):
+        plain = paged_attention_decode(
+            gpu, BATCH, ctx, model.n_heads, model.n_kv_heads, model.head_dim
+        )
+        comp = paged_attention_decode_compressed(
+            gpu, BATCH, ctx, model.n_heads, model.n_kv_heads,
+            model.head_dim, ratio=analytic_ratio,
+        )
+        rows.append((
+            ctx, plain.time_s * 1e6, comp.time_s * 1e6,
+            plain.time_s / comp.time_s,
+        ))
+
+    # End to end: long-context run with and without KV compression.
+    out_len = 512 if quick else 2048
+    base = InferenceEngine(model, gpu, get_backend("zipserv"))
+    comp_eng = InferenceEngine(
+        model, gpu, get_backend("zipserv"),
+        kv_compression_ratio=analytic_ratio,
+    )
+    base_res = base.run(32, 128, out_len)
+    comp_res = comp_eng.run(32, 128, out_len)
+
+    return ExperimentResult(
+        experiment="ext_kvcomp",
+        title="KV-cache compression: attention time (us) per layer",
+        columns=["ctx", "plain_us", "compressed_us", "speedup"],
+        rows=rows,
+        summary={
+            "block_ratio_measured": measured_ratio,
+            "block_ratio_analytic": analytic_ratio,
+            "attention_speedup_longctx": rows[-1][3],
+            "capacity_gain": comp_eng.plan.kv_tokens / base.plan.kv_tokens,
+            "e2e_throughput_gain": (
+                comp_res.throughput_tok_s / base_res.throughput_tok_s
+            ),
+        },
+        paper={},
+        notes=(
+            "No paper numbers exist (future work); acceptance is internal"
+            " consistency: capacity and attention gains must track the"
+            " measured block-level ratio."
+        ),
+    )

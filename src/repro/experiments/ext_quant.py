@@ -1,0 +1,75 @@
+"""Extension experiment: lossless compression atop INT8 quantisation (§7).
+
+Places the whole precision/performance spectrum on one axis for the paper's
+representative shape (28672 x 4096, N = 32, RTX4090): dense cuBLAS, lossless
+ZipGEMM (~11.3 bits), Marlin W8A16 (8 bits), and the combined
+entropy-over-INT8 kernel (~7.4 bits) — §7's observation that the latency gap
+tracks effective bit-width.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..bf16 import gaussian_bf16_matrix
+from ..extensions.quant_combo import (
+    compress_quantized,
+    decompress_quantized,
+    quantize_int8,
+    zipquant_gemm,
+)
+from ..gpu.specs import get_gpu
+from ..kernels.gemm import cublas_gemm
+from ..kernels.marlin import marlin_w8a16_gemm
+from ..kernels.zipgemm import zipgemm
+from .common import ExperimentResult, experiment
+
+M, K, N = 28672, 4096, 32
+
+
+@experiment("ext_quant")
+def run(quick: bool = False) -> ExperimentResult:
+    """Measure residual redundancy and the four-point latency spectrum."""
+    gpu = get_gpu("rtx4090")
+
+    # Functional: INT8-lossless compression of a quantised layer.
+    size = 256 if quick else 1024
+    weights = gaussian_bf16_matrix(size, 1024, sigma=0.015, seed=5)
+    quantised = quantize_int8(weights)
+    blob = compress_quantized(quantised)
+    restored = decompress_quantized(blob)
+    assert np.array_equal(restored.q, quantised.q)
+
+    cb = cublas_gemm(gpu, M, K, N)
+    zg = zipgemm(gpu, M, K, N)
+    ml = marlin_w8a16_gemm(gpu, M, K, N)
+    zq = zipquant_gemm(gpu, M, K, N, bits_per_weight=blob.bits_per_weight)
+
+    rows = [
+        ("cublas_bf16", 16.0, cb.time_s * 1e3, 1.0),
+        ("zipgemm_lossless", 16.0 / zg.details["compression_ratio"],
+         zg.time_s * 1e3, cb.time_s / zg.time_s),
+        ("marlin_w8a16", 8.0, ml.time_s * 1e3, cb.time_s / ml.time_s),
+        ("zipquant_combo", blob.bits_per_weight, zq.time_s * 1e3,
+         cb.time_s / zq.time_s),
+    ]
+    return ExperimentResult(
+        experiment="ext_quant",
+        title="Precision/latency spectrum (28672x4096, N=32, RTX4090)",
+        columns=["kernel", "bits_per_weight", "time_ms", "speedup_vs_cublas"],
+        rows=rows,
+        summary={
+            "residual_ratio_vs_int8": blob.ratio_vs_int8,
+            "combo_bits_per_weight": blob.bits_per_weight,
+            "marlin_gap_vs_zipgemm": zg.time_s / ml.time_s,
+            "combo_speedup_vs_marlin": ml.time_s / zq.time_s,
+        },
+        paper={
+            "marlin_gap_vs_zipgemm": 1.36,
+        },
+        notes=(
+            "§7: the ZipGEMM-vs-Marlin gap (paper 1.36x) tracks the"
+            " ~11.3/8-bit width ratio; stacking entropy coding on INT8"
+            " yields a further modest, strictly lossless-at-INT8 gain."
+        ),
+    )

@@ -1,0 +1,99 @@
+"""Figure 2 / §3.1: exponent skew, entropy and top-K contiguity.
+
+Reproduces the compressibility study: exponent histograms of representative
+layers (sampled from the Appendix-A Gaussian model), top-3 / top-7 coverage,
+exponent entropy, the implied lossless bound, and a contiguity survey across
+every linear layer of the model zoo.
+"""
+
+from __future__ import annotations
+
+from ..bf16 import gaussian_bf16_matrix
+from ..codecs.stats import top_k_coverage
+from ..serving.models import MODELS, get_model
+from ..serving.weights import layer_sigma
+from ..tcatbe.analysis import (
+    exponent_entropy,
+    exponent_histogram,
+    select_window,
+    theoretical_ratio,
+    top_k_contiguous,
+)
+from .common import ExperimentResult, experiment
+
+HIST_MODELS = ("llama3.1-8b", "mistral-24b", "qwen2.5-32b")
+
+#: Sampled elements per surveyed layer (enough for stable histograms).
+SAMPLE_ROWS, SAMPLE_COLS = 256, 1024
+
+
+def _sample_layer(m: int, k: int, kind: str, seed: int):
+    sigma = layer_sigma(kind, m, k)
+    return gaussian_bf16_matrix(SAMPLE_ROWS, SAMPLE_COLS, sigma, seed=seed)
+
+
+@experiment("fig02")
+def run(quick: bool = False) -> ExperimentResult:
+    """Exponent statistics per model plus a zoo-wide contiguity survey."""
+    rows = []
+    entropies = []
+    top7s = []
+    for idx, model_name in enumerate(HIST_MODELS):
+        model = get_model(model_name)
+        layer = model.linear_layers()[2]  # GateUp, the largest projection
+        weights = _sample_layer(layer.m, layer.k, layer.kind, seed=idx)
+        hist = exponent_histogram(weights)
+        entropy = exponent_entropy(hist)
+        top3 = top_k_coverage(hist, 3)
+        top7 = top_k_coverage(hist, 7)
+        window = select_window(hist)
+        entropies.append(entropy)
+        top7s.append(top7)
+        rows.append((
+            model_name, top3, top7, window.coverage, entropy,
+            theoretical_ratio(entropy),
+        ))
+
+    # Contiguity survey across every linear layer of every model.
+    survey_models = list(MODELS)[:3] if quick else list(MODELS)
+    n_layers = 0
+    n_contiguous = 0
+    window_covers = []
+    seed = 100
+    for model_name in survey_models:
+        model = get_model(model_name)
+        for layer in model.linear_layers():
+            seed += 1
+            weights = _sample_layer(layer.m, layer.k, layer.kind, seed=seed)
+            hist = exponent_histogram(weights)
+            n_layers += 1
+            n_contiguous += bool(top_k_contiguous(hist, 7))
+            window_covers.append(select_window(hist).coverage)
+
+    return ExperimentResult(
+        experiment="fig02",
+        title="Exponent distribution statistics (sampled Gaussian layers)",
+        columns=["model", "top3_cov", "top7_cov", "window7_cov",
+                 "entropy_bits", "ratio_bound"],
+        rows=rows,
+        summary={
+            "min_top3_coverage": min(r[1] for r in rows),
+            "min_top7_coverage": min(top7s),
+            "entropy_bits_min": min(entropies),
+            "entropy_bits_max": max(entropies),
+            "contiguity_rate": n_contiguous / n_layers,
+            "avg_window_coverage": sum(window_covers) / len(window_covers),
+        },
+        paper={
+            "min_top3_coverage": 0.67,
+            "min_top7_coverage": 0.95,
+            "entropy_bits_min": 2.57,
+            "entropy_bits_max": 2.74,
+            "contiguity_rate": 0.996,
+            "avg_window_coverage": 0.971,
+        },
+        notes=(
+            f"Contiguity survey: {n_contiguous}/{n_layers} layers have a"
+            " numerically contiguous top-7 exponent set."
+        ),
+    )

@@ -1,0 +1,100 @@
+"""Figure 12: micro-level analysis of the fused kernel (NCU-style).
+
+Three panels, all *derived* from the executed implementation rather than
+asserted: (a) the decode instruction mix, from the warp-level Algorithm-2
+reference; (b) ALU / tensor-core busy fractions and the DRAM-read reduction,
+from the ZipGEMM cost model; (c) shared-memory bank conflicts, from
+replaying the access patterns of TCA-TBE decoding vs a DietGPU-style LUT
+gather against the 32-bank model.
+"""
+
+from __future__ import annotations
+
+from ..bf16 import gaussian_bf16_matrix
+from ..gpu.memory import (
+    lut_gather_addresses,
+    simulate_bank_conflicts,
+    tcatbe_decode_addresses,
+)
+from ..gpu.specs import get_gpu
+from ..kernels.gemm import cublas_gemm
+from ..kernels.zipgemm import zipgemm
+from ..tcatbe import compress
+from ..tcatbe.layout import FRAG_ELEMS
+from ..tcatbe.warp_ref import average_instruction_mix
+from .common import ExperimentResult, experiment
+
+#: The paper's profiled shape.
+M, K, N = 28672, 4096, 32
+
+
+@experiment("fig12")
+def run(quick: bool = False) -> ExperimentResult:
+    """Instruction mix, utilisation and bank conflicts for the NCU shape."""
+    gpu = get_gpu("rtx4090")
+
+    # Panel (a): instruction mix measured from the warp reference, scaled to
+    # the full workload.
+    sample = compress(gaussian_bf16_matrix(64, 64, sigma=0.02, seed=7))
+    tiles_in_workload = (M * K) // FRAG_ELEMS
+    mix = average_instruction_mix(sample, max_tiles=16 if quick else 64)
+    per_tile = {op: c / min(64, sample.n_tiles) for op, c in mix.counts.items()}
+    rows = [
+        (op, per_tile[op], per_tile[op] * tiles_in_workload)
+        for op in sorted(per_tile, key=lambda o: -per_tile[o])
+    ]
+
+    # Panel (b): utilisation and traffic from the kernel models.
+    zg = zipgemm(gpu, M, K, N)
+    cb = cublas_gemm(gpu, M, K, N)
+    dram_read_reduction = 1.0 - zg.traffic.dram_read / cb.traffic.dram_read
+    # Fraction of mma issue capacity the fused kernel preserves while decode
+    # instructions share the issue stage (the paper's "TC utilisation
+    # maintained at 71.6% of the cuBLAS baseline").
+    from ..analysis.calibration import ISSUE_CONTENTION
+
+    tc_util_vs_cublas = zg.details["tc_time_s"] / (
+        zg.details["tc_time_s"]
+        + ISSUE_CONTENTION * zg.details["alu_time_s"]
+    )
+
+    # Panel (c): bank conflicts over an equal number of warp requests.
+    n_tiles_sim = 64 if quick else 256
+    zip_report = simulate_bank_conflicts(tcatbe_decode_addresses(n_tiles_sim))
+    # A LUT decoder issues roughly one gather per element.
+    n_gathers = n_tiles_sim * FRAG_ELEMS // 32
+    lut_report = simulate_bank_conflicts(
+        lut_gather_addresses(n_gathers, table_bytes=4096)
+    )
+    # Scale conflict counts to the full workload.
+    scale = tiles_in_workload / n_tiles_sim
+    zip_conflicts = zip_report.n_conflict_cycles * scale
+    lut_conflicts = lut_report.n_conflict_cycles * scale
+
+    return ExperimentResult(
+        experiment="fig12",
+        title=f"Micro-level analysis, M={M} K={K} N={N} on RTX4090",
+        columns=["instruction", "per_tile", "per_workload"],
+        rows=rows,
+        summary={
+            "dram_read_reduction": dram_read_reduction,
+            "alu_busy_frac": zg.details["alu_busy_frac"],
+            "tc_util_vs_cublas": tc_util_vs_cublas,
+            "zip_bank_conflicts": zip_conflicts,
+            "lut_bank_conflicts": lut_conflicts,
+            "zip_conflict_rate": zip_report.conflict_rate,
+            "lut_conflict_rate": lut_report.conflict_rate,
+        },
+        paper={
+            "dram_read_reduction": 0.293,
+            "alu_busy_frac": 0.66,
+            "tc_util_vs_cublas": 0.716,
+            "zip_bank_conflicts": 4.7e3,
+            "lut_bank_conflicts": 2e6,
+        },
+        notes=(
+            "Instruction counts come from executing Algorithm 2 lane by"
+            " lane; conflicts from replaying access patterns against the"
+            " 32-bank shared-memory model."
+        ),
+    )

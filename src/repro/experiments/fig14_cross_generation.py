@@ -1,0 +1,87 @@
+"""Figure 14: cross-generation and consumer-vs-datacenter comparison.
+
+Two claims: (1) ZipGEMM ports forward to Blackwell (RTX5090) with solid
+speedups (paper: 1.34x on LLaMA-8B, 1.87x on Mistral-24B GateUp); (2) it
+narrows the consumer/datacenter divide — a 4090 running ZipGEMM lands in the
+class of an A100 running cuBLAS, and a 5090's deficit against the H800
+shrinks substantially.
+"""
+
+from __future__ import annotations
+
+from ..gpu.specs import get_gpu
+from ..kernels.gemm import cublas_gemm
+from ..kernels.zipgemm import zipgemm
+from ..serving.models import get_model
+from ..serving.weights import estimate_layer_compression, layer_sigma
+from .common import ExperimentResult, experiment
+
+MODELS = ("llama3.1-8b", "mistral-24b")
+BATCH = 32
+
+
+def _gateup(model_name: str):
+    model = get_model(model_name)
+    return next(l for l in model.linear_layers() if l.kind == "gateup_proj")
+
+
+@experiment("fig14")
+def run(quick: bool = False) -> ExperimentResult:
+    """GateUp kernel times across GPU generations and tiers."""
+    rows = []
+    summary = {}
+    for model_name in MODELS:
+        layer = _gateup(model_name)
+        comp = estimate_layer_compression(
+            layer.m, layer.k,
+            layer_sigma(layer.kind, layer.m, layer.k), "tcatbe",
+        )
+        times = {}
+        for gpu_name in ("rtx4090", "rtx5090", "a100", "h800"):
+            gpu = get_gpu(gpu_name)
+            cb = cublas_gemm(gpu, layer.m, layer.k, BATCH)
+            zg = zipgemm(gpu, layer.m, layer.k, BATCH, comp)
+            times[(gpu_name, "cublas")] = cb.time_s
+            times[(gpu_name, "zipgemm")] = zg.time_s
+            rows.append((
+                model_name, gpu_name, cb.time_s * 1e3, zg.time_s * 1e3,
+                cb.time_s / zg.time_s,
+            ))
+        tag = model_name.split("-")[0]
+        summary[f"rtx5090_speedup_{tag}"] = (
+            times[("rtx5090", "cublas")] / times[("rtx5090", "zipgemm")]
+        )
+        # Consumer-vs-datacenter: 4090+ZipGEMM against A100 cuBLAS.
+        summary[f"rtx4090zip_vs_a100cublas_{tag}"] = (
+            times[("a100", "cublas")] / times[("rtx4090", "zipgemm")]
+        )
+        # 5090 deficit against H800, standard vs ZipGEMM.
+        summary[f"rtx5090_deficit_std_{tag}"] = (
+            times[("rtx5090", "cublas")] / times[("h800", "cublas")] - 1.0
+        )
+        summary[f"rtx5090_deficit_zip_{tag}"] = (
+            times[("rtx5090", "zipgemm")] / times[("h800", "cublas")] - 1.0
+        )
+    return ExperimentResult(
+        experiment="fig14",
+        title="Cross-generation GateUp kernel comparison (N=32)",
+        columns=["model", "gpu", "cublas_ms", "zipgemm_ms", "speedup"],
+        rows=rows,
+        summary=summary,
+        paper={
+            "rtx5090_speedup_llama3.1": 1.34,
+            "rtx5090_speedup_mistral": 1.87,
+            "rtx4090zip_vs_a100cublas_llama3.1": 1.093,
+            "rtx4090zip_vs_a100cublas_mistral": 0.973,
+            "rtx5090_deficit_std_llama3.1": 0.533,
+            "rtx5090_deficit_zip_llama3.1": 0.141,
+            "rtx5090_deficit_std_mistral": 1.257,
+            "rtx5090_deficit_zip_mistral": 0.208,
+        },
+        notes=(
+            "Paper: 4090+ZipGEMM beats A100 cuBLAS on LLaMA-8B"
+            " (0.195 vs 0.215 ms) and trails 2.7% on Mistral-24B; ZipGEMM"
+            " cuts the 5090-vs-H800 deficit from 53.3%/125.7% to"
+            " 14.1%/20.8%."
+        ),
+    )

@@ -1,0 +1,67 @@
+"""Figure 15 / §6.4 runtime overhead: ZipServ across N settings.
+
+Small N (decode): the fused kernel wins outright — decompression hides
+inside the memory-bound kernel.  Large N (prefill): the engine switches to
+the decoupled path, whose decompression overhead amortises to ~4% / ~2% of
+the GEMM at N = 8192 / 16384.
+"""
+
+from __future__ import annotations
+
+from ..gpu.specs import get_gpu
+from ..kernels.gemm import cublas_gemm
+from ..kernels.pipeline import stage_aware_linear, zipserv_decoupled
+from ..kernels.zipgemm import zipgemm
+from ..serving.models import get_model
+from ..serving.weights import estimate_layer_compression, layer_sigma
+from .common import ExperimentResult, experiment
+
+NS = (1, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384)
+QUICK_NS = (8, 32, 128, 8192, 16384)
+
+
+@experiment("fig15")
+def run(quick: bool = False) -> ExperimentResult:
+    """Sweep N on the LLaMA-8B GateUp shape (RTX4090)."""
+    gpu = get_gpu("rtx4090")
+    model = get_model("llama3.1-8b")
+    layer = next(l for l in model.linear_layers() if l.kind == "gateup_proj")
+    comp = estimate_layer_compression(
+        layer.m, layer.k, layer_sigma(layer.kind, layer.m, layer.k), "tcatbe"
+    )
+    rows = []
+    summary = {}
+    for n in (QUICK_NS if quick else NS):
+        cb = cublas_gemm(gpu, layer.m, layer.k, n)
+        fused = zipgemm(gpu, layer.m, layer.k, n, comp)
+        auto = stage_aware_linear(gpu, layer.m, layer.k, n, comp)
+        decoupled = zipserv_decoupled(gpu, layer.m, layer.k, n, comp)
+        rows.append((
+            n, cb.time_s * 1e3, fused.time_s * 1e3, decoupled.time_s * 1e3,
+            auto.details["path"], cb.time_s / auto.time_s,
+        ))
+        if n in (8, 32, 64, 128):
+            summary[f"fused_speedup_n{n}"] = cb.time_s / fused.time_s
+        if n in (8192, 16384):
+            summary[f"prefill_overhead_n{n}"] = (
+                decoupled.time_s / cb.time_s - 1.0
+            )
+    return ExperimentResult(
+        experiment="fig15",
+        title="ZipServ vs cuBLAS across N (GateUp of LLaMA-8B, RTX4090)",
+        columns=["N", "cublas_ms", "fused_ms", "decoupled_ms",
+                 "stage_aware_path", "speedup_auto"],
+        rows=rows,
+        summary=summary,
+        paper={
+            "fused_speedup_n8": 1.3,
+            "fused_speedup_n32": 1.3,
+            "prefill_overhead_n8192": 0.04,
+            "prefill_overhead_n16384": 0.02,
+        },
+        notes=(
+            "Paper: fused incurs no overhead in the decode regime"
+            " (N ~ 1-128); the decoupled prefill path costs ~4%/~2% of the"
+            " GEMM at N = 8192/16384."
+        ),
+    )

@@ -1,0 +1,96 @@
+"""Figure 18 / §7: training-oriented GPUs and the lossy comparison.
+
+On A100/H800, abundant HBM bandwidth removes the bottleneck ZipGEMM
+exploits while lower clocks make the decode ALU work harder to hide, so the
+fused kernel may trail cuBLAS — yet ZipServ-Decomp stays the fastest
+decompressor (paper: up to 2.64x over the best baseline).  The section also
+benchmarks Marlin W8A16: the latency gap tracks the effective bit-width
+ratio (~11.3 vs 8 bits).
+"""
+
+from __future__ import annotations
+
+from ..gpu.specs import get_gpu
+from ..kernels.decompress import baseline_decompress, zipserv_decompress
+from ..kernels.gemm import cublas_gemm
+from ..kernels.marlin import marlin_w8a16_gemm
+from ..kernels.zipgemm import zipgemm
+from ..serving.models import get_model
+from ..serving.weights import estimate_layer_compression, layer_sigma
+from .common import ExperimentResult, experiment
+
+MODELS = ("llama3.1-8b", "mistral-24b")
+GPUS = ("a100", "h800")
+BATCH = 32
+BASELINES = ("dietgpu", "nvcomp", "dfloat11")
+
+
+@experiment("fig18")
+def run(quick: bool = False) -> ExperimentResult:
+    """Datacenter-GPU kernel comparison plus the Marlin W8A16 gap."""
+    rows = []
+    summary = {}
+    best_decomp_speedup = 0.0
+    zip_vs_cublas = []
+    for gpu_name in GPUS:
+        gpu = get_gpu(gpu_name)
+        for model_name in MODELS:
+            model = get_model(model_name)
+            layer = next(
+                l for l in model.linear_layers() if l.kind == "gateup_proj"
+            )
+            sigma = layer_sigma(layer.kind, layer.m, layer.k)
+            comp = estimate_layer_compression(layer.m, layer.k, sigma, "tcatbe")
+            cb = cublas_gemm(gpu, layer.m, layer.k, BATCH)
+            zg = zipgemm(gpu, layer.m, layer.k, BATCH, comp)
+            zd = zipserv_decompress(gpu, layer.m, layer.k, comp)
+            ratio = cb.time_s / zg.time_s
+            zip_vs_cublas.append(ratio)
+            for codec in BASELINES:
+                bcomp = estimate_layer_compression(
+                    layer.m, layer.k, sigma, codec
+                )
+                bd = baseline_decompress(gpu, layer.m, layer.k, codec, bcomp)
+                best_decomp_speedup = max(
+                    best_decomp_speedup, bd.time_s / zd.time_s
+                )
+            rows.append((
+                gpu_name, model_name, cb.time_s * 1e3, zg.time_s * 1e3, ratio,
+            ))
+    summary["zipgemm_vs_cublas_min"] = min(zip_vs_cublas)
+    summary["zipgemm_vs_cublas_max"] = max(zip_vs_cublas)
+    summary["best_decomp_speedup"] = best_decomp_speedup
+
+    # §7: Marlin W8A16 on the paper's representative shape, RTX4090.
+    gpu = get_gpu("rtx4090")
+    m, k = 28672, 4096
+    comp = estimate_layer_compression(
+        m, k, layer_sigma("gateup_proj", m, k), "tcatbe"
+    )
+    marlin = marlin_w8a16_gemm(gpu, m, k, BATCH)
+    zg = zipgemm(gpu, m, k, BATCH, comp)
+    summary["marlin_gap"] = zg.time_s / marlin.time_s
+    summary["bitwidth_ratio"] = (16.0 / comp.ratio) / 8.0
+    rows.append(("rtx4090", "marlin_w8a16", marlin.time_s * 1e3,
+                 zg.time_s * 1e3, marlin.time_s / zg.time_s))
+
+    return ExperimentResult(
+        experiment="fig18",
+        title="Training-GPU kernel comparison and the lossy baseline",
+        columns=["gpu", "model", "cublas_ms", "zipgemm_ms", "speedup"],
+        rows=rows,
+        summary=summary,
+        paper={
+            "zipgemm_vs_cublas_min": 0.8,
+            "zipgemm_vs_cublas_max": 1.0,
+            "best_decomp_speedup": 2.64,
+            "marlin_gap": 1.36,
+            "bitwidth_ratio": 1.41,
+        },
+        notes=(
+            "Paper: ZipGEMM may trail cuBLAS on HBM GPUs (hardware-software"
+            " mismatch, §7) but the standalone decompressor stays up to"
+            " 2.64x ahead of the best baseline; the Marlin gap (1.36x)"
+            " matches the ~11.3-vs-8-bit effective width ratio."
+        ),
+    )

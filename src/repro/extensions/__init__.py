@@ -1,0 +1,55 @@
+"""Extensions: the paper's §7 future-work directions, implemented.
+
+Three directions the paper sketches beyond the core system:
+
+* :mod:`repro.extensions.kvcomp` — lossless KV-cache compression with the
+  1-D TCA-TBE adaptation, fused into the paged-attention path;
+* :mod:`repro.extensions.checkpoint` — model checkpointing and incremental
+  (delta) snapshots over compressed weights (the LMC/ZipNN use case);
+* :mod:`repro.extensions.quant_combo` — lossless entropy compression *on
+  top of* lossy INT8 quantisation, exploiting residual redundancy.
+"""
+
+from .checkpoint import (
+    Checkpoint,
+    DeltaSnapshot,
+    delta_snapshot,
+    load_checkpoint,
+    restore_snapshot,
+    save_checkpoint,
+)
+from .kvcomp import (
+    CompressedKVCacheSpec,
+    compress_kv_block,
+    decompress_kv_block,
+    kv_compression_ratio,
+    paged_attention_decode_compressed,
+)
+from .quant_combo import (
+    QuantizedLayer,
+    compress_quantized,
+    decompress_quantized,
+    quantize_int8,
+    dequantize_int8,
+    zipquant_gemm,
+)
+
+__all__ = [
+    "compress_kv_block",
+    "decompress_kv_block",
+    "kv_compression_ratio",
+    "CompressedKVCacheSpec",
+    "paged_attention_decode_compressed",
+    "Checkpoint",
+    "DeltaSnapshot",
+    "save_checkpoint",
+    "load_checkpoint",
+    "delta_snapshot",
+    "restore_snapshot",
+    "QuantizedLayer",
+    "quantize_int8",
+    "dequantize_int8",
+    "compress_quantized",
+    "decompress_quantized",
+    "zipquant_gemm",
+]

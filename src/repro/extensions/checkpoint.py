@@ -1,0 +1,135 @@
+"""Compressed model checkpointing and incremental snapshots (§7).
+
+The paper's third extension direction points at efficient checkpointing
+(LMC / ZipNN territory): store models compressed, and store *training
+snapshots* as deltas, because consecutive checkpoints differ in a sparse,
+low-entropy way.
+
+* :func:`save_checkpoint` / :func:`load_checkpoint` — a multi-tensor
+  container of TCA-TBE-compressed BF16 tensors (bit-exact).
+* :func:`delta_snapshot` / :func:`restore_snapshot` — incremental snapshots:
+  the XOR of consecutive BF16 bit patterns is mostly zero bytes and low-order
+  mantissa flips, which the rANS byte codec squeezes hard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..codecs.base import EncodedStream
+from ..codecs.rans import RansCodec
+from ..errors import FormatError
+from ..tcatbe import TcaTbeMatrix, compress, decompress
+from ..tcatbe.io import load_npz, save_npz
+
+_RANS = RansCodec()
+
+
+@dataclass
+class Checkpoint:
+    """A set of named, compressed BF16 tensors."""
+
+    tensors: dict[str, TcaTbeMatrix]
+
+    @property
+    def original_nbytes(self) -> int:
+        """Uncompressed footprint of all tensors."""
+        return sum(t.original_nbytes for t in self.tensors.values())
+
+    @property
+    def compressed_nbytes(self) -> int:
+        """Compressed footprint of all tensors."""
+        return sum(t.compressed_nbytes for t in self.tensors.values())
+
+    @property
+    def ratio(self) -> float:
+        """Aggregate compression ratio."""
+        return self.original_nbytes / max(self.compressed_nbytes, 1)
+
+
+def save_checkpoint(
+    tensors: dict[str, np.ndarray], directory: str | Path
+) -> Checkpoint:
+    """Compress and persist a named tensor dict; returns the receipt."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    compressed = {}
+    for name, weights in tensors.items():
+        if "/" in name or name.startswith("."):
+            raise FormatError(f"unsafe tensor name {name!r}")
+        matrix = compress(weights)
+        save_npz(matrix, directory / f"{name}.npz")
+        compressed[name] = matrix
+    return Checkpoint(tensors=compressed)
+
+
+def load_checkpoint(directory: str | Path) -> dict[str, np.ndarray]:
+    """Load and decompress every tensor saved by :func:`save_checkpoint`."""
+    directory = Path(directory)
+    out = {}
+    for path in sorted(directory.glob("*.npz")):
+        out[path.stem] = decompress(load_npz(path))
+    if not out:
+        raise FormatError(f"no checkpoint tensors found in {directory}")
+    return out
+
+
+@dataclass
+class DeltaSnapshot:
+    """An incremental snapshot: entropy-coded XOR against a base tensor."""
+
+    name: str
+    shape: tuple[int, ...]
+    stream: EncodedStream
+
+    @property
+    def compressed_nbytes(self) -> int:
+        """Footprint of the delta."""
+        return self.stream.compressed_nbytes
+
+    @property
+    def original_nbytes(self) -> int:
+        """Uncompressed footprint of the tensor."""
+        n = 1
+        for d in self.shape:
+            n *= d
+        return 2 * n
+
+    @property
+    def ratio(self) -> float:
+        """Delta compression ratio (typically >> weight-level ratios)."""
+        return self.original_nbytes / max(self.compressed_nbytes, 1)
+
+
+def delta_snapshot(
+    name: str, base: np.ndarray, current: np.ndarray
+) -> DeltaSnapshot:
+    """Encode ``current`` as an rANS-coded XOR delta against ``base``."""
+    base = np.asarray(base)
+    current = np.asarray(current)
+    if base.dtype != np.uint16 or current.dtype != np.uint16:
+        raise FormatError("snapshots operate on BF16 bit patterns (uint16)")
+    if base.shape != current.shape:
+        raise FormatError(
+            f"shape mismatch: base {base.shape} vs current {current.shape}"
+        )
+    delta = (base ^ current).view(np.uint8).ravel()
+    return DeltaSnapshot(
+        name=name, shape=tuple(current.shape), stream=_RANS.encode(delta)
+    )
+
+
+def restore_snapshot(base: np.ndarray, snapshot: DeltaSnapshot) -> np.ndarray:
+    """Exact inverse of :func:`delta_snapshot`."""
+    base = np.asarray(base)
+    if tuple(base.shape) != snapshot.shape:
+        raise FormatError(
+            f"base shape {base.shape} does not match snapshot"
+            f" {snapshot.shape}"
+        )
+    delta_bytes = _RANS.decode(snapshot.stream)
+    delta = delta_bytes.view(np.uint16).reshape(snapshot.shape)
+    return (base ^ delta).astype(np.uint16)

@@ -1,0 +1,56 @@
+"""GPU architecture model.
+
+The paper's kernels run on real Ada/Blackwell/Ampere/Hopper GPUs; this
+package provides the simulated equivalents the reproduction is built on:
+
+* :mod:`repro.gpu.specs` — device database (SM count, clocks, bandwidth,
+  tensor-core throughput) for every GPU the paper evaluates;
+* :mod:`repro.gpu.roofline` — the roofline model and the compute-intensity
+  equations (1)–(3) of §3.3;
+* :mod:`repro.gpu.instructions` — SASS-level instruction accounting
+  (POPC/LOP3/IADD/...) used for the Figure-12 micro analysis;
+* :mod:`repro.gpu.warp` — SIMT lockstep divergence simulation (why
+  variable-length codecs underutilise warps, §3.2);
+* :mod:`repro.gpu.memory` — DRAM/shared-memory traffic records and the
+  shared-memory bank-conflict simulator;
+* :mod:`repro.gpu.tensor_core` — ``mma.m16n8k16`` fragment layouts and a
+  numerically faithful emulation.
+"""
+
+from .instructions import InstructionCounter, alu_cycles
+from .memory import BankConflictReport, TrafficRecord, simulate_bank_conflicts
+from .roofline import (
+    ci_decoupled,
+    ci_gemm,
+    ci_zipserv,
+    roofline_time,
+    attainable_tflops,
+)
+from .specs import GPUS, GpuSpec, get_gpu
+from .tensor_core import (
+    a_fragment_lane_map,
+    mma_m16n8k16,
+    b_fragment_lane_map,
+)
+from .warp import DivergenceReport, simulate_lockstep
+
+__all__ = [
+    "GpuSpec",
+    "GPUS",
+    "get_gpu",
+    "InstructionCounter",
+    "alu_cycles",
+    "TrafficRecord",
+    "BankConflictReport",
+    "simulate_bank_conflicts",
+    "ci_gemm",
+    "ci_decoupled",
+    "ci_zipserv",
+    "roofline_time",
+    "attainable_tflops",
+    "mma_m16n8k16",
+    "a_fragment_lane_map",
+    "b_fragment_lane_map",
+    "DivergenceReport",
+    "simulate_lockstep",
+]

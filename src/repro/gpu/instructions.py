@@ -1,0 +1,82 @@
+"""SASS-level instruction accounting.
+
+Figure 12(a) of the paper profiles the fused kernel with Nsight Compute and
+reports the integer/logic instruction mix (LOP3, IADD, POPC, ...) that pays
+for on-the-fly decoding.  Our warp-level reference decoder counts the same
+categories while executing Algorithm 2, and the performance model converts
+the counts to cycles with per-category throughputs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+#: Instructions-per-cycle-per-SM for the integer/logic pipe of an Ada-class
+#: SM (128 INT32 lanes shared with FP32, i.e. 4 warps x 32 lanes).  The
+#: relative weights matter more than the absolute scale: POPC and funnel
+#: shifts issue on the same uniform datapath as LOP3/IADD on modern parts.
+DEFAULT_THROUGHPUT: dict[str, float] = {
+    "LOP3": 128.0,   # 3-input logic op
+    "IADD": 128.0,   # integer add / sub
+    "POPC": 64.0,    # population count (half-rate)
+    "SHF": 64.0,     # funnel shift (half-rate)
+    "IMAD": 128.0,   # integer multiply-add (used for address math)
+    "PRMT": 64.0,    # byte permute (BF16 reassembly)
+    "LDS": 32.0,     # shared-memory load (issue slot, conflicts modelled
+                     # separately)
+    "MOV": 128.0,
+}
+
+
+@dataclass
+class InstructionCounter:
+    """Accumulates per-category instruction counts.
+
+    Categories follow NVIDIA SASS mnemonics so the Figure-12 output can be
+    read against an NCU profile.
+    """
+
+    counts: Counter = field(default_factory=Counter)
+
+    def add(self, opcode: str, n: int = 1) -> None:
+        """Record ``n`` executions of ``opcode``."""
+        if n < 0:
+            raise ValueError("instruction count must be non-negative")
+        self.counts[opcode] += n
+
+    def merge(self, other: "InstructionCounter") -> None:
+        """Fold another counter's totals into this one."""
+        self.counts.update(other.counts)
+
+    def scaled(self, factor: float) -> dict[str, float]:
+        """Counts multiplied by ``factor`` (e.g. tiles per kernel launch)."""
+        return {op: c * factor for op, c in self.counts.items()}
+
+    @property
+    def total(self) -> int:
+        """Total instructions across categories."""
+        return int(sum(self.counts.values()))
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain dict snapshot, sorted by descending count."""
+        return dict(
+            sorted(self.counts.items(), key=lambda kv: -kv[1])
+        )
+
+
+def alu_cycles(
+    counts: dict[str, float],
+    throughput: dict[str, float] | None = None,
+) -> float:
+    """Convert instruction counts to SM-cycles on the integer pipe.
+
+    ``counts`` are per-SM instruction totals (already divided across SMs by
+    the caller); unknown opcodes fall back to LOP3-rate.
+    """
+    table = throughput or DEFAULT_THROUGHPUT
+    default = table["LOP3"]
+    cycles = 0.0
+    for op, n in counts.items():
+        cycles += n / table.get(op, default)
+    return cycles

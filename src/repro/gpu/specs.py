@@ -1,0 +1,190 @@
+"""Device database for every GPU the paper evaluates (§6).
+
+Numbers are public datasheet values.  Two calibration-flavoured fields are
+the achieved-bandwidth fractions: ``dense_bw_frac`` (what a tuned cuBLAS
+kernel streams on large tiles) and ``fused_bw_frac`` / ``decomp_bw_frac``
+(what the TCA-TBE kernels reach thanks to coalesced, conflict-free access).
+Baseline codec efficiencies live in :mod:`repro.analysis.calibration`.
+
+The paper's "A100" platform is taken to be the 40 GB PCIe part (1555 GB/s);
+the H800 is the SXM part (HBM3, restricted NVLink).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import UnknownSpecError
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Static description of one GPU model."""
+
+    name: str
+    marketing_name: str
+    arch: str
+    compute_capability: str
+    sm_count: int
+    clock_ghz: float
+    tc_tflops_bf16: float
+    dram_gbps: float
+    vram_gb: float
+    l2_mb: float
+    shared_kb_per_sm: float
+    memory_kind: str
+    dense_bw_frac: float
+    fused_bw_frac: float
+    decomp_bw_frac: float
+    interconnect_gbps: float
+    launch_overhead_us: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.sm_count <= 0 or self.clock_ghz <= 0:
+            raise ValueError(f"invalid SM/clock for {self.name}")
+        for frac in (self.dense_bw_frac, self.fused_bw_frac,
+                     self.decomp_bw_frac):
+            if not 0.0 < frac <= 1.0:
+                raise ValueError(
+                    f"bandwidth fraction out of (0, 1] for {self.name}"
+                )
+
+    @property
+    def clock_hz(self) -> float:
+        """Boost clock in Hz."""
+        return self.clock_ghz * 1e9
+
+    @property
+    def tc_flops(self) -> float:
+        """Peak dense BF16 tensor-core FLOP/s (FP32 accumulate)."""
+        return self.tc_tflops_bf16 * 1e12
+
+    @property
+    def dram_bytes_per_s(self) -> float:
+        """Peak DRAM bandwidth in bytes/s."""
+        return self.dram_gbps * 1e9
+
+    @property
+    def sm_cycles_per_s(self) -> float:
+        """Aggregate SM-cycles per second (SM count x clock)."""
+        return self.sm_count * self.clock_hz
+
+    @property
+    def vram_bytes(self) -> float:
+        """Device memory capacity in bytes (decimal GB, as marketed)."""
+        return self.vram_gb * 1e9
+
+    @property
+    def is_datacenter(self) -> bool:
+        """True for training-oriented HBM parts (A100/H800)."""
+        return self.memory_kind.startswith("HBM")
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Roofline ridge point in FLOP/byte (compute roof / memory roof)."""
+        return self.tc_flops / self.dram_bytes_per_s
+
+
+GPUS: dict[str, GpuSpec] = {
+    spec.name: spec
+    for spec in [
+        GpuSpec(
+            name="rtx4090",
+            marketing_name="NVIDIA GeForce RTX 4090",
+            arch="Ada Lovelace",
+            compute_capability="8.9",
+            sm_count=128,
+            clock_ghz=2.52,
+            tc_tflops_bf16=165.2,
+            dram_gbps=1008.0,
+            vram_gb=24.0,
+            l2_mb=72.0,
+            shared_kb_per_sm=100.0,
+            memory_kind="GDDR6X",
+            dense_bw_frac=0.86,
+            fused_bw_frac=0.85,
+            decomp_bw_frac=0.88,
+            interconnect_gbps=25.0,  # PCIe 4.0 x16 effective
+        ),
+        GpuSpec(
+            name="l40s",
+            marketing_name="NVIDIA L40S",
+            arch="Ada Lovelace",
+            compute_capability="8.9",
+            sm_count=142,
+            clock_ghz=2.52,
+            tc_tflops_bf16=181.0,
+            dram_gbps=864.0,
+            vram_gb=48.0,
+            l2_mb=96.0,
+            shared_kb_per_sm=100.0,
+            memory_kind="GDDR6",
+            dense_bw_frac=0.86,
+            fused_bw_frac=0.85,
+            decomp_bw_frac=0.88,
+            interconnect_gbps=25.0,  # PCIe 4.0 x16 effective
+        ),
+        GpuSpec(
+            name="rtx5090",
+            marketing_name="NVIDIA GeForce RTX 5090",
+            arch="Blackwell",
+            compute_capability="12.0",
+            sm_count=170,
+            clock_ghz=2.41,
+            tc_tflops_bf16=209.5,
+            dram_gbps=1792.0,
+            vram_gb=32.0,
+            l2_mb=96.0,
+            shared_kb_per_sm=100.0,
+            memory_kind="GDDR7",
+            dense_bw_frac=0.86,
+            fused_bw_frac=0.85,
+            decomp_bw_frac=0.88,
+            interconnect_gbps=50.0,  # PCIe 5.0 x16 effective
+        ),
+        GpuSpec(
+            name="a100",
+            marketing_name="NVIDIA A100 40GB PCIe",
+            arch="Ampere",
+            compute_capability="8.0",
+            sm_count=108,
+            clock_ghz=1.41,
+            tc_tflops_bf16=312.0,
+            dram_gbps=1555.0,
+            vram_gb=40.0,
+            l2_mb=40.0,
+            shared_kb_per_sm=164.0,
+            memory_kind="HBM2e",
+            dense_bw_frac=0.80,
+            fused_bw_frac=0.80,
+            decomp_bw_frac=0.84,
+            interconnect_gbps=300.0,  # NVLink 3
+        ),
+        GpuSpec(
+            name="h800",
+            marketing_name="NVIDIA H800 SXM",
+            arch="Hopper",
+            compute_capability="9.0",
+            sm_count=132,
+            clock_ghz=1.98,
+            tc_tflops_bf16=989.0,
+            dram_gbps=3350.0,
+            vram_gb=80.0,
+            l2_mb=50.0,
+            shared_kb_per_sm=228.0,
+            memory_kind="HBM3",
+            dense_bw_frac=0.75,
+            fused_bw_frac=0.75,
+            decomp_bw_frac=0.80,
+            interconnect_gbps=200.0,  # restricted NVLink
+        ),
+    ]
+}
+
+
+def get_gpu(name: str) -> GpuSpec:
+    """Look up a GPU spec by registry name (case-insensitive)."""
+    key = name.lower()
+    if key not in GPUS:
+        raise UnknownSpecError("gpu", name, list(GPUS))
+    return GPUS[key]

@@ -1,0 +1,112 @@
+"""Tensor Core ``mma.sync.m16n8k16`` emulation and fragment layouts (§2.3).
+
+The warp-level instruction computes ``D[16,8] = A[16,16] @ B[16,8] + C[16,8]``
+with BF16 operands and FP32 accumulation, operands distributed over 32 lanes.
+TCA-TBE's whole layout is derived from the A-fragment ownership map: lane
+``t`` holds the ``.bf16x2`` pair at row-major positions ``2t`` and ``2t + 1``
+of each 8x8 quadrant, and the four quadrants are registers Ra0..Ra3 in
+column-major order.  The maps here let tests verify that the format's tile
+order feeds ``mma`` without any runtime coordinate transformation — the
+property §4.2 claims.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..bf16 import bf16_to_f32
+from ..errors import ShapeError
+
+#: mma.m16n8k16 operand dims.
+MMA_M, MMA_N, MMA_K = 16, 8, 16
+
+WARP_SIZE = 32
+
+
+def a_fragment_lane_map() -> np.ndarray:
+    """Ownership map of the A operand (16x16): ``(32, 4, 2, 2)``.
+
+    ``map[lane, reg, half] = (row, col)`` where ``reg`` enumerates Ra0..Ra3
+    (quadrants in column-major order: (0,0), (1,0), (0,1), (1,1) of the 2x2
+    8x8 grid) and ``half`` selects the low/high element of the ``.bf16x2``
+    register.
+    """
+    out = np.zeros((WARP_SIZE, 4, 2, 2), dtype=np.int64)
+    quadrants = [(0, 0), (1, 0), (0, 1), (1, 1)]  # (row block, col block)
+    for lane in range(WARP_SIZE):
+        for reg, (qr, qc) in enumerate(quadrants):
+            for half in range(2):
+                pos = 2 * lane + half  # row-major position in the 8x8 tile
+                row = qr * 8 + pos // 8
+                col = qc * 8 + pos % 8
+                out[lane, reg, half] = (row, col)
+    return out
+
+
+def b_fragment_lane_map() -> np.ndarray:
+    """Ownership map of the B operand (16x8): ``(32, 2, 2, 2)``.
+
+    ``map[lane, reg, half] = (row, col)``; B is consumed column-major (the
+    k dimension runs along rows), each lane holding a ``.bf16x2`` per 8x8
+    half.
+    """
+    out = np.zeros((WARP_SIZE, 2, 2, 2), dtype=np.int64)
+    for lane in range(WARP_SIZE):
+        for reg in range(2):
+            for half in range(2):
+                pos = 2 * lane + half
+                row = reg * 8 + pos % 8
+                col = pos // 8
+                out[lane, reg, half] = (row, col)
+    return out
+
+
+def mma_m16n8k16(
+    a_bits: np.ndarray, b_bits: np.ndarray, c_acc: np.ndarray
+) -> np.ndarray:
+    """Emulate one ``mma.sync.m16n8k16``: D = A @ B + C.
+
+    Parameters
+    ----------
+    a_bits, b_bits:
+        BF16 bit patterns (uint16) of shape (16, 16) and (16, 8).
+    c_acc:
+        FP32 accumulator, shape (16, 8).
+
+    Inputs are decoded exactly (BF16 -> FP32 is value-preserving) and the
+    multiply-accumulate runs in FP32, matching tensor-core numerics up to
+    accumulation order; the functional kernels use *this* routine for both
+    the dense and fused paths so comparisons are deterministic.
+    """
+    if a_bits.shape != (MMA_M, MMA_K):
+        raise ShapeError(f"A must be {MMA_M}x{MMA_K}, got {a_bits.shape}")
+    if b_bits.shape != (MMA_K, MMA_N):
+        raise ShapeError(f"B must be {MMA_K}x{MMA_N}, got {b_bits.shape}")
+    if c_acc.shape != (MMA_M, MMA_N) or c_acc.dtype != np.float32:
+        raise ShapeError("C must be a float32 16x8 accumulator")
+    a = bf16_to_f32(a_bits)
+    b = bf16_to_f32(b_bits)
+    return (a @ b + c_acc).astype(np.float32)
+
+
+def gather_a_fragment(tile16: np.ndarray) -> np.ndarray:
+    """Distribute a 16x16 BF16 tile into per-lane A registers.
+
+    Returns ``(32, 4, 2)`` uint16: for each lane, Ra0..Ra3 register halves.
+    Together with :func:`scatter_a_fragment` this validates that ownership
+    round-trips losslessly.
+    """
+    if tile16.shape != (MMA_M, MMA_K) or tile16.dtype != np.uint16:
+        raise ShapeError("tile must be a 16x16 uint16 array")
+    fmap = a_fragment_lane_map()
+    return tile16[fmap[..., 0], fmap[..., 1]]
+
+
+def scatter_a_fragment(regs: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`gather_a_fragment`."""
+    if regs.shape != (WARP_SIZE, 4, 2) or regs.dtype != np.uint16:
+        raise ShapeError("regs must be (32, 4, 2) uint16")
+    fmap = a_fragment_lane_map()
+    out = np.zeros((MMA_M, MMA_K), dtype=np.uint16)
+    out[fmap[..., 0], fmap[..., 1]] = regs
+    return out

@@ -1,0 +1,81 @@
+"""SIMT lockstep divergence simulation (§3.2).
+
+A warp executes in lockstep: when lanes decode symbols of different cost
+(variable-length Huffman codes, data-dependent renormalisation), every lane
+waits for the slowest.  Given per-symbol costs, :func:`simulate_lockstep`
+computes the warp-serialised execution time and the resulting SIMT
+efficiency — the mechanism behind the paper's observation that DietGPU and
+DFloat11 reach only 43.7% / 76.5% of peak bandwidth while fixed-length
+TCA-TBE decoding is fully uniform (efficiency 1.0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+WARP_SIZE = 32
+
+
+@dataclass(frozen=True)
+class DivergenceReport:
+    """Lockstep simulation outcome."""
+
+    total_work: float
+    lockstep_time: float
+    n_iterations: int
+
+    @property
+    def efficiency(self) -> float:
+        """Useful work / (lanes x lockstep time); 1.0 means no divergence."""
+        if self.lockstep_time == 0:
+            return 1.0
+        return self.total_work / (WARP_SIZE * self.lockstep_time)
+
+    @property
+    def slowdown(self) -> float:
+        """Lockstep time relative to perfectly balanced execution."""
+        if self.total_work == 0:
+            return 1.0
+        return self.lockstep_time / (self.total_work / WARP_SIZE)
+
+
+def simulate_lockstep(
+    costs: np.ndarray, lanes: int = WARP_SIZE
+) -> DivergenceReport:
+    """Simulate a warp decoding symbols with per-symbol ``costs``.
+
+    Symbols are dealt round-robin to ``lanes`` threads (symbol ``i`` to lane
+    ``i % lanes``), the layout interleaved GPU decoders use.  In iteration
+    ``t`` every lane processes its ``t``-th symbol and the warp advances at
+    the pace of the slowest lane.
+    """
+    costs = np.asarray(costs, dtype=np.float64).ravel()
+    if costs.size == 0:
+        return DivergenceReport(0.0, 0.0, 0)
+    if (costs < 0).any():
+        raise ValueError("symbol costs must be non-negative")
+    n_iter = -(-costs.size // lanes)
+    padded = np.zeros(n_iter * lanes, dtype=np.float64)
+    padded[: costs.size] = costs
+    table = padded.reshape(n_iter, lanes)
+    lockstep = float(table.max(axis=1).sum())
+    return DivergenceReport(
+        total_work=float(costs.sum()),
+        lockstep_time=lockstep,
+        n_iterations=n_iter,
+    )
+
+
+def huffman_divergence(symbol_lengths: np.ndarray) -> DivergenceReport:
+    """Divergence of a Huffman decode loop.
+
+    The per-symbol step cost of the three-stage loop (peek, LUT, pointer
+    advance) grows with the code length: longer codes need extra shifted
+    loads once the local bit buffer drains.  We charge one unit plus one per
+    8 bits of code, a first-order model of the refill cadence.
+    """
+    lengths = np.asarray(symbol_lengths, dtype=np.float64)
+    costs = 1.0 + lengths / 8.0
+    return simulate_lockstep(costs)

@@ -1,0 +1,39 @@
+"""Kernel-level models: functional executors plus analytical cost models.
+
+Each public function returns a :class:`~repro.kernels.base.KernelProfile`
+describing one kernel launch (time, DRAM traffic, FLOPs, and the model's
+internal terms).  The models are first-principles — traffic from the format
+definitions, ALU cycles from the executed instruction mix, bandwidth
+efficiencies from the device spec and the calibration table — so paper-shaped
+results *emerge* rather than being hard-coded.
+"""
+
+from .attention import (
+    eager_attention_decode,
+    eager_attention_prefill,
+    flash_attention_prefill,
+    paged_attention_decode,
+)
+from .base import KernelProfile, WeightCompression
+from .decompress import baseline_decompress, zipserv_decompress
+from .gemm import cublas_gemm
+from .marlin import marlin_w8a16_gemm
+from .pipeline import decoupled_pipeline, stage_aware_linear, fused_wins
+from .zipgemm import zipgemm
+
+__all__ = [
+    "KernelProfile",
+    "WeightCompression",
+    "cublas_gemm",
+    "zipgemm",
+    "zipserv_decompress",
+    "baseline_decompress",
+    "decoupled_pipeline",
+    "stage_aware_linear",
+    "fused_wins",
+    "marlin_w8a16_gemm",
+    "paged_attention_decode",
+    "flash_attention_prefill",
+    "eager_attention_decode",
+    "eager_attention_prefill",
+]

@@ -1,0 +1,121 @@
+"""Standalone decompression kernels: ZipServ-Decomp and the baselines (§6.2).
+
+All decompressors move the same fundamental bytes — read the compressed
+form, write the BF16 tensor — so what separates them is *achieved bandwidth*:
+
+* **ZipServ-Decomp** is fixed-length, warp-aligned and branch-free; it runs
+  at the device's coalesced-streaming efficiency.
+* **DFloat11** (Huffman) pays serial bit-pointer advancement and LUT
+  dependencies — 76.5% of peak (§3.2).
+* **DietGPU** (rANS) pays scattered table gathers and per-lane
+  renormalisation divergence — 43.7% of peak.
+* **nvCOMP** additionally needs a second full pass to reassemble BF16 words
+  from the decoded exponent plane, because it has no native BF16 mode.
+"""
+
+from __future__ import annotations
+
+from ..analysis.calibration import (
+    BASELINE_DECODE_BW_FRAC,
+    decode_cycles_per_element,
+)
+from ..errors import ConfigError, UnknownSpecError
+from ..gpu.memory import TrafficRecord
+from ..gpu.specs import GpuSpec
+from .base import KernelProfile, WeightCompression, default_compression
+
+#: Efficiency of the trivial nvCOMP reassembly pass (pure streaming).
+_REASSEMBLY_BW_FRAC = 0.85
+
+
+def zipserv_decompress(
+    spec: GpuSpec,
+    m: int,
+    k: int,
+    compression: WeightCompression | None = None,
+) -> KernelProfile:
+    """TCA-TBE -> BF16 expansion into a global-memory buffer.
+
+    Used standalone (Figure 13) and as the first stage of the prefill
+    decoupled pipeline (§4.4); it shares the per-thread decode logic — and
+    hence the measured ALU cycle cost — with the fused kernel.
+    """
+    if min(m, k) <= 0:
+        raise ConfigError(f"matrix dims must be positive, got {m}x{k}")
+    comp = compression or default_compression("tcatbe")
+    read = 2.0 * m * k * comp.compressed_fraction
+    write = 2.0 * m * k
+    mem_time = (read + write) / (
+        spec.dram_bytes_per_s * spec.decomp_bw_frac
+    )
+    alu_time = (
+        float(m) * k * decode_cycles_per_element() / spec.sm_cycles_per_s
+    )
+    time_s = max(mem_time, alu_time) + spec.launch_overhead_us * 1e-6
+    return KernelProfile(
+        kernel="zipserv_decomp",
+        time_s=time_s,
+        traffic=TrafficRecord(dram_read=read, dram_write=write),
+        details={
+            "mem_time_s": mem_time,
+            "alu_time_s": alu_time,
+            "compression_ratio": comp.ratio,
+        },
+    )
+
+
+def baseline_decompress(
+    spec: GpuSpec,
+    m: int,
+    k: int,
+    codec: str,
+    compression: WeightCompression | None = None,
+) -> KernelProfile:
+    """Entropy-codec decompression kernel (DFloat11 / DietGPU / nvCOMP)."""
+    if min(m, k) <= 0:
+        raise ConfigError(f"matrix dims must be positive, got {m}x{k}")
+    if codec not in BASELINE_DECODE_BW_FRAC:
+        raise UnknownSpecError(
+            "baseline codec", codec, list(BASELINE_DECODE_BW_FRAC)
+        )
+    comp = compression or default_compression(codec)
+    elements = float(m) * k
+    total_compressed = 2.0 * elements * comp.compressed_fraction
+    # Split-plane layout: raw sign+mantissa plane is one byte per element,
+    # the exponent stream is whatever remains of the compressed footprint.
+    sm_plane = elements
+    exp_stream = max(total_compressed - sm_plane, 0.0)
+    eff = BASELINE_DECODE_BW_FRAC[codec] * spec.dram_bytes_per_s
+
+    traffic = TrafficRecord()
+    if codec == "nvcomp":
+        # Pass 1: rANS-decode the exponent plane into scratch.
+        pass1 = (exp_stream + elements) / eff
+        # Pass 2: reassembly kernel reads both planes, writes BF16.
+        pass2_bytes = elements + sm_plane + 2.0 * elements
+        pass2 = pass2_bytes / (
+            spec.dram_bytes_per_s * _REASSEMBLY_BW_FRAC
+        )
+        time_s = pass1 + pass2 + 2 * spec.launch_overhead_us * 1e-6
+        traffic.dram_read = exp_stream + elements + sm_plane
+        traffic.dram_write = elements + 2.0 * elements
+        details = {"pass1_s": pass1, "pass2_s": pass2}
+    else:
+        # Single fused pass: read compressed planes, write BF16.
+        read = exp_stream + sm_plane
+        write = 2.0 * elements
+        time_s = (read + write) / eff + spec.launch_overhead_us * 1e-6
+        traffic.dram_read = read
+        traffic.dram_write = write
+        details = {}
+
+    details.update({
+        "bw_frac": BASELINE_DECODE_BW_FRAC[codec],
+        "compression_ratio": comp.ratio,
+    })
+    return KernelProfile(
+        kernel=f"{codec}_decomp",
+        time_s=time_s,
+        traffic=traffic,
+        details=details,
+    )

@@ -1,0 +1,111 @@
+"""Bit-exact functional GEMM executors (correctness layer of ZipGEMM).
+
+Performance is modelled analytically elsewhere; *values* are computed here.
+Both executors run the exact same tiled schedule — one FragTile-sized
+``(8,8) @ (8,N)`` multiply-accumulate per step, in canonical tile order — and
+differ only in where the fragment comes from:
+
+* :func:`dense_gemm_tiled` slices it from the uncompressed weights;
+* :func:`zipgemm_execute` decodes it from the TCA-TBE buffers immediately
+  before use ("load-compressed, compute-decompressed", §4.3).
+
+Because TCA-TBE is lossless and the schedules are identical, the outputs are
+bit-identical float32 arrays — the paper's "bit-exact inference" property,
+asserted directly in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..bf16 import bf16_to_f32
+from ..errors import ShapeError
+from ..tcatbe.decompressor import decompress_tile
+from ..tcatbe.format import TcaTbeMatrix
+from ..tcatbe.layout import FRAG_TILE, pad_matrix, padded_shape, tile_base_coords
+from ..utils import require_2d
+
+#: Type of a fragment source: tile index -> (8, 8) float32 fragment.
+FragProvider = Callable[[int], np.ndarray]
+
+
+def _pad_activations(x: np.ndarray, k_padded: int) -> np.ndarray:
+    if x.dtype != np.float32:
+        raise ShapeError("activations must be float32")
+    require_2d(x, "activations")
+    if x.shape[0] == k_padded:
+        return x
+    out = np.zeros((k_padded, x.shape[1]), dtype=np.float32)
+    out[: x.shape[0]] = x
+    return out
+
+
+def _tiled_gemm(
+    frag_provider: FragProvider,
+    shape: tuple[int, int],
+    shape_padded: tuple[int, int],
+    x: np.ndarray,
+) -> np.ndarray:
+    """Shared tiled schedule: accumulate FragTile products in canonical order.
+
+    The canonical tile order visits, for each output row strip, its K slices
+    in ascending K — mirroring the kernel's split-K chunk loop.  Both the
+    dense reference and the fused path call this exact function, so their
+    floating-point operation order is identical.
+    """
+    m, k = shape
+    mp, kp = shape_padded
+    if x.shape[0] != k:
+        raise ShapeError(f"K mismatch: weights {m}x{k} vs activations {x.shape}")
+    xp = _pad_activations(x, kp)
+    out = np.zeros((mp, x.shape[1]), dtype=np.float32)
+    for tile_index, (row0, col0) in enumerate(tile_base_coords(mp, kp)):
+        frag = frag_provider(tile_index)
+        out[row0:row0 + FRAG_TILE] += frag @ xp[col0:col0 + FRAG_TILE]
+    return out[:m]
+
+
+def dense_gemm_tiled(weights: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Reference BF16 GEMM over uncompressed weights (uint16 MxK)."""
+    require_2d(weights, "weights")
+    if weights.dtype != np.uint16:
+        raise ShapeError("weights must be BF16 bit patterns (uint16)")
+    padded = pad_matrix(weights, 0)
+    coords = tile_base_coords(*padded.shape)
+    w32 = bf16_to_f32(padded)
+
+    def provider(tile_index: int) -> np.ndarray:
+        row0, col0 = coords[tile_index]
+        # Contiguous copy: BLAS may pick a different (differently-ordered)
+        # microkernel for strided views, which would break bit-equality with
+        # the fused path's contiguous fragments.
+        return np.ascontiguousarray(
+            w32[row0:row0 + FRAG_TILE, col0:col0 + FRAG_TILE]
+        )
+
+    return _tiled_gemm(provider, weights.shape, padded.shape, x)
+
+
+def zipgemm_execute(matrix: TcaTbeMatrix, x: np.ndarray) -> np.ndarray:
+    """Fused execution: decode each FragTile on the fly, then accumulate."""
+
+    def provider(tile_index: int) -> np.ndarray:
+        bits = decompress_tile(matrix, tile_index)
+        return bf16_to_f32(bits.reshape(FRAG_TILE, FRAG_TILE))
+
+    return _tiled_gemm(provider, matrix.shape, matrix.padded_shape, x)
+
+
+def dense_gemm_reference(weights: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Plain ``W @ X`` in float32 (library order) for approximate checks."""
+    require_2d(weights, "weights")
+    if weights.dtype != np.uint16:
+        raise ShapeError("weights must be BF16 bit patterns (uint16)")
+    return bf16_to_f32(weights) @ x
+
+
+def padded_shape_of(weights: np.ndarray) -> tuple[int, int]:
+    """Convenience re-export for tests."""
+    return padded_shape(*weights.shape)

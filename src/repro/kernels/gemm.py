@@ -1,0 +1,128 @@
+"""cuBLAS-style dense BF16 tensor-core GEMM cost model.
+
+Models ``Y[M,N] = W[M,K] @ X[K,N]`` the way cuBLAS executes it: a tiled
+kernel chosen from a small config table (tile sizes trade per-CTA bandwidth
+efficiency against grid occupancy), with optional 2-way split-K for skinny
+problems.  Time is the max of the memory roof and the compute roof with
+wave-quantisation, plus launch overhead — the standard performance model for
+memory/compute-bound GEMMs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.calibration import SATURATION_CTAS_FRAC_DENSE, TC_EFFICIENCY
+from ..errors import ConfigError
+from ..gpu.memory import TrafficRecord
+from ..gpu.specs import GpuSpec
+from ..utils import ceil_div
+from .base import KernelProfile, saturation_fraction
+
+
+@dataclass(frozen=True)
+class TileConfig:
+    """One entry of the kernel-selection table."""
+
+    tile_m: int
+    tile_n: int
+    bw_derate: float  # smaller tiles vectorise worse
+    tc_derate: float  # and keep tensor cores less busy
+
+
+#: cuBLAS-like config table: large tiles stream best, small tiles fill the
+#: grid for skinny shapes at lower efficiency.
+TILE_CONFIGS: tuple[TileConfig, ...] = (
+    TileConfig(256, 128, 1.00, 1.00),
+    TileConfig(128, 128, 1.00, 1.00),
+    TileConfig(128, 64, 0.97, 0.94),
+    TileConfig(64, 64, 0.92, 0.88),
+    TileConfig(64, 32, 0.85, 0.75),
+    TileConfig(32, 32, 0.75, 0.62),
+)
+
+#: cuBLAS applies split-K conservatively (library heuristics).
+CUBLAS_SPLITK: tuple[int, ...] = (1, 2)
+
+#: Bytes of an FP32 split-K partial element (written then read back).
+_PARTIAL_BYTES = 4
+
+
+def _config_profile(
+    spec: GpuSpec,
+    m: int,
+    k: int,
+    n: int,
+    cfg: TileConfig,
+    splitk: int,
+    weight_bytes: float,
+) -> KernelProfile:
+    ctas = ceil_div(m, cfg.tile_m) * ceil_div(n, cfg.tile_n) * splitk
+    sat = saturation_fraction(spec, ctas, SATURATION_CTAS_FRAC_DENSE)
+
+    x_bytes = 2.0 * k * n
+    y_bytes = 2.0 * m * n
+    partial_bytes = 0.0
+    if splitk > 1:
+        # Every split writes FP32 partials; the reduction re-reads them.
+        partial_bytes = 2.0 * _PARTIAL_BYTES * m * n * splitk
+    dram = weight_bytes + x_bytes + y_bytes + partial_bytes
+
+    bw = spec.dram_bytes_per_s * spec.dense_bw_frac * cfg.bw_derate * sat
+    mem_time = dram / bw
+
+    flops = 2.0 * m * n * k
+    waves = ctas / spec.sm_count
+    quantisation = ceil_div(ctas, spec.sm_count) / waves
+    tc_time = flops / (spec.tc_flops * TC_EFFICIENCY * cfg.tc_derate)
+    tc_time *= quantisation
+
+    launches = 1 + (1 if splitk > 1 else 0)
+    time_s = max(mem_time, tc_time) + launches * spec.launch_overhead_us * 1e-6
+
+    traffic = TrafficRecord(
+        dram_read=weight_bytes + x_bytes + partial_bytes / 2.0,
+        dram_write=y_bytes + partial_bytes / 2.0,
+    )
+    return KernelProfile(
+        kernel="cublas_tc",
+        time_s=time_s,
+        traffic=traffic,
+        flops=flops,
+        details={
+            "tile": (cfg.tile_m, cfg.tile_n),
+            "splitk": splitk,
+            "ctas": ctas,
+            "mem_time_s": mem_time,
+            "tc_time_s": tc_time,
+            "saturation": sat,
+        },
+    )
+
+
+def cublas_gemm(
+    spec: GpuSpec, m: int, k: int, n: int, weight_dtype_bytes: float = 2.0
+) -> KernelProfile:
+    """Best-config dense GEMM profile (the paper's cuBLAS_TC baseline).
+
+    Parameters
+    ----------
+    spec:
+        Target GPU.
+    m, k, n:
+        GEMM dims: weights (m, k), activations (k, n).
+    weight_dtype_bytes:
+        2 for BF16; the decoupled pipelines reuse this model for the GEMM
+        stage over the decompressed buffer.
+    """
+    if min(m, k, n) <= 0:
+        raise ConfigError(f"GEMM dims must be positive, got {m}x{k}x{n}")
+    weight_bytes = float(weight_dtype_bytes) * m * k
+    best: KernelProfile | None = None
+    for cfg in TILE_CONFIGS:
+        for splitk in CUBLAS_SPLITK:
+            profile = _config_profile(spec, m, k, n, cfg, splitk, weight_bytes)
+            if best is None or profile.time_s < best.time_s:
+                best = profile
+    assert best is not None
+    return best

@@ -1,0 +1,52 @@
+"""Marlin-style W8A16 lossy GEMM comparator (§7).
+
+The paper benchmarks ZipGEMM against the Marlin FP8-weight kernel to place
+lossless compression on the lossy spectrum: Marlin reads 8 bits per weight
+(vs TCA-TBE's ~11.3) and the latency gap tracks the effective bit-width
+ratio.  The model mirrors :func:`repro.kernels.zipgemm.zipgemm` with a
+1-byte weight stream and a trivial dequantisation ALU cost.
+"""
+
+from __future__ import annotations
+
+from ..analysis.calibration import SATURATION_CTAS_FRAC_DENSE, TC_EFFICIENCY
+from ..errors import ConfigError
+from ..gpu.memory import TrafficRecord
+from ..gpu.specs import GpuSpec
+from ..utils import ceil_div
+from .base import KernelProfile, saturation_fraction
+
+#: FP8->BF16 dequantisation is a couple of byte-permute ops per element.
+_DEQUANT_CYCLES_PER_ELEMENT = 0.05
+
+
+def marlin_w8a16_gemm(
+    spec: GpuSpec, m: int, k: int, n: int
+) -> KernelProfile:
+    """Profile a Marlin-style mixed-precision GEMM (8-bit weights)."""
+    if min(m, k, n) <= 0:
+        raise ConfigError(f"GEMM dims must be positive, got {m}x{k}x{n}")
+    tile_m, tile_n = 128, 128
+    ctas = ceil_div(m, tile_m) * ceil_div(n, tile_n)
+    sat = saturation_fraction(spec, ctas, SATURATION_CTAS_FRAC_DENSE)
+
+    w_bytes = 1.0 * m * k
+    x_bytes = 2.0 * k * n
+    y_bytes = 2.0 * m * n
+    mem_time = (w_bytes + x_bytes + y_bytes) / (
+        spec.dram_bytes_per_s * spec.fused_bw_frac * sat
+    )
+    flops = 2.0 * m * n * k
+    tc_time = flops / (spec.tc_flops * TC_EFFICIENCY)
+    alu_time = (
+        float(m) * k * _DEQUANT_CYCLES_PER_ELEMENT / spec.sm_cycles_per_s
+    )
+    time_s = max(mem_time, tc_time, alu_time) + spec.launch_overhead_us * 1e-6
+    return KernelProfile(
+        kernel="marlin_w8a16",
+        time_s=time_s,
+        traffic=TrafficRecord(dram_read=w_bytes + x_bytes,
+                              dram_write=y_bytes),
+        flops=flops,
+        details={"mem_time_s": mem_time, "tc_time_s": tc_time},
+    )

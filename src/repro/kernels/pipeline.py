@@ -1,0 +1,106 @@
+"""Pipeline composition: decoupled baselines and the stage-aware strategy.
+
+The baselines execute *decompress-then-GEMM* (Figure 4): the decompressed
+weights round-trip through global memory before a standard cuBLAS GEMM
+consumes them.  ZipServ's inference engine is stage-aware (§4.4): the
+memory-bound decode phase uses the fused ZipGEMM, the compute-bound prefill
+phase uses its own decompression kernel followed by cuBLAS, which amortises
+to a few percent overhead at large N (Figure 15).
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from ..gpu.specs import GpuSpec
+from .base import KernelProfile, WeightCompression
+from .decompress import baseline_decompress, zipserv_decompress
+from .gemm import cublas_gemm
+from .zipgemm import zipgemm
+
+#: N at or below which the engine always picks the fused kernel; above, it
+#: compares the two paths (the crossover in Figure 15 sits between 128 and
+#: 256 on Ada GPUs).
+FUSED_N_THRESHOLD = 128
+
+
+def decoupled_pipeline(
+    spec: GpuSpec,
+    m: int,
+    k: int,
+    n: int,
+    codec: str,
+    compression: WeightCompression | None = None,
+) -> KernelProfile:
+    """Baseline pipeline: entropy decompression + dense GEMM, serialised."""
+    decomp = baseline_decompress(spec, m, k, codec, compression)
+    gemm = cublas_gemm(spec, m, k, n)
+    profile = KernelProfile.combine(f"{codec}_pipeline", [decomp, gemm])
+    profile.details["decomp_time_s"] = decomp.time_s
+    profile.details["gemm_time_s"] = gemm.time_s
+    profile.details["decomp_over_gemm"] = decomp.time_s / gemm.time_s
+    return profile
+
+
+def zipserv_decoupled(
+    spec: GpuSpec,
+    m: int,
+    k: int,
+    n: int,
+    compression: WeightCompression | None = None,
+) -> KernelProfile:
+    """ZipServ's prefill path: TCA-TBE expansion + cuBLAS GEMM."""
+    decomp = zipserv_decompress(spec, m, k, compression)
+    gemm = cublas_gemm(spec, m, k, n)
+    profile = KernelProfile.combine("zipserv_decoupled", [decomp, gemm])
+    profile.details["decomp_time_s"] = decomp.time_s
+    profile.details["gemm_time_s"] = gemm.time_s
+    profile.details["overhead_frac"] = decomp.time_s / gemm.time_s
+    return profile
+
+
+def fused_wins(
+    spec: GpuSpec,
+    m: int,
+    k: int,
+    n: int,
+    compression: WeightCompression | None = None,
+) -> bool:
+    """Stage-aware predicate: should this linear layer run fused?
+
+    Decode-sized N always runs fused; otherwise the two modelled paths are
+    compared (a deployment would make this decision offline per shape).
+    """
+    if n <= FUSED_N_THRESHOLD:
+        return True
+    fused = zipgemm(spec, m, k, n, compression)
+    decoupled = zipserv_decoupled(spec, m, k, n, compression)
+    return fused.time_s <= decoupled.time_s
+
+
+def stage_aware_linear(
+    spec: GpuSpec,
+    m: int,
+    k: int,
+    n: int,
+    compression: WeightCompression | None = None,
+    mode: str = "auto",
+) -> KernelProfile:
+    """ZipServ's linear-layer execution under the stage-aware strategy.
+
+    Parameters
+    ----------
+    mode:
+        ``"auto"`` (stage-aware selection), ``"fused"`` or ``"decoupled"``
+        to force a path (used by the ablation benches).
+    """
+    if mode not in ("auto", "fused", "decoupled"):
+        raise ConfigError(f"unknown stage mode {mode!r}")
+    if mode == "fused" or (
+        mode == "auto" and fused_wins(spec, m, k, n, compression)
+    ):
+        profile = zipgemm(spec, m, k, n, compression)
+        profile.details["path"] = "fused"
+        return profile
+    profile = zipserv_decoupled(spec, m, k, n, compression)
+    profile.details["path"] = "decoupled"
+    return profile

@@ -1,0 +1,121 @@
+"""Fused decompression-GEMM (ZipGEMM) cost model (§4.3).
+
+The kernel streams TCA-TBE weights from DRAM (compressed — this is the whole
+point), decodes them in registers with integer ALU work, and feeds tensor
+cores.  Three resources can bound it:
+
+* **memory** — compressed weight bytes + activations + outputs, at the fused
+  kernel's streaming efficiency and CTA saturation;
+* **decode ALU** — ``cycles_per_element`` (measured from the Algorithm-2
+  instruction mix) per decoded element, re-decoded once per 128-column
+  output tile, spread over all SMs;
+* **tensor cores** — plus the slice of decode instructions that steals issue
+  slots from ``mma`` (ISSUE_CONTENTION), which is what eventually makes the
+  fused path lose to a decoupled pipeline at prefill-sized N (Figure 15).
+
+The paper's BlockTile is fixed at 64x64 with a coarse split-K heuristic
+(§6.1 notes small layers would need per-shape tuning that is out of scope).
+"""
+
+from __future__ import annotations
+
+from ..analysis.calibration import (
+    ISSUE_CONTENTION,
+    SATURATION_CTAS_FRAC_FUSED,
+    TC_EFFICIENCY,
+    decode_cycles_per_element,
+)
+from ..errors import ConfigError
+from ..gpu.memory import TrafficRecord
+from ..gpu.specs import GpuSpec
+from ..utils import ceil_div
+from .base import KernelProfile, WeightCompression, default_compression, saturation_fraction
+
+#: BlockTile rows per CTA (fixed by the format).
+ZIP_TILE_M = 64
+
+#: Output columns decoded per weight-tile pass: decode work repeats every
+#: ceil(N / ZIP_TILE_N) column tiles.
+ZIP_TILE_N = 128
+
+_PARTIAL_BYTES = 4
+
+
+def zip_splitk_heuristic(m: int, k: int) -> int:
+    """The kernel's coarse split-K policy: one split per ~4096 of K.
+
+    This is deliberately *not* a per-shape search — the paper states that
+    fine-grained split-K tuning for small layers is beyond scope, and the
+    small-layer slowdowns in Figure 11 follow from exactly this policy.
+    """
+    return max(1, min(8, k // 4096))
+
+
+def zipgemm(
+    spec: GpuSpec,
+    m: int,
+    k: int,
+    n: int,
+    compression: WeightCompression | None = None,
+) -> KernelProfile:
+    """Profile one fused ZipGEMM launch ``Y[M,N] = dec(Wc)[M,K] @ X[K,N]``."""
+    if min(m, k, n) <= 0:
+        raise ConfigError(f"GEMM dims must be positive, got {m}x{k}x{n}")
+    comp = compression or default_compression("tcatbe")
+
+    splitk = zip_splitk_heuristic(m, k)
+    n_col_tiles = ceil_div(n, ZIP_TILE_N)
+    ctas = ceil_div(m, ZIP_TILE_M) * n_col_tiles * splitk
+    sat = saturation_fraction(spec, ctas, SATURATION_CTAS_FRAC_FUSED)
+
+    w_bytes = 2.0 * m * k * comp.compressed_fraction
+    x_bytes = 2.0 * k * n
+    y_bytes = 2.0 * m * n
+    partial_bytes = 0.0
+    if splitk > 1:
+        partial_bytes = 2.0 * _PARTIAL_BYTES * m * n * splitk
+    dram = w_bytes + x_bytes + y_bytes + partial_bytes
+    bw = spec.dram_bytes_per_s * spec.fused_bw_frac * sat
+    mem_time = dram / bw
+
+    # Decode ALU: every weight element is reconstructed once per column tile.
+    cycles = decode_cycles_per_element()
+    decoded_elements = float(m) * k * n_col_tiles
+    alu_time = decoded_elements * cycles / spec.sm_cycles_per_s
+
+    flops = 2.0 * m * n * k
+    waves = ctas / spec.sm_count
+    quantisation = ceil_div(ctas, spec.sm_count) / waves
+    tc_time = flops / (spec.tc_flops * TC_EFFICIENCY) * quantisation
+    # Decode instructions and mma share the issue stage.
+    compute_time = tc_time + ISSUE_CONTENTION * alu_time
+
+    launches = 1 + (1 if splitk > 1 else 0)
+    time_s = (
+        max(mem_time, alu_time, compute_time)
+        + launches * spec.launch_overhead_us * 1e-6
+    )
+
+    traffic = TrafficRecord(
+        dram_read=w_bytes + x_bytes + partial_bytes / 2.0,
+        dram_write=y_bytes + partial_bytes / 2.0,
+    )
+    return KernelProfile(
+        kernel="zipgemm",
+        time_s=time_s,
+        traffic=traffic,
+        flops=flops,
+        details={
+            "splitk": splitk,
+            "ctas": ctas,
+            "saturation": sat,
+            "mem_time_s": mem_time,
+            "alu_time_s": alu_time,
+            "tc_time_s": tc_time,
+            "compute_time_s": compute_time,
+            "alu_busy_frac": min(1.0, alu_time / max(time_s, 1e-30)),
+            "tc_busy_frac": min(1.0, tc_time / max(time_s, 1e-30)),
+            "cycles_per_element": cycles,
+            "compression_ratio": comp.ratio,
+        },
+    )

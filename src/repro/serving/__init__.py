@@ -1,0 +1,63 @@
+"""LLM serving substrate (the vLLM-equivalent the paper integrates into).
+
+Provides everything the end-to-end experiments need: a model zoo with the
+real layer shapes of the paper's models, synthetic weight statistics, a paged
+KV-cache manager, request scheduling, tensor parallelism, a GPU memory
+planner, and the step-level inference engine that turns kernel profiles into
+end-to-end latency/throughput.
+"""
+
+from .backends import BACKENDS, BackendConfig, get_backend
+from .engine import (
+    ContinuousResult,
+    InferenceEngine,
+    ServeResult,
+    StepBreakdown,
+)
+from .kvcache import KVCacheSpec, PagedKVCache
+from .memory_plan import MemoryPlan, plan_memory
+from .models import MODELS, LayerShape, ModelSpec, get_model
+from .parallel import TensorParallelLayout, allreduce_time, shard_layer
+from .scheduler import (
+    ContinuousBatchScheduler,
+    Request,
+    RequestState,
+    SchedulerLimits,
+    StaticBatchScheduler,
+)
+from .weights import (
+    estimate_layer_compression,
+    layer_sigma,
+    materialize_layer,
+    model_compression_report,
+)
+
+__all__ = [
+    "ModelSpec",
+    "LayerShape",
+    "MODELS",
+    "get_model",
+    "BackendConfig",
+    "BACKENDS",
+    "get_backend",
+    "PagedKVCache",
+    "KVCacheSpec",
+    "MemoryPlan",
+    "plan_memory",
+    "Request",
+    "RequestState",
+    "StaticBatchScheduler",
+    "ContinuousBatchScheduler",
+    "TensorParallelLayout",
+    "shard_layer",
+    "allreduce_time",
+    "InferenceEngine",
+    "ServeResult",
+    "StepBreakdown",
+    "ContinuousResult",
+    "SchedulerLimits",
+    "layer_sigma",
+    "estimate_layer_compression",
+    "materialize_layer",
+    "model_compression_report",
+]

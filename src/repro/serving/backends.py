@@ -1,0 +1,104 @@
+"""Serving-backend configurations: ZipServ, vLLM, Transformers, DFloat11.
+
+A backend bundles the decisions that differentiate the four systems in the
+end-to-end comparison (§6.5): how weights are stored, how linear layers
+execute, which attention implementation runs, and how much framework
+overhead every step pays.  Numeric constants live in
+:mod:`repro.analysis.calibration` where they carry provenance notes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.calibration import DISPATCH_OVERHEAD_S, E2E_BW_DERATE
+from ..errors import UnknownSpecError
+
+
+@dataclass(frozen=True)
+class BackendConfig:
+    """Execution profile of one serving system."""
+
+    name: str
+    weight_scheme: str  # "dense" | "tcatbe" | "dfloat11"
+    linear_mode: str  # "cublas" | "stage_aware" | "decoupled_per_use"
+    attention: str  # "paged" | "eager"
+    dispatch_overhead_s: float
+    other_ops_per_layer: int
+    fixed_step_overhead_s: float
+    elementwise_pass_factor: float = 1.0
+    per_layer_sync_s: float = 0.0
+    e2e_bw_derate: float = E2E_BW_DERATE
+    supports_tensor_parallel: bool = True
+
+    def __post_init__(self) -> None:
+        if self.weight_scheme not in ("dense", "tcatbe", "dfloat11"):
+            raise ValueError(f"unknown weight scheme {self.weight_scheme!r}")
+        if self.linear_mode not in (
+            "cublas", "stage_aware", "decoupled_per_use"
+        ):
+            raise ValueError(f"unknown linear mode {self.linear_mode!r}")
+        if self.attention not in ("paged", "eager"):
+            raise ValueError(f"unknown attention kind {self.attention!r}")
+
+
+BACKENDS: dict[str, BackendConfig] = {
+    cfg.name: cfg
+    for cfg in [
+        # vLLM: dense cuBLAS linears, PagedAttention, lean dispatch.
+        BackendConfig(
+            name="vllm",
+            weight_scheme="dense",
+            linear_mode="cublas",
+            attention="paged",
+            dispatch_overhead_s=DISPATCH_OVERHEAD_S["vllm"],
+            other_ops_per_layer=7,
+            fixed_step_overhead_s=0.4e-3,
+        ),
+        # ZipServ: vLLM integration + TCA-TBE weights + stage-aware linears.
+        BackendConfig(
+            name="zipserv",
+            weight_scheme="tcatbe",
+            linear_mode="stage_aware",
+            attention="paged",
+            dispatch_overhead_s=DISPATCH_OVERHEAD_S["zipserv"],
+            other_ops_per_layer=7,
+            fixed_step_overhead_s=0.4e-3,
+        ),
+        # HF Transformers: eager attention, unfused elementwise ops, heavy
+        # Python dispatch, no paged KV (contiguous pre-allocation).
+        BackendConfig(
+            name="transformers",
+            weight_scheme="dense",
+            linear_mode="cublas",
+            attention="eager",
+            dispatch_overhead_s=DISPATCH_OVERHEAD_S["transformers"],
+            other_ops_per_layer=12,
+            fixed_step_overhead_s=6.0e-3,
+            elementwise_pass_factor=1.6,
+        ),
+        # DFloat11: Transformers-based, Huffman-compressed weights that are
+        # decompressed (decoupled) before every use, with a per-layer sync
+        # and scratch-buffer churn.
+        BackendConfig(
+            name="dfloat11",
+            weight_scheme="dfloat11",
+            linear_mode="decoupled_per_use",
+            attention="eager",
+            dispatch_overhead_s=DISPATCH_OVERHEAD_S["dfloat11"],
+            other_ops_per_layer=12,
+            fixed_step_overhead_s=6.0e-3,
+            elementwise_pass_factor=1.6,
+            per_layer_sync_s=0.8e-3,
+            supports_tensor_parallel=False,
+        ),
+    ]
+}
+
+
+def get_backend(name: str) -> BackendConfig:
+    """Look up a backend by name (case-insensitive)."""
+    key = name.lower()
+    if key not in BACKENDS:
+        raise UnknownSpecError("backend", name, list(BACKENDS))
+    return BACKENDS[key]

@@ -1,0 +1,495 @@
+"""The inference engine: turns kernel profiles into end-to-end serving time.
+
+Simulates the serving loop the paper benchmarks (§6.5): one prefill pass
+over the prompts, then ``output_len`` decode steps, each composed of
+
+* **linear layers** — per backend: plain cuBLAS (vLLM/Transformers),
+  stage-aware TCA-TBE execution (ZipServ, §4.4), or decompress-before-every-
+  use (DFloat11);
+* **attention** — paged or eager, with the KV context growing every step;
+* **collectives** — two ring all-reduces per block under tensor parallelism;
+* **framework overhead** — per-kernel dispatch gaps plus a fixed per-step
+  cost.
+
+KV capacity is enforced through the real block allocator: when a batch's
+final context does not fit in the post-weights KV budget, the engine falls
+back to wave execution (vLLM's recompute-preemption, first-order), which is
+exactly how weight compression turns into throughput at long contexts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import CapacityError, ConfigError
+from ..gpu.specs import GpuSpec
+from ..kernels.attention import (
+    eager_attention_decode,
+    eager_attention_prefill,
+    flash_attention_prefill,
+    paged_attention_decode,
+)
+from ..kernels.gemm import cublas_gemm
+from ..kernels.pipeline import decoupled_pipeline, stage_aware_linear
+from ..utils import ceil_div
+from .backends import BackendConfig
+from .kvcache import KVCacheSpec, PagedKVCache
+from .memory_plan import DEFAULT_GPU_MEM_UTIL, MemoryPlan, plan_memory
+from .models import ModelSpec
+from .parallel import allreduce_time, shard_layer
+from .scheduler import (
+    ContinuousBatchScheduler,
+    Request,
+    SchedulerLimits,
+    StaticBatchScheduler,
+)
+from .weights import estimate_layer_compression, layer_sigma
+
+
+@dataclass
+class StepBreakdown:
+    """Time composition of one engine step (seconds)."""
+
+    linear_s: float = 0.0
+    attention_s: float = 0.0
+    comm_s: float = 0.0
+    other_s: float = 0.0
+    dispatch_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        """Wall time of the step."""
+        return (
+            self.linear_s + self.attention_s + self.comm_s
+            + self.other_s + self.dispatch_s
+        )
+
+    def scaled(self, factor: float) -> "StepBreakdown":
+        """Component-wise scaling (used for averaging)."""
+        return StepBreakdown(
+            linear_s=self.linear_s * factor,
+            attention_s=self.attention_s * factor,
+            comm_s=self.comm_s * factor,
+            other_s=self.other_s * factor,
+            dispatch_s=self.dispatch_s * factor,
+        )
+
+    def add(self, other: "StepBreakdown") -> None:
+        """Accumulate another breakdown."""
+        self.linear_s += other.linear_s
+        self.attention_s += other.attention_s
+        self.comm_s += other.comm_s
+        self.other_s += other.other_s
+        self.dispatch_s += other.dispatch_s
+
+
+@dataclass
+class ServeResult:
+    """Outcome of one benchmark run (fixed batch, fixed lengths)."""
+
+    model: str
+    gpu: str
+    backend: str
+    tensor_parallel: int
+    batch_size: int
+    prompt_len: int
+    output_len: int
+    prefill_s: float
+    decode_s: float
+    avg_step: StepBreakdown
+    memory: MemoryPlan
+    effective_batch: int
+    n_waves: int
+    details: dict = field(default_factory=dict)
+
+    @property
+    def total_s(self) -> float:
+        """End-to-end request latency (full output sequence)."""
+        return self.prefill_s + self.decode_s
+
+    @property
+    def latency_s(self) -> float:
+        """Alias for the paper's latency metric."""
+        return self.total_s
+
+    @property
+    def throughput_tok_s(self) -> float:
+        """Output tokens per second across the batch."""
+        return self.batch_size * self.output_len / self.total_s
+
+
+@dataclass
+class ContinuousResult:
+    """Outcome of a continuous-batching trace run."""
+
+    makespan_s: float
+    tokens_generated: int
+    throughput_tok_s: float
+    n_requests: int
+    n_steps: int
+    peak_running: int
+    latency_p50_s: float
+    latency_max_s: float
+
+
+class InferenceEngine:
+    """Step-level serving simulator for one (model, gpu, backend) triple."""
+
+    def __init__(
+        self,
+        model: ModelSpec,
+        gpu: GpuSpec,
+        backend: BackendConfig,
+        tensor_parallel: int = 1,
+        gpu_mem_util: float = DEFAULT_GPU_MEM_UTIL,
+        pipeline_parallel: int = 1,
+        kv_compression_ratio: float = 1.0,
+    ):
+        """``kv_compression_ratio > 1`` enables the §7 KV-cache extension:
+        blocks are stored Vector-TBE-compressed, multiplying token capacity
+        and shrinking the attention kernel's DRAM traffic."""
+        if tensor_parallel > 1 and not backend.supports_tensor_parallel:
+            raise ConfigError(
+                f"backend {backend.name!r} does not support tensor"
+                " parallelism (use pipeline_parallel for device-map"
+                " sharding)"
+            )
+        if kv_compression_ratio < 1.0:
+            raise ConfigError("kv_compression_ratio must be >= 1")
+        self.model = model
+        self.gpu = gpu
+        self.backend = backend
+        self.tp = tensor_parallel
+        self.pp = pipeline_parallel
+        self.kv_ratio = float(kv_compression_ratio)
+        self.plan = plan_memory(
+            model, gpu, backend.weight_scheme, tensor_parallel,
+            gpu_mem_util, pipeline_parallel=pipeline_parallel,
+        )
+        self.kv_spec = KVCacheSpec.for_model(
+            model, tensor_parallel, pipeline_parallel
+        )
+        if self.kv_ratio > 1.0:
+            # Same bytes, more tokens: capacity scales with the ratio.
+            from dataclasses import replace
+
+            extra = int(self.plan.kv_bytes // (
+                self.kv_spec.bytes_per_token / self.kv_ratio
+            ))
+            self.plan = replace(self.plan, kv_tokens=extra)
+        self._linear_cache: dict[tuple, tuple[float, int, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Component models
+    # ------------------------------------------------------------------
+    def linear_time(self, n_tokens: int) -> tuple[float, int, float]:
+        """(kernel seconds, op count, all-reduce seconds) for one pass."""
+        key = (n_tokens,)
+        if key in self._linear_cache:
+            return self._linear_cache[key]
+        total = 0.0
+        comm = 0.0
+        ops = 0
+        for layer in self.model.linear_layers():
+            layout = shard_layer(layer, self.tp)
+            sigma = layer_sigma(layer.kind, layout.m, layout.k)
+            if self.backend.linear_mode == "cublas":
+                profile = cublas_gemm(self.gpu, layout.m, layout.k, n_tokens)
+            elif self.backend.linear_mode == "stage_aware":
+                comp = estimate_layer_compression(
+                    layout.m, layout.k, sigma, "tcatbe"
+                )
+                profile = stage_aware_linear(
+                    self.gpu, layout.m, layout.k, n_tokens, comp
+                )
+            else:  # decoupled_per_use (DFloat11)
+                comp = estimate_layer_compression(
+                    layout.m, layout.k, sigma, "dfloat11"
+                )
+                profile = decoupled_pipeline(
+                    self.gpu, layout.m, layout.k, n_tokens, "dfloat11", comp
+                )
+            layer_time = profile.time_s + self.backend.per_layer_sync_s
+            total += layer_time * layer.count
+            ops += layer.count
+            if layout.needs_allreduce:
+                nbytes = 2.0 * n_tokens * self.model.hidden
+                comm += allreduce_time(self.gpu, nbytes, self.tp) * layer.count
+        result = (total / self.backend.e2e_bw_derate, ops, comm)
+        self._linear_cache[key] = result
+        return result
+
+    def attention_time(self, batch: int, ctx: int, phase: str) -> float:
+        """Per-step attention across all layers (one TP shard)."""
+        heads = max(1, self.model.n_heads // self.tp)
+        kv_heads = self.kv_spec.kv_heads
+        if phase == "decode":
+            if self.kv_ratio > 1.0 and self.backend.attention == "paged":
+                from ..extensions.kvcomp import (
+                    paged_attention_decode_compressed,
+                )
+
+                profile = paged_attention_decode_compressed(
+                    self.gpu, batch, ctx, heads, kv_heads,
+                    self.model.head_dim, ratio=self.kv_ratio,
+                )
+                return profile.time_s * self.model.n_layers
+            fn = (
+                paged_attention_decode
+                if self.backend.attention == "paged"
+                else eager_attention_decode
+            )
+            profile = fn(self.gpu, batch, ctx, heads, kv_heads,
+                         self.model.head_dim)
+        else:
+            fn = (
+                flash_attention_prefill
+                if self.backend.attention == "paged"
+                else eager_attention_prefill
+            )
+            profile = fn(self.gpu, batch, ctx, heads, kv_heads,
+                         self.model.head_dim)
+        return profile.time_s * self.model.n_layers
+
+    def elementwise_time(self, n_tokens: int) -> float:
+        """Norms, RoPE, activation and residual traffic per pass."""
+        h = self.model.hidden
+        inter = self.model.intermediate
+        per_layer = (
+            2 * (4.0 * n_tokens * h)          # two RMSNorms (read+write)
+            + 2.0 * n_tokens * (self.model.q_dim + self.model.kv_dim) * 2
+            + 6.0 * n_tokens * inter           # SiLU-mul over gate/up
+            + 2 * (6.0 * n_tokens * h)         # two residual adds
+        )
+        total_bytes = per_layer * self.model.n_layers / self.tp
+        total_bytes += 4.0 * n_tokens * h      # embedding + final norm
+        total_bytes *= self.backend.elementwise_pass_factor
+        bw = self.gpu.dram_bytes_per_s * 0.8
+        return total_bytes / bw
+
+    # ------------------------------------------------------------------
+    # Steps
+    # ------------------------------------------------------------------
+    def _pipeline_hop_time(self, n_tokens: int) -> float:
+        """Point-to-point activation transfers between pipeline stages."""
+        if self.pp <= 1:
+            return 0.0
+        nbytes = 2.0 * n_tokens * self.model.hidden
+        per_hop = nbytes / (self.gpu.interconnect_gbps * 1e9) + 20e-6
+        return (self.pp - 1) * per_hop
+
+    def decode_step(self, batch: int, ctx: int) -> StepBreakdown:
+        """Breakdown of one decode step at context length ``ctx``."""
+        linear_s, ops, comm_s = self.linear_time(batch)
+        comm_s += self._pipeline_hop_time(batch)
+        n_other = self.backend.other_ops_per_layer * self.model.n_layers
+        dispatch = (ops + n_other) * self.backend.dispatch_overhead_s
+        return StepBreakdown(
+            linear_s=linear_s,
+            attention_s=self.attention_time(batch, ctx, "decode"),
+            comm_s=comm_s,
+            other_s=(
+                self.elementwise_time(batch)
+                + self.backend.fixed_step_overhead_s
+            ),
+            dispatch_s=dispatch,
+        )
+
+    def prefill_step(self, batch: int, prompt_len: int) -> StepBreakdown:
+        """Breakdown of the prefill pass."""
+        n_tokens = batch * prompt_len
+        linear_s, ops, comm_s = self.linear_time(n_tokens)
+        comm_s += self._pipeline_hop_time(n_tokens)
+        n_other = self.backend.other_ops_per_layer * self.model.n_layers
+        dispatch = (ops + n_other) * self.backend.dispatch_overhead_s
+        return StepBreakdown(
+            linear_s=linear_s,
+            attention_s=self.attention_time(batch, prompt_len, "prefill"),
+            comm_s=comm_s,
+            other_s=(
+                self.elementwise_time(n_tokens)
+                + self.backend.fixed_step_overhead_s
+            ),
+            dispatch_s=dispatch,
+        )
+
+    # ------------------------------------------------------------------
+    # Runs
+    # ------------------------------------------------------------------
+    def max_wave_batch(self, final_ctx: int) -> int:
+        """Largest concurrent batch whose final context fits in KV."""
+        block = self.kv_spec.block_size
+        tokens_per_seq = ceil_div(final_ctx, block) * block
+        return int(self.plan.kv_tokens // tokens_per_seq)
+
+    def run(
+        self, batch_size: int, prompt_len: int, output_len: int
+    ) -> ServeResult:
+        """Benchmark one fixed-batch generation run.
+
+        When the batch's final context exceeds KV capacity, the engine models
+        vLLM's recompute-preemption: all sequences decode together until the
+        cache fills, the overflow group is evicted and later re-prefilled to
+        finish — weight compression shows up as throughput precisely here.
+        """
+        if batch_size <= 0 or prompt_len <= 0 or output_len <= 0:
+            raise ConfigError("batch, prompt and output lengths must be > 0")
+        final_ctx = prompt_len + output_len
+        fit_batch = self.max_wave_batch(final_ctx)
+        if fit_batch == 0:
+            raise CapacityError(
+                f"{self.model.name} on {self.gpu.name} x{self.tp}"
+                f" ({self.backend.name}): a single {final_ctx}-token"
+                " sequence does not fit in KV cache"
+            )
+        prefill_s, decode_s, accum, n_steps = self._run_batch(
+            batch_size, prompt_len, output_len
+        )
+        wave_batch = min(batch_size, fit_batch)
+        return ServeResult(
+            model=self.model.name,
+            gpu=self.gpu.name,
+            backend=self.backend.name,
+            tensor_parallel=self.tp,
+            batch_size=batch_size,
+            prompt_len=prompt_len,
+            output_len=output_len,
+            prefill_s=prefill_s,
+            decode_s=decode_s,
+            avg_step=accum.scaled(1.0 / max(n_steps, 1)),
+            memory=self.plan,
+            effective_batch=wave_batch,
+            n_waves=ceil_div(batch_size, wave_batch),
+        )
+
+    def _run_batch(
+        self, batch: int, prompt_len: int, output_len: int
+    ) -> tuple[float, float, StepBreakdown, int]:
+        """Run a batch, preempting the overflow group when KV fills.
+
+        Returns (prefill seconds, decode seconds, summed breakdown, steps).
+        """
+        if batch <= self.max_wave_batch(prompt_len + output_len):
+            prefill_s, decode_s, accum = self._run_wave(
+                batch, prompt_len, output_len
+            )
+            return prefill_s, decode_s, accum, output_len
+
+        survivors = self.max_wave_batch(prompt_len + output_len)
+        preempted = batch - survivors
+        # Steps every sequence can take before the cache fills.
+        per_seq_tokens = self.plan.kv_tokens // batch
+        s_star = min(max(per_seq_tokens - prompt_len, 0), output_len - 1)
+
+        prefill_s = self.prefill_step(batch, prompt_len).total_s
+        decode_s = 0.0
+        accum = StepBreakdown()
+        for step in range(s_star):
+            breakdown = self.decode_step(batch, prompt_len + step)
+            decode_s += breakdown.total_s
+            accum.add(breakdown)
+        for step in range(s_star, output_len):
+            breakdown = self.decode_step(survivors, prompt_len + step)
+            decode_s += breakdown.total_s
+            accum.add(breakdown)
+        n_steps = output_len
+
+        # The evicted group is re-prefilled over its accumulated context and
+        # finishes its remaining tokens (recursively, in case it still does
+        # not fit).
+        sub_prefill, sub_decode, sub_accum, sub_steps = self._run_batch(
+            preempted, prompt_len + max(s_star, 1), output_len - s_star
+        )
+        prefill_s += sub_prefill
+        decode_s += sub_decode
+        accum.add(sub_accum)
+        n_steps += sub_steps
+        return prefill_s, decode_s, accum, n_steps
+
+    def run_continuous(
+        self,
+        requests: list[Request],
+        limits: SchedulerLimits | None = None,
+    ) -> "ContinuousResult":
+        """Serve a request trace with continuous batching (vLLM's mode).
+
+        Requests carry ``arrival_s`` timestamps; the engine advances a
+        simulated clock, admitting work FCFS under KV/batch limits, charging
+        a prefill pass for each admission group and one decode step per
+        iteration.  This is the serving mode in which the KV capacity freed
+        by weight compression turns into admissible concurrency.
+        """
+        if not requests:
+            raise ConfigError("run_continuous needs at least one request")
+        kv = PagedKVCache(self.kv_spec, self.plan.kv_bytes)
+        scheduler = ContinuousBatchScheduler(kv, limits)
+        pending = sorted(requests, key=lambda r: r.arrival_s)
+        clock = 0.0
+        n_steps = 0
+        peak_running = 0
+
+        while pending or scheduler.has_work:
+            while pending and pending[0].arrival_s <= clock:
+                scheduler.submit(pending.pop(0))
+            admitted = scheduler.admit()
+            if admitted:
+                prompt = max(r.prompt_len for r in admitted)
+                clock += self.prefill_step(len(admitted), prompt).total_s
+                for req in admitted:
+                    req.first_token_s = clock
+            if not scheduler.running:
+                if pending:
+                    clock = max(clock, pending[0].arrival_s)
+                    continue
+                break
+            batch = len(scheduler.running)
+            peak_running = max(peak_running, batch)
+            mean_ctx = int(
+                sum(r.context_len for r in scheduler.running) / batch
+            )
+            clock += self.decode_step(batch, max(mean_ctx, 1)).total_s
+            n_steps += 1
+            for req in scheduler.step():
+                if req.done:
+                    req.finish_s = clock
+
+        finished = scheduler.finished
+        tokens = sum(r.generated for r in finished)
+        latencies = sorted(r.finish_s - r.arrival_s for r in finished)
+        mid = len(latencies) // 2
+        return ContinuousResult(
+            makespan_s=clock,
+            tokens_generated=tokens,
+            throughput_tok_s=tokens / clock if clock > 0 else 0.0,
+            n_requests=len(finished),
+            n_steps=n_steps,
+            peak_running=peak_running,
+            latency_p50_s=latencies[mid],
+            latency_max_s=latencies[-1],
+        )
+
+    def _run_wave(
+        self, batch: int, prompt_len: int, output_len: int
+    ) -> tuple[float, float, StepBreakdown]:
+        """Drive one wave through the scheduler and the block allocator."""
+        kv = PagedKVCache(self.kv_spec, self.plan.kv_bytes)
+        requests = [
+            Request(request_id=i, prompt_len=prompt_len,
+                    max_new_tokens=output_len)
+            for i in range(batch)
+        ]
+        scheduler = StaticBatchScheduler(requests, kv)
+        scheduler.prefill()
+        prefill_s = self.prefill_step(batch, prompt_len).total_s
+
+        decode_s = 0.0
+        accum = StepBreakdown()
+        step_index = 0
+        while not scheduler.finished:
+            ctx = prompt_len + step_index
+            breakdown = self.decode_step(batch, ctx)
+            decode_s += breakdown.total_s
+            accum.add(breakdown)
+            scheduler.step()
+            step_index += 1
+        return prefill_s, decode_s, accum

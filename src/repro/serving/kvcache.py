@@ -1,0 +1,164 @@
+"""Paged KV-cache manager (PagedAttention-style block allocator).
+
+§6.5 of the paper: the memory freed by weight compression is "automatically
+repurposed by the memory manager to expand the KV cache capacity", growing
+batch sizes and context lengths.  This module is that memory manager: fixed
+-size token blocks, per-sequence block tables, exact capacity accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CapacityError, SchedulingError
+from ..utils import ceil_div
+from .models import ModelSpec
+
+#: vLLM's default tokens-per-block.
+DEFAULT_BLOCK_SIZE = 16
+
+
+@dataclass(frozen=True)
+class KVCacheSpec:
+    """Geometry of the KV cache for one model shard."""
+
+    n_layers: int
+    kv_heads: int
+    head_dim: int
+    block_size: int = DEFAULT_BLOCK_SIZE
+    dtype_bytes: int = 2
+
+    @classmethod
+    def for_model(
+        cls, model: ModelSpec, tensor_parallel: int = 1,
+        pipeline_parallel: int = 1,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> "KVCacheSpec":
+        """KV geometry of one shard.
+
+        Tensor parallelism splits KV heads; pipeline parallelism splits
+        layers (each stage caches only its own layers).
+        """
+        kv_heads = max(1, model.n_kv_heads // tensor_parallel)
+        n_layers = ceil_div(model.n_layers, pipeline_parallel)
+        return cls(
+            n_layers=n_layers,
+            kv_heads=kv_heads,
+            head_dim=model.head_dim,
+            block_size=block_size,
+        )
+
+    @property
+    def bytes_per_token(self) -> int:
+        """K and V bytes for one token across all layers of this shard."""
+        return (
+            2 * self.n_layers * self.kv_heads * self.head_dim
+            * self.dtype_bytes
+        )
+
+    @property
+    def bytes_per_block(self) -> int:
+        """Bytes of one block (``block_size`` tokens)."""
+        return self.bytes_per_token * self.block_size
+
+
+class PagedKVCache:
+    """Block allocator with per-sequence block tables."""
+
+    def __init__(self, spec: KVCacheSpec, capacity_bytes: float):
+        if capacity_bytes <= 0:
+            raise CapacityError(
+                f"KV cache capacity must be positive, got {capacity_bytes}"
+            )
+        self.spec = spec
+        self.n_blocks = int(capacity_bytes // spec.bytes_per_block)
+        if self.n_blocks == 0:
+            raise CapacityError(
+                "KV capacity smaller than a single block:"
+                f" {capacity_bytes} < {spec.bytes_per_block}"
+            )
+        self._free: list[int] = list(range(self.n_blocks))
+        self._tables: dict[int, list[int]] = {}
+        self._lengths: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity_tokens(self) -> int:
+        """Total token slots."""
+        return self.n_blocks * self.spec.block_size
+
+    @property
+    def free_blocks(self) -> int:
+        """Blocks currently unallocated."""
+        return len(self._free)
+
+    @property
+    def used_blocks(self) -> int:
+        """Blocks currently held by sequences."""
+        return self.n_blocks - len(self._free)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of blocks in use."""
+        return self.used_blocks / self.n_blocks
+
+    def sequence_length(self, seq_id: int) -> int:
+        """Tokens currently cached for ``seq_id``."""
+        if seq_id not in self._lengths:
+            raise SchedulingError(f"unknown sequence {seq_id}")
+        return self._lengths[seq_id]
+
+    def block_table(self, seq_id: int) -> list[int]:
+        """The sequence's block table (copy)."""
+        if seq_id not in self._tables:
+            raise SchedulingError(f"unknown sequence {seq_id}")
+        return list(self._tables[seq_id])
+
+    # ------------------------------------------------------------------
+    def blocks_needed(self, seq_id: int | None, n_tokens: int) -> int:
+        """Blocks that must be newly allocated to grow by ``n_tokens``."""
+        current = self._lengths.get(seq_id, 0) if seq_id is not None else 0
+        have = ceil_div(current, self.spec.block_size) if current else 0
+        need = ceil_div(current + n_tokens, self.spec.block_size)
+        return need - have
+
+    def can_allocate(self, seq_id: int | None, n_tokens: int) -> bool:
+        """Whether growing by ``n_tokens`` fits without eviction."""
+        return self.blocks_needed(seq_id, n_tokens) <= len(self._free)
+
+    def allocate(self, seq_id: int, n_tokens: int) -> None:
+        """Create a sequence and reserve blocks for its first tokens."""
+        if seq_id in self._tables:
+            raise SchedulingError(f"sequence {seq_id} already allocated")
+        if n_tokens <= 0:
+            raise SchedulingError("initial allocation must be > 0 tokens")
+        self._tables[seq_id] = []
+        self._lengths[seq_id] = 0
+        self._grow(seq_id, n_tokens)
+
+    def append_token(self, seq_id: int, n_tokens: int = 1) -> None:
+        """Extend an existing sequence by ``n_tokens`` (decode steps)."""
+        if seq_id not in self._tables:
+            raise SchedulingError(f"unknown sequence {seq_id}")
+        self._grow(seq_id, n_tokens)
+
+    def free(self, seq_id: int) -> int:
+        """Release a sequence; returns the number of blocks freed."""
+        table = self._tables.pop(seq_id, None)
+        if table is None:
+            raise SchedulingError(f"unknown sequence {seq_id}")
+        del self._lengths[seq_id]
+        self._free.extend(table)
+        return len(table)
+
+    # ------------------------------------------------------------------
+    def _grow(self, seq_id: int, n_tokens: int) -> None:
+        new_blocks = self.blocks_needed(seq_id, n_tokens)
+        if new_blocks > len(self._free):
+            raise CapacityError(
+                f"KV cache exhausted: need {new_blocks} blocks,"
+                f" {len(self._free)} free"
+            )
+        for _ in range(new_blocks):
+            self._tables[seq_id].append(self._free.pop())
+        self._lengths[seq_id] += n_tokens

@@ -1,0 +1,104 @@
+"""GPU memory planning: weights + reserves + KV capacity (§6.5, Figure 17).
+
+The planner follows vLLM's budget: a fraction of device memory is usable
+(``gpu_memory_utilization``); weights and a working reserve (activations,
+CUDA context, NCCL buffers) are subtracted; everything left becomes KV-cache
+blocks.  Weight compression therefore converts directly into KV capacity —
+the paper measures 5.07 -> 8.60 GiB (1.70x) on the RTX4090/LLaMA-8B setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CapacityError
+from ..gpu.specs import GpuSpec
+from ..utils import GIB
+from .kvcache import KVCacheSpec
+from .models import ModelSpec
+from .weights import model_compression_report
+
+#: Fraction of VRAM vLLM claims by default.
+DEFAULT_GPU_MEM_UTIL = 0.92
+
+#: Working reserve per GPU: CUDA context, activations, graph pools.
+DEFAULT_RESERVE_BYTES = 0.55 * GIB
+
+
+@dataclass(frozen=True)
+class MemoryPlan:
+    """Per-GPU memory budget for one serving configuration."""
+
+    model: str
+    gpu: str
+    scheme: str
+    tensor_parallel: int
+    vram_bytes: float
+    usable_bytes: float
+    weight_bytes: float
+    reserve_bytes: float
+    kv_bytes: float
+    kv_tokens: int
+
+    @property
+    def weight_gib(self) -> float:
+        """Per-GPU weight footprint in GiB."""
+        return self.weight_bytes / GIB
+
+    @property
+    def kv_gib(self) -> float:
+        """Per-GPU KV capacity in GiB."""
+        return self.kv_bytes / GIB
+
+    def max_batch(self, context_len: int) -> int:
+        """Largest batch of ``context_len``-token sequences that fits."""
+        if context_len <= 0:
+            raise CapacityError("context length must be positive")
+        return self.kv_tokens // context_len
+
+
+def plan_memory(
+    model: ModelSpec,
+    gpu: GpuSpec,
+    scheme: str = "dense",
+    tensor_parallel: int = 1,
+    gpu_mem_util: float = DEFAULT_GPU_MEM_UTIL,
+    reserve_bytes: float = DEFAULT_RESERVE_BYTES,
+    pipeline_parallel: int = 1,
+) -> MemoryPlan:
+    """Compute the per-GPU memory plan; raises if weights do not fit."""
+    if tensor_parallel < 1 or pipeline_parallel < 1:
+        raise CapacityError("parallel degrees must be >= 1")
+    if not 0.0 < gpu_mem_util <= 1.0:
+        raise CapacityError("gpu_mem_util must be in (0, 1]")
+
+    if scheme == "dense":
+        total_weights = float(model.weight_bytes_bf16)
+    else:
+        report = model_compression_report(model, scheme)
+        total_weights = report["compressed_gib"] * GIB
+    shards = tensor_parallel * pipeline_parallel
+    weight_bytes = total_weights / shards
+
+    usable = gpu.vram_bytes * gpu_mem_util
+    kv_bytes = usable - weight_bytes - reserve_bytes
+    if kv_bytes <= 0:
+        raise CapacityError(
+            f"{model.name} ({scheme}) does not fit on {gpu.name}"
+            f" x{shards}: weights {weight_bytes / GIB:.2f} GiB"
+            f" vs usable {usable / GIB:.2f} GiB"
+        )
+    kv_spec = KVCacheSpec.for_model(model, tensor_parallel, pipeline_parallel)
+    kv_tokens = int(kv_bytes // kv_spec.bytes_per_token)
+    return MemoryPlan(
+        model=model.name,
+        gpu=gpu.name,
+        scheme=scheme,
+        tensor_parallel=tensor_parallel,
+        vram_bytes=gpu.vram_bytes,
+        usable_bytes=usable,
+        weight_bytes=weight_bytes,
+        reserve_bytes=reserve_bytes,
+        kv_bytes=kv_bytes,
+        kv_tokens=kv_tokens,
+    )

@@ -1,0 +1,155 @@
+"""Model zoo: the LLM families the paper benchmarks (§6.1).
+
+Layer shapes are taken from the public model configurations; kernel
+benchmarks extract their GEMM dims from here exactly as the paper extracts
+them from the real checkpoints.  Projections are merged the way serving
+engines merge them: QKV into one matrix, gate+up into one matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import UnknownSpecError
+
+
+@dataclass(frozen=True)
+class LayerShape:
+    """One linear-layer weight matrix: ``Y = W[m, k] @ x``.
+
+    ``count`` is how many instances exist in the model (n_layers for
+    per-block projections, 1 for the LM head).
+    """
+
+    name: str
+    kind: str
+    m: int
+    k: int
+    count: int
+
+    @property
+    def params(self) -> int:
+        """Parameters across all instances."""
+        return self.m * self.k * self.count
+
+    @property
+    def bytes_bf16(self) -> int:
+        """BF16 bytes across all instances."""
+        return 2 * self.params
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Architecture description of one LLM."""
+
+    name: str
+    family: str
+    nominal_params_b: float
+    hidden: int
+    intermediate: int
+    n_layers: int
+    n_heads: int
+    n_kv_heads: int
+    head_dim: int
+    vocab: int
+    tie_embeddings: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_heads % self.n_kv_heads:
+            raise ValueError(
+                f"{self.name}: heads {self.n_heads} not divisible by"
+                f" kv heads {self.n_kv_heads}"
+            )
+
+    @property
+    def q_dim(self) -> int:
+        """Query projection output width (may differ from hidden, e.g. Gemma)."""
+        return self.n_heads * self.head_dim
+
+    @property
+    def kv_dim(self) -> int:
+        """Key/value projection output width."""
+        return self.n_kv_heads * self.head_dim
+
+    def linear_layers(self) -> list[LayerShape]:
+        """Every GEMM weight in the model, merged as served.
+
+        The input embedding is *not* listed: it is a gather table, not a
+        GEMM, and ZipServ keeps it dense (§6.5 accounting).
+        """
+        L = self.n_layers
+        return [
+            LayerShape("qkv_proj", "qkv_proj",
+                       self.q_dim + 2 * self.kv_dim, self.hidden, L),
+            LayerShape("o_proj", "o_proj", self.hidden, self.q_dim, L),
+            LayerShape("gateup_proj", "gateup_proj",
+                       2 * self.intermediate, self.hidden, L),
+            LayerShape("down_proj", "down_proj",
+                       self.hidden, self.intermediate, L),
+            LayerShape("lm_head", "lm_head", self.vocab, self.hidden, 1),
+        ]
+
+    @property
+    def embedding_params(self) -> int:
+        """Input-embedding parameters (output embedding is the LM head)."""
+        return self.vocab * self.hidden
+
+    def param_count(self) -> int:
+        """Total parameters (linear layers + input embedding).
+
+        The LM head is omitted when embeddings are tied (it shares the input
+        embedding storage).
+        """
+        total = self.embedding_params
+        for layer in self.linear_layers():
+            if layer.kind == "lm_head" and self.tie_embeddings:
+                continue
+            total += layer.params
+        return total
+
+    @property
+    def weight_bytes_bf16(self) -> int:
+        """BF16 weight footprint in bytes."""
+        return 2 * self.param_count()
+
+    @property
+    def kv_bytes_per_token(self) -> int:
+        """KV-cache bytes per token (BF16 K and V across all layers)."""
+        return 2 * 2 * self.n_layers * self.kv_dim
+
+
+MODELS: dict[str, ModelSpec] = {
+    spec.name: spec
+    for spec in [
+        ModelSpec("llama3.1-8b", "llama3.1", 8.0,
+                  4096, 14336, 32, 32, 8, 128, 128256),
+        ModelSpec("llama3.1-70b", "llama3.1", 70.0,
+                  8192, 28672, 80, 64, 8, 128, 128256),
+        ModelSpec("llama3.1-405b", "llama3.1", 405.0,
+                  16384, 53248, 126, 128, 8, 128, 128256),
+        ModelSpec("qwen2.5-7b", "qwen2.5", 7.6,
+                  3584, 18944, 28, 28, 4, 128, 152064),
+        ModelSpec("qwen2.5-14b", "qwen2.5", 14.7,
+                  5120, 13824, 48, 40, 8, 128, 152064),
+        ModelSpec("qwen2.5-32b", "qwen2.5", 32.5,
+                  5120, 27648, 64, 40, 8, 128, 152064),
+        ModelSpec("qwen2.5-72b", "qwen2.5", 72.7,
+                  8192, 29568, 80, 64, 8, 128, 152064),
+        ModelSpec("gemma3-12b", "gemma3", 12.0,
+                  3840, 15360, 48, 16, 8, 256, 262208, tie_embeddings=True),
+        ModelSpec("gemma3-27b", "gemma3", 27.0,
+                  5376, 21504, 62, 32, 16, 128, 262208, tie_embeddings=True),
+        ModelSpec("mistral-24b", "mistral", 24.0,
+                  5120, 32768, 40, 32, 8, 128, 131072),
+        ModelSpec("mistral-123b", "mistral", 123.0,
+                  12288, 28672, 88, 96, 8, 128, 32768),
+    ]
+}
+
+
+def get_model(name: str) -> ModelSpec:
+    """Look up a model spec by name (case-insensitive)."""
+    key = name.lower()
+    if key not in MODELS:
+        raise UnknownSpecError("model", name, list(MODELS))
+    return MODELS[key]

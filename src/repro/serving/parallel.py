@@ -1,0 +1,71 @@
+"""Tensor parallelism: Megatron-style layer sharding and all-reduce cost.
+
+Column-parallel layers (QKV, GateUp, LM head) split the output dim; row-
+parallel layers (O, Down) split the input dim and require an all-reduce of
+the activations afterwards — two all-reduces per transformer block per step.
+The paper's multi-GPU runs (Mistral-24B on 2x L40S, LLaMA-70B on 4x L40S)
+communicate over PCIe, which the ring model below captures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..gpu.specs import GpuSpec
+from .models import LayerShape
+
+#: Per-operation latency of a collective (launch + rendezvous).
+ALLREDUCE_LATENCY_S = 20e-6
+
+#: Layer kinds whose output dimension is sharded.
+COLUMN_PARALLEL = {"qkv_proj", "gateup_proj", "lm_head"}
+
+#: Layer kinds whose input dimension is sharded (all-reduce after).
+ROW_PARALLEL = {"o_proj", "down_proj"}
+
+
+@dataclass(frozen=True)
+class TensorParallelLayout:
+    """Sharding decision for one layer."""
+
+    m: int
+    k: int
+    needs_allreduce: bool
+
+
+def shard_layer(layer: LayerShape, tp: int) -> TensorParallelLayout:
+    """Per-GPU GEMM shape of ``layer`` under ``tp``-way tensor parallelism."""
+    if tp < 1:
+        raise ConfigError("tensor parallel degree must be >= 1")
+    if tp == 1:
+        return TensorParallelLayout(layer.m, layer.k, False)
+    if layer.kind in COLUMN_PARALLEL:
+        if layer.m % tp:
+            raise ConfigError(
+                f"{layer.name}: output dim {layer.m} not divisible by tp={tp}"
+            )
+        return TensorParallelLayout(layer.m // tp, layer.k, False)
+    if layer.kind in ROW_PARALLEL:
+        if layer.k % tp:
+            raise ConfigError(
+                f"{layer.name}: input dim {layer.k} not divisible by tp={tp}"
+            )
+        return TensorParallelLayout(layer.m, layer.k // tp, True)
+    raise ConfigError(f"unknown layer kind {layer.kind!r}")
+
+
+def allreduce_time(spec: GpuSpec, nbytes: float, tp: int) -> float:
+    """Ring all-reduce time for ``nbytes`` across ``tp`` GPUs.
+
+    Standard ring cost: each GPU sends/receives ``2 (tp-1)/tp`` of the
+    buffer over its interconnect, plus a fixed latency term.
+    """
+    if tp < 1:
+        raise ConfigError("tensor parallel degree must be >= 1")
+    if nbytes < 0:
+        raise ConfigError("allreduce bytes must be non-negative")
+    if tp == 1:
+        return 0.0
+    wire = 2.0 * (tp - 1) / tp * nbytes / (spec.interconnect_gbps * 1e9)
+    return wire + ALLREDUCE_LATENCY_S

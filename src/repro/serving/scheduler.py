@@ -1,0 +1,158 @@
+"""Request scheduling: static batches (the paper's benchmark mode) and a
+continuous-batching scheduler (vLLM's normal operation).
+
+The end-to-end experiments in §6.5 run fixed batches of identical requests;
+:class:`StaticBatchScheduler` reproduces that.  :class:`ContinuousBatch
+Scheduler` implements FCFS admission under KV-capacity and batch-size limits
+so the repo also covers the serving behaviour the freed KV memory enables
+(larger admissible batches -> higher throughput).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import SchedulingError
+from .kvcache import PagedKVCache
+
+
+class RequestState(enum.Enum):
+    """Lifecycle of a request."""
+
+    WAITING = "waiting"
+    RUNNING = "running"
+    FINISHED = "finished"
+
+
+@dataclass
+class Request:
+    """One generation request."""
+
+    request_id: int
+    prompt_len: int
+    max_new_tokens: int
+    arrival_s: float = 0.0
+    state: RequestState = RequestState.WAITING
+    generated: int = 0
+    first_token_s: float | None = None
+    finish_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.prompt_len <= 0:
+            raise SchedulingError("prompt_len must be positive")
+        if self.max_new_tokens <= 0:
+            raise SchedulingError("max_new_tokens must be positive")
+
+    @property
+    def context_len(self) -> int:
+        """Tokens currently in context (prompt + generated)."""
+        return self.prompt_len + self.generated
+
+    @property
+    def done(self) -> bool:
+        return self.generated >= self.max_new_tokens
+
+
+class StaticBatchScheduler:
+    """All requests run together from prefill to the last token."""
+
+    def __init__(self, requests: list[Request], kv: PagedKVCache):
+        if not requests:
+            raise SchedulingError("static batch needs at least one request")
+        self.requests = requests
+        self.kv = kv
+        self._prefilled = False
+
+    def prefill(self) -> list[Request]:
+        """Admit the whole batch; allocate prompt KV for every request."""
+        if self._prefilled:
+            raise SchedulingError("batch already prefilled")
+        for req in self.requests:
+            self.kv.allocate(req.request_id, req.prompt_len)
+            req.state = RequestState.RUNNING
+        self._prefilled = True
+        return self.requests
+
+    def step(self) -> list[Request]:
+        """One decode step: every unfinished request emits one token."""
+        if not self._prefilled:
+            raise SchedulingError("prefill before stepping")
+        active = [r for r in self.requests if not r.done]
+        for req in active:
+            self.kv.append_token(req.request_id)
+            req.generated += 1
+            if req.done:
+                req.state = RequestState.FINISHED
+                self.kv.free(req.request_id)
+        return active
+
+    @property
+    def finished(self) -> bool:
+        return self._prefilled and all(r.done for r in self.requests)
+
+
+@dataclass
+class SchedulerLimits:
+    """Admission limits (vLLM-style)."""
+
+    max_num_seqs: int = 256
+    max_batched_tokens: int = 8192
+
+
+class ContinuousBatchScheduler:
+    """FCFS continuous batching under KV and batch limits."""
+
+    def __init__(self, kv: PagedKVCache, limits: SchedulerLimits | None = None):
+        self.kv = kv
+        self.limits = limits or SchedulerLimits()
+        self.waiting: list[Request] = []
+        self.running: list[Request] = []
+        self.finished: list[Request] = []
+
+    def submit(self, request: Request) -> None:
+        """Queue a new request."""
+        if request.state is not RequestState.WAITING:
+            raise SchedulingError(
+                f"request {request.request_id} is {request.state}"
+            )
+        self.waiting.append(request)
+
+    def admit(self) -> list[Request]:
+        """Admit waiting requests while capacity allows (FCFS, no skips)."""
+        admitted = []
+        budget = self.limits.max_batched_tokens
+        while self.waiting:
+            head = self.waiting[0]
+            if len(self.running) >= self.limits.max_num_seqs:
+                break
+            if head.prompt_len > budget:
+                break
+            # Reserve prompt KV plus one decode block of headroom.
+            if not self.kv.can_allocate(None, head.prompt_len + 1):
+                break
+            self.waiting.pop(0)
+            self.kv.allocate(head.request_id, head.prompt_len)
+            head.state = RequestState.RUNNING
+            budget -= head.prompt_len
+            self.running.append(head)
+            admitted.append(head)
+        return admitted
+
+    def step(self) -> list[Request]:
+        """One decode step over the running set."""
+        stepped = []
+        for req in list(self.running):
+            self.kv.append_token(req.request_id)
+            req.generated += 1
+            stepped.append(req)
+            if req.done:
+                req.state = RequestState.FINISHED
+                self.kv.free(req.request_id)
+                self.running.remove(req)
+                self.finished.append(req)
+        return stepped
+
+    @property
+    def has_work(self) -> bool:
+        return bool(self.waiting or self.running)

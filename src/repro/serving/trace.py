@@ -1,0 +1,96 @@
+"""Synthetic workload traces for continuous-batching experiments.
+
+Serving benchmarks beyond fixed batches need request traces; this module
+generates them with the usual shape assumptions: Poisson arrivals and
+log-normal prompt/output lengths (heavy-tailed, like real chat traffic).
+Everything is seeded for reproducibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+from .scheduler import Request
+
+
+@dataclass(frozen=True)
+class LengthDistribution:
+    """Clipped log-normal token-length distribution."""
+
+    mean: float
+    cv: float  # coefficient of variation (std / mean)
+    minimum: int
+    maximum: int
+
+    def __post_init__(self) -> None:
+        if self.mean <= 0 or self.cv < 0:
+            raise ConfigError("length distribution needs mean > 0, cv >= 0")
+        if not 1 <= self.minimum <= self.maximum:
+            raise ConfigError("invalid length bounds")
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` integer lengths."""
+        if self.cv == 0:
+            values = np.full(n, self.mean)
+        else:
+            # Parameterise the log-normal by its arithmetic mean and CV.
+            sigma2 = np.log(1.0 + self.cv**2)
+            mu = np.log(self.mean) - sigma2 / 2.0
+            values = rng.lognormal(mu, np.sqrt(sigma2), size=n)
+        return np.clip(np.rint(values), self.minimum, self.maximum).astype(int)
+
+
+#: Chat-like defaults: medium prompts, shorter heavy-tailed outputs.
+DEFAULT_PROMPTS = LengthDistribution(mean=256, cv=0.8, minimum=16, maximum=2048)
+DEFAULT_OUTPUTS = LengthDistribution(mean=192, cv=1.0, minimum=8, maximum=1024)
+
+
+def poisson_trace(
+    n_requests: int,
+    rate_rps: float,
+    prompts: LengthDistribution = DEFAULT_PROMPTS,
+    outputs: LengthDistribution = DEFAULT_OUTPUTS,
+    seed: int = 0,
+) -> list[Request]:
+    """Generate ``n_requests`` with Poisson arrivals at ``rate_rps``."""
+    if n_requests <= 0:
+        raise ConfigError("need at least one request")
+    if rate_rps <= 0:
+        raise ConfigError("arrival rate must be positive")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate_rps, size=n_requests)
+    arrivals = np.cumsum(gaps)
+    arrivals[0] = 0.0  # the first request opens the trace
+    prompt_lens = prompts.sample(n_requests, rng)
+    output_lens = outputs.sample(n_requests, rng)
+    return [
+        Request(
+            request_id=i,
+            prompt_len=int(prompt_lens[i]),
+            max_new_tokens=int(output_lens[i]),
+            arrival_s=float(arrivals[i]),
+        )
+        for i in range(n_requests)
+    ]
+
+
+def closed_loop_trace(
+    n_requests: int,
+    prompt_len: int,
+    output_len: int,
+) -> list[Request]:
+    """All requests present at time zero (offline / batch inference)."""
+    if n_requests <= 0:
+        raise ConfigError("need at least one request")
+    return [
+        Request(i, prompt_len=prompt_len, max_new_tokens=output_len)
+        for i in range(n_requests)
+    ]
+
+
+def total_tokens(trace: list[Request]) -> int:
+    """Output tokens the trace will produce when fully served."""
+    return sum(r.max_new_tokens for r in trace)

@@ -1,0 +1,152 @@
+"""Exponent-distribution analysis and codeword-length trade-off (§3.1, §4.2).
+
+The offline compressor's Phase I: profile the exponent histogram of a weight
+matrix, then pick the window of ``2^n - 1`` *numerically consecutive* exponent
+values that maximises coverage.  The window — not the top-k *set* — is what
+enables the implicit (arithmetic) lookup ``exponent = base_exp + codeword``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..bf16 import exponent_field
+from ..errors import ShapeError
+
+#: Number of in-window exponent classes for the 3-bit codeword (001..111).
+WINDOW_SIZE = 7
+
+
+@dataclass(frozen=True)
+class WindowSelection:
+    """Result of Phase I of Algorithm 1.
+
+    Attributes
+    ----------
+    base_exp:
+        ``min(window) - 1``; decoding adds the codeword to this value.
+    start:
+        First exponent value in the window (= ``base_exp + 1``).
+    size:
+        Number of exponent classes in the window.
+    coverage:
+        Fraction of elements whose exponent falls inside the window.
+    """
+
+    base_exp: int
+    start: int
+    size: int
+    coverage: float
+
+    @property
+    def stop(self) -> int:
+        """One past the last exponent value in the window."""
+        return self.start + self.size
+
+
+def exponent_histogram(weights: np.ndarray) -> np.ndarray:
+    """Histogram (256 bins) of the BF16 exponent field of ``weights``."""
+    flat = np.asarray(weights)
+    if flat.dtype != np.uint16:
+        raise ShapeError("weights must be BF16 bit patterns (uint16)")
+    return np.bincount(exponent_field(flat.ravel()), minlength=256).astype(
+        np.int64
+    )
+
+
+def select_window(
+    hist: np.ndarray, size: int = WINDOW_SIZE
+) -> WindowSelection:
+    """Pick the max-coverage window of ``size`` consecutive exponent values.
+
+    The window start must be >= 1 so that ``base_exp = start - 1`` is a valid
+    exponent field value; exponent 0 (zero/subnormal) therefore always falls
+    back to full precision, which matches the paper's format (codeword 000 is
+    the fallback marker, never a value).
+    """
+    hist = np.asarray(hist, dtype=np.int64)
+    if hist.shape != (256,):
+        raise ShapeError(f"hist must have shape (256,), got {hist.shape}")
+    if not 1 <= size <= 255:
+        raise ValueError(f"window size must be in [1, 255], got {size}")
+    total = int(hist.sum())
+    if total == 0:
+        return WindowSelection(base_exp=0, start=1, size=size, coverage=0.0)
+    window_sums = np.convolve(hist, np.ones(size, dtype=np.int64), "valid")
+    # valid starts: 1 .. 256 - size  (start 0 would need base_exp = -1)
+    starts = np.arange(window_sums.size)
+    valid = starts >= 1
+    window_sums = np.where(valid, window_sums, -1)
+    start = int(np.argmax(window_sums))
+    return WindowSelection(
+        base_exp=start - 1,
+        start=start,
+        size=size,
+        coverage=float(window_sums[start] / total),
+    )
+
+
+def window_coverage(hist: np.ndarray, window: WindowSelection) -> float:
+    """Coverage of an arbitrary window against a histogram."""
+    hist = np.asarray(hist, dtype=np.int64)
+    total = int(hist.sum())
+    if total == 0:
+        return 0.0
+    return float(hist[window.start:window.stop].sum() / total)
+
+
+def top_k_contiguous(hist: np.ndarray, k: int = WINDOW_SIZE) -> bool:
+    """True if the k most frequent exponents form a consecutive run.
+
+    §3.1 reports this holds for 99.6% of 3,875 matrices across four model
+    families; Appendix A proves it for Gaussian weights (unimodality).
+    Ties are broken towards lower exponent values, matching ``np.argsort``
+    stability on the negated histogram.
+    """
+    hist = np.asarray(hist, dtype=np.int64)
+    present = np.flatnonzero(hist > 0)
+    if present.size <= 1:
+        return True
+    k = min(k, present.size)
+    top = np.argsort(-hist, kind="stable")[:k]
+    top_sorted = np.sort(top)
+    return bool(top_sorted[-1] - top_sorted[0] == k - 1)
+
+
+def exponent_entropy(hist: np.ndarray) -> float:
+    """Shannon entropy (bits) of the exponent distribution."""
+    hist = np.asarray(hist, dtype=np.float64)
+    total = hist.sum()
+    if total == 0:
+        return 0.0
+    p = hist[hist > 0] / total
+    return float(-(p * np.log2(p)).sum())
+
+
+def theoretical_ratio(entropy_bits: float) -> float:
+    """Information-theoretic BF16 compression bound 16 / (8 + H(exponent))."""
+    return 16.0 / (8.0 + entropy_bits)
+
+
+def average_bits(codeword_bits: int, coverage: float) -> float:
+    """Expected storage per element for an n-bit codeword (§4.2).
+
+    ``AverageBits(n) = r_n (n + 8) + (1 - r_n)(n + 16)`` where ``r_n`` is the
+    fraction of weights covered by the top ``2^n - 1`` exponents.  For n = 3
+    and r ≈ 0.96 this is ~11.3 bits, close to the ~10.6-bit entropy bound and
+    better than 2-bit (12.4) or 4-bit (12.1) codewords.
+    """
+    if codeword_bits < 1:
+        raise ValueError("codeword length must be >= 1")
+    if not 0.0 <= coverage <= 1.0:
+        raise ValueError(f"coverage must be in [0, 1], got {coverage}")
+    n = codeword_bits
+    return coverage * (n + 8) + (1.0 - coverage) * (n + 16)
+
+
+def expected_bits_for_codeword(hist: np.ndarray, codeword_bits: int) -> float:
+    """Measure ``AverageBits(n)`` for a histogram: best (2^n - 1)-window."""
+    window = select_window(hist, size=(1 << codeword_bits) - 1)
+    return average_bits(codeword_bits, window.coverage)

@@ -1,0 +1,68 @@
+"""Serialization of TCA-TBE matrices (the offline compressor's output).
+
+The offline compressor runs once per model (§6.4: ~2.5 minutes for an 8B
+model on CPU); its output is stored and later mapped by the inference
+engine.  We persist to ``.npz`` with a small versioned header.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import FormatError
+from .format import FORMAT_VERSION, TcaTbeMatrix
+
+_HEADER_KEYS = ("version", "shape", "base_exp", "window_size")
+
+
+def save_npz(matrix: TcaTbeMatrix, path: str | Path) -> None:
+    """Write a compressed matrix to ``path`` (.npz container)."""
+    header = {
+        "version": FORMAT_VERSION,
+        "shape": list(matrix.shape),
+        "base_exp": matrix.base_exp,
+        "window_size": matrix.window_size,
+    }
+    np.savez(
+        Path(path),
+        header=np.frombuffer(
+            json.dumps(header).encode("utf-8"), dtype=np.uint8
+        ),
+        bitmaps=matrix.bitmaps,
+        high=matrix.high,
+        low=matrix.low,
+        high_starts=matrix.high_starts,
+        low_starts=matrix.low_starts,
+    )
+
+
+def load_npz(path: str | Path) -> TcaTbeMatrix:
+    """Read a compressed matrix written by :func:`save_npz` and validate it."""
+    with np.load(Path(path)) as archive:
+        try:
+            header = json.loads(bytes(archive["header"]).decode("utf-8"))
+        except (KeyError, json.JSONDecodeError) as exc:
+            raise FormatError(f"bad TCA-TBE container header: {exc}") from exc
+        for key in _HEADER_KEYS:
+            if key not in header:
+                raise FormatError(f"container header missing {key!r}")
+        if header["version"] != FORMAT_VERSION:
+            raise FormatError(
+                f"unsupported format version {header['version']}"
+                f" (expected {FORMAT_VERSION})"
+            )
+        matrix = TcaTbeMatrix(
+            shape=tuple(header["shape"]),
+            base_exp=int(header["base_exp"]),
+            window_size=int(header["window_size"]),
+            bitmaps=archive["bitmaps"],
+            high=archive["high"],
+            low=archive["low"],
+            high_starts=archive["high_starts"],
+            low_starts=archive["low_starts"],
+        )
+    matrix.validate()
+    return matrix

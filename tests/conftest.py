@@ -1,0 +1,39 @@
+"""Shared pytest configuration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# Keep property-based suites fast and deterministic in CI.
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    derandomize=True,
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for ad-hoc randomness inside tests."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_weights() -> np.ndarray:
+    """A small Gaussian BF16 matrix exercising padding (non-64 multiples)."""
+    from repro.bf16 import gaussian_bf16_matrix
+
+    return gaussian_bf16_matrix(100, 130, sigma=0.02, seed=7)
+
+
+@pytest.fixture
+def aligned_weights() -> np.ndarray:
+    """A BlockTile-aligned Gaussian BF16 matrix."""
+    from repro.bf16 import gaussian_bf16_matrix
+
+    return gaussian_bf16_matrix(128, 192, sigma=0.02, seed=11)

@@ -1,0 +1,134 @@
+"""Tests for backend configs and the public ZipServ facade."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BACKENDS,
+    GPUS,
+    MODELS,
+    ZipServ,
+    ZipServConfig,
+    compress_weights,
+    decompress_weights,
+    get_backend,
+)
+from repro.bf16 import gaussian_bf16_matrix
+from repro.core.api import plan_for
+from repro.core.report import compare_backends
+from repro.errors import ConfigError, UnknownSpecError
+
+
+class TestBackends:
+    def test_four_systems(self):
+        assert set(BACKENDS) == {"zipserv", "vllm", "transformers", "dfloat11"}
+
+    def test_weight_schemes(self):
+        assert get_backend("zipserv").weight_scheme == "tcatbe"
+        assert get_backend("vllm").weight_scheme == "dense"
+        assert get_backend("dfloat11").weight_scheme == "dfloat11"
+
+    def test_attention_kinds(self):
+        assert get_backend("vllm").attention == "paged"
+        assert get_backend("transformers").attention == "eager"
+
+    def test_unknown(self):
+        with pytest.raises(UnknownSpecError):
+            get_backend("tgi")
+
+    def test_invalid_construction(self):
+        from repro.serving.backends import BackendConfig
+
+        with pytest.raises(ValueError):
+            BackendConfig(
+                name="x", weight_scheme="zip", linear_mode="cublas",
+                attention="paged", dispatch_overhead_s=0.0,
+                other_ops_per_layer=1, fixed_step_overhead_s=0.0,
+            )
+
+
+class TestConfigResolve:
+    def test_from_names(self):
+        cfg = ZipServConfig.resolve("llama3.1-8b", "rtx4090")
+        assert cfg.model.name == "llama3.1-8b"
+        assert cfg.backend.name == "zipserv"
+
+    def test_from_objects(self):
+        cfg = ZipServConfig.resolve(
+            MODELS["llama3.1-8b"], GPUS["l40s"], BACKENDS["vllm"]
+        )
+        assert cfg.gpu.name == "l40s"
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ZipServConfig.resolve("llama3.1-8b", "rtx4090",
+                                  tensor_parallel=0)
+        with pytest.raises(UnknownSpecError):
+            ZipServConfig.resolve("llama3.1-8b", "tpu-v5")
+
+
+class TestFacade:
+    def test_compression_report(self):
+        zs = ZipServ("llama3.1-8b", "rtx4090")
+        report = zs.compression_report()
+        assert report.dense_gib == pytest.approx(14.96, abs=0.02)
+        assert 0.70 < report.size_fraction < 0.74
+        assert "10.8" in report.summary() or "10.7" in report.summary()
+
+    def test_dense_report_identity(self):
+        zs = ZipServ("llama3.1-8b", "rtx4090", backend="vllm")
+        report = zs.compression_report()
+        assert report.ratio == 1.0
+
+    def test_generate(self):
+        zs = ZipServ("llama3.1-8b", "rtx4090")
+        res = zs.generate(batch_size=8, prompt_len=64, output_len=32)
+        assert res.throughput_tok_s > 100
+
+    def test_memory_plan(self):
+        zs = ZipServ("llama3.1-8b", "rtx4090")
+        assert zs.memory_plan.kv_gib > 8.0
+
+    def test_decode_step_breakdown(self):
+        zs = ZipServ("llama3.1-8b", "rtx4090")
+        step = zs.decode_step_breakdown(32, 1024)
+        assert step.linear_s > step.attention_s
+
+    def test_linear_layer_profile(self):
+        zs = ZipServ("llama3.1-8b", "rtx4090")
+        profile = zs.linear_layer_profile("gateup_proj", 32)
+        assert profile.details["path"] == "fused"
+        with pytest.raises(KeyError):
+            zs.linear_layer_profile("moe_router", 32)
+
+    def test_fits(self):
+        zs = ZipServ("llama3.1-8b", "rtx4090")
+        assert zs.fits(8, 1024)
+        assert not zs.fits(4096, 32768)
+
+    def test_plan_for(self):
+        plan = plan_for("llama3.1-70b", "l40s", "zipserv", tensor_parallel=4)
+        assert plan.weight_gib < 25
+
+    def test_compress_decompress_helpers(self):
+        w = gaussian_bf16_matrix(64, 80, sigma=0.02, seed=71)
+        matrix = compress_weights(w)
+        assert np.array_equal(decompress_weights(matrix), w)
+
+
+class TestCompareBackends:
+    def test_rows_normalised(self):
+        zs = ZipServ("llama3.1-8b", "rtx4090")
+        vl = ZipServ("llama3.1-8b", "rtx4090", backend="vllm")
+        results = {
+            "zipserv": zs.generate(8, 64, 32),
+            "vllm": vl.generate(8, 64, 32),
+        }
+        rows = compare_backends(results, reference="vllm")
+        by_name = {r.backend: r for r in rows}
+        assert by_name["vllm"].speedup_vs_reference == pytest.approx(1.0)
+        assert by_name["zipserv"].speedup_vs_reference > 1.0
+
+    def test_missing_reference(self):
+        with pytest.raises(KeyError):
+            compare_backends({}, reference="vllm")

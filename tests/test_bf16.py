@@ -1,0 +1,140 @@
+"""Tests for the BF16 substrate (repro.bf16)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bf16 import (
+    assemble,
+    bf16_to_f32,
+    exponent_field,
+    f32_to_bf16,
+    gaussian_bf16_matrix,
+    gaussian_bf16_sample,
+    mantissa_field,
+    pack_sign_mantissa,
+    sign_field,
+    unpack_sign_mantissa,
+)
+from repro.bf16.dtype import QUIET_NAN
+from repro.errors import ShapeError
+
+
+class TestConversion:
+    def test_one(self):
+        assert f32_to_bf16(np.float32(1.0)) == 0x3F80
+
+    def test_minus_two(self):
+        assert f32_to_bf16(np.float32(-2.0)) == 0xC000
+
+    def test_zero(self):
+        assert f32_to_bf16(np.float32(0.0)) == 0x0000
+
+    def test_inf(self):
+        assert f32_to_bf16(np.float32(np.inf)) == 0x7F80
+        assert f32_to_bf16(np.float32(-np.inf)) == 0xFF80
+
+    def test_nan_canonical(self):
+        assert f32_to_bf16(np.float32(np.nan)) == QUIET_NAN
+
+    def test_round_to_nearest(self):
+        # 1.0 + 2^-8 is exactly halfway between BF16 1.0 and its successor;
+        # round-to-even keeps the even mantissa (0x3F80).
+        value = np.float32(1.0) + np.float32(2.0**-8)
+        assert f32_to_bf16(value) == 0x3F80
+        # Slightly more than halfway rounds up.
+        value = np.float32(1.0) + np.float32(2.0**-8) + np.float32(2.0**-12)
+        assert f32_to_bf16(value) == 0x3F81
+
+    def test_round_half_odd_goes_up(self):
+        # 1.0078125 (mantissa ...0001) + half ulp rounds up to even.
+        base = np.uint16(0x3F81)
+        f = bf16_to_f32(base)
+        halfway = f + np.float32(2.0**-8)
+        assert f32_to_bf16(halfway) == 0x3F82
+
+    def test_exact_values_roundtrip(self, rng):
+        bits = rng.integers(0, 2**16, 4096).astype(np.uint16)
+        # Skip NaN patterns (exponent 255, mantissa != 0): they canonicalise.
+        exp = exponent_field(bits)
+        mant = mantissa_field(bits)
+        bits = bits[~((exp == 255) & (mant != 0))]
+        assert np.array_equal(f32_to_bf16(bf16_to_f32(bits)), bits)
+
+    @given(
+        st.floats(
+            np.float32(-1e20), np.float32(1e20), allow_nan=False, width=32
+        )
+    )
+    def test_monotone_error_bound(self, x):
+        x32 = np.float32(x)
+        back = bf16_to_f32(f32_to_bf16(np.array([x32])))[0]
+        if np.isfinite(back):
+            # Relative error bounded by half an ulp (2^-8).
+            assert abs(float(back) - float(x32)) <= max(
+                abs(float(x32)) * 2.0**-8, 1e-41
+            )
+
+
+class TestFields:
+    def test_decomposition(self):
+        bits = np.uint16((1 << 15) | (130 << 7) | 5)
+        assert sign_field(bits) == 1
+        assert exponent_field(bits) == 130
+        assert mantissa_field(bits) == 5
+
+    def test_assemble_roundtrip(self, rng):
+        bits = rng.integers(0, 2**16, 2048).astype(np.uint16)
+        rebuilt = assemble(
+            sign_field(bits), exponent_field(bits), mantissa_field(bits)
+        )
+        assert np.array_equal(rebuilt, bits)
+
+    def test_assemble_validation(self):
+        with pytest.raises(ValueError):
+            assemble(np.array([2]), np.array([0]), np.array([0]))
+        with pytest.raises(ValueError):
+            assemble(np.array([0]), np.array([256]), np.array([0]))
+        with pytest.raises(ValueError):
+            assemble(np.array([0]), np.array([0]), np.array([128]))
+
+    def test_pack_unpack_sign_mantissa(self, rng):
+        bits = rng.integers(0, 2**16, 1024).astype(np.uint16)
+        packed = pack_sign_mantissa(bits)
+        sign, mant = unpack_sign_mantissa(packed)
+        assert np.array_equal(sign, sign_field(bits))
+        assert np.array_equal(mant, mantissa_field(bits))
+
+    def test_wrong_dtype_rejected(self):
+        with pytest.raises(ShapeError):
+            exponent_field(np.zeros(4, dtype=np.int32))
+
+
+class TestRandom:
+    def test_shape(self):
+        m = gaussian_bf16_matrix(10, 20, seed=0)
+        assert m.shape == (10, 20) and m.dtype == np.uint16
+
+    def test_deterministic(self):
+        a = gaussian_bf16_sample(100, seed=5)
+        b = gaussian_bf16_sample(100, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = gaussian_bf16_sample(100, seed=5)
+        b = gaussian_bf16_sample(100, seed=6)
+        assert not np.array_equal(a, b)
+
+    def test_sigma_scales_magnitudes(self):
+        small = np.abs(bf16_to_f32(gaussian_bf16_sample(5000, 0.001, seed=1)))
+        large = np.abs(bf16_to_f32(gaussian_bf16_sample(5000, 0.1, seed=1)))
+        assert large.mean() > 10 * small.mean()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gaussian_bf16_sample(-1)
+        with pytest.raises(ValueError):
+            gaussian_bf16_sample(10, sigma=0.0)
+        with pytest.raises(ValueError):
+            gaussian_bf16_matrix(0, 4)

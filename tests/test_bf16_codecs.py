@@ -1,0 +1,110 @@
+"""Tests for the split-plane BF16 lossless codecs (the baselines)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bf16 import gaussian_bf16_matrix
+from repro.codecs import BF16_CODECS, get_bf16_codec
+from repro.codecs.base import get_byte_codec
+from repro.codecs.stats import byte_entropy, code_length_stats, top_k_coverage
+from repro.errors import CodecError, UnknownSpecError
+
+ALL = ("dfloat11", "dietgpu", "nvcomp")
+
+
+class TestRegistry:
+    def test_three_baselines(self):
+        assert set(BF16_CODECS) == set(ALL)
+
+    def test_unknown(self):
+        with pytest.raises(UnknownSpecError):
+            get_bf16_codec("zstd")
+
+    def test_byte_codec_registry(self):
+        assert get_byte_codec("huffman").name == "huffman"
+        assert get_byte_codec("rans").name == "rans"
+        with pytest.raises(CodecError):
+            get_byte_codec("lzma")
+
+    def test_nvcomp_has_reassembly_pass(self):
+        assert get_bf16_codec("nvcomp").reassembly_passes == 1
+        assert get_bf16_codec("dfloat11").reassembly_passes == 0
+
+
+@pytest.mark.parametrize("name", ALL)
+class TestRoundTrip:
+    def test_gaussian(self, name):
+        w = gaussian_bf16_matrix(64, 96, sigma=0.02, seed=1)
+        codec = get_bf16_codec(name)
+        blob = codec.compress(w)
+        assert np.array_equal(codec.decompress(blob), w)
+
+    def test_arbitrary_bits(self, name, rng):
+        w = rng.integers(0, 2**16, (40, 50)).astype(np.uint16)
+        codec = get_bf16_codec(name)
+        assert np.array_equal(codec.decompress(codec.compress(w)), w)
+
+    def test_special_values(self, name):
+        w = np.array(
+            [[0x0000, 0x8000, 0x7F80, 0xFF80], [0x7FC0, 0x0001, 0x7F7F, 0xFF7F]],
+            dtype=np.uint16,
+        )
+        codec = get_bf16_codec(name)
+        assert np.array_equal(codec.decompress(codec.compress(w)), w)
+
+    def test_ratio_on_llm_like_weights(self, name):
+        w = gaussian_bf16_matrix(256, 512, sigma=0.015, seed=2)
+        blob = get_bf16_codec(name).compress(w)
+        # The paper's theoretical bound is ~1.51x for BF16 exponent coding.
+        assert 1.40 < blob.ratio < 1.60
+        assert 10.0 < blob.bits_per_element < 11.5
+
+    def test_blob_accounting(self, name):
+        w = gaussian_bf16_matrix(64, 64, sigma=0.02, seed=3)
+        blob = get_bf16_codec(name).compress(w)
+        assert blob.original_nbytes == 2 * 64 * 64
+        assert blob.compressed_nbytes < blob.original_nbytes
+        assert blob.n_elements == 64 * 64
+
+
+class TestErrors:
+    def test_wrong_dtype(self):
+        with pytest.raises(CodecError):
+            get_bf16_codec("dfloat11").compress(np.zeros((4, 4), np.float32))
+
+    def test_codec_mismatch(self):
+        w = gaussian_bf16_matrix(32, 32, seed=4)
+        blob = get_bf16_codec("dfloat11").compress(w)
+        with pytest.raises(CodecError):
+            get_bf16_codec("dietgpu").decompress(blob)
+
+
+class TestStats:
+    def test_entropy_bounds(self, rng):
+        uniform = rng.integers(0, 256, 50_000).astype(np.uint8)
+        assert 7.9 < byte_entropy(uniform) <= 8.0
+        constant = np.zeros(1000, dtype=np.uint8)
+        assert byte_entropy(constant) == 0.0
+        assert byte_entropy(np.zeros(0, dtype=np.uint8)) == 0.0
+
+    def test_top_k_coverage(self):
+        freqs = np.zeros(256, dtype=np.int64)
+        freqs[1], freqs[2], freqs[3] = 50, 30, 20
+        assert top_k_coverage(freqs, 1) == pytest.approx(0.5)
+        assert top_k_coverage(freqs, 3) == pytest.approx(1.0)
+        assert top_k_coverage(np.zeros(256, dtype=np.int64), 3) == 0.0
+
+    def test_code_length_stats(self):
+        stats = code_length_stats(np.array([2, 4, 4, 6]))
+        assert stats["mean"] == pytest.approx(4.0)
+        assert stats["max"] == 6.0
+        assert code_length_stats(np.array([]))["mean"] == 0.0
+
+    @given(st.integers(16, 400))
+    def test_entropy_coded_size_tracks_entropy(self, n):
+        data = (np.arange(n) % 3).astype(np.uint8) + 120
+        stream = get_byte_codec("huffman").encode(data)
+        entropy_bits = byte_entropy(data) * n
+        assert stream.payload.nbytes * 8 >= entropy_bits * 0.9

@@ -1,0 +1,60 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import run_experiment
+from repro.experiments.charts import ascii_line_chart, chart_for_result
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        chart = ascii_line_chart(
+            {"a": [(0, 0), (1, 1), (2, 4)]}, width=20, height=6,
+            title="squares",
+        )
+        assert "squares" in chart
+        assert "o a" in chart
+        assert chart.count("|") >= 12  # bordered rows
+
+    def test_two_series_use_distinct_glyphs(self):
+        chart = ascii_line_chart(
+            {"a": [(0, 0), (1, 1)], "b": [(0, 1), (1, 0)]},
+            width=16, height=5,
+        )
+        assert "o a" in chart and "x b" in chart
+
+    def test_log_x_axis(self):
+        chart = ascii_line_chart(
+            {"a": [(1, 0), (10, 1), (100, 2)]}, log_x=True,
+            width=16, height=5,
+        )
+        assert "100" in chart
+
+    def test_constant_series_ok(self):
+        chart = ascii_line_chart({"a": [(0, 5), (1, 5)]}, width=10, height=4)
+        assert chart
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ascii_line_chart({})
+        with pytest.raises(ConfigError):
+            ascii_line_chart({"a": [(0, 0)]}, width=2, height=2)
+
+
+class TestChartForResult:
+    def test_fig15_chart(self):
+        result = run_experiment("fig15", quick=True)
+        chart = chart_for_result(result)
+        assert chart is not None
+        assert "cublas_ms" in chart
+
+    def test_fig16_chart(self):
+        result = run_experiment("fig16", quick=True)
+        chart = chart_for_result(result)
+        assert chart is not None
+        assert "zipserv" in chart
+
+    def test_tabular_experiments_have_no_chart(self):
+        result = run_experiment("tab_memory", quick=True)
+        assert chart_for_result(result) is None

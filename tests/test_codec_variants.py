@@ -1,0 +1,87 @@
+"""Parameter-variant and fuzz coverage for the entropy codecs.
+
+The default configurations are covered elsewhere; these tests exercise the
+non-default container parameters a deployment might tune (LUT width, chunk
+size, probability resolution, stream counts) across the same bit-exactness
+contract.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codecs.huffman import HuffmanCodec
+from repro.codecs.rans import RansCodec
+
+
+def skewed(n: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return (rng.geometric(0.4, size=n).clip(1, 50) + 100).astype(np.uint8)
+
+
+class TestHuffmanVariants:
+    @pytest.mark.parametrize("max_len", [10, 12, 14, 16])
+    def test_lut_widths(self, max_len):
+        codec = HuffmanCodec(max_len=max_len)
+        data = skewed(20_000, seed=max_len)
+        stream = codec.encode(data)
+        assert stream.meta["lengths"].max() <= max_len
+        assert np.array_equal(codec.decode(stream), data)
+
+    @pytest.mark.parametrize("chunk", [32, 100, 1024, 100_000])
+    def test_chunk_sizes(self, chunk):
+        codec = HuffmanCodec(chunk_symbols=chunk)
+        data = skewed(5_000, seed=chunk)
+        assert np.array_equal(codec.decode(codec.encode(data)), data)
+
+    def test_chunk_metadata_scales_inversely(self):
+        data = skewed(50_000, seed=1)
+        fine = HuffmanCodec(chunk_symbols=256).encode(data)
+        coarse = HuffmanCodec(chunk_symbols=8192).encode(data)
+        # Smaller chunks -> more offsets -> larger container.
+        assert fine.header_nbytes > coarse.header_nbytes
+        assert fine.payload.nbytes == coarse.payload.nbytes
+
+    @settings(max_examples=15)
+    @given(st.integers(9, 16), st.binary(min_size=1, max_size=1500))
+    def test_fuzz_lut_width_and_data(self, max_len, raw):
+        data = np.frombuffer(raw, dtype=np.uint8).copy()
+        codec = HuffmanCodec(max_len=max_len, chunk_symbols=128)
+        assert np.array_equal(codec.decode(codec.encode(data)), data)
+
+
+class TestRansVariants:
+    @pytest.mark.parametrize("prob_bits", [10, 12, 14])
+    def test_probability_resolutions(self, prob_bits):
+        codec = RansCodec(prob_bits=prob_bits)
+        data = skewed(30_000, seed=prob_bits)
+        assert np.array_equal(codec.decode(codec.encode(data)), data)
+
+    @pytest.mark.parametrize("streams", [32, 64, 256, 1024])
+    def test_stream_counts(self, streams):
+        codec = RansCodec(num_streams=streams)
+        data = skewed(20_000, seed=streams)
+        stream = codec.encode(data)
+        assert stream.meta["num_streams"] == streams
+        assert np.array_equal(codec.decode(stream), data)
+
+    def test_more_streams_cost_more_header(self):
+        data = skewed(20_000, seed=2)
+        few = RansCodec(num_streams=32).encode(data)
+        many = RansCodec(num_streams=1024).encode(data)
+        assert many.header_nbytes > few.header_nbytes
+
+    def test_low_resolution_compresses_worse(self):
+        data = skewed(100_000, seed=3)
+        hi = RansCodec(prob_bits=14).encode(data)
+        lo = RansCodec(prob_bits=10).encode(data)
+        # Coarser probabilities waste code space (weakly).
+        assert lo.payload.nbytes >= hi.payload.nbytes * 0.98
+
+    @settings(max_examples=15)
+    @given(st.sampled_from([10, 12, 14]), st.binary(min_size=0, max_size=1200))
+    def test_fuzz_resolution_and_data(self, prob_bits, raw):
+        data = np.frombuffer(raw, dtype=np.uint8).copy()
+        codec = RansCodec(prob_bits=prob_bits, num_streams=32)
+        assert np.array_equal(codec.decode(codec.encode(data)), data)

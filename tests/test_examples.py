@@ -1,0 +1,55 @@
+"""Every example script must run cleanly and print its key markers."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+CASES = {
+    "quickstart.py": ["bit-exact", "tok/s", "memory plan"],
+    "compress_llm.py": ["Phase I", "Phase II", "GiB"],
+    "serve_comparison.py": ["zipserv", "vllm", "Decode-step breakdown"],
+    "capacity_planner.py": ["zipserv deployments", "does not fit"],
+    "kernel_explorer.py": ["bound-by", "stage-aware", "decoupled"],
+    "extensions_tour.py": [
+        "KV-cache compression", "delta snapshots", "INT8",
+    ],
+}
+
+
+@pytest.mark.parametrize("script", sorted(CASES))
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    for marker in CASES[script]:
+        assert marker in proc.stdout, (
+            f"{script}: marker {marker!r} missing from output"
+        )
+
+
+def test_experiments_cli_list():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.experiments", "--list"],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert proc.returncode == 0
+    assert "fig11" in proc.stdout
+    assert "tab_pipeline" in proc.stdout
+
+
+def test_experiments_cli_single():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.experiments", "fig05", "--quick"],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert proc.returncode == 0
+    assert "ci_degradation_n8" in proc.stdout
+    assert "paper=" in proc.stdout

@@ -1,0 +1,162 @@
+"""End-to-end checks of every experiment driver against paper bands.
+
+These assert the *shape* of each result — who wins, by roughly what factor,
+where crossovers fall — not exact milliseconds (the substrate is a model,
+not the authors' testbed).
+"""
+
+import pytest
+
+from repro.errors import UnknownSpecError
+from repro.experiments import list_experiments, run_experiment
+
+ALL = list_experiments()
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        expected = {
+            "fig01", "fig02", "fig05", "fig11", "fig12", "fig13", "fig14",
+            "fig15", "fig16", "fig17", "fig18", "tab_codeword",
+            "tab_memory", "tab_offline_cost", "tab_theory",
+            "ext_kvcomp", "ext_quant", "ext_continuous", "tab_pipeline",
+        }
+        assert set(ALL) == expected
+
+    def test_unknown_experiment(self):
+        with pytest.raises(UnknownSpecError):
+            run_experiment("fig99")
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_runs_and_reports(name):
+    result = run_experiment(name, quick=True)
+    assert result.rows, name
+    assert result.summary, name
+    assert result.report()  # renders without error
+    assert result.table(max_rows=5)
+
+
+class TestFig01:
+    def test_band(self):
+        s = run_experiment("fig01", quick=True).summary
+        assert 1.4 < s["decomp_over_gemm_min"]
+        assert s["decomp_over_gemm_max"] < 4.0
+
+
+class TestFig02:
+    def test_band(self):
+        s = run_experiment("fig02", quick=True).summary
+        assert s["min_top3_coverage"] > 0.60
+        assert s["min_top7_coverage"] > 0.95
+        assert 2.3 < s["entropy_bits_min"] <= s["entropy_bits_max"] < 2.9
+        assert s["contiguity_rate"] > 0.99
+        assert 0.95 < s["avg_window_coverage"] < 0.99
+
+
+class TestFig05:
+    def test_band(self):
+        s = run_experiment("fig05", quick=True).summary
+        assert s["ci_degradation_n8"] == pytest.approx(0.623, abs=0.01)
+        assert s["ci_degradation_n64"] == pytest.approx(0.617, abs=0.01)
+        assert 0.45 < s["ci_gain_avg"] < 0.55
+
+
+class TestFig11:
+    def test_band(self):
+        s = run_experiment("fig11", quick=True).summary
+        for gpu in ("rtx4090", "l40s"):
+            assert 1.15 < s[f"zipgemm_avg_{gpu}"] < 1.5
+            assert s[f"zipgemm_peak_{gpu}"] > 1.35
+            assert s[f"zipgemm_min_{gpu}"] < 1.0  # small layers lose
+            assert s[f"dietgpu_avg_{gpu}"] < 0.45
+            assert s[f"nvcomp_avg_{gpu}"] < 0.45
+            assert s[f"dfloat11_avg_{gpu}"] < 0.55
+
+
+class TestFig12:
+    def test_band(self):
+        s = run_experiment("fig12", quick=True).summary
+        assert s["dram_read_reduction"] == pytest.approx(0.293, abs=0.03)
+        assert 0.3 < s["alu_busy_frac"] < 0.8
+        assert 0.5 < s["tc_util_vs_cublas"] < 0.9
+        assert s["zip_bank_conflicts"] < 1e4
+        assert s["lut_bank_conflicts"] > 1e6
+
+
+class TestFig13:
+    def test_band(self):
+        s = run_experiment("fig13", quick=True).summary
+        assert 1.7 < s["speedup_vs_dietgpu"] < 2.5
+        assert 1.5 < s["speedup_vs_nvcomp"] < 2.3
+        assert 1.02 < s["speedup_vs_dfloat11"] < 1.3
+
+
+class TestFig14:
+    def test_band(self):
+        s = run_experiment("fig14", quick=True).summary
+        assert s["rtx5090_speedup_llama3.1"] > 1.25
+        # ZipGEMM narrows the consumer/datacenter deficit.
+        assert (s["rtx5090_deficit_zip_llama3.1"]
+                < s["rtx5090_deficit_std_llama3.1"])
+        assert 0.85 < s["rtx4090zip_vs_a100cublas_llama3.1"] < 1.2
+
+
+class TestFig15:
+    def test_band(self):
+        s = run_experiment("fig15", quick=True).summary
+        assert s["fused_speedup_n8"] > 1.25
+        assert s["fused_speedup_n32"] > 1.25
+        assert s["prefill_overhead_n8192"] < 0.06
+        assert s["prefill_overhead_n16384"] < 0.04
+
+
+class TestFig16:
+    def test_band(self):
+        s = run_experiment("fig16", quick=True).summary
+        assert 1.1 < s["throughput_vs_vllm"] < 1.45
+        assert 2.2 < s["throughput_vs_transformers"] < 4.5
+        assert s["throughput_vs_dfloat11"] > 5.0
+        assert 0.08 < s["latency_cut_vs_vllm"] < 0.30
+
+
+class TestFig17:
+    def test_band(self):
+        s = run_experiment("fig17", quick=True).summary
+        assert s["linear_speedup"] > 1.2
+        assert s["vllm_weights_gib"] == pytest.approx(14.96, abs=0.05)
+        assert s["vllm_kv_gib"] == pytest.approx(5.07, abs=0.4)
+        assert 1.5 < s["kv_expansion"] < 2.1
+
+
+class TestFig18:
+    def test_band(self):
+        s = run_experiment("fig18", quick=True).summary
+        assert s["zipgemm_vs_cublas_min"] < 1.0  # loses somewhere on HBM
+        assert s["best_decomp_speedup"] > 1.5
+        assert 1.25 < s["marlin_gap"] < 1.55
+        assert s["bitwidth_ratio"] == pytest.approx(1.41, abs=0.05)
+
+
+class TestTables:
+    def test_codeword(self):
+        s = run_experiment("tab_codeword", quick=True).summary
+        assert s["avg_bits_3"] < s["avg_bits_2"]
+        assert s["avg_bits_3"] < s["avg_bits_4"]
+        assert 10.8 < s["avg_bits_3"] < 11.8
+        assert 10.3 < s["entropy_bound_bits"] < 11.0
+
+    def test_memory(self):
+        s = run_experiment("tab_memory", quick=True).summary
+        for key in ("fraction_8b", "fraction_m24b", "fraction_70b"):
+            assert 0.69 < s[key] < 0.74
+
+    def test_offline_cost(self):
+        s = run_experiment("tab_offline_cost", quick=True).summary
+        assert s["extrapolated_8b_minutes"] < 30
+
+    def test_theory(self):
+        s = run_experiment("tab_theory", quick=True).summary
+        assert s["all_unimodal"] == 1.0
+        assert s["all_top7_contiguous"] == 1.0
+        assert s["max_coverage_error"] < 0.01

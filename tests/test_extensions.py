@@ -1,0 +1,286 @@
+"""Tests for the §7 extensions: KV compression, checkpoints, quant combo."""
+
+import numpy as np
+import pytest
+
+from repro.bf16 import bf16_to_f32, gaussian_bf16_matrix
+from repro.errors import ConfigError, FormatError
+from repro.extensions import (
+    CompressedKVCacheSpec,
+    compress_kv_block,
+    compress_quantized,
+    decompress_kv_block,
+    decompress_quantized,
+    delta_snapshot,
+    dequantize_int8,
+    kv_compression_ratio,
+    load_checkpoint,
+    paged_attention_decode_compressed,
+    quantize_int8,
+    restore_snapshot,
+    save_checkpoint,
+    zipquant_gemm,
+)
+from repro.gpu.specs import get_gpu
+from repro.kernels.attention import paged_attention_decode
+from repro.kernels.marlin import marlin_w8a16_gemm
+from repro.serving.kvcache import KVCacheSpec
+
+G = get_gpu("rtx4090")
+
+
+class TestKvCompression:
+    def test_block_roundtrip(self):
+        block = gaussian_bf16_matrix(16, 2048, sigma=0.05, seed=1)
+        blob = compress_kv_block(block)
+        assert np.array_equal(decompress_kv_block(blob, (16, 2048)), block)
+
+    def test_shape_mismatch_rejected(self):
+        block = gaussian_bf16_matrix(16, 64, sigma=0.05, seed=2)
+        blob = compress_kv_block(block)
+        with pytest.raises(FormatError):
+            decompress_kv_block(blob, (16, 128))
+
+    def test_analytic_ratio_tracks_functional(self):
+        block = gaussian_bf16_matrix(64, 1024, sigma=0.05, seed=3)
+        blob = compress_kv_block(block)
+        assert kv_compression_ratio(0.05) == pytest.approx(
+            blob.ratio, rel=0.05
+        )
+
+    def test_compressed_spec_capacity(self):
+        inner = KVCacheSpec(n_layers=32, kv_heads=8, head_dim=128)
+        spec = CompressedKVCacheSpec(inner, ratio=1.4)
+        assert spec.bytes_per_token < inner.bytes_per_token
+        assert 1.3 < spec.capacity_gain <= 1.4
+
+    def test_compressed_spec_validation(self):
+        inner = KVCacheSpec(n_layers=1, kv_heads=1, head_dim=8)
+        with pytest.raises(ConfigError):
+            CompressedKVCacheSpec(inner, ratio=0.9)
+
+    def test_attention_kernel_faster(self):
+        plain = paged_attention_decode(G, 32, 4096, 32, 8, 128)
+        comp = paged_attention_decode_compressed(G, 32, 4096, 32, 8, 128)
+        assert 1.2 < plain.time_s / comp.time_s < 1.45
+
+    def test_attention_alu_bounded(self):
+        comp = paged_attention_decode_compressed(G, 32, 4096, 32, 8, 128)
+        assert comp.details["alu_time_s"] < comp.details["mem_time_s"]
+
+    def test_engine_integration(self):
+        from repro.serving.backends import get_backend
+        from repro.serving.engine import InferenceEngine
+        from repro.serving.models import get_model
+
+        model = get_model("llama3.1-8b")
+        base = InferenceEngine(model, G, get_backend("zipserv"))
+        comp = InferenceEngine(
+            model, G, get_backend("zipserv"), kv_compression_ratio=1.4
+        )
+        assert comp.plan.kv_tokens > 1.3 * base.plan.kv_tokens
+        b = base.run(32, 128, 512)
+        c = comp.run(32, 128, 512)
+        assert c.throughput_tok_s > b.throughput_tok_s
+
+    def test_engine_validation(self):
+        from repro.serving.backends import get_backend
+        from repro.serving.engine import InferenceEngine
+        from repro.serving.models import get_model
+
+        with pytest.raises(ConfigError):
+            InferenceEngine(
+                get_model("llama3.1-8b"), G, get_backend("zipserv"),
+                kv_compression_ratio=0.5,
+            )
+
+
+class TestCheckpoint:
+    def test_save_load_roundtrip(self, tmp_path):
+        tensors = {
+            "attn_qkv": gaussian_bf16_matrix(128, 64, seed=10),
+            "mlp_gate": gaussian_bf16_matrix(256, 128, seed=11),
+        }
+        receipt = save_checkpoint(tensors, tmp_path / "ckpt")
+        assert receipt.ratio > 1.2
+        loaded = load_checkpoint(tmp_path / "ckpt")
+        assert set(loaded) == set(tensors)
+        for name in tensors:
+            assert np.array_equal(loaded[name], tensors[name])
+
+    def test_unsafe_names_rejected(self, tmp_path):
+        with pytest.raises(FormatError):
+            save_checkpoint(
+                {"../evil": gaussian_bf16_matrix(64, 64, seed=12)}, tmp_path
+            )
+
+    def test_empty_dir_rejected(self, tmp_path):
+        with pytest.raises(FormatError):
+            load_checkpoint(tmp_path)
+
+    def test_delta_snapshot_roundtrip(self):
+        base = gaussian_bf16_matrix(128, 128, seed=13)
+        current = base.copy()
+        rng = np.random.default_rng(0)
+        touched = rng.integers(0, base.size, 300)
+        current.ravel()[touched] ^= np.uint16(3)  # small mantissa updates
+        snap = delta_snapshot("layer", base, current)
+        assert np.array_equal(restore_snapshot(base, snap), current)
+
+    def test_delta_much_smaller_than_full(self):
+        base = gaussian_bf16_matrix(256, 256, seed=14)
+        current = base.copy()
+        current.ravel()[:500] ^= np.uint16(1)
+        snap = delta_snapshot("layer", base, current)
+        # Sparse training deltas compress far beyond the ~1.4x weight ratio.
+        assert snap.ratio > 8.0
+
+    def test_delta_validation(self):
+        base = gaussian_bf16_matrix(32, 32, seed=15)
+        with pytest.raises(FormatError):
+            delta_snapshot("x", base, gaussian_bf16_matrix(32, 16, seed=16))
+        snap = delta_snapshot("x", base, base)
+        with pytest.raises(FormatError):
+            restore_snapshot(gaussian_bf16_matrix(16, 16, seed=17), snap)
+
+    def test_identical_snapshot_tiny(self):
+        base = gaussian_bf16_matrix(128, 128, seed=18)
+        snap = delta_snapshot("same", base, base)
+        assert snap.compressed_nbytes < base.nbytes / 20
+
+
+class TestQuantCombo:
+    def test_quantize_error_bounded(self):
+        w = gaussian_bf16_matrix(128, 256, sigma=0.015, seed=20)
+        layer = quantize_int8(w)
+        back = bf16_to_f32(dequantize_int8(layer))
+        orig = bf16_to_f32(w)
+        scale = np.abs(orig).max(axis=1, keepdims=True)
+        assert np.all(np.abs(back - orig) <= scale / 127.0 + 1e-6)
+
+    def test_int8_plane_roundtrip_exact(self):
+        w = gaussian_bf16_matrix(64, 512, sigma=0.02, seed=21)
+        layer = quantize_int8(w)
+        blob = compress_quantized(layer)
+        restored = decompress_quantized(blob)
+        assert np.array_equal(restored.q, layer.q)
+        assert np.array_equal(restored.scales, layer.scales)
+
+    def test_residual_redundancy_band(self):
+        w = gaussian_bf16_matrix(512, 1024, sigma=0.015, seed=22)
+        blob = compress_quantized(quantize_int8(w))
+        assert 1.02 < blob.ratio_vs_int8 < 1.25
+        assert 6.5 < blob.bits_per_weight < 7.9
+
+    def test_quantize_validation(self):
+        with pytest.raises(FormatError):
+            quantize_int8(np.zeros((4, 4), dtype=np.float32))
+        with pytest.raises(FormatError):
+            quantize_int8(np.zeros(16, dtype=np.uint16))
+
+    def test_zipquant_kernel_faster_than_marlin(self):
+        zq = zipquant_gemm(G, 28672, 4096, 32, bits_per_weight=7.4)
+        ml = marlin_w8a16_gemm(G, 28672, 4096, 32)
+        assert zq.time_s < ml.time_s
+
+    def test_zipquant_validation(self):
+        with pytest.raises(ConfigError):
+            zipquant_gemm(G, 0, 10, 10)
+        with pytest.raises(ConfigError):
+            zipquant_gemm(G, 64, 64, 1, bits_per_weight=9.0)
+
+
+class TestContinuousServing:
+    def test_trace_run(self):
+        from repro.serving.backends import get_backend
+        from repro.serving.engine import InferenceEngine
+        from repro.serving.models import get_model
+        from repro.serving.scheduler import Request, SchedulerLimits
+
+        engine = InferenceEngine(
+            get_model("llama3.1-8b"), G, get_backend("zipserv")
+        )
+        requests = [
+            Request(i, prompt_len=64, max_new_tokens=32, arrival_s=i * 0.01)
+            for i in range(12)
+        ]
+        result = engine.run_continuous(
+            requests, SchedulerLimits(max_num_seqs=8)
+        )
+        assert result.n_requests == 12
+        assert result.tokens_generated == 12 * 32
+        assert result.peak_running <= 8
+        assert result.latency_p50_s <= result.latency_max_s
+        assert result.throughput_tok_s > 0
+
+    def test_empty_trace_rejected(self):
+        from repro.serving.backends import get_backend
+        from repro.serving.engine import InferenceEngine
+        from repro.serving.models import get_model
+
+        engine = InferenceEngine(
+            get_model("llama3.1-8b"), G, get_backend("zipserv")
+        )
+        with pytest.raises(ConfigError):
+            engine.run_continuous([])
+
+    def test_zipserv_beats_vllm_on_trace(self):
+        from repro.serving.backends import get_backend
+        from repro.serving.engine import InferenceEngine
+        from repro.serving.models import get_model
+        from repro.serving.scheduler import Request
+
+        model = get_model("llama3.1-8b")
+
+        def trace():
+            return [
+                Request(i, prompt_len=128, max_new_tokens=64,
+                        arrival_s=i * 0.02)
+                for i in range(16)
+            ]
+
+        z = InferenceEngine(model, G, get_backend("zipserv"))
+        v = InferenceEngine(model, G, get_backend("vllm"))
+        zr = z.run_continuous(trace())
+        vr = v.run_continuous(trace())
+        assert zr.throughput_tok_s > vr.throughput_tok_s
+
+
+class TestExtensionExperiments:
+    @pytest.mark.parametrize(
+        "name", ["ext_kvcomp", "ext_quant", "ext_continuous"]
+    )
+    def test_runs(self, name):
+        from repro.experiments import run_experiment
+
+        result = run_experiment(name, quick=True)
+        assert result.rows and result.summary
+
+    def test_kvcomp_consistency(self):
+        from repro.experiments import run_experiment
+
+        s = run_experiment("ext_kvcomp", quick=True).summary
+        assert s["block_ratio_measured"] == pytest.approx(
+            s["block_ratio_analytic"], rel=0.06
+        )
+        assert s["capacity_gain"] == pytest.approx(
+            s["block_ratio_analytic"], rel=0.05
+        )
+        assert s["e2e_throughput_gain"] > 1.0
+
+    def test_quant_spectrum_ordering(self):
+        from repro.experiments import run_experiment
+
+        result = run_experiment("ext_quant", quick=True)
+        bits = [row[1] for row in result.rows]
+        times = [row[2] for row in result.rows]
+        # Fewer bits per weight -> faster kernel, monotonically.
+        assert bits == sorted(bits, reverse=True)
+        assert times == sorted(times, reverse=True)
+
+    def test_continuous_gain(self):
+        from repro.experiments import run_experiment
+
+        s = run_experiment("ext_continuous", quick=True).summary
+        assert s["throughput_gain"] > 1.05
+        assert s["all_requests_served"] == 1.0

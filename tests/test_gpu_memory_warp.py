@@ -1,0 +1,150 @@
+"""Tests for the bank-conflict and SIMT divergence simulators."""
+
+import numpy as np
+import pytest
+
+from repro.codecs.huffman import HuffmanCodec
+from repro.gpu.instructions import InstructionCounter, alu_cycles
+from repro.gpu.memory import (
+    TrafficRecord,
+    lut_gather_addresses,
+    simulate_bank_conflicts,
+    tcatbe_decode_addresses,
+)
+from repro.gpu.warp import DivergenceReport, huffman_divergence, simulate_lockstep
+
+
+class TestTrafficRecord:
+    def test_add(self):
+        a = TrafficRecord(dram_read=10, dram_write=5)
+        a.add(TrafficRecord(dram_read=1, dram_write=2, shared_read=3))
+        assert a.dram_total == 18
+        assert a.shared_read == 3
+
+    def test_scaled(self):
+        a = TrafficRecord(dram_read=10).scaled(2.0)
+        assert a.dram_read == 20
+
+
+class TestBankConflicts:
+    def test_broadcast_free(self):
+        # All lanes read the same word: one cycle, no conflict.
+        addrs = np.full((1, 32), 128)
+        report = simulate_bank_conflicts(addrs)
+        assert report.n_cycles == 1
+        assert report.n_conflict_cycles == 0
+
+    def test_unit_stride_free(self):
+        addrs = (np.arange(32) * 4).reshape(1, 32)
+        report = simulate_bank_conflicts(addrs)
+        assert report.n_conflict_cycles == 0
+
+    def test_32_way_conflict(self):
+        # Stride of 128 B: every lane hits bank 0 with a distinct word.
+        addrs = (np.arange(32) * 128).reshape(1, 32)
+        report = simulate_bank_conflicts(addrs)
+        assert report.worst_degree == 32
+        assert report.n_conflict_cycles == 31
+
+    def test_two_way_conflict(self):
+        addrs = (np.arange(32) * 8).reshape(1, 32)  # 64-bit stride
+        report = simulate_bank_conflicts(addrs)
+        assert report.worst_degree == 2
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            simulate_bank_conflicts(np.zeros((4, 16)))
+
+    def test_tcatbe_pattern_conflict_free(self):
+        report = simulate_bank_conflicts(tcatbe_decode_addresses(32))
+        assert report.n_conflict_cycles == 0
+
+    def test_lut_gather_conflicts_heavily(self):
+        report = simulate_bank_conflicts(
+            lut_gather_addresses(200, table_bytes=4096)
+        )
+        # Random gathers over a table conflict on most requests.
+        assert report.conflict_rate > 1.0
+        assert report.worst_degree >= 3
+
+    def test_merge(self):
+        a = simulate_bank_conflicts(np.full((1, 32), 0))
+        b = simulate_bank_conflicts((np.arange(32) * 128).reshape(1, 32))
+        a.merge(b)
+        assert a.n_requests == 2
+        assert a.worst_degree == 32
+
+
+class TestLockstep:
+    def test_uniform_costs_full_efficiency(self):
+        report = simulate_lockstep(np.ones(256))
+        assert report.efficiency == pytest.approx(1.0)
+        assert report.slowdown == pytest.approx(1.0)
+
+    def test_one_slow_lane_stalls_warp(self):
+        costs = np.ones(32)
+        costs[7] = 10.0
+        report = simulate_lockstep(costs)
+        assert report.lockstep_time == 10.0
+        assert report.efficiency == pytest.approx((31 + 10) / 320)
+
+    def test_empty(self):
+        report = simulate_lockstep(np.zeros(0))
+        assert report.efficiency == 1.0
+        assert report.n_iterations == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_lockstep(np.array([-1.0]))
+
+    def test_iterations(self):
+        report = simulate_lockstep(np.ones(33))
+        assert report.n_iterations == 2
+
+    def test_huffman_divergence_below_one(self):
+        data = (np.random.default_rng(0).geometric(0.4, 20_000)
+                .clip(1, 30) + 100).astype(np.uint8)
+        lengths = HuffmanCodec().symbol_lengths(data)
+        report = huffman_divergence(lengths)
+        # Variable-length codes must lose SIMT efficiency (§3.2)...
+        assert report.efficiency < 0.95
+        # ...but stay well above the worst case.
+        assert report.efficiency > 0.4
+
+    def test_divergence_orders_codecs(self):
+        # More skewed length distributions diverge more.
+        mild = huffman_divergence(np.random.default_rng(1).choice(
+            [3, 4], size=10_000))
+        harsh = huffman_divergence(np.random.default_rng(1).choice(
+            [2, 16], size=10_000, p=[0.9, 0.1]))
+        assert harsh.efficiency < mild.efficiency
+
+
+class TestInstructionCounter:
+    def test_add_and_total(self):
+        c = InstructionCounter()
+        c.add("LOP3", 5)
+        c.add("POPC")
+        assert c.total == 6
+        assert c.as_dict()["LOP3"] == 5
+
+    def test_merge_and_scale(self):
+        a = InstructionCounter()
+        a.add("IADD", 2)
+        b = InstructionCounter()
+        b.add("IADD", 3)
+        a.merge(b)
+        assert a.counts["IADD"] == 5
+        assert a.scaled(2.0)["IADD"] == 10.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            InstructionCounter().add("LOP3", -1)
+
+    def test_alu_cycles_weights_half_rate_ops(self):
+        full = alu_cycles({"LOP3": 128.0})
+        half = alu_cycles({"POPC": 128.0})
+        assert half == pytest.approx(2 * full)
+
+    def test_alu_cycles_unknown_op_defaults(self):
+        assert alu_cycles({"XYZ": 128.0}) == pytest.approx(1.0)

@@ -1,0 +1,105 @@
+"""Tests for the GPU spec database and roofline model."""
+
+import pytest
+
+from repro.errors import UnknownSpecError
+from repro.gpu.roofline import (
+    attainable_tflops,
+    ci_decoupled,
+    ci_degradation,
+    ci_gain,
+    ci_gemm,
+    ci_zipserv,
+    roofline_time,
+)
+from repro.gpu.specs import GPUS, get_gpu
+
+
+class TestSpecs:
+    def test_all_paper_gpus_present(self):
+        assert set(GPUS) == {"rtx4090", "l40s", "rtx5090", "a100", "h800"}
+
+    def test_lookup_case_insensitive(self):
+        assert get_gpu("RTX4090").name == "rtx4090"
+
+    def test_unknown(self):
+        with pytest.raises(UnknownSpecError):
+            get_gpu("v100")
+
+    def test_derived_properties(self):
+        g = get_gpu("rtx4090")
+        assert g.tc_flops == pytest.approx(165.2e12)
+        assert g.dram_bytes_per_s == pytest.approx(1008e9)
+        assert g.sm_cycles_per_s == pytest.approx(128 * 2.52e9)
+        assert g.vram_bytes == pytest.approx(24e9)
+
+    def test_datacenter_flags(self):
+        assert get_gpu("a100").is_datacenter
+        assert get_gpu("h800").is_datacenter
+        assert not get_gpu("rtx4090").is_datacenter
+        assert not get_gpu("l40s").is_datacenter
+
+    def test_paper_bandwidth_hierarchy(self):
+        # §7: HBM parts have the bandwidth headroom that blunts ZipGEMM.
+        assert get_gpu("h800").dram_gbps > get_gpu("a100").dram_gbps
+        assert get_gpu("a100").dram_gbps > get_gpu("rtx4090").dram_gbps
+        assert get_gpu("rtx5090").dram_gbps > get_gpu("rtx4090").dram_gbps
+
+    def test_clock_story(self):
+        # §7: "1410 MHz on A100 vs 2520 MHz on RTX4090".
+        assert get_gpu("a100").clock_ghz == pytest.approx(1.41)
+        assert get_gpu("rtx4090").clock_ghz == pytest.approx(2.52)
+
+    def test_ridge_point_positive(self):
+        for spec in GPUS.values():
+            assert spec.ridge_intensity > 10
+
+
+class TestRooflineEquations:
+    def test_ci_gemm_hand_computed(self):
+        # CI = MNK / (MK + KN + MN)
+        assert ci_gemm(4, 4, 4) == pytest.approx(64 / 48)
+
+    def test_ci_degradation_paper_values(self):
+        # §3.3: 62.3 / 62.2 / 62.0 / 61.7 % for N = 8 / 16 / 32 / 64.
+        for n, expected in ((8, 0.623), (16, 0.622), (32, 0.620), (64, 0.617)):
+            assert ci_degradation(4096, 4096, n) == pytest.approx(
+                expected, abs=0.003
+            )
+
+    def test_ci_gain_about_half(self):
+        for n in (8, 16, 32, 64):
+            assert 0.45 < ci_gain(4096, 4096, n) < 0.52
+
+    def test_ordering(self):
+        # decoupled < gemm < zipserv at decode shapes.
+        m = k = 4096
+        for n in (8, 32, 64):
+            assert ci_decoupled(m, k, n) < ci_gemm(m, k, n) < ci_zipserv(m, k, n)
+
+    def test_ci_monotone_in_n(self):
+        values = [ci_gemm(4096, 4096, n) for n in (1, 8, 64, 512)]
+        assert values == sorted(values)
+
+    def test_attainable_clamps_at_peak(self):
+        g = get_gpu("rtx4090")
+        assert attainable_tflops(g, 1e9) == pytest.approx(g.tc_tflops_bf16)
+        low_ci = attainable_tflops(g, 1.0)
+        assert low_ci == pytest.approx(g.dram_gbps / 1000.0, rel=1e-6)
+
+    def test_roofline_time(self):
+        g = get_gpu("rtx4090")
+        mem_bound = roofline_time(g, 1e9, 1e9)
+        assert mem_bound == pytest.approx(1e9 / g.dram_bytes_per_s)
+        compute_bound = roofline_time(g, 1e15, 1.0)
+        assert compute_bound == pytest.approx(1e15 / g.tc_flops)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ci_gemm(0, 4, 4)
+        with pytest.raises(ValueError):
+            ci_zipserv(4, 4, 4, cr=0.0)
+        with pytest.raises(ValueError):
+            attainable_tflops(get_gpu("l40s"), 0.0)
+        with pytest.raises(ValueError):
+            roofline_time(get_gpu("l40s"), -1.0, 1.0)

@@ -1,0 +1,91 @@
+"""Cross-module integration tests: the full offline -> online pipeline."""
+
+import numpy as np
+import pytest
+
+from repro import ZipServ, compress_weights
+from repro.bf16 import bf16_to_f32
+from repro.codecs import get_bf16_codec
+from repro.kernels.functional import dense_gemm_tiled, zipgemm_execute
+from repro.serving.weights import materialize_layer
+from repro.tcatbe import decompress
+from repro.tcatbe.io import load_npz, save_npz
+
+
+class TestOfflineOnlinePipeline:
+    def test_compress_save_load_execute(self, tmp_path, rng):
+        """Offline compressor -> storage -> fused inference, end to end."""
+        w = materialize_layer(96, 128, seed=81)
+        matrix = compress_weights(w)
+
+        path = tmp_path / "layer.npz"
+        save_npz(matrix, path)
+        loaded = load_npz(path)
+
+        x = rng.normal(0, 1, (128, 4)).astype(np.float32)
+        fused = zipgemm_execute(loaded, x)
+        dense = dense_gemm_tiled(w, x)
+        assert np.array_equal(fused, dense)
+
+    def test_compression_ratio_consistency_across_formats(self):
+        """TCA-TBE and the entropy baselines see the same redundancy."""
+        w = materialize_layer(512, 512, seed=82)
+        tcatbe = compress_weights(w)
+        dfloat11 = get_bf16_codec("dfloat11").compress(w)
+        # Entropy coding is slightly tighter than fixed-length TBE (the
+        # price of constant-time decode) but both sit near 11 bits/elem.
+        assert dfloat11.bits_per_element < tcatbe.bits_per_element
+        assert tcatbe.bits_per_element - dfloat11.bits_per_element < 1.0
+
+    def test_lossless_means_identical_inference(self, rng):
+        """The paper's core claim: compressed inference is bit-exact."""
+        w = materialize_layer(64, 64, seed=83)
+        matrix = compress_weights(w)
+        recovered = decompress(matrix)
+        x = rng.normal(0, 1, (64, 3)).astype(np.float32)
+        y_orig = bf16_to_f32(w) @ x
+        y_comp = bf16_to_f32(recovered) @ x
+        assert np.array_equal(y_orig, y_comp)
+
+
+class TestServingScenario:
+    def test_compression_buys_capacity_and_speed(self):
+        """Figure 17's storyline in one scenario."""
+        zs = ZipServ("llama3.1-8b", "rtx4090", backend="zipserv")
+        vl = ZipServ("llama3.1-8b", "rtx4090", backend="vllm")
+
+        # 1. Same hardware, smaller weights, bigger KV.
+        assert zs.memory_plan.weight_gib < vl.memory_plan.weight_gib
+        assert zs.memory_plan.kv_gib > vl.memory_plan.kv_gib
+
+        # 2. A long-context batch that only the compressed deployment fits.
+        batch, ctx = 32, 2176
+        assert zs.fits(batch, ctx)
+        assert not vl.fits(batch, ctx)
+
+        # 3. Faster decode steps on top.
+        z_step = zs.decode_step_breakdown(32, 1024)
+        v_step = vl.decode_step_breakdown(32, 1024)
+        assert z_step.linear_s < v_step.linear_s
+        assert z_step.attention_s == pytest.approx(v_step.attention_s)
+
+    def test_bigger_model_fits_compressed_only(self):
+        """§6.5: deploy larger models on resource-constrained hardware."""
+        from repro.errors import CapacityError
+        from repro.core.api import plan_for
+
+        with pytest.raises(CapacityError):
+            plan_for("mistral-24b", "l40s", "vllm")
+        plan = plan_for("mistral-24b", "l40s", "zipserv")
+        assert plan.kv_gib > 1.0
+
+    def test_throughput_story_all_models(self):
+        """ZipServ wins end-to-end on every single-GPU paper config."""
+        for model, gpu in (("llama3.1-8b", "rtx4090"),):
+            zs = ZipServ(model, gpu, backend="zipserv")
+            vl = ZipServ(model, gpu, backend="vllm")
+            for out_len in (128, 512):
+                z = zs.generate(8, 128, out_len)
+                v = vl.generate(8, 128, out_len)
+                assert z.throughput_tok_s > v.throughput_tok_s
+                assert z.latency_s < v.latency_s

@@ -1,0 +1,87 @@
+"""Exhaustive sanity sweep: every model's layers x every GPU x both kernels.
+
+These tests don't pin exact numbers; they assert the invariants that must
+hold for *any* shape the model zoo can produce — the kind of coverage that
+catches config-table and saturation-model regressions.
+"""
+
+import pytest
+
+from repro.gpu.specs import GPUS, get_gpu
+from repro.kernels.gemm import cublas_gemm
+from repro.kernels.pipeline import zipserv_decoupled
+from repro.kernels.zipgemm import zipgemm
+from repro.serving.models import MODELS, get_model
+from repro.serving.weights import estimate_layer_compression, layer_sigma
+
+ALL_MODELS = sorted(MODELS)
+ALL_GPUS = sorted(GPUS)
+
+
+def _layers(model_name):
+    return get_model(model_name).linear_layers()
+
+
+@pytest.mark.parametrize("model_name", ALL_MODELS)
+@pytest.mark.parametrize("gpu_name", ["rtx4090", "l40s"])
+def test_decode_invariants(model_name, gpu_name):
+    """Decode-shape invariants over the full zoo on the Ada GPUs."""
+    gpu = get_gpu(gpu_name)
+    for layer in _layers(model_name):
+        comp = estimate_layer_compression(
+            layer.m, layer.k, layer_sigma(layer.kind, layer.m, layer.k),
+            "tcatbe",
+        )
+        cb = cublas_gemm(gpu, layer.m, layer.k, 32)
+        zg = zipgemm(gpu, layer.m, layer.k, 32, comp)
+
+        # Times are positive and finite.
+        assert 0 < cb.time_s < 1.0
+        assert 0 < zg.time_s < 1.0
+
+        # The fused kernel always reads fewer weight bytes.
+        assert zg.traffic.dram_read < cb.traffic.dram_read
+
+        # The speedup stays in a physical band: never better than the
+        # compression ratio x efficiency headroom, never catastrophic.
+        speedup = zg.speedup_over(cb)
+        assert 0.5 < speedup < comp.ratio * 1.15, (
+            f"{model_name}/{layer.name} on {gpu_name}: {speedup:.2f}"
+        )
+
+        # FLOPs identical — same mathematical operation.
+        assert zg.flops == cb.flops
+
+
+@pytest.mark.parametrize("gpu_name", ALL_GPUS)
+def test_every_gpu_profiles_cleanly(gpu_name):
+    """All five paper GPUs run the representative shapes."""
+    gpu = get_gpu(gpu_name)
+    for m, k in ((28672, 4096), (4096, 14336), (152064, 8192)):
+        cb = cublas_gemm(gpu, m, k, 32)
+        zg = zipgemm(gpu, m, k, 32)
+        assert cb.time_s > 0 and zg.time_s > 0
+        decoupled = zipserv_decoupled(gpu, m, k, 32)
+        assert decoupled.time_s > zg.time_s  # fused beats decoupled at decode
+
+
+@pytest.mark.parametrize("model_name", ALL_MODELS)
+def test_compression_estimates_whole_zoo(model_name):
+    """Every layer of every model lands in the paper's ratio band."""
+    for layer in _layers(model_name):
+        comp = estimate_layer_compression(
+            layer.m, layer.k, layer_sigma(layer.kind, layer.m, layer.k),
+            "tcatbe",
+        )
+        assert 1.35 < comp.ratio < 1.48, f"{model_name}/{layer.name}"
+        assert comp.coverage > 0.93
+
+
+@pytest.mark.parametrize("n", [1, 7, 16, 33, 100, 129, 1000, 8192])
+def test_n_continuity(n):
+    """Kernel times vary smoothly (no pathological cliffs) across N."""
+    gpu = get_gpu("rtx4090")
+    t = zipgemm(gpu, 28672, 4096, n).time_s
+    t_next = zipgemm(gpu, 28672, 4096, n + 1).time_s
+    assert t_next < t * 1.6  # one extra column never doubles the time
+    assert t_next >= t * 0.75

@@ -1,0 +1,259 @@
+"""Tests for the analytical kernel cost models."""
+
+import pytest
+
+from repro.analysis.calibration import decode_cycles_per_element
+from repro.errors import ConfigError, UnknownSpecError
+from repro.gpu.specs import get_gpu
+from repro.kernels import (
+    KernelProfile,
+    WeightCompression,
+    baseline_decompress,
+    cublas_gemm,
+    decoupled_pipeline,
+    fused_wins,
+    marlin_w8a16_gemm,
+    stage_aware_linear,
+    zipgemm,
+    zipserv_decompress,
+)
+from repro.kernels.base import default_compression, saturation_fraction
+from repro.kernels.zipgemm import zip_splitk_heuristic
+
+G4090 = get_gpu("rtx4090")
+L40S = get_gpu("l40s")
+GATEUP = (28672, 4096)  # LLaMA3.1-8B merged gate+up
+
+
+class TestCalibration:
+    def test_decode_cycles_band(self):
+        cycles = decode_cycles_per_element()
+        assert 0.15 < cycles < 0.40
+
+    def test_cached(self):
+        assert decode_cycles_per_element() is not None
+        assert decode_cycles_per_element() == decode_cycles_per_element()
+
+    def test_default_compression_ratios(self):
+        assert 1.35 < default_compression("tcatbe").ratio < 1.48
+        assert 1.40 < default_compression("dfloat11").ratio < 1.58
+        assert default_compression("dense").ratio == 1.0
+
+
+class TestWeightCompression:
+    def test_fraction(self):
+        comp = WeightCompression(scheme="x", ratio=2.0)
+        assert comp.compressed_fraction == 0.5
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ConfigError):
+            WeightCompression(scheme="x", ratio=0.5)
+
+    def test_saturation(self):
+        assert saturation_fraction(G4090, 10_000, 0.75) == 1.0
+        assert saturation_fraction(G4090, 48, 0.75) == pytest.approx(0.5)
+        with pytest.raises(ConfigError):
+            saturation_fraction(G4090, 0, 0.75)
+
+
+class TestCublasGemm:
+    def test_decode_shape_memory_bound(self):
+        profile = cublas_gemm(G4090, *GATEUP, 32)
+        assert profile.details["mem_time_s"] > profile.details["tc_time_s"]
+        # ~235 MB of weights at ~0.86 of 1008 GB/s -> ~270 us.
+        assert 0.2e-3 < profile.time_s < 0.35e-3
+
+    def test_prefill_shape_compute_bound(self):
+        profile = cublas_gemm(G4090, *GATEUP, 8192)
+        assert profile.details["tc_time_s"] > profile.details["mem_time_s"]
+
+    def test_monotone_in_n(self):
+        times = [cublas_gemm(G4090, *GATEUP, n).time_s
+                 for n in (32, 256, 2048, 8192)]
+        assert times == sorted(times)
+
+    def test_scales_with_weight_bytes(self):
+        t1 = cublas_gemm(G4090, 4096, 4096, 32).time_s
+        t2 = cublas_gemm(G4090, 16384, 4096, 32).time_s
+        assert 2.5 < t2 / t1 < 4.5
+
+    def test_achieved_bandwidth_below_peak(self):
+        profile = cublas_gemm(G4090, *GATEUP, 32)
+        assert profile.achieved_gbps < G4090.dram_gbps
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            cublas_gemm(G4090, 0, 4096, 32)
+
+
+class TestZipGemm:
+    def test_decode_speedup_band_ada(self):
+        for gpu in (G4090, L40S):
+            cb = cublas_gemm(gpu, *GATEUP, 32)
+            zg = zipgemm(gpu, *GATEUP, 32)
+            assert 1.25 < zg.speedup_over(cb) < 1.50  # paper avg 1.31-1.36
+
+    def test_alu_hidden_at_decode_on_ada(self):
+        zg = zipgemm(G4090, *GATEUP, 32)
+        assert zg.details["alu_time_s"] < zg.details["mem_time_s"]
+
+    def test_a100_near_parity(self):
+        a100 = get_gpu("a100")
+        cb = cublas_gemm(a100, *GATEUP, 32)
+        zg = zipgemm(a100, *GATEUP, 32)
+        assert 0.85 < zg.speedup_over(cb) < 1.1  # §7: may not match cuBLAS
+
+    def test_h800_loses(self):
+        h800 = get_gpu("h800")
+        cb = cublas_gemm(h800, *GATEUP, 32)
+        zg = zipgemm(h800, *GATEUP, 32)
+        assert zg.speedup_over(cb) < 1.0
+
+    def test_small_layer_slowdown(self):
+        # O_proj of LLaMA3.1-8B on L40S: paper reports 0.79x.
+        cb = cublas_gemm(L40S, 4096, 4096, 32)
+        zg = zipgemm(L40S, 4096, 4096, 32)
+        assert 0.65 < zg.speedup_over(cb) < 1.0
+
+    def test_loses_at_prefill_n(self):
+        cb = cublas_gemm(G4090, *GATEUP, 8192)
+        zg = zipgemm(G4090, *GATEUP, 8192)
+        assert zg.time_s > cb.time_s
+
+    def test_reads_compressed_bytes(self):
+        zg = zipgemm(G4090, *GATEUP, 32)
+        cb = cublas_gemm(G4090, *GATEUP, 32)
+        reduction = 1 - zg.traffic.dram_read / cb.traffic.dram_read
+        assert 0.25 < reduction < 0.33  # paper: 29.3% fewer DRAM reads
+
+    def test_splitk_heuristic(self):
+        assert zip_splitk_heuristic(4096, 4096) == 1
+        assert zip_splitk_heuristic(4096, 14336) == 3
+        assert zip_splitk_heuristic(4096, 65536) == 8
+
+    def test_custom_compression(self):
+        strong = zipgemm(G4090, *GATEUP, 32,
+                         WeightCompression("tcatbe", ratio=2.0))
+        weak = zipgemm(G4090, *GATEUP, 32,
+                       WeightCompression("tcatbe", ratio=1.01))
+        assert strong.time_s < weak.time_s
+
+
+class TestDecompressKernels:
+    def test_zipserv_fastest(self):
+        zd = zipserv_decompress(L40S, *GATEUP)
+        for codec in ("dietgpu", "nvcomp", "dfloat11"):
+            bd = baseline_decompress(L40S, *GATEUP, codec)
+            assert bd.time_s > zd.time_s
+
+    def test_paper_ordering(self):
+        # DietGPU slowest, DFloat11 closest to ZipServ (Figure 13).
+        times = {
+            codec: baseline_decompress(L40S, *GATEUP, codec).time_s
+            for codec in ("dietgpu", "nvcomp", "dfloat11")
+        }
+        assert times["dietgpu"] > times["dfloat11"]
+        assert times["nvcomp"] > times["dfloat11"]
+
+    def test_speedup_bands(self):
+        zd = zipserv_decompress(L40S, *GATEUP)
+        ratios = {
+            codec: baseline_decompress(L40S, *GATEUP, codec).time_s / zd.time_s
+            for codec in ("dietgpu", "nvcomp", "dfloat11")
+        }
+        assert 1.7 < ratios["dietgpu"] < 2.5   # paper 2.14
+        assert 1.5 < ratios["nvcomp"] < 2.3    # paper 1.83
+        assert 1.02 < ratios["dfloat11"] < 1.3  # paper 1.10
+
+    def test_nvcomp_two_passes(self):
+        bd = baseline_decompress(L40S, *GATEUP, "nvcomp")
+        assert "pass1_s" in bd.details and "pass2_s" in bd.details
+
+    def test_unknown_codec(self):
+        with pytest.raises(UnknownSpecError):
+            baseline_decompress(L40S, 64, 64, "zstd")
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            zipserv_decompress(L40S, 0, 64)
+
+
+class TestPipelines:
+    def test_decoupled_is_sum(self):
+        pipe = decoupled_pipeline(L40S, *GATEUP, 32, "dfloat11")
+        assert pipe.time_s == pytest.approx(
+            pipe.details["decomp_time_s"] + pipe.details["gemm_time_s"]
+        )
+
+    def test_decoupled_slower_than_cublas(self):
+        cb = cublas_gemm(L40S, *GATEUP, 32)
+        for codec in ("dietgpu", "nvcomp", "dfloat11"):
+            pipe = decoupled_pipeline(L40S, *GATEUP, 32, codec)
+            ratio = cb.time_s / pipe.time_s
+            assert ratio < 0.5  # paper: 0.17-0.34
+
+    def test_stage_aware_decode_is_fused(self):
+        profile = stage_aware_linear(G4090, *GATEUP, 32)
+        assert profile.details["path"] == "fused"
+
+    def test_stage_aware_prefill_is_decoupled(self):
+        profile = stage_aware_linear(G4090, *GATEUP, 8192)
+        assert profile.details["path"] == "decoupled"
+
+    def test_prefill_overhead_small(self):
+        cb = cublas_gemm(G4090, *GATEUP, 8192)
+        sa = stage_aware_linear(G4090, *GATEUP, 8192)
+        overhead = sa.time_s / cb.time_s - 1.0
+        assert overhead < 0.06  # paper: ~4% at N=8192
+        cb16 = cublas_gemm(G4090, *GATEUP, 16384)
+        sa16 = stage_aware_linear(G4090, *GATEUP, 16384)
+        assert sa16.time_s / cb16.time_s - 1.0 < 0.04  # paper: ~2%
+
+    def test_fused_wins_predicate(self):
+        assert fused_wins(G4090, *GATEUP, 32)
+        assert not fused_wins(G4090, *GATEUP, 8192)
+
+    def test_forced_modes(self):
+        fused = stage_aware_linear(G4090, *GATEUP, 8192, mode="fused")
+        assert fused.details["path"] == "fused"
+        dec = stage_aware_linear(G4090, *GATEUP, 32, mode="decoupled")
+        assert dec.details["path"] == "decoupled"
+        with pytest.raises(ConfigError):
+            stage_aware_linear(G4090, *GATEUP, 32, mode="magic")
+
+
+class TestMarlin:
+    def test_faster_than_zipgemm(self):
+        ml = marlin_w8a16_gemm(G4090, *GATEUP, 32)
+        zg = zipgemm(G4090, *GATEUP, 32)
+        assert ml.time_s < zg.time_s
+
+    def test_gap_tracks_bitwidth(self):
+        # §7: the 1.36x gap matches the ~11.3-vs-8-bit width ratio.
+        ml = marlin_w8a16_gemm(G4090, *GATEUP, 32)
+        zg = zipgemm(G4090, *GATEUP, 32)
+        gap = zg.time_s / ml.time_s
+        assert 1.25 < gap < 1.55
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            marlin_w8a16_gemm(G4090, -1, 4096, 32)
+
+
+class TestKernelProfile:
+    def test_combine(self):
+        a = cublas_gemm(G4090, 4096, 4096, 32)
+        b = cublas_gemm(G4090, 4096, 4096, 32)
+        combined = KernelProfile.combine("pair", [a, b])
+        assert combined.time_s == pytest.approx(2 * a.time_s)
+        assert combined.flops == pytest.approx(2 * a.flops)
+
+    def test_speedup_over(self):
+        a = cublas_gemm(G4090, 4096, 4096, 32)
+        assert a.speedup_over(a) == pytest.approx(1.0)
+
+    def test_negative_time_rejected(self):
+        from repro.gpu.memory import TrafficRecord
+
+        with pytest.raises(ConfigError):
+            KernelProfile("x", -1.0, TrafficRecord())

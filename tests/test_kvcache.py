@@ -1,0 +1,141 @@
+"""Tests for the paged KV-cache block allocator."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import CapacityError, SchedulingError
+from repro.serving.kvcache import KVCacheSpec, PagedKVCache
+from repro.serving.models import get_model
+
+
+def make_cache(n_blocks: int = 64) -> PagedKVCache:
+    spec = KVCacheSpec(n_layers=2, kv_heads=2, head_dim=8, block_size=16)
+    return PagedKVCache(spec, capacity_bytes=n_blocks * spec.bytes_per_block)
+
+
+class TestSpec:
+    def test_bytes_per_token(self):
+        spec = KVCacheSpec(n_layers=32, kv_heads=8, head_dim=128)
+        # 2 x 32 x 8 x 128 x 2 = 131072 (LLaMA-8B, §6.5).
+        assert spec.bytes_per_token == 131072
+
+    def test_for_model_tp_splits_heads(self):
+        model = get_model("llama3.1-70b")
+        spec = KVCacheSpec.for_model(model, tensor_parallel=4)
+        assert spec.kv_heads == 2
+
+    def test_for_model_pp_splits_layers(self):
+        model = get_model("llama3.1-70b")
+        spec = KVCacheSpec.for_model(model, pipeline_parallel=4)
+        assert spec.n_layers == 20
+
+    def test_block_bytes(self):
+        spec = KVCacheSpec(n_layers=1, kv_heads=1, head_dim=4, block_size=16)
+        assert spec.bytes_per_block == 16 * spec.bytes_per_token
+
+
+class TestAllocation:
+    def test_lifecycle(self):
+        kv = make_cache()
+        kv.allocate(1, 20)  # 2 blocks
+        assert kv.sequence_length(1) == 20
+        assert kv.used_blocks == 2
+        kv.append_token(1)
+        assert kv.sequence_length(1) == 21
+        assert kv.used_blocks == 2  # fits in slack
+        kv.append_token(1, 12)
+        assert kv.used_blocks == 3
+        freed = kv.free(1)
+        assert freed == 3
+        assert kv.used_blocks == 0
+
+    def test_block_table(self):
+        kv = make_cache()
+        kv.allocate(5, 33)
+        assert len(kv.block_table(5)) == 3
+
+    def test_capacity_exhaustion(self):
+        kv = make_cache(n_blocks=4)
+        kv.allocate(1, 16 * 4)
+        with pytest.raises(CapacityError):
+            kv.append_token(1)
+
+    def test_can_allocate(self):
+        kv = make_cache(n_blocks=4)
+        assert kv.can_allocate(None, 64)
+        assert not kv.can_allocate(None, 65)
+
+    def test_blocks_needed(self):
+        kv = make_cache()
+        kv.allocate(1, 16)
+        assert kv.blocks_needed(1, 1) == 1
+        assert kv.blocks_needed(1, 16) == 1
+        assert kv.blocks_needed(1, 17) == 2
+
+    def test_double_allocate_rejected(self):
+        kv = make_cache()
+        kv.allocate(1, 4)
+        with pytest.raises(SchedulingError):
+            kv.allocate(1, 4)
+
+    def test_unknown_sequence_rejected(self):
+        kv = make_cache()
+        with pytest.raises(SchedulingError):
+            kv.append_token(9)
+        with pytest.raises(SchedulingError):
+            kv.free(9)
+        with pytest.raises(SchedulingError):
+            kv.sequence_length(9)
+
+    def test_zero_token_alloc_rejected(self):
+        kv = make_cache()
+        with pytest.raises(SchedulingError):
+            kv.allocate(1, 0)
+
+    def test_too_small_capacity(self):
+        spec = KVCacheSpec(n_layers=2, kv_heads=2, head_dim=8)
+        with pytest.raises(CapacityError):
+            PagedKVCache(spec, capacity_bytes=10)
+
+    def test_utilization(self):
+        kv = make_cache(n_blocks=10)
+        kv.allocate(1, 16 * 5)
+        assert kv.utilization == pytest.approx(0.5)
+
+    def test_blocks_reused_after_free(self):
+        kv = make_cache(n_blocks=4)
+        kv.allocate(1, 64)
+        kv.free(1)
+        kv.allocate(2, 64)
+        assert kv.used_blocks == 4
+
+
+class TestPropertyBased:
+    @given(st.lists(
+        st.tuples(st.sampled_from(["alloc", "append", "free"]),
+                  st.integers(0, 5), st.integers(1, 40)),
+        max_size=60,
+    ))
+    def test_accounting_invariant(self, ops):
+        kv = make_cache(n_blocks=32)
+        live: dict[int, int] = {}
+        for op, seq, n in ops:
+            try:
+                if op == "alloc" and seq not in live:
+                    kv.allocate(seq, n)
+                    live[seq] = n
+                elif op == "append" and seq in live:
+                    kv.append_token(seq, n)
+                    live[seq] += n
+                elif op == "free" and seq in live:
+                    kv.free(seq)
+                    del live[seq]
+            except CapacityError:
+                continue
+            # Invariant: free + used == total; per-seq lengths tracked.
+            assert kv.free_blocks + kv.used_blocks == kv.n_blocks
+            for s, tokens in live.items():
+                assert kv.sequence_length(s) == tokens
+        expected_used = sum(-(-t // 16) for t in live.values())
+        assert kv.used_blocks == expected_used

@@ -1,0 +1,82 @@
+"""Tests for the model zoo (shapes, parameter counts, KV geometry)."""
+
+import pytest
+
+from repro.errors import UnknownSpecError
+from repro.serving.models import MODELS, get_model
+
+
+class TestRegistry:
+    def test_eleven_models_four_families(self):
+        assert len(MODELS) == 11
+        families = {m.family for m in MODELS.values()}
+        assert families == {"llama3.1", "qwen2.5", "gemma3", "mistral"}
+
+    def test_lookup(self):
+        assert get_model("LLaMA3.1-8B").name == "llama3.1-8b"
+        with pytest.raises(UnknownSpecError):
+            get_model("gpt-4")
+
+
+class TestParameterCounts:
+    @pytest.mark.parametrize("name", list(MODELS))
+    def test_within_nominal(self, name):
+        model = get_model(name)
+        count = model.param_count() / 1e9
+        assert count == pytest.approx(model.nominal_params_b, rel=0.08), name
+
+    def test_llama8b_exact_structure(self):
+        m = get_model("llama3.1-8b")
+        # Paper §6.5: 14.96 GiB of BF16 weights.
+        assert m.weight_bytes_bf16 / 2**30 == pytest.approx(14.96, abs=0.02)
+
+    def test_llama70b_footprint(self):
+        m = get_model("llama3.1-70b")
+        assert m.weight_bytes_bf16 / 2**30 == pytest.approx(131.56, rel=0.005)
+
+    def test_mistral24b_footprint(self):
+        m = get_model("mistral-24b")
+        assert m.weight_bytes_bf16 / 2**30 == pytest.approx(43.92, rel=0.005)
+
+    def test_tied_embeddings_counted_once(self):
+        gemma = get_model("gemma3-12b")
+        untied_equivalent = gemma.param_count() + gemma.embedding_params
+        assert untied_equivalent > gemma.param_count()
+
+
+class TestLayerShapes:
+    def test_five_linear_layers(self):
+        layers = get_model("llama3.1-8b").linear_layers()
+        assert [l.kind for l in layers] == [
+            "qkv_proj", "o_proj", "gateup_proj", "down_proj", "lm_head"
+        ]
+
+    def test_llama8b_shapes(self):
+        layers = {l.kind: l for l in get_model("llama3.1-8b").linear_layers()}
+        assert (layers["qkv_proj"].m, layers["qkv_proj"].k) == (6144, 4096)
+        assert (layers["gateup_proj"].m, layers["gateup_proj"].k) == (
+            28672, 4096
+        )
+        assert (layers["down_proj"].m, layers["down_proj"].k) == (4096, 14336)
+        assert (layers["lm_head"].m, layers["lm_head"].k) == (128256, 4096)
+        assert layers["qkv_proj"].count == 32
+        assert layers["lm_head"].count == 1
+
+    def test_gemma_q_dim_differs_from_hidden(self):
+        m = get_model("gemma3-12b")
+        assert m.q_dim == 4096 and m.hidden == 3840
+
+    def test_layer_bytes(self):
+        layer = get_model("llama3.1-8b").linear_layers()[0]
+        assert layer.bytes_bf16 == 2 * layer.m * layer.k * layer.count
+
+
+class TestKvGeometry:
+    def test_llama8b_kv_bytes_per_token(self):
+        # 2 (K,V) x 32 layers x 8 heads x 128 dim x 2 B = 128 KiB/token.
+        assert get_model("llama3.1-8b").kv_bytes_per_token == 131072
+
+    def test_gqa_reduces_kv(self):
+        m = get_model("llama3.1-70b")
+        full = 2 * 2 * m.n_layers * m.n_heads * m.head_dim
+        assert m.kv_bytes_per_token < full

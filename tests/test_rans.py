@@ -1,0 +1,104 @@
+"""Tests for the interleaved rANS codec (DietGPU-style)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.codecs.rans import PROB_SCALE, RansCodec, normalize_freqs
+from repro.errors import CodecError
+
+
+def skewed_bytes(n: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return (rng.geometric(0.5, size=n).clip(1, 30) + 110).astype(np.uint8)
+
+
+class TestNormalize:
+    def test_sums_to_scale(self, rng):
+        freqs = rng.integers(0, 1000, 256)
+        scaled = normalize_freqs(freqs)
+        assert scaled.sum() == PROB_SCALE
+
+    def test_present_symbols_nonzero(self, rng):
+        freqs = rng.integers(0, 3, 256)
+        scaled = normalize_freqs(freqs)
+        assert np.all((scaled > 0) == (freqs > 0))
+
+    def test_empty(self):
+        assert normalize_freqs(np.zeros(256, dtype=np.int64)).sum() == 0
+
+    def test_extreme_skew(self):
+        freqs = np.zeros(256, dtype=np.int64)
+        freqs[0] = 10**9
+        freqs[1] = 1
+        scaled = normalize_freqs(freqs)
+        assert scaled.sum() == PROB_SCALE
+        assert scaled[1] >= 1
+
+    def test_bad_shape(self):
+        with pytest.raises(CodecError):
+            normalize_freqs(np.zeros(10, dtype=np.int64))
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("n", [0, 1, 31, 32, 33, 1000, 16_384, 50_000])
+    def test_sizes(self, n):
+        data = skewed_bytes(n, seed=n)
+        codec = RansCodec()
+        assert np.array_equal(codec.decode(codec.encode(data)), data)
+
+    def test_uniform(self, rng):
+        data = rng.integers(0, 256, 8192).astype(np.uint8)
+        codec = RansCodec()
+        assert np.array_equal(codec.decode(codec.encode(data)), data)
+
+    def test_single_distinct_symbol(self):
+        data = np.full(5000, 200, dtype=np.uint8)
+        codec = RansCodec()
+        stream = codec.encode(data)
+        assert np.array_equal(codec.decode(stream), data)
+        # Entropy ~0: payload should be tiny.
+        assert stream.payload.nbytes < 200
+
+    def test_fixed_stream_count(self):
+        codec = RansCodec(num_streams=32)
+        data = skewed_bytes(10_000, seed=2)
+        stream = codec.encode(data)
+        assert stream.meta["num_streams"] == 32
+        assert np.array_equal(codec.decode(stream), data)
+
+    def test_more_streams_than_symbols(self):
+        codec = RansCodec(num_streams=64)
+        data = skewed_bytes(10, seed=3)
+        assert np.array_equal(codec.decode(codec.encode(data)), data)
+
+    def test_near_entropy_on_skewed(self):
+        data = skewed_bytes(100_000, seed=7)
+        stream = RansCodec().encode(data)
+        counts = np.bincount(data, minlength=256)
+        p = counts[counts > 0] / data.size
+        entropy_bytes = float(-(p * np.log2(p)).sum()) * data.size / 8.0
+        assert stream.payload.nbytes <= entropy_bytes * 1.10 + 4 * \
+            stream.meta["num_streams"]
+
+    def test_corrupt_payload_detected(self):
+        codec = RansCodec(num_streams=32)
+        data = skewed_bytes(20_000, seed=8)
+        stream = codec.encode(data)
+        stream.payload[: stream.payload.nbytes // 2] = 0
+        try:
+            decoded = codec.decode(stream)
+        except CodecError:
+            return
+        assert not np.array_equal(decoded, data)
+
+    def test_non_u8_rejected(self):
+        with pytest.raises(CodecError):
+            RansCodec().encode(np.zeros(4, dtype=np.float32))
+
+    @given(st.binary(min_size=0, max_size=2000))
+    def test_roundtrip_property(self, raw):
+        data = np.frombuffer(raw, dtype=np.uint8).copy()
+        codec = RansCodec(num_streams=32)
+        assert np.array_equal(codec.decode(codec.encode(data)), data)

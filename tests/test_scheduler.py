@@ -1,0 +1,149 @@
+"""Tests for static-batch and continuous-batching schedulers."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.serving.kvcache import KVCacheSpec, PagedKVCache
+from repro.serving.scheduler import (
+    ContinuousBatchScheduler,
+    Request,
+    RequestState,
+    SchedulerLimits,
+    StaticBatchScheduler,
+)
+
+
+def make_kv(n_blocks: int = 256) -> PagedKVCache:
+    spec = KVCacheSpec(n_layers=1, kv_heads=1, head_dim=8, block_size=16)
+    return PagedKVCache(spec, capacity_bytes=n_blocks * spec.bytes_per_block)
+
+
+def reqs(n: int, prompt: int = 16, out: int = 8) -> list[Request]:
+    return [Request(i, prompt, out) for i in range(n)]
+
+
+class TestRequest:
+    def test_context_len(self):
+        r = Request(0, 10, 5)
+        assert r.context_len == 10
+        r.generated = 3
+        assert r.context_len == 13
+        assert not r.done
+        r.generated = 5
+        assert r.done
+
+    def test_validation(self):
+        with pytest.raises(SchedulingError):
+            Request(0, 0, 5)
+        with pytest.raises(SchedulingError):
+            Request(0, 5, 0)
+
+
+class TestStaticBatch:
+    def test_full_run(self):
+        kv = make_kv()
+        sched = StaticBatchScheduler(reqs(4, out=3), kv)
+        sched.prefill()
+        steps = 0
+        while not sched.finished:
+            active = sched.step()
+            steps += 1
+            assert len(active) == 4 if steps <= 3 else 0
+        assert steps == 3
+        assert kv.used_blocks == 0  # everything freed on completion
+
+    def test_prefill_allocates(self):
+        kv = make_kv()
+        sched = StaticBatchScheduler(reqs(2, prompt=32), kv)
+        sched.prefill()
+        assert kv.used_blocks == 4
+
+    def test_double_prefill_rejected(self):
+        sched = StaticBatchScheduler(reqs(1), make_kv())
+        sched.prefill()
+        with pytest.raises(SchedulingError):
+            sched.prefill()
+
+    def test_step_before_prefill_rejected(self):
+        sched = StaticBatchScheduler(reqs(1), make_kv())
+        with pytest.raises(SchedulingError):
+            sched.step()
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(SchedulingError):
+            StaticBatchScheduler([], make_kv())
+
+
+class TestContinuous:
+    def test_admit_all_when_capacity(self):
+        sched = ContinuousBatchScheduler(make_kv())
+        for r in reqs(3):
+            sched.submit(r)
+        admitted = sched.admit()
+        assert len(admitted) == 3
+        assert all(r.state is RequestState.RUNNING for r in admitted)
+
+    def test_fcfs_no_skips(self):
+        kv = make_kv(n_blocks=3)
+        sched = ContinuousBatchScheduler(kv)
+        sched.submit(Request(0, 32, 4))   # needs 2 blocks + headroom
+        sched.submit(Request(1, 16, 4))
+        admitted = sched.admit()
+        # Request 0 takes 2 blocks; request 1 would need 1 + headroom -> the
+        # head blocks and nothing behind it may jump the queue.
+        assert [r.request_id for r in admitted] == [0]
+        assert len(sched.waiting) == 1
+
+    def test_max_num_seqs(self):
+        sched = ContinuousBatchScheduler(
+            make_kv(), SchedulerLimits(max_num_seqs=2)
+        )
+        for r in reqs(5):
+            sched.submit(r)
+        assert len(sched.admit()) == 2
+
+    def test_token_budget(self):
+        sched = ContinuousBatchScheduler(
+            make_kv(), SchedulerLimits(max_batched_tokens=40)
+        )
+        for r in reqs(5, prompt=16):
+            sched.submit(r)
+        assert len(sched.admit()) == 2  # 16 + 16 <= 40 < 48
+
+    def test_step_finishes_and_frees(self):
+        kv = make_kv()
+        sched = ContinuousBatchScheduler(kv)
+        sched.submit(Request(0, 16, 2))
+        sched.admit()
+        sched.step()
+        assert sched.running and not sched.finished
+        sched.step()
+        assert not sched.running
+        assert len(sched.finished) == 1
+        assert kv.used_blocks == 0
+
+    def test_admission_resumes_after_free(self):
+        kv = make_kv(n_blocks=3)
+        sched = ContinuousBatchScheduler(kv)
+        sched.submit(Request(0, 32, 1))
+        sched.submit(Request(1, 32, 1))
+        assert len(sched.admit()) == 1
+        sched.step()  # request 0 finishes, blocks return
+        assert len(sched.admit()) == 1
+
+    def test_has_work(self):
+        sched = ContinuousBatchScheduler(make_kv())
+        assert not sched.has_work
+        sched.submit(Request(0, 4, 1))
+        assert sched.has_work
+        sched.admit()
+        sched.step()
+        assert not sched.has_work
+
+    def test_resubmit_running_rejected(self):
+        sched = ContinuousBatchScheduler(make_kv())
+        r = Request(0, 4, 2)
+        sched.submit(r)
+        sched.admit()
+        with pytest.raises(SchedulingError):
+            sched.submit(r)

@@ -1,0 +1,128 @@
+"""Tests for exponent-window selection and the codeword analysis (§3.1/§4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.bf16 import gaussian_bf16_sample
+from repro.errors import ShapeError
+from repro.tcatbe.analysis import (
+    average_bits,
+    expected_bits_for_codeword,
+    exponent_entropy,
+    exponent_histogram,
+    select_window,
+    theoretical_ratio,
+    top_k_contiguous,
+    window_coverage,
+)
+
+
+def hist_with(values: dict[int, int]) -> np.ndarray:
+    h = np.zeros(256, dtype=np.int64)
+    for e, c in values.items():
+        h[e] = c
+    return h
+
+
+class TestSelectWindow:
+    def test_obvious_window(self):
+        h = hist_with({120: 10, 121: 50, 122: 100, 123: 50, 124: 10})
+        w = select_window(h, size=3)
+        assert (w.start, w.stop) == (121, 124)
+        assert w.base_exp == 120
+        assert w.coverage == pytest.approx(200 / 220)
+
+    def test_window_size_7_default(self):
+        h = hist_with({e: 1 for e in range(110, 130)})
+        w = select_window(h)
+        assert w.size == 7
+        assert w.coverage == pytest.approx(7 / 20)
+
+    def test_exponent_zero_excluded(self):
+        # Mass at exponent 0 cannot be encoded (base_exp would be -1).
+        h = hist_with({0: 1000, 1: 1, 8: 1})
+        w = select_window(h, size=3)
+        assert w.start >= 1
+
+    def test_empty_histogram(self):
+        w = select_window(np.zeros(256, dtype=np.int64))
+        assert w.coverage == 0.0
+
+    def test_top_edge(self):
+        h = hist_with({250: 5, 251: 5, 252: 5, 253: 5, 254: 5, 255: 5})
+        w = select_window(h, size=7)
+        assert w.stop <= 256
+
+    def test_bad_inputs(self):
+        with pytest.raises(ShapeError):
+            select_window(np.zeros(10, dtype=np.int64))
+        with pytest.raises(ValueError):
+            select_window(np.zeros(256, dtype=np.int64), size=0)
+
+    def test_window_coverage_helper(self):
+        h = hist_with({100: 10, 101: 30})
+        w = select_window(h, size=2)
+        assert window_coverage(h, w) == pytest.approx(1.0)
+
+
+class TestHistogram:
+    def test_counts(self):
+        bits = np.array([120 << 7, 120 << 7, 121 << 7], dtype=np.uint16)
+        h = exponent_histogram(bits)
+        assert h[120] == 2 and h[121] == 1 and h.sum() == 3
+
+    def test_rejects_non_u16(self):
+        with pytest.raises(ShapeError):
+            exponent_histogram(np.zeros(4, dtype=np.float32))
+
+    def test_gaussian_skew(self):
+        h = exponent_histogram(gaussian_bf16_sample(100_000, 0.02, seed=1))
+        w = select_window(h)
+        # §3.1: a 7-window covers ~97% of Gaussian LLM weights.
+        assert w.coverage > 0.95
+
+
+class TestContiguity:
+    def test_contiguous(self):
+        assert top_k_contiguous(hist_with({5: 9, 6: 8, 7: 7, 8: 1}), 3)
+
+    def test_not_contiguous(self):
+        assert not top_k_contiguous(hist_with({5: 9, 7: 8, 9: 7}), 3)
+
+    def test_fewer_symbols_than_k(self):
+        assert top_k_contiguous(hist_with({5: 9, 6: 1}), 7)
+
+    def test_empty(self):
+        assert top_k_contiguous(np.zeros(256, dtype=np.int64), 7)
+
+
+class TestEntropyAndBits:
+    def test_entropy_uniform(self):
+        h = np.ones(256, dtype=np.int64)
+        assert exponent_entropy(h) == pytest.approx(8.0)
+
+    def test_entropy_constant(self):
+        assert exponent_entropy(hist_with({7: 99})) == 0.0
+
+    def test_theoretical_ratio(self):
+        # The paper: H ~ 2.6 bits -> ratio ~ 1.51 (= 16 / 10.6).
+        assert theoretical_ratio(2.6) == pytest.approx(16 / 10.6, rel=1e-3)
+
+    def test_average_bits_formula(self):
+        # AverageBits(n) = r(n+8) + (1-r)(n+16)
+        assert average_bits(3, 1.0) == pytest.approx(11.0)
+        assert average_bits(3, 0.0) == pytest.approx(19.0)
+        assert average_bits(3, 0.96) == pytest.approx(11.32)
+
+    def test_average_bits_validation(self):
+        with pytest.raises(ValueError):
+            average_bits(0, 0.5)
+        with pytest.raises(ValueError):
+            average_bits(3, 1.5)
+
+    def test_three_bit_beats_neighbours_on_gaussian(self):
+        h = exponent_histogram(gaussian_bf16_sample(200_000, 0.015, seed=2))
+        bits = {n: expected_bits_for_codeword(h, n) for n in (2, 3, 4)}
+        assert bits[3] < bits[2]
+        assert bits[3] < bits[4]
+        assert 10.8 < bits[3] < 11.8  # paper: ~11.3

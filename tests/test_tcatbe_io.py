@@ -1,0 +1,77 @@
+"""Tests for TCA-TBE serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bf16 import gaussian_bf16_matrix
+from repro.errors import FormatError
+from repro.tcatbe import compress, decompress
+from repro.tcatbe.io import load_npz, save_npz
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        w = gaussian_bf16_matrix(100, 70, sigma=0.02, seed=41)
+        matrix = compress(w)
+        path = tmp_path / "layer.npz"
+        save_npz(matrix, path)
+        loaded = load_npz(path)
+        assert loaded.shape == matrix.shape
+        assert loaded.base_exp == matrix.base_exp
+        assert np.array_equal(decompress(loaded), w)
+
+    def test_size_on_disk_tracks_compression(self, tmp_path):
+        w = gaussian_bf16_matrix(256, 256, sigma=0.02, seed=42)
+        matrix = compress(w)
+        path = tmp_path / "layer.npz"
+        save_npz(matrix, path)
+        on_disk = path.stat().st_size
+        # npz (uncompressed zip) should sit near the format's own accounting.
+        assert on_disk < matrix.original_nbytes
+        assert on_disk < matrix.compressed_nbytes * 1.3
+
+    def test_bad_version_rejected(self, tmp_path):
+        w = gaussian_bf16_matrix(64, 64, seed=43)
+        matrix = compress(w)
+        path = tmp_path / "layer.npz"
+        save_npz(matrix, path)
+        with np.load(path) as archive:
+            data = {k: archive[k] for k in archive.files}
+        header = json.loads(bytes(data["header"]).decode())
+        header["version"] = 999
+        data["header"] = np.frombuffer(
+            json.dumps(header).encode(), dtype=np.uint8
+        )
+        np.savez(path, **data)
+        with pytest.raises(FormatError):
+            load_npz(path)
+
+    def test_missing_header_field_rejected(self, tmp_path):
+        w = gaussian_bf16_matrix(64, 64, seed=44)
+        matrix = compress(w)
+        path = tmp_path / "layer.npz"
+        save_npz(matrix, path)
+        with np.load(path) as archive:
+            data = {k: archive[k] for k in archive.files}
+        header = json.loads(bytes(data["header"]).decode())
+        del header["base_exp"]
+        data["header"] = np.frombuffer(
+            json.dumps(header).encode(), dtype=np.uint8
+        )
+        np.savez(path, **data)
+        with pytest.raises(FormatError):
+            load_npz(path)
+
+    def test_load_validates_integrity(self, tmp_path):
+        w = gaussian_bf16_matrix(64, 64, seed=45)
+        matrix = compress(w)
+        path = tmp_path / "layer.npz"
+        save_npz(matrix, path)
+        with np.load(path) as archive:
+            data = {k: archive[k] for k in archive.files}
+        data["high"] = data["high"][:-1]  # truncate the value buffer
+        np.savez(path, **data)
+        with pytest.raises(FormatError):
+            load_npz(path)

@@ -1,0 +1,131 @@
+"""Tests for the TCA-TBE tiling hierarchy."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.tcatbe.layout import (
+    BLOCK_TILE,
+    FRAG_ELEMS,
+    FRAG_TILE,
+    TC_TILE,
+    TILES_PER_BLOCK,
+    from_tiles,
+    lane_positions,
+    pad_matrix,
+    padded_shape,
+    position_rc,
+    tile_base_coords,
+    to_tiles,
+)
+
+
+class TestPadding:
+    def test_padded_shape(self):
+        assert padded_shape(1, 1) == (64, 64)
+        assert padded_shape(64, 64) == (64, 64)
+        assert padded_shape(65, 128) == (128, 128)
+
+    def test_padded_shape_invalid(self):
+        with pytest.raises(ShapeError):
+            padded_shape(0, 5)
+
+    def test_pad_matrix_values(self):
+        m = np.arange(6, dtype=np.uint16).reshape(2, 3)
+        padded = pad_matrix(m, 0x1234)
+        assert padded.shape == (64, 64)
+        assert np.array_equal(padded[:2, :3], m)
+        assert padded[2, 0] == 0x1234
+        assert padded[0, 3] == 0x1234
+
+    def test_pad_noop_when_aligned(self):
+        m = np.zeros((64, 128), dtype=np.uint16)
+        assert pad_matrix(m, 1) is m
+
+
+class TestTileView:
+    def test_roundtrip_aligned(self, aligned_weights):
+        padded = pad_matrix(aligned_weights, 0)
+        tiles = to_tiles(padded)
+        assert tiles.shape == (
+            padded.size // FRAG_ELEMS, FRAG_ELEMS
+        )
+        assert np.array_equal(from_tiles(tiles, padded.shape), padded)
+
+    def test_rejects_unaligned(self):
+        with pytest.raises(ShapeError):
+            to_tiles(np.zeros((60, 64), dtype=np.uint16))
+        with pytest.raises(ShapeError):
+            from_tiles(np.zeros((1, 64), dtype=np.uint16), (60, 64))
+
+    def test_tile_count(self):
+        tiles = to_tiles(np.zeros((128, 64), dtype=np.uint16))
+        assert tiles.shape[0] == 2 * TILES_PER_BLOCK
+
+    def test_from_tiles_shape_check(self):
+        with pytest.raises(ShapeError):
+            from_tiles(np.zeros((3, 64), dtype=np.uint16), (64, 64))
+
+    def test_tiles_match_coords(self):
+        # Row t of to_tiles must equal the row-major flattening of the 8x8
+        # region at tile_base_coords[t].
+        m = np.arange(128 * 128, dtype=np.uint16).reshape(128, 128)
+        tiles = to_tiles(m)
+        coords = tile_base_coords(128, 128)
+        for t in (0, 1, 2, 3, 17, 63, 64, 255):
+            r, c = coords[t]
+            region = m[r:r + FRAG_TILE, c:c + FRAG_TILE].reshape(-1)
+            assert np.array_equal(tiles[t], region), f"tile {t}"
+
+    def test_fragtile_column_major_within_tensor_core_tile(self):
+        # Within a 16x16 TensorCoreTile the four FragTiles must appear in
+        # Ra0..Ra3 order: (0,0), (8,0), (0,8), (8,8).
+        coords = tile_base_coords(64, 64)
+        first_four = [tuple(coords[i]) for i in range(4)]
+        assert first_four == [(0, 0), (8, 0), (0, 8), (8, 8)]
+
+    def test_tensor_core_tiles_row_major_within_block(self):
+        coords = tile_base_coords(64, 64)
+        # Tiles 4..7 are the second TensorCoreTile: one TC-tile to the right.
+        assert tuple(coords[4]) == (0, 16)
+
+    def test_blocktiles_row_major(self):
+        coords = tile_base_coords(64, 128)
+        assert tuple(coords[TILES_PER_BLOCK]) == (0, 64)
+
+    @given(st.integers(1, 3), st.integers(1, 3), st.integers(0, 2**16 - 1))
+    def test_roundtrip_property(self, mb, kb, fill):
+        shape = (mb * BLOCK_TILE, kb * BLOCK_TILE)
+        rng = np.random.default_rng(fill)
+        m = rng.integers(0, 2**16, shape).astype(np.uint16)
+        assert np.array_equal(from_tiles(to_tiles(m), shape), m)
+
+
+class TestFragmentOwnership:
+    def test_lane_positions(self):
+        assert lane_positions(0) == (0, 1)
+        assert lane_positions(19) == (38, 39)
+        assert lane_positions(31) == (62, 63)
+
+    def test_lane_positions_bounds(self):
+        with pytest.raises(ValueError):
+            lane_positions(32)
+
+    def test_position_rc(self):
+        assert position_rc(0) == (0, 0)
+        assert position_rc(38) == (4, 6)
+        assert position_rc(63) == (7, 7)
+        with pytest.raises(ValueError):
+            position_rc(64)
+
+    def test_all_positions_covered_once(self):
+        seen = set()
+        for lane in range(32):
+            seen.update(lane_positions(lane))
+        assert seen == set(range(FRAG_ELEMS))
+
+    def test_constants(self):
+        assert FRAG_TILE == 8 and TC_TILE == 16 and BLOCK_TILE == 64
+        assert FRAG_ELEMS == 64 and TILES_PER_BLOCK == 64

@@ -1,0 +1,150 @@
+"""Bit-exact round-trip tests for the TCA-TBE compressor/decompressor."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bf16 import gaussian_bf16_matrix
+from repro.errors import ShapeError
+from repro.tcatbe import (
+    WindowSelection,
+    compress,
+    decompress,
+    decompress_tile,
+    exponent_histogram,
+    select_window,
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "shape", [(64, 64), (64, 128), (128, 64), (100, 130), (1, 1), (65, 1)]
+    )
+    def test_gaussian_shapes(self, shape):
+        w = gaussian_bf16_matrix(*shape, sigma=0.02, seed=shape[0])
+        matrix = compress(w)
+        matrix.validate()
+        assert np.array_equal(decompress(matrix), w)
+
+    def test_fully_random_bits(self, rng):
+        # Arbitrary uint16 patterns: terrible compression, still lossless.
+        w = rng.integers(0, 2**16, (70, 80)).astype(np.uint16)
+        matrix = compress(w)
+        assert np.array_equal(decompress(matrix), w)
+        assert matrix.ratio < 1.1  # mostly fallback storage
+
+    def test_all_zero(self):
+        w = np.zeros((64, 64), dtype=np.uint16)
+        matrix = compress(w)
+        assert np.array_equal(decompress(matrix), w)
+        # Exponent 0 is always fallback (codeword 000 is reserved).
+        assert matrix.n_high == 0
+        assert matrix.n_low == 64 * 64
+
+    def test_constant_value(self):
+        w = np.full((64, 64), np.uint16(120 << 7), dtype=np.uint16)
+        matrix = compress(w)
+        assert np.array_equal(decompress(matrix), w)
+        assert matrix.coverage == 1.0
+
+    def test_special_values_mixed(self):
+        w = gaussian_bf16_matrix(64, 64, sigma=0.02, seed=9).copy()
+        w[0, 0] = 0x7F80   # +inf
+        w[0, 1] = 0xFF80   # -inf
+        w[0, 2] = 0x7FC0   # NaN
+        w[0, 3] = 0x0000   # +0
+        w[0, 4] = 0x8000   # -0
+        w[0, 5] = 0x0001   # subnormal
+        matrix = compress(w)
+        assert np.array_equal(decompress(matrix), w)
+
+    def test_padding_not_leaked(self):
+        w = gaussian_bf16_matrix(65, 67, sigma=0.02, seed=4)
+        out = decompress(compress(w))
+        assert out.shape == (65, 67)
+        assert np.array_equal(out, w)
+
+    def test_window_override(self):
+        w = gaussian_bf16_matrix(64, 64, sigma=0.02, seed=5)
+        window = WindowSelection(base_exp=100, start=101, size=7,
+                                 coverage=0.0)
+        matrix = compress(w, window=window)
+        assert matrix.base_exp == 100
+        assert np.array_equal(decompress(matrix), w)
+
+    def test_window_size_mismatch_rejected(self):
+        w = gaussian_bf16_matrix(64, 64, seed=6)
+        window = WindowSelection(base_exp=100, start=101, size=3,
+                                 coverage=0.0)
+        with pytest.raises(ShapeError):
+            compress(w, window=window)
+
+    def test_input_validation(self):
+        with pytest.raises(ShapeError):
+            compress(np.zeros((4, 4), dtype=np.float32))
+        with pytest.raises(ShapeError):
+            compress(np.zeros(16, dtype=np.uint16))
+
+
+class TestCompressionQuality:
+    def test_ratio_near_paper(self):
+        w = gaussian_bf16_matrix(512, 512, sigma=0.015, seed=7)
+        matrix = compress(w)
+        # Paper: ~11.3 bits/element, ~1.41x including container overhead.
+        assert 11.0 < matrix.bits_per_element < 11.6
+        assert 1.38 < matrix.ratio < 1.46
+
+    def test_coverage_matches_window(self):
+        w = gaussian_bf16_matrix(256, 256, sigma=0.02, seed=8)
+        window = select_window(exponent_histogram(w))
+        matrix = compress(w)
+        assert matrix.coverage == pytest.approx(window.coverage, abs=0.01)
+
+    def test_buffer_sizes_consistent(self):
+        w = gaussian_bf16_matrix(128, 128, sigma=0.02, seed=10)
+        matrix = compress(w)
+        assert matrix.n_high + matrix.n_low == matrix.n_padded_elements
+        assert matrix.high_starts[-1] == matrix.n_high
+        assert matrix.low_starts[-1] == matrix.n_low
+
+
+class TestTileDecode:
+    def test_every_tile_matches_full_decode(self, small_weights):
+        matrix = compress(small_weights)
+        from repro.tcatbe.layout import pad_matrix, to_tiles
+
+        padded = pad_matrix(
+            small_weights, np.uint16((matrix.base_exp + 1) << 7)
+        )
+        tiles = to_tiles(padded)
+        for t in range(matrix.n_tiles):
+            assert np.array_equal(decompress_tile(matrix, t), tiles[t]), t
+
+    def test_tile_index_bounds(self, small_weights):
+        matrix = compress(small_weights)
+        from repro.errors import FormatError
+
+        with pytest.raises(FormatError):
+            decompress_tile(matrix, matrix.n_tiles)
+        with pytest.raises(FormatError):
+            decompress_tile(matrix, -1)
+
+
+class TestProperties:
+    @given(st.integers(0, 10_000))
+    def test_roundtrip_random_seeds(self, seed):
+        rng = np.random.default_rng(seed)
+        rows = int(rng.integers(1, 100))
+        cols = int(rng.integers(1, 100))
+        w = rng.integers(0, 2**16, (rows, cols)).astype(np.uint16)
+        matrix = compress(w)
+        matrix.validate()
+        assert np.array_equal(decompress(matrix), w)
+
+    @given(st.floats(0.001, 0.2))
+    def test_gaussian_sigma_sweep(self, sigma):
+        w = gaussian_bf16_matrix(64, 64, sigma=sigma, seed=0)
+        matrix = compress(w)
+        assert np.array_equal(decompress(matrix), w)
+        assert matrix.coverage > 0.90  # scale-invariant skew (Appendix A)

@@ -1,0 +1,79 @@
+"""Tests for the per-lane Algorithm-2 reference decoder."""
+
+import numpy as np
+import pytest
+
+from repro.bf16 import gaussian_bf16_matrix
+from repro.tcatbe import compress, decompress_tile
+from repro.tcatbe.layout import FRAG_ELEMS
+from repro.tcatbe.warp_ref import (
+    WARP_SIZE,
+    average_instruction_mix,
+    decode_tile_warp,
+)
+
+
+@pytest.fixture
+def matrix():
+    return compress(gaussian_bf16_matrix(80, 90, sigma=0.02, seed=31))
+
+
+class TestCorrectness:
+    def test_matches_vectorised_decoder_all_tiles(self, matrix):
+        for t in range(matrix.n_tiles):
+            ref = decode_tile_warp(matrix, t)
+            assert np.array_equal(ref.values, decompress_tile(matrix, t)), t
+
+    def test_counts_match_buffers(self, matrix):
+        ref = decode_tile_warp(matrix, 0)
+        assert ref.high_count + ref.low_count == FRAG_ELEMS
+
+    def test_all_fallback_tile(self):
+        w = np.zeros((64, 64), dtype=np.uint16)  # exponent 0 -> all fallback
+        m = compress(w)
+        ref = decode_tile_warp(m, 0)
+        assert ref.high_count == 0
+        assert np.array_equal(ref.values, np.zeros(FRAG_ELEMS, np.uint16))
+
+    def test_all_high_tile(self):
+        w = np.full((64, 64), np.uint16(120 << 7), dtype=np.uint16)
+        m = compress(w)
+        ref = decode_tile_warp(m, 0)
+        assert ref.low_count == 0
+
+
+class TestInstructionAccounting:
+    def test_fixed_count_instructions(self, matrix):
+        ref = decode_tile_warp(matrix, 0)
+        counts = ref.instructions.counts
+        # Every element performs exactly one POPC (dynamic addressing) and
+        # one shared-memory load (value fetch).
+        assert counts["POPC"] == FRAG_ELEMS
+        assert counts["LDS"] == FRAG_ELEMS
+        # One IMAD per element for p = 2*lane + half.
+        assert counts["IMAD"] == FRAG_ELEMS
+
+    def test_decode_is_uniform_across_tiles(self, matrix):
+        # Fixed-length decoding: instruction totals vary only with the
+        # high/low mix, never with symbol values (no data-dependent loops).
+        totals = set()
+        for t in range(min(8, matrix.n_tiles)):
+            ref = decode_tile_warp(matrix, t)
+            # High path: LDS + 3 SHF + 3 LOP3 + IADD + PRMT = 9 ops; low
+            # path: IADD + LDS = 2 ops; difference of 7 per high element.
+            expected_variable = 7 * ref.high_count
+            totals.add(ref.instructions.total - expected_variable)
+        assert len(totals) == 1
+
+    def test_instructions_per_element_band(self, matrix):
+        ref = decode_tile_warp(matrix, 0)
+        # ~17 integer/logic ops per element (Figure 12a scale).
+        assert 10 < ref.instructions_per_element < 25
+
+    def test_average_mix_aggregates(self, matrix):
+        mix = average_instruction_mix(matrix, max_tiles=4)
+        single = decode_tile_warp(matrix, 0).instructions.total
+        assert mix.total > 3 * single * 0.8
+
+    def test_warp_size_constant(self):
+        assert WARP_SIZE == 32

@@ -1,0 +1,98 @@
+"""Tests for mma fragment layouts and the tensor-core emulation."""
+
+import numpy as np
+import pytest
+
+from repro.bf16 import bf16_to_f32, gaussian_bf16_matrix
+from repro.errors import ShapeError
+from repro.gpu.tensor_core import (
+    a_fragment_lane_map,
+    b_fragment_lane_map,
+    gather_a_fragment,
+    mma_m16n8k16,
+    scatter_a_fragment,
+)
+from repro.tcatbe.layout import lane_positions
+
+
+class TestFragmentMaps:
+    def test_a_map_is_bijective(self):
+        fmap = a_fragment_lane_map()
+        coords = {tuple(fmap[l, r, h]) for l in range(32)
+                  for r in range(4) for h in range(2)}
+        assert len(coords) == 256
+        assert coords == {(r, c) for r in range(16) for c in range(16)}
+
+    def test_b_map_is_bijective(self):
+        fmap = b_fragment_lane_map()
+        coords = {tuple(fmap[l, r, h]) for l in range(32)
+                  for r in range(2) for h in range(2)}
+        assert len(coords) == 128
+        assert coords == {(r, c) for r in range(16) for c in range(8)}
+
+    def test_a_map_matches_tcatbe_ownership(self):
+        # Register Ra0 (quadrant (0,0)) must follow the FragTile rule:
+        # lane i owns row-major positions 2i and 2i+1 of the 8x8 tile.
+        fmap = a_fragment_lane_map()
+        for lane in range(32):
+            p0, p1 = lane_positions(lane)
+            assert tuple(fmap[lane, 0, 0]) == (p0 // 8, p0 % 8)
+            assert tuple(fmap[lane, 0, 1]) == (p1 // 8, p1 % 8)
+
+    def test_quadrant_order_is_column_major(self):
+        # Ra0=(0,0), Ra1=(1,0), Ra2=(0,1), Ra3=(1,1) in 8x8 blocks.
+        fmap = a_fragment_lane_map()
+        blocks = [tuple(fmap[0, r, 0] // 8) for r in range(4)]
+        assert blocks == [(0, 0), (1, 0), (0, 1), (1, 1)]
+
+    def test_gather_scatter_roundtrip(self):
+        tile = gaussian_bf16_matrix(16, 16, seed=51)
+        regs = gather_a_fragment(tile)
+        assert regs.shape == (32, 4, 2)
+        assert np.array_equal(scatter_a_fragment(regs), tile)
+
+    def test_gather_validation(self):
+        with pytest.raises(ShapeError):
+            gather_a_fragment(np.zeros((8, 8), dtype=np.uint16))
+        with pytest.raises(ShapeError):
+            scatter_a_fragment(np.zeros((32, 4, 2), dtype=np.float32))
+
+
+class TestMma:
+    def test_matches_numpy(self):
+        a = gaussian_bf16_matrix(16, 16, seed=52)
+        b = gaussian_bf16_matrix(16, 8, seed=53)
+        c = np.random.default_rng(0).normal(size=(16, 8)).astype(np.float32)
+        d = mma_m16n8k16(a, b, c)
+        expected = bf16_to_f32(a) @ bf16_to_f32(b) + c
+        assert np.allclose(d, expected, rtol=1e-6)
+        assert d.dtype == np.float32
+
+    def test_zero_accumulator(self):
+        a = gaussian_bf16_matrix(16, 16, seed=54)
+        b = gaussian_bf16_matrix(16, 8, seed=55)
+        d = mma_m16n8k16(a, b, np.zeros((16, 8), np.float32))
+        assert np.allclose(d, bf16_to_f32(a) @ bf16_to_f32(b), rtol=1e-6)
+
+    def test_shape_validation(self):
+        a = gaussian_bf16_matrix(16, 16, seed=56)
+        b = gaussian_bf16_matrix(16, 8, seed=57)
+        with pytest.raises(ShapeError):
+            mma_m16n8k16(a[:8], b, np.zeros((16, 8), np.float32))
+        with pytest.raises(ShapeError):
+            mma_m16n8k16(a, b[:, :4], np.zeros((16, 8), np.float32))
+        with pytest.raises(ShapeError):
+            mma_m16n8k16(a, b, np.zeros((16, 8), np.float64))
+
+    def test_accumulation_chains(self):
+        # Chaining two mma over K slices equals one 32-deep product.
+        a = gaussian_bf16_matrix(16, 32, seed=58)
+        b = gaussian_bf16_matrix(32, 8, seed=59)
+        c = np.zeros((16, 8), np.float32)
+        c = mma_m16n8k16(a[:, :16], b[:16], c)
+        c = mma_m16n8k16(a[:, 16:], b[16:], c)
+        expected = (
+            bf16_to_f32(a[:, :16]) @ bf16_to_f32(b[:16])
+            + bf16_to_f32(a[:, 16:]) @ bf16_to_f32(b[16:])
+        )
+        assert np.allclose(c, expected, rtol=1e-6)

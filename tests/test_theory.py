@@ -1,0 +1,94 @@
+"""Tests for the Appendix-A theory module."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.theory import (
+    U_STAR,
+    exponent_pmf_gaussian,
+    gaussian_exponent_entropy,
+    mode_exponent,
+    pmf_is_unimodal,
+    top_k_is_contiguous,
+    window_coverage_gaussian,
+)
+from repro.bf16 import gaussian_bf16_sample
+from repro.tcatbe.analysis import exponent_histogram, select_window
+
+
+class TestPmf:
+    def test_normalised(self):
+        for sigma in (0.005, 0.02, 0.1):
+            assert exponent_pmf_gaussian(sigma).sum() == pytest.approx(1.0)
+
+    def test_sigma_validation(self):
+        with pytest.raises(ValueError):
+            exponent_pmf_gaussian(0.0)
+
+    def test_mode_tracks_u_star(self):
+        # Theorem A.1: peak near 2^x = u0 * sigma * sqrt(2).
+        sigma = 0.02
+        peak_magnitude = U_STAR * sigma * math.sqrt(2.0)
+        expected_exp = 127 + math.floor(math.log2(peak_magnitude))
+        assert abs(mode_exponent(sigma) - expected_exp) <= 1
+
+    def test_matches_sampled_histogram(self):
+        sigma = 0.02
+        pmf = exponent_pmf_gaussian(sigma)
+        sample = gaussian_bf16_sample(500_000, sigma, seed=5)
+        hist = exponent_histogram(sample) / 500_000
+        # Compare the bulk of the distribution bin by bin.
+        top = np.argsort(-pmf)[:5]
+        assert np.allclose(pmf[top], hist[top], atol=0.01)
+
+    @given(st.floats(0.001, 0.2))
+    def test_unimodal_for_all_sigma(self, sigma):
+        assert pmf_is_unimodal(exponent_pmf_gaussian(sigma))
+
+    @given(st.floats(0.001, 0.2))
+    def test_top7_contiguous_for_all_sigma(self, sigma):
+        assert top_k_is_contiguous(exponent_pmf_gaussian(sigma), 7)
+
+    def test_unimodality_detector_catches_bimodal(self):
+        bimodal = np.zeros(256)
+        bimodal[100] = 0.4
+        bimodal[101] = 0.1
+        bimodal[102] = 0.4
+        bimodal[99] = 0.1
+        assert not pmf_is_unimodal(bimodal)
+
+    def test_contiguity_detector_negative(self):
+        pmf = np.zeros(256)
+        pmf[100] = 0.5
+        pmf[110] = 0.5
+        assert not top_k_is_contiguous(pmf, 2)
+
+
+class TestCoverageAndEntropy:
+    def test_coverage_band(self):
+        # §3.1: ~97.1% average 7-window coverage.
+        for sigma in (0.01, 0.02, 0.04):
+            assert 0.955 < window_coverage_gaussian(sigma) < 0.99
+
+    def test_coverage_scale_invariant(self):
+        # The pmf shape shifts but does not change with sigma.
+        covers = [window_coverage_gaussian(s) for s in (0.005, 0.02, 0.08)]
+        assert max(covers) - min(covers) < 0.02
+
+    def test_entropy_band(self):
+        # Paper: 2.57-2.74 bits on real models; Gaussian sits near 2.55.
+        for sigma in (0.01, 0.02, 0.04):
+            assert 2.4 < gaussian_exponent_entropy(sigma) < 2.8
+
+    def test_analytic_vs_sampled_coverage(self):
+        sigma = 0.015
+        sampled = select_window(
+            exponent_histogram(gaussian_bf16_sample(300_000, sigma, seed=9))
+        ).coverage
+        assert window_coverage_gaussian(sigma) == pytest.approx(
+            sampled, abs=0.005
+        )

@@ -1,0 +1,106 @@
+"""Tests for the workload trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.serving.trace import (
+    DEFAULT_OUTPUTS,
+    DEFAULT_PROMPTS,
+    LengthDistribution,
+    closed_loop_trace,
+    poisson_trace,
+    total_tokens,
+)
+
+
+class TestLengthDistribution:
+    def test_bounds_respected(self):
+        dist = LengthDistribution(mean=100, cv=1.5, minimum=10, maximum=200)
+        samples = dist.sample(5000, np.random.default_rng(0))
+        assert samples.min() >= 10
+        assert samples.max() <= 200
+
+    def test_mean_roughly_matches(self):
+        dist = LengthDistribution(mean=100, cv=0.5, minimum=1, maximum=10000)
+        samples = dist.sample(20000, np.random.default_rng(1))
+        assert samples.mean() == pytest.approx(100, rel=0.1)
+
+    def test_zero_cv_deterministic(self):
+        dist = LengthDistribution(mean=64, cv=0.0, minimum=1, maximum=128)
+        samples = dist.sample(10, np.random.default_rng(2))
+        assert np.all(samples == 64)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            LengthDistribution(mean=0, cv=1, minimum=1, maximum=2)
+        with pytest.raises(ConfigError):
+            LengthDistribution(mean=10, cv=1, minimum=5, maximum=2)
+
+
+class TestPoissonTrace:
+    def test_shape(self):
+        trace = poisson_trace(50, rate_rps=10.0, seed=3)
+        assert len(trace) == 50
+        assert trace[0].arrival_s == 0.0
+        arrivals = [r.arrival_s for r in trace]
+        assert arrivals == sorted(arrivals)
+
+    def test_rate_controls_span(self):
+        slow = poisson_trace(100, rate_rps=1.0, seed=4)
+        fast = poisson_trace(100, rate_rps=100.0, seed=4)
+        assert fast[-1].arrival_s < slow[-1].arrival_s
+
+    def test_deterministic(self):
+        a = poisson_trace(20, 5.0, seed=7)
+        b = poisson_trace(20, 5.0, seed=7)
+        assert all(
+            (x.arrival_s, x.prompt_len, x.max_new_tokens)
+            == (y.arrival_s, y.prompt_len, y.max_new_tokens)
+            for x, y in zip(a, b)
+        )
+
+    def test_lengths_in_default_bounds(self):
+        trace = poisson_trace(200, 10.0, seed=8)
+        assert all(
+            DEFAULT_PROMPTS.minimum <= r.prompt_len <= DEFAULT_PROMPTS.maximum
+            for r in trace
+        )
+        assert all(
+            DEFAULT_OUTPUTS.minimum <= r.max_new_tokens
+            <= DEFAULT_OUTPUTS.maximum for r in trace
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            poisson_trace(0, 1.0)
+        with pytest.raises(ConfigError):
+            poisson_trace(5, 0.0)
+
+
+class TestClosedLoop:
+    def test_all_at_time_zero(self):
+        trace = closed_loop_trace(8, 64, 32)
+        assert all(r.arrival_s == 0.0 for r in trace)
+        assert total_tokens(trace) == 8 * 32
+
+    def test_engine_serves_poisson_trace(self):
+        from repro.gpu.specs import get_gpu
+        from repro.serving.backends import get_backend
+        from repro.serving.engine import InferenceEngine
+        from repro.serving.models import get_model
+
+        engine = InferenceEngine(
+            get_model("llama3.1-8b"), get_gpu("rtx4090"),
+            get_backend("zipserv"),
+        )
+        trace = poisson_trace(
+            10, rate_rps=20.0,
+            prompts=LengthDistribution(64, 0.3, 16, 128),
+            outputs=LengthDistribution(24, 0.3, 8, 48),
+            seed=9,
+        )
+        expected = total_tokens(trace)
+        result = engine.run_continuous(trace)
+        assert result.tokens_generated == expected
+        assert result.n_requests == 10

@@ -1,0 +1,135 @@
+"""Tests for repro.utils and the error hierarchy."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import errors
+from repro.utils import (
+    GIB,
+    ceil_div,
+    geometric_mean,
+    human_bytes,
+    human_time,
+    popcount64,
+    require_2d,
+    require_dtype,
+    round_up,
+)
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(64, 8) == 8
+
+    def test_rounds_up(self):
+        assert ceil_div(65, 8) == 9
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 8) == 0
+
+    def test_one(self):
+        assert ceil_div(1, 64) == 1
+
+    def test_bad_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(4, 0)
+
+    @given(st.integers(0, 10**9), st.integers(1, 10**6))
+    def test_matches_math(self, a, b):
+        assert ceil_div(a, b) == -(-a // b)
+
+
+class TestRoundUp:
+    def test_already_aligned(self):
+        assert round_up(128, 64) == 128
+
+    def test_rounds(self):
+        assert round_up(130, 64) == 192
+
+    @given(st.integers(0, 10**6), st.integers(1, 4096))
+    def test_properties(self, v, m):
+        r = round_up(v, m)
+        assert r >= v
+        assert r % m == 0
+        assert r - v < m
+
+
+class TestHumanFormats:
+    def test_bytes_gib(self):
+        assert human_bytes(GIB * 14.96).startswith("14.96")
+
+    def test_bytes_small(self):
+        assert human_bytes(10) == "10.00 B"
+
+    def test_bytes_negative(self):
+        with pytest.raises(ValueError):
+            human_bytes(-1)
+
+    def test_time_units(self):
+        assert human_time(2.0).endswith(" s")
+        assert human_time(2e-3).endswith(" ms")
+        assert human_time(2e-6).endswith(" us")
+        assert human_time(2e-9).endswith(" ns")
+
+    def test_time_negative(self):
+        with pytest.raises(ValueError):
+            human_time(-0.1)
+
+
+class TestGeometricMean:
+    def test_identity(self):
+        assert geometric_mean([2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_known(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestPopcount64:
+    def test_known_values(self):
+        vals = np.array([0, 1, 3, 0xFFFFFFFFFFFFFFFF], dtype=np.uint64)
+        assert popcount64(vals).tolist() == [0, 1, 2, 64]
+
+    @given(st.lists(st.integers(0, 2**64 - 1), min_size=1, max_size=50))
+    def test_matches_python(self, values):
+        arr = np.array(values, dtype=np.uint64)
+        expected = [v.bit_count() for v in values]
+        assert popcount64(arr).tolist() == expected
+
+
+class TestValidators:
+    def test_require_2d_pass(self):
+        require_2d(np.zeros((2, 3)))
+
+    def test_require_2d_fail(self):
+        with pytest.raises(errors.ShapeError):
+            require_2d(np.zeros(3))
+
+    def test_require_dtype(self):
+        require_dtype(np.zeros(3, dtype=np.uint16), np.uint16)
+        with pytest.raises(errors.ShapeError):
+            require_dtype(np.zeros(3, dtype=np.uint8), np.uint16)
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        for exc in (
+            errors.FormatError, errors.CodecError, errors.ShapeError,
+            errors.ConfigError, errors.CapacityError, errors.SchedulingError,
+        ):
+            assert issubclass(exc, errors.ReproError)
+
+    def test_unknown_spec_message(self):
+        err = errors.UnknownSpecError("gpu", "rtx9999", ["rtx4090", "l40s"])
+        assert "rtx9999" in str(err)
+        assert "l40s" in str(err)
+        assert isinstance(err, errors.ConfigError)

@@ -1,0 +1,82 @@
+"""Tests for the 1-D Vector-TBE format (KV/checkpoint substrate)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bf16 import gaussian_bf16_matrix, gaussian_bf16_sample
+from repro.errors import FormatError
+from repro.tcatbe.vector import VecTbe, compress_vector, decompress_vector
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("n", [1, 2, 63, 64, 65, 128, 1000, 5000])
+    def test_lengths(self, n):
+        v = gaussian_bf16_sample(n, sigma=0.05, seed=n)
+        blob = compress_vector(v)
+        blob.validate()
+        assert np.array_equal(decompress_vector(blob), v)
+
+    def test_2d_input_flattened(self):
+        m = gaussian_bf16_matrix(7, 33, sigma=0.05, seed=3)
+        blob = compress_vector(m)
+        assert np.array_equal(decompress_vector(blob), m.ravel())
+
+    def test_random_bits(self, rng):
+        v = rng.integers(0, 2**16, 777).astype(np.uint16)
+        blob = compress_vector(v)
+        assert np.array_equal(decompress_vector(blob), v)
+
+    def test_all_zero(self):
+        v = np.zeros(100, dtype=np.uint16)
+        blob = compress_vector(v)
+        assert np.array_equal(decompress_vector(blob), v)
+        assert blob.coverage == 0.0
+
+    def test_dtype_rejected(self):
+        with pytest.raises(FormatError):
+            compress_vector(np.zeros(10, dtype=np.float32))
+
+    @given(st.integers(1, 3000))
+    def test_roundtrip_property(self, n):
+        v = gaussian_bf16_sample(n, sigma=0.03, seed=n % 17)
+        assert np.array_equal(decompress_vector(compress_vector(v)), v)
+
+
+class TestAccounting:
+    def test_ratio_band(self):
+        v = gaussian_bf16_sample(100_000, sigma=0.05, seed=4)
+        blob = compress_vector(v)
+        assert 1.35 < blob.ratio < 1.48
+        assert blob.coverage > 0.93
+
+    def test_padding_not_counted_as_data(self):
+        v = gaussian_bf16_sample(65, sigma=0.05, seed=5)
+        blob = compress_vector(v)
+        assert blob.length == 65
+        assert blob.high.size + blob.low.size == 65
+
+    def test_validate_catches_corruption(self):
+        v = gaussian_bf16_sample(128, sigma=0.05, seed=6)
+        blob = compress_vector(v)
+        bad = VecTbe(
+            length=blob.length, base_exp=blob.base_exp,
+            window_size=blob.window_size, bitmaps=blob.bitmaps,
+            high=blob.high[:-1], low=blob.low,
+            high_starts=blob.high_starts, low_starts=blob.low_starts,
+        )
+        with pytest.raises(FormatError):
+            bad.validate()
+
+    def test_decompress_checks_sizes(self):
+        v = gaussian_bf16_sample(128, sigma=0.05, seed=7)
+        blob = compress_vector(v)
+        bad = VecTbe(
+            length=blob.length, base_exp=blob.base_exp,
+            window_size=blob.window_size, bitmaps=blob.bitmaps,
+            high=blob.high[:-1], low=blob.low,
+            high_starts=blob.high_starts, low_starts=blob.low_starts,
+        )
+        with pytest.raises(FormatError):
+            decompress_vector(bad)

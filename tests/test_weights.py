@@ -1,0 +1,99 @@
+"""Tests for synthetic weight statistics and compression estimates."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.serving.models import get_model
+from repro.serving.weights import (
+    estimate_layer_compression,
+    layer_sigma,
+    materialize_layer,
+    model_compression_report,
+)
+from repro.tcatbe import compress
+
+
+class TestSigma:
+    def test_glorot_scale(self):
+        assert layer_sigma("o_proj", 4096, 4096) == pytest.approx(
+            (2 / 8192) ** 0.5
+        )
+
+    def test_realistic_range(self):
+        for m, k in [(4096, 4096), (28672, 4096), (152064, 8192)]:
+            assert 0.003 < layer_sigma("x", m, k) < 0.03
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            layer_sigma("x", 0, 5)
+
+
+class TestEstimates:
+    def test_tcatbe_ratio_band(self):
+        comp = estimate_layer_compression(28672, 4096, 0.016, "tcatbe")
+        assert 1.38 < comp.ratio < 1.46
+        assert comp.coverage > 0.95
+
+    def test_baseline_ratio_band(self):
+        for scheme in ("dfloat11", "dietgpu", "nvcomp"):
+            comp = estimate_layer_compression(4096, 4096, 0.016, scheme)
+            assert 1.45 < comp.ratio < 1.56
+
+    def test_dense_identity(self):
+        assert estimate_layer_compression(64, 64, 0.02, "dense").ratio == 1.0
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ConfigError):
+            estimate_layer_compression(64, 64, 0.02, "zip")
+
+    def test_analytic_matches_sampled(self):
+        """The analytic erf-based estimate must track real compression."""
+        sigma = 0.015
+        analytic = estimate_layer_compression(512, 512, sigma, "tcatbe")
+        sampled = compress(materialize_layer(512, 512, sigma, seed=3))
+        assert analytic.ratio == pytest.approx(sampled.ratio, rel=0.02)
+        assert analytic.coverage == pytest.approx(sampled.coverage, abs=0.01)
+
+    def test_estimate_is_cached(self):
+        a = estimate_layer_compression(128, 128, 0.02, "tcatbe")
+        b = estimate_layer_compression(128, 128, 0.02, "tcatbe")
+        assert a is b
+
+
+class TestMaterialize:
+    def test_shape_and_dtype(self):
+        w = materialize_layer(32, 48, seed=1)
+        assert w.shape == (32, 48) and w.dtype == np.uint16
+
+    def test_default_sigma_used(self):
+        w = materialize_layer(64, 64, seed=2)
+        assert w is not None
+
+
+class TestModelReport:
+    def test_llama8b_matches_paper(self):
+        report = model_compression_report(get_model("llama3.1-8b"))
+        # Paper §6.5: 14.96 -> 10.83 GiB (72.4%).
+        assert report["dense_gib"] == pytest.approx(14.96, abs=0.02)
+        assert report["compressed_gib"] == pytest.approx(10.83, abs=0.25)
+        assert report["fraction"] == pytest.approx(0.724, abs=0.015)
+
+    def test_all_paper_models_near_71_percent(self):
+        for name, expected in (
+            ("llama3.1-8b", 0.724), ("mistral-24b", 0.713),
+            ("llama3.1-70b", 0.711),
+        ):
+            report = model_compression_report(get_model(name))
+            assert report["fraction"] == pytest.approx(expected, abs=0.02)
+
+    def test_per_layer_entries(self):
+        report = model_compression_report(get_model("llama3.1-8b"))
+        assert "gateup_proj" in report["per_layer"]
+        for entry in report["per_layer"].values():
+            assert entry["ratio"] > 1.3
+
+    def test_tied_model_keeps_embedding_dense(self):
+        report = model_compression_report(get_model("gemma3-12b"))
+        assert "lm_head" not in report["per_layer"]
+        assert 0.70 < report["fraction"] < 0.80
