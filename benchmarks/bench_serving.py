@@ -1,0 +1,94 @@
+"""Microbenchmarks of the event-driven serving loop.
+
+Times the simulator itself (not the modelled GPU): a 500-request Poisson
+trace replayed through :class:`~repro.serving.serve.ServingCore` with and
+without context-bucketed cost memoization.  Bucketing makes consecutive
+decode steps of a stable batch price identically, which both caches the
+step math and lets the loop fast-forward whole windows of identical steps —
+the sim-side speedup that makes long-trace studies cheap.
+
+Run: ``PYTHONPATH=src python -m pytest benchmarks/bench_serving.py -q``
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.gpu.specs import get_gpu
+from repro.serving.backends import get_backend
+from repro.serving.costs import EngineCostModel
+from repro.serving.kvcache import KVCacheSpec
+from repro.serving.memory_plan import plan_memory
+from repro.serving.models import get_model
+from repro.serving.scheduler import SchedulerLimits
+from repro.serving.serve import ServingConfig, ServingCore
+from repro.serving.trace import poisson_trace
+
+N_REQUESTS = 500
+RATE_RPS = 20.0
+SEED = 42
+#: One interactive replica's worth of concurrency; small enough that the
+#: trace backs up and the loop spends its time in steady decode.
+LIMITS = SchedulerLimits(max_num_seqs=16, max_batched_tokens=8192)
+CTX_BUCKET = 64
+
+_MODEL = get_model("llama3.1-8b")
+_GPU = get_gpu("rtx4090")
+_BACKEND = get_backend("zipserv")
+_PLAN = plan_memory(_MODEL, _GPU, _BACKEND.weight_scheme, 1, 0.9)
+_KV_SPEC = KVCacheSpec.for_model(_MODEL)
+
+
+def _serve_once(cost_bucket: int):
+    core = ServingCore(
+        EngineCostModel(_MODEL, _GPU, _BACKEND),
+        _KV_SPEC,
+        _PLAN.kv_bytes,
+        ServingConfig(prefill_mode="chunked", cost_bucket=cost_bucket,
+                      limits=LIMITS),
+    )
+    return core.serve(poisson_trace(N_REQUESTS, RATE_RPS, seed=SEED))
+
+
+def _best_wall(cost_bucket: int, reps: int = 3) -> tuple[float, object]:
+    best, result = float("inf"), None
+    for _ in range(reps):
+        start = time.perf_counter()
+        result = _serve_once(cost_bucket)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_serve_500_exact_costs(benchmark):
+    result = benchmark(_serve_once, 0)
+    assert result.n_requests == N_REQUESTS
+
+
+def test_serve_500_memoized_costs(benchmark):
+    result = benchmark(_serve_once, CTX_BUCKET)
+    assert result.n_requests == N_REQUESTS
+
+
+def test_memoization_speedup_at_least_2x():
+    """Acceptance: bucketed memoization halves sim wall-time (or better)."""
+    exact_wall, exact = _best_wall(0)
+    memo_wall, memo = _best_wall(CTX_BUCKET)
+    speedup = exact_wall / memo_wall
+    # Same work was simulated either way.
+    assert memo.n_requests == exact.n_requests == N_REQUESTS
+    assert memo.tokens_generated == exact.tokens_generated
+    # Bucketing rounds contexts up, so the clock drifts only slightly high.
+    assert exact.makespan_s <= memo.makespan_s <= exact.makespan_s * 1.03
+    assert speedup >= 2.0, (
+        f"memoized serve only {speedup:.2f}x faster"
+        f" ({exact_wall:.3f}s -> {memo_wall:.3f}s)"
+    )
+
+
+def test_memoized_metrics_stay_close():
+    """The approximation knob must not distort serving metrics."""
+    exact = _serve_once(0)
+    memo = _serve_once(CTX_BUCKET)
+    assert memo.metrics.latency.p95_s <= exact.metrics.latency.p95_s * 1.05
+    assert memo.metrics.ttft.p95_s <= exact.metrics.ttft.p95_s * 1.10
+    assert abs(memo.throughput_tok_s / exact.throughput_tok_s - 1.0) < 0.03

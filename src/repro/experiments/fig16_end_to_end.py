@@ -11,7 +11,10 @@ from __future__ import annotations
 from ..gpu.specs import get_gpu
 from ..serving.backends import get_backend
 from ..serving.engine import InferenceEngine
+from ..serving.metrics import SLOTarget
 from ..serving.models import get_model
+from ..serving.serve import ServingConfig
+from ..serving.trace import LengthDistribution, poisson_trace
 from ..utils import geometric_mean
 from .common import ExperimentResult, experiment
 
@@ -36,6 +39,30 @@ def _make_engine(backend_name: str, model, gpu, tp: int) -> InferenceEngine:
     return InferenceEngine(model, gpu, backend, pipeline_parallel=tp)
 
 
+def _continuous_goodput(engines: dict, n_requests: int) -> dict[str, float]:
+    """SLO goodput of zipserv vs vllm on a shared chat trace.
+
+    Runs the event-driven core with chunked prefill — the serving mode in
+    which freed KV memory turns into admissible concurrency — and reports
+    requests/s inside a chat-interactive SLO.
+    """
+    config = ServingConfig(
+        policy="fcfs",
+        prefill_mode="chunked",
+        slo=SLOTarget(ttft_s=0.5, tpot_s=0.05),
+    )
+    out = {}
+    for name in ("zipserv", "vllm"):
+        trace = poisson_trace(
+            n_requests, rate_rps=12.0, seed=16,
+            prompts=LengthDistribution(256, 0.6, 32, 1024),
+            outputs=LengthDistribution(128, 0.8, 16, 512),
+        )
+        result = engines[name].serve(trace, config=config)
+        out[f"goodput_rps_{name}"] = result.metrics.goodput_rps
+    return out
+
+
 @experiment("fig16")
 def run(quick: bool = False) -> ExperimentResult:
     """Run the full serving sweep and aggregate speedups."""
@@ -44,6 +71,7 @@ def run(quick: bool = False) -> ExperimentResult:
     batches = (32,) if quick else BATCHES
 
     rows = []
+    goodput: dict[str, float] = {}
     speedups: dict[str, list[float]] = {b: [] for b in BACKENDS if b != "zipserv"}
     latency_cuts: dict[str, list[float]] = {
         b: [] for b in BACKENDS if b != "zipserv"
@@ -55,6 +83,8 @@ def run(quick: bool = False) -> ExperimentResult:
         engines = {
             name: _make_engine(name, model, gpu, tp) for name in BACKENDS
         }
+        if model_name == "llama3.1-8b":
+            goodput = _continuous_goodput(engines, 12 if quick else 32)
         for batch in batches:
             for out_len in out_lens:
                 results = {
@@ -86,6 +116,7 @@ def run(quick: bool = False) -> ExperimentResult:
         )
     if tput_8b_2048 is not None:
         summary["tput_8b_bs32_len2048"] = tput_8b_2048
+    summary.update(goodput)
 
     return ExperimentResult(
         experiment="fig16",

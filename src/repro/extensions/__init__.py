@@ -21,6 +21,7 @@ from .checkpoint import (
 from .kvcomp import (
     CompressedKVCacheSpec,
     compress_kv_block,
+    compressed_cost_model,
     decompress_kv_block,
     kv_compression_ratio,
     paged_attention_decode_compressed,
@@ -39,6 +40,7 @@ __all__ = [
     "decompress_kv_block",
     "kv_compression_ratio",
     "CompressedKVCacheSpec",
+    "compressed_cost_model",
     "paged_attention_decode_compressed",
     "Checkpoint",
     "DeltaSnapshot",

@@ -11,7 +11,11 @@ fixed-length encoding applies.  This module provides:
 * **kernel layer** — a fused paged-attention model that streams the cache
   compressed and decodes in-kernel, the same load-compressed /
   compute-decompressed trade as ZipGEMM: less DRAM traffic, a bounded ALU
-  decode cost per token.
+  decode cost per token;
+* **cost layer** — :func:`compressed_cost_model`, a ready-made
+  :class:`~repro.serving.costs.EngineCostModel` whose decode attention
+  streams the compressed cache, pluggable straight into the event-driven
+  serving core (:class:`~repro.serving.serve.ServingCore`).
 
 Compression happens once per filled block (blocks are immutable after the
 16th token), so the online compression cost is one Vector-TBE encode per
@@ -74,6 +78,34 @@ def kv_compression_ratio(sigma: float = 0.05) -> float:
     coverage *= 1.0 - _ACTIVATION_OUTLIER_FRACTION
     bits = average_bits(3, coverage) + 24.0 * 8.0 / 4096.0
     return 16.0 / bits
+
+
+def compressed_cost_model(
+    model,
+    gpu: GpuSpec,
+    backend,
+    tensor_parallel: int = 1,
+    pipeline_parallel: int = 1,
+    ratio: float | None = None,
+):
+    """A step cost model serving over a Vector-TBE-compressed KV cache.
+
+    Convenience constructor for the serving stack's cost layer: decode
+    attention streams the cache at ``1/ratio`` of the plain traffic (via
+    :func:`paged_attention_decode_compressed`); pair it with a
+    :class:`CompressedKVCacheSpec`-scaled block budget to also model the
+    capacity side.  ``ratio=None`` uses the analytic activation ratio.
+    """
+    from ..serving.costs import EngineCostModel
+
+    return EngineCostModel(
+        model, gpu, backend,
+        tensor_parallel=tensor_parallel,
+        pipeline_parallel=pipeline_parallel,
+        kv_compression_ratio=(
+            ratio if ratio is not None else kv_compression_ratio()
+        ),
+    )
 
 
 @dataclass(frozen=True)

@@ -1,30 +1,65 @@
 """LLM serving substrate (the vLLM-equivalent the paper integrates into).
 
-Provides everything the end-to-end experiments need: a model zoo with the
-real layer shapes of the paper's models, synthetic weight statistics, a paged
-KV-cache manager, request scheduling, tensor parallelism, a GPU memory
-planner, and the step-level inference engine that turns kernel profiles into
-end-to-end latency/throughput.
+The serving simulator is organised as three decoupled layers plus shared
+substrate:
+
+* **cost layer** — :mod:`repro.serving.costs`: :class:`StepCostModel`
+  implementations turning kernel profiles into per-step time
+  (:class:`EngineCostModel`), with :class:`MemoizedStepCostModel` bucketing
+  decode contexts so long traces stop recomputing near-identical steps;
+* **scheduling layer** — :mod:`repro.serving.scheduler`: FCFS / priority /
+  shortest-job-first policies, chunked-prefill planning under
+  ``max_batched_tokens``, and recompute preemption when KV fills;
+* **serving core + metrics** — :mod:`repro.serving.serve` drives the
+  event-driven clock loop; :mod:`repro.serving.metrics` reports TTFT/TPOT,
+  interpolated latency percentiles and SLO goodput.
+
+Shared substrate: a model zoo with the real layer shapes of the paper's
+models, synthetic weight statistics, a paged KV-cache manager, tensor
+parallelism, a GPU memory planner, workload-trace generators, and the
+:class:`InferenceEngine` facade that wires everything together per
+(model, gpu, backend) triple.
 """
 
 from .backends import BACKENDS, BackendConfig, get_backend
+from .costs import (
+    EngineCostModel,
+    MemoizedStepCostModel,
+    StepBreakdown,
+    StepCostModel,
+)
 from .engine import (
     ContinuousResult,
     InferenceEngine,
     ServeResult,
-    StepBreakdown,
 )
 from .kvcache import KVCacheSpec, PagedKVCache
 from .memory_plan import MemoryPlan, plan_memory
+from .metrics import (
+    LatencySummary,
+    RequestTiming,
+    ServingMetrics,
+    SLOTarget,
+    collect_timings,
+    percentile,
+)
 from .models import MODELS, LayerShape, ModelSpec, get_model
 from .parallel import TensorParallelLayout, allreduce_time, shard_layer
 from .scheduler import (
+    POLICIES,
     ContinuousBatchScheduler,
+    FCFSPolicy,
+    PriorityPolicy,
     Request,
     RequestState,
     SchedulerLimits,
+    SchedulerPolicy,
+    SJFPolicy,
     StaticBatchScheduler,
+    StepPlan,
+    get_policy,
 )
+from .serve import ServingConfig, ServingCore
 from .weights import (
     estimate_layer_compression,
     layer_sigma,
@@ -48,14 +83,32 @@ __all__ = [
     "RequestState",
     "StaticBatchScheduler",
     "ContinuousBatchScheduler",
+    "SchedulerPolicy",
+    "FCFSPolicy",
+    "PriorityPolicy",
+    "SJFPolicy",
+    "POLICIES",
+    "get_policy",
+    "StepPlan",
     "TensorParallelLayout",
     "shard_layer",
     "allreduce_time",
     "InferenceEngine",
     "ServeResult",
     "StepBreakdown",
+    "StepCostModel",
+    "EngineCostModel",
+    "MemoizedStepCostModel",
     "ContinuousResult",
     "SchedulerLimits",
+    "ServingConfig",
+    "ServingCore",
+    "SLOTarget",
+    "LatencySummary",
+    "RequestTiming",
+    "ServingMetrics",
+    "collect_timings",
+    "percentile",
     "layer_sigma",
     "estimate_layer_compression",
     "materialize_layer",

@@ -1,0 +1,394 @@
+"""Step cost models: the time side of the serving simulator.
+
+This is the **cost layer** of the three-layer serving architecture
+(costs -> scheduling -> serving core).  A :class:`StepCostModel` answers one
+question — "how long does this engine step take?" — and nothing else: it
+owns the linear/attention/elementwise/dispatch accounting that used to live
+inside ``InferenceEngine``, so schedulers and serving loops can be written
+against a narrow protocol and tested with toy models.
+
+Three implementations:
+
+* :class:`EngineCostModel` — the real thing: per-backend linear execution
+  (cuBLAS / stage-aware TCA-TBE / decompress-per-use), paged or eager
+  attention with optional Vector-TBE KV compression, ring all-reduces under
+  tensor parallelism, and per-kernel dispatch gaps;
+* :class:`MemoizedStepCostModel` — a caching wrapper that buckets decode
+  context lengths and batched token counts so long traces stop recomputing
+  near-identical steps (the ``benchmarks/bench_serving.py`` speedup);
+* anything test code supplies that satisfies :class:`StepCostModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from ..errors import ConfigError
+from ..gpu.specs import GpuSpec
+from ..kernels.attention import (
+    eager_attention_decode,
+    eager_attention_prefill,
+    flash_attention_prefill,
+    paged_attention_decode,
+)
+from ..kernels.gemm import cublas_gemm
+from ..kernels.pipeline import decoupled_pipeline, stage_aware_linear
+from ..utils import ceil_div
+from .backends import BackendConfig
+from .models import ModelSpec
+from .parallel import allreduce_time, shard_layer
+from .weights import estimate_layer_compression, layer_sigma
+
+
+@dataclass
+class StepBreakdown:
+    """Time composition of one engine step (seconds)."""
+
+    linear_s: float = 0.0
+    attention_s: float = 0.0
+    comm_s: float = 0.0
+    other_s: float = 0.0
+    dispatch_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        """Wall time of the step."""
+        return (
+            self.linear_s + self.attention_s + self.comm_s
+            + self.other_s + self.dispatch_s
+        )
+
+    def scaled(self, factor: float) -> "StepBreakdown":
+        """Component-wise scaling (used for averaging)."""
+        return StepBreakdown(
+            linear_s=self.linear_s * factor,
+            attention_s=self.attention_s * factor,
+            comm_s=self.comm_s * factor,
+            other_s=self.other_s * factor,
+            dispatch_s=self.dispatch_s * factor,
+        )
+
+    def add(self, other: "StepBreakdown") -> None:
+        """Accumulate another breakdown."""
+        self.linear_s += other.linear_s
+        self.attention_s += other.attention_s
+        self.comm_s += other.comm_s
+        self.other_s += other.other_s
+        self.dispatch_s += other.dispatch_s
+
+
+@runtime_checkable
+class StepCostModel(Protocol):
+    """What the scheduling and serving layers need from a cost model."""
+
+    def linear_time(self, n_tokens: int) -> tuple[float, int, float]:
+        """(kernel seconds, op count, all-reduce seconds) for one pass."""
+        ...
+
+    def attention_time(self, batch: int, ctx: int, phase: str) -> float:
+        """Per-step attention across all layers (one TP shard)."""
+        ...
+
+    def elementwise_time(self, n_tokens: int) -> float:
+        """Norms, RoPE, activation and residual traffic per pass."""
+        ...
+
+    def decode_step(self, batch: int, ctx: int) -> StepBreakdown:
+        """One decode iteration at context length ``ctx``."""
+        ...
+
+    def prefill_step(self, batch: int, prompt_len: int) -> StepBreakdown:
+        """One whole-prompt prefill pass."""
+        ...
+
+    def mixed_step(
+        self,
+        decode_batch: int,
+        decode_ctx: int,
+        prefill_seqs: int,
+        prefill_tokens: int,
+    ) -> StepBreakdown:
+        """One chunked-prefill iteration co-scheduling both token kinds."""
+        ...
+
+
+class EngineCostModel:
+    """Analytic step costs for one (model, gpu, backend) triple.
+
+    This is the component math formerly embedded in ``InferenceEngine``:
+    linear layers per backend execution mode, attention with the KV context,
+    elementwise traffic, pipeline hops, collectives and dispatch overhead.
+    """
+
+    def __init__(
+        self,
+        model: ModelSpec,
+        gpu: GpuSpec,
+        backend: BackendConfig,
+        tensor_parallel: int = 1,
+        pipeline_parallel: int = 1,
+        kv_compression_ratio: float = 1.0,
+    ):
+        if kv_compression_ratio < 1.0:
+            raise ConfigError("kv_compression_ratio must be >= 1")
+        self.model = model
+        self.gpu = gpu
+        self.backend = backend
+        self.tp = tensor_parallel
+        self.pp = pipeline_parallel
+        self.kv_ratio = float(kv_compression_ratio)
+        self.kv_heads = max(1, model.n_kv_heads // tensor_parallel)
+        self._linear_cache: dict[tuple, tuple[float, int, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Components
+    # ------------------------------------------------------------------
+    def linear_time(self, n_tokens: int) -> tuple[float, int, float]:
+        """(kernel seconds, op count, all-reduce seconds) for one pass."""
+        key = (n_tokens,)
+        if key in self._linear_cache:
+            return self._linear_cache[key]
+        total = 0.0
+        comm = 0.0
+        ops = 0
+        for layer in self.model.linear_layers():
+            layout = shard_layer(layer, self.tp)
+            sigma = layer_sigma(layer.kind, layout.m, layout.k)
+            if self.backend.linear_mode == "cublas":
+                profile = cublas_gemm(self.gpu, layout.m, layout.k, n_tokens)
+            elif self.backend.linear_mode == "stage_aware":
+                comp = estimate_layer_compression(
+                    layout.m, layout.k, sigma, "tcatbe"
+                )
+                profile = stage_aware_linear(
+                    self.gpu, layout.m, layout.k, n_tokens, comp
+                )
+            else:  # decoupled_per_use (DFloat11)
+                comp = estimate_layer_compression(
+                    layout.m, layout.k, sigma, "dfloat11"
+                )
+                profile = decoupled_pipeline(
+                    self.gpu, layout.m, layout.k, n_tokens, "dfloat11", comp
+                )
+            layer_time = profile.time_s + self.backend.per_layer_sync_s
+            total += layer_time * layer.count
+            ops += layer.count
+            if layout.needs_allreduce:
+                nbytes = 2.0 * n_tokens * self.model.hidden
+                comm += allreduce_time(self.gpu, nbytes, self.tp) * layer.count
+        result = (total / self.backend.e2e_bw_derate, ops, comm)
+        self._linear_cache[key] = result
+        return result
+
+    def attention_time(self, batch: int, ctx: int, phase: str) -> float:
+        """Per-step attention across all layers (one TP shard)."""
+        heads = max(1, self.model.n_heads // self.tp)
+        kv_heads = self.kv_heads
+        if phase == "decode":
+            if self.kv_ratio > 1.0 and self.backend.attention == "paged":
+                from ..extensions.kvcomp import (
+                    paged_attention_decode_compressed,
+                )
+
+                profile = paged_attention_decode_compressed(
+                    self.gpu, batch, ctx, heads, kv_heads,
+                    self.model.head_dim, ratio=self.kv_ratio,
+                )
+                return profile.time_s * self.model.n_layers
+            fn = (
+                paged_attention_decode
+                if self.backend.attention == "paged"
+                else eager_attention_decode
+            )
+            profile = fn(self.gpu, batch, ctx, heads, kv_heads,
+                         self.model.head_dim)
+        else:
+            fn = (
+                flash_attention_prefill
+                if self.backend.attention == "paged"
+                else eager_attention_prefill
+            )
+            profile = fn(self.gpu, batch, ctx, heads, kv_heads,
+                         self.model.head_dim)
+        return profile.time_s * self.model.n_layers
+
+    def elementwise_time(self, n_tokens: int) -> float:
+        """Norms, RoPE, activation and residual traffic per pass."""
+        h = self.model.hidden
+        inter = self.model.intermediate
+        per_layer = (
+            2 * (4.0 * n_tokens * h)          # two RMSNorms (read+write)
+            + 2.0 * n_tokens * (self.model.q_dim + self.model.kv_dim) * 2
+            + 6.0 * n_tokens * inter           # SiLU-mul over gate/up
+            + 2 * (6.0 * n_tokens * h)         # two residual adds
+        )
+        total_bytes = per_layer * self.model.n_layers / self.tp
+        total_bytes += 4.0 * n_tokens * h      # embedding + final norm
+        total_bytes *= self.backend.elementwise_pass_factor
+        bw = self.gpu.dram_bytes_per_s * 0.8
+        return total_bytes / bw
+
+    def pipeline_hop_time(self, n_tokens: int) -> float:
+        """Point-to-point activation transfers between pipeline stages."""
+        if self.pp <= 1:
+            return 0.0
+        nbytes = 2.0 * n_tokens * self.model.hidden
+        per_hop = nbytes / (self.gpu.interconnect_gbps * 1e9) + 20e-6
+        return (self.pp - 1) * per_hop
+
+    # ------------------------------------------------------------------
+    # Steps
+    # ------------------------------------------------------------------
+    def _step(
+        self, n_tokens: int, attention_s: float
+    ) -> StepBreakdown:
+        linear_s, ops, comm_s = self.linear_time(n_tokens)
+        comm_s += self.pipeline_hop_time(n_tokens)
+        n_other = self.backend.other_ops_per_layer * self.model.n_layers
+        dispatch = (ops + n_other) * self.backend.dispatch_overhead_s
+        return StepBreakdown(
+            linear_s=linear_s,
+            attention_s=attention_s,
+            comm_s=comm_s,
+            other_s=(
+                self.elementwise_time(n_tokens)
+                + self.backend.fixed_step_overhead_s
+            ),
+            dispatch_s=dispatch,
+        )
+
+    def decode_step(self, batch: int, ctx: int) -> StepBreakdown:
+        """Breakdown of one decode step at context length ``ctx``."""
+        return self._step(batch, self.attention_time(batch, ctx, "decode"))
+
+    def prefill_step(self, batch: int, prompt_len: int) -> StepBreakdown:
+        """Breakdown of the whole-prompt prefill pass."""
+        return self._step(
+            batch * prompt_len,
+            self.attention_time(batch, prompt_len, "prefill"),
+        )
+
+    def mixed_step(
+        self,
+        decode_batch: int,
+        decode_ctx: int,
+        prefill_seqs: int,
+        prefill_tokens: int,
+    ) -> StepBreakdown:
+        """One chunked-prefill iteration (vLLM-style co-scheduling).
+
+        Linear, elementwise and dispatch costs are charged over the combined
+        token count (that is the whole point of chunking: prefill tokens
+        ride the decode batch's GEMMs); attention splits into a decode part
+        at the running context and a prefill part over the chunk.  The
+        prefill chunk's attention is charged at the mean per-sequence chunk
+        length — first-order, like the rest of the simulator.
+        """
+        if decode_batch <= 0 and prefill_tokens <= 0:
+            raise ConfigError("mixed step needs decode or prefill work")
+        attention_s = 0.0
+        if decode_batch > 0:
+            attention_s += self.attention_time(
+                decode_batch, max(decode_ctx, 1), "decode"
+            )
+        if prefill_tokens > 0:
+            seqs = max(prefill_seqs, 1)
+            chunk = max(ceil_div(prefill_tokens, seqs), 1)
+            attention_s += self.attention_time(seqs, chunk, "prefill")
+        return self._step(decode_batch + prefill_tokens, attention_s)
+
+
+def _bucket(value: int, size: int) -> int:
+    """Round ``value`` up to the next multiple of ``size`` (min ``size``)."""
+    return max(ceil_div(value, size), 1) * size
+
+
+class MemoizedStepCostModel:
+    """Bucketing cache around any :class:`StepCostModel`.
+
+    Long traces evaluate the step model at thousands of near-identical
+    (batch, context, chunk) points; this wrapper rounds decode contexts up
+    to ``ctx_bucket`` and batched token counts up to ``token_bucket`` before
+    delegating, so the expensive per-layer walk runs once per bucket.  The
+    rounding biases step times slightly *up* (never faster than exact), by
+    at most one bucket of tokens/context — keep buckets small relative to
+    typical contexts.  ``hits``/``misses`` expose cache effectiveness.
+    """
+
+    def __init__(
+        self,
+        inner: StepCostModel,
+        ctx_bucket: int = 64,
+        token_bucket: int = 16,
+    ):
+        if ctx_bucket <= 0 or token_bucket <= 0:
+            raise ConfigError("memoization buckets must be positive")
+        self.inner = inner
+        self.ctx_bucket = ctx_bucket
+        self.token_bucket = token_bucket
+        self.hits = 0
+        self.misses = 0
+        self._cache: dict[tuple, StepBreakdown] = {}
+
+    # Raw component queries pass straight through (exact).
+    def linear_time(self, n_tokens: int) -> tuple[float, int, float]:
+        """Delegate (exact)."""
+        return self.inner.linear_time(n_tokens)
+
+    def attention_time(self, batch: int, ctx: int, phase: str) -> float:
+        """Delegate (exact)."""
+        return self.inner.attention_time(batch, ctx, phase)
+
+    def elementwise_time(self, n_tokens: int) -> float:
+        """Delegate (exact)."""
+        return self.inner.elementwise_time(n_tokens)
+
+    def _lookup(self, key: tuple, compute) -> StepBreakdown:
+        found = self._cache.get(key)
+        if found is not None:
+            self.hits += 1
+        else:
+            self.misses += 1
+            found = compute()
+            self._cache[key] = found
+        # Copy on return: StepBreakdown.add() mutates in place, and a
+        # caller accumulating into a returned breakdown must not poison
+        # the cache.
+        return found.scaled(1.0)
+
+    def decode_step(self, batch: int, ctx: int) -> StepBreakdown:
+        """Decode step at the bucketed context."""
+        b_ctx = _bucket(ctx, self.ctx_bucket)
+        return self._lookup(
+            ("d", batch, b_ctx),
+            lambda: self.inner.decode_step(batch, b_ctx),
+        )
+
+    def prefill_step(self, batch: int, prompt_len: int) -> StepBreakdown:
+        """Prefill pass at the bucketed prompt length."""
+        b_len = _bucket(prompt_len, self.token_bucket)
+        return self._lookup(
+            ("p", batch, b_len),
+            lambda: self.inner.prefill_step(batch, b_len),
+        )
+
+    def mixed_step(
+        self,
+        decode_batch: int,
+        decode_ctx: int,
+        prefill_seqs: int,
+        prefill_tokens: int,
+    ) -> StepBreakdown:
+        """Mixed step with bucketed context and chunk size."""
+        b_ctx = _bucket(decode_ctx, self.ctx_bucket) if decode_batch else 0
+        b_tok = (
+            _bucket(prefill_tokens, self.token_bucket)
+            if prefill_tokens else 0
+        )
+        return self._lookup(
+            ("m", decode_batch, b_ctx, prefill_seqs, b_tok),
+            lambda: self.inner.mixed_step(
+                decode_batch, b_ctx, prefill_seqs, b_tok
+            ),
+        )

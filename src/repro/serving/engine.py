@@ -1,20 +1,25 @@
-"""The inference engine: turns kernel profiles into end-to-end serving time.
+"""The inference engine: a facade over the three-layer serving stack.
 
-Simulates the serving loop the paper benchmarks (§6.5): one prefill pass
-over the prompts, then ``output_len`` decode steps, each composed of
+The serving simulator is split into three decoupled subsystems:
 
-* **linear layers** — per backend: plain cuBLAS (vLLM/Transformers),
-  stage-aware TCA-TBE execution (ZipServ, §4.4), or decompress-before-every-
-  use (DFloat11);
-* **attention** — paged or eager, with the KV context growing every step;
-* **collectives** — two ring all-reduces per block under tensor parallelism;
-* **framework overhead** — per-kernel dispatch gaps plus a fixed per-step
-  cost.
+* **cost layer** (:mod:`repro.serving.costs`) — :class:`StepCostModel`
+  implementations owning the linear/attention/elementwise/dispatch math
+  (per backend: cuBLAS, stage-aware TCA-TBE, decompress-per-use), plus a
+  memoizing wrapper that buckets decode contexts for long traces;
+* **scheduling layer** (:mod:`repro.serving.scheduler`) — policy hierarchy
+  (FCFS / priority / SJF), chunked-prefill planning under
+  ``max_batched_tokens``, and recompute preemption when KV fills;
+* **serving core + metrics** (:mod:`repro.serving.serve`,
+  :mod:`repro.serving.metrics`) — the event-driven clock loop and the
+  TTFT/TPOT/percentile/SLO-goodput accounting.
 
-KV capacity is enforced through the real block allocator: when a batch's
-final context does not fit in the post-weights KV budget, the engine falls
-back to wave execution (vLLM's recompute-preemption, first-order), which is
-exactly how weight compression turns into throughput at long contexts.
+:class:`InferenceEngine` wires the three together for one
+(model, gpu, backend) triple and keeps the seed-era entry points stable:
+``run(...)`` for the paper's fixed-batch benchmarks (§6.5, with vLLM-style
+wave recompute when a batch's final context overflows KV) and
+``run_continuous(...)`` for the original group-prefill trace replay.  New
+serving scenarios go through :meth:`InferenceEngine.serve`, which exposes
+the full scheduler-policy / chunked-prefill / SLO surface.
 """
 
 from __future__ import annotations
@@ -23,64 +28,26 @@ from dataclasses import dataclass, field
 
 from ..errors import CapacityError, ConfigError
 from ..gpu.specs import GpuSpec
-from ..kernels.attention import (
-    eager_attention_decode,
-    eager_attention_prefill,
-    flash_attention_prefill,
-    paged_attention_decode,
-)
-from ..kernels.gemm import cublas_gemm
-from ..kernels.pipeline import decoupled_pipeline, stage_aware_linear
 from ..utils import ceil_div
 from .backends import BackendConfig
+from .costs import EngineCostModel, StepBreakdown
 from .kvcache import KVCacheSpec, PagedKVCache
 from .memory_plan import DEFAULT_GPU_MEM_UTIL, MemoryPlan, plan_memory
+from .metrics import ContinuousResult
 from .models import ModelSpec
-from .parallel import allreduce_time, shard_layer
 from .scheduler import (
-    ContinuousBatchScheduler,
     Request,
     SchedulerLimits,
     StaticBatchScheduler,
 )
-from .weights import estimate_layer_compression, layer_sigma
+from .serve import ServingConfig, ServingCore
 
-
-@dataclass
-class StepBreakdown:
-    """Time composition of one engine step (seconds)."""
-
-    linear_s: float = 0.0
-    attention_s: float = 0.0
-    comm_s: float = 0.0
-    other_s: float = 0.0
-    dispatch_s: float = 0.0
-
-    @property
-    def total_s(self) -> float:
-        """Wall time of the step."""
-        return (
-            self.linear_s + self.attention_s + self.comm_s
-            + self.other_s + self.dispatch_s
-        )
-
-    def scaled(self, factor: float) -> "StepBreakdown":
-        """Component-wise scaling (used for averaging)."""
-        return StepBreakdown(
-            linear_s=self.linear_s * factor,
-            attention_s=self.attention_s * factor,
-            comm_s=self.comm_s * factor,
-            other_s=self.other_s * factor,
-            dispatch_s=self.dispatch_s * factor,
-        )
-
-    def add(self, other: "StepBreakdown") -> None:
-        """Accumulate another breakdown."""
-        self.linear_s += other.linear_s
-        self.attention_s += other.attention_s
-        self.comm_s += other.comm_s
-        self.other_s += other.other_s
-        self.dispatch_s += other.dispatch_s
+__all__ = [
+    "InferenceEngine",
+    "ServeResult",
+    "StepBreakdown",
+    "ContinuousResult",
+]
 
 
 @dataclass
@@ -118,20 +85,6 @@ class ServeResult:
         return self.batch_size * self.output_len / self.total_s
 
 
-@dataclass
-class ContinuousResult:
-    """Outcome of a continuous-batching trace run."""
-
-    makespan_s: float
-    tokens_generated: int
-    throughput_tok_s: float
-    n_requests: int
-    n_steps: int
-    peak_running: int
-    latency_p50_s: float
-    latency_max_s: float
-
-
 class InferenceEngine:
     """Step-level serving simulator for one (model, gpu, backend) triple."""
 
@@ -154,14 +107,18 @@ class InferenceEngine:
                 " parallelism (use pipeline_parallel for device-map"
                 " sharding)"
             )
-        if kv_compression_ratio < 1.0:
-            raise ConfigError("kv_compression_ratio must be >= 1")
         self.model = model
         self.gpu = gpu
         self.backend = backend
         self.tp = tensor_parallel
         self.pp = pipeline_parallel
-        self.kv_ratio = float(kv_compression_ratio)
+        self.costs = EngineCostModel(
+            model, gpu, backend,
+            tensor_parallel=tensor_parallel,
+            pipeline_parallel=pipeline_parallel,
+            kv_compression_ratio=kv_compression_ratio,
+        )
+        self.kv_ratio = self.costs.kv_ratio
         self.plan = plan_memory(
             model, gpu, backend.weight_scheme, tensor_parallel,
             gpu_mem_util, pipeline_parallel=pipeline_parallel,
@@ -177,144 +134,32 @@ class InferenceEngine:
                 self.kv_spec.bytes_per_token / self.kv_ratio
             ))
             self.plan = replace(self.plan, kv_tokens=extra)
-        self._linear_cache: dict[tuple, tuple[float, int, float]] = {}
 
     # ------------------------------------------------------------------
-    # Component models
+    # Cost-layer facade (delegates to the step cost model)
     # ------------------------------------------------------------------
     def linear_time(self, n_tokens: int) -> tuple[float, int, float]:
         """(kernel seconds, op count, all-reduce seconds) for one pass."""
-        key = (n_tokens,)
-        if key in self._linear_cache:
-            return self._linear_cache[key]
-        total = 0.0
-        comm = 0.0
-        ops = 0
-        for layer in self.model.linear_layers():
-            layout = shard_layer(layer, self.tp)
-            sigma = layer_sigma(layer.kind, layout.m, layout.k)
-            if self.backend.linear_mode == "cublas":
-                profile = cublas_gemm(self.gpu, layout.m, layout.k, n_tokens)
-            elif self.backend.linear_mode == "stage_aware":
-                comp = estimate_layer_compression(
-                    layout.m, layout.k, sigma, "tcatbe"
-                )
-                profile = stage_aware_linear(
-                    self.gpu, layout.m, layout.k, n_tokens, comp
-                )
-            else:  # decoupled_per_use (DFloat11)
-                comp = estimate_layer_compression(
-                    layout.m, layout.k, sigma, "dfloat11"
-                )
-                profile = decoupled_pipeline(
-                    self.gpu, layout.m, layout.k, n_tokens, "dfloat11", comp
-                )
-            layer_time = profile.time_s + self.backend.per_layer_sync_s
-            total += layer_time * layer.count
-            ops += layer.count
-            if layout.needs_allreduce:
-                nbytes = 2.0 * n_tokens * self.model.hidden
-                comm += allreduce_time(self.gpu, nbytes, self.tp) * layer.count
-        result = (total / self.backend.e2e_bw_derate, ops, comm)
-        self._linear_cache[key] = result
-        return result
+        return self.costs.linear_time(n_tokens)
 
     def attention_time(self, batch: int, ctx: int, phase: str) -> float:
         """Per-step attention across all layers (one TP shard)."""
-        heads = max(1, self.model.n_heads // self.tp)
-        kv_heads = self.kv_spec.kv_heads
-        if phase == "decode":
-            if self.kv_ratio > 1.0 and self.backend.attention == "paged":
-                from ..extensions.kvcomp import (
-                    paged_attention_decode_compressed,
-                )
-
-                profile = paged_attention_decode_compressed(
-                    self.gpu, batch, ctx, heads, kv_heads,
-                    self.model.head_dim, ratio=self.kv_ratio,
-                )
-                return profile.time_s * self.model.n_layers
-            fn = (
-                paged_attention_decode
-                if self.backend.attention == "paged"
-                else eager_attention_decode
-            )
-            profile = fn(self.gpu, batch, ctx, heads, kv_heads,
-                         self.model.head_dim)
-        else:
-            fn = (
-                flash_attention_prefill
-                if self.backend.attention == "paged"
-                else eager_attention_prefill
-            )
-            profile = fn(self.gpu, batch, ctx, heads, kv_heads,
-                         self.model.head_dim)
-        return profile.time_s * self.model.n_layers
+        return self.costs.attention_time(batch, ctx, phase)
 
     def elementwise_time(self, n_tokens: int) -> float:
         """Norms, RoPE, activation and residual traffic per pass."""
-        h = self.model.hidden
-        inter = self.model.intermediate
-        per_layer = (
-            2 * (4.0 * n_tokens * h)          # two RMSNorms (read+write)
-            + 2.0 * n_tokens * (self.model.q_dim + self.model.kv_dim) * 2
-            + 6.0 * n_tokens * inter           # SiLU-mul over gate/up
-            + 2 * (6.0 * n_tokens * h)         # two residual adds
-        )
-        total_bytes = per_layer * self.model.n_layers / self.tp
-        total_bytes += 4.0 * n_tokens * h      # embedding + final norm
-        total_bytes *= self.backend.elementwise_pass_factor
-        bw = self.gpu.dram_bytes_per_s * 0.8
-        return total_bytes / bw
-
-    # ------------------------------------------------------------------
-    # Steps
-    # ------------------------------------------------------------------
-    def _pipeline_hop_time(self, n_tokens: int) -> float:
-        """Point-to-point activation transfers between pipeline stages."""
-        if self.pp <= 1:
-            return 0.0
-        nbytes = 2.0 * n_tokens * self.model.hidden
-        per_hop = nbytes / (self.gpu.interconnect_gbps * 1e9) + 20e-6
-        return (self.pp - 1) * per_hop
+        return self.costs.elementwise_time(n_tokens)
 
     def decode_step(self, batch: int, ctx: int) -> StepBreakdown:
         """Breakdown of one decode step at context length ``ctx``."""
-        linear_s, ops, comm_s = self.linear_time(batch)
-        comm_s += self._pipeline_hop_time(batch)
-        n_other = self.backend.other_ops_per_layer * self.model.n_layers
-        dispatch = (ops + n_other) * self.backend.dispatch_overhead_s
-        return StepBreakdown(
-            linear_s=linear_s,
-            attention_s=self.attention_time(batch, ctx, "decode"),
-            comm_s=comm_s,
-            other_s=(
-                self.elementwise_time(batch)
-                + self.backend.fixed_step_overhead_s
-            ),
-            dispatch_s=dispatch,
-        )
+        return self.costs.decode_step(batch, ctx)
 
     def prefill_step(self, batch: int, prompt_len: int) -> StepBreakdown:
         """Breakdown of the prefill pass."""
-        n_tokens = batch * prompt_len
-        linear_s, ops, comm_s = self.linear_time(n_tokens)
-        comm_s += self._pipeline_hop_time(n_tokens)
-        n_other = self.backend.other_ops_per_layer * self.model.n_layers
-        dispatch = (ops + n_other) * self.backend.dispatch_overhead_s
-        return StepBreakdown(
-            linear_s=linear_s,
-            attention_s=self.attention_time(batch, prompt_len, "prefill"),
-            comm_s=comm_s,
-            other_s=(
-                self.elementwise_time(n_tokens)
-                + self.backend.fixed_step_overhead_s
-            ),
-            dispatch_s=dispatch,
-        )
+        return self.costs.prefill_step(batch, prompt_len)
 
     # ------------------------------------------------------------------
-    # Runs
+    # Fixed-batch runs (the paper's §6.5 benchmark mode)
     # ------------------------------------------------------------------
     def max_wave_batch(self, final_ctx: int) -> int:
         """Largest concurrent batch whose final context fits in KV."""
@@ -406,68 +251,6 @@ class InferenceEngine:
         n_steps += sub_steps
         return prefill_s, decode_s, accum, n_steps
 
-    def run_continuous(
-        self,
-        requests: list[Request],
-        limits: SchedulerLimits | None = None,
-    ) -> "ContinuousResult":
-        """Serve a request trace with continuous batching (vLLM's mode).
-
-        Requests carry ``arrival_s`` timestamps; the engine advances a
-        simulated clock, admitting work FCFS under KV/batch limits, charging
-        a prefill pass for each admission group and one decode step per
-        iteration.  This is the serving mode in which the KV capacity freed
-        by weight compression turns into admissible concurrency.
-        """
-        if not requests:
-            raise ConfigError("run_continuous needs at least one request")
-        kv = PagedKVCache(self.kv_spec, self.plan.kv_bytes)
-        scheduler = ContinuousBatchScheduler(kv, limits)
-        pending = sorted(requests, key=lambda r: r.arrival_s)
-        clock = 0.0
-        n_steps = 0
-        peak_running = 0
-
-        while pending or scheduler.has_work:
-            while pending and pending[0].arrival_s <= clock:
-                scheduler.submit(pending.pop(0))
-            admitted = scheduler.admit()
-            if admitted:
-                prompt = max(r.prompt_len for r in admitted)
-                clock += self.prefill_step(len(admitted), prompt).total_s
-                for req in admitted:
-                    req.first_token_s = clock
-            if not scheduler.running:
-                if pending:
-                    clock = max(clock, pending[0].arrival_s)
-                    continue
-                break
-            batch = len(scheduler.running)
-            peak_running = max(peak_running, batch)
-            mean_ctx = int(
-                sum(r.context_len for r in scheduler.running) / batch
-            )
-            clock += self.decode_step(batch, max(mean_ctx, 1)).total_s
-            n_steps += 1
-            for req in scheduler.step():
-                if req.done:
-                    req.finish_s = clock
-
-        finished = scheduler.finished
-        tokens = sum(r.generated for r in finished)
-        latencies = sorted(r.finish_s - r.arrival_s for r in finished)
-        mid = len(latencies) // 2
-        return ContinuousResult(
-            makespan_s=clock,
-            tokens_generated=tokens,
-            throughput_tok_s=tokens / clock if clock > 0 else 0.0,
-            n_requests=len(finished),
-            n_steps=n_steps,
-            peak_running=peak_running,
-            latency_p50_s=latencies[mid],
-            latency_max_s=latencies[-1],
-        )
-
     def _run_wave(
         self, batch: int, prompt_len: int, output_len: int
     ) -> tuple[float, float, StepBreakdown]:
@@ -493,3 +276,48 @@ class InferenceEngine:
             scheduler.step()
             step_index += 1
         return prefill_s, decode_s, accum
+
+    # ------------------------------------------------------------------
+    # Trace serving (continuous batching)
+    # ------------------------------------------------------------------
+    def serve(
+        self,
+        requests: list[Request],
+        config: ServingConfig | None = None,
+        limits: SchedulerLimits | None = None,
+    ) -> ContinuousResult:
+        """Serve a request trace through the event-driven serving core.
+
+        The default :class:`~repro.serving.serve.ServingConfig` enables
+        chunked prefill under the FCFS policy; pass a config to pick a
+        policy (``"fcfs"`` / ``"priority"`` / ``"sjf"``), an SLO target, or
+        cost-model memoization.  ``limits`` overrides the config's
+        scheduler limits for convenience.
+        """
+        config = (config or ServingConfig()).with_limits(limits)
+        core = ServingCore(
+            self.costs, self.kv_spec, self.plan.kv_bytes, config
+        )
+        return core.serve(requests)
+
+    def run_continuous(
+        self,
+        requests: list[Request],
+        limits: SchedulerLimits | None = None,
+    ) -> ContinuousResult:
+        """Serve a request trace with continuous batching (vLLM's mode).
+
+        Seed-compatible facade: FCFS admission, one whole-prompt prefill
+        pass per admission group, one decode step per iteration — the mode
+        in which KV capacity freed by weight compression turns into
+        admissible concurrency.  The result now also carries interpolated
+        percentiles, TTFT/TPOT and SLO goodput; use :meth:`serve` for
+        chunked prefill and non-FCFS policies.
+        """
+        if not requests:
+            raise ConfigError("run_continuous needs at least one request")
+        return self.serve(
+            requests,
+            config=ServingConfig(policy="fcfs", prefill_mode="group"),
+            limits=limits,
+        )

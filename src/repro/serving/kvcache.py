@@ -142,6 +142,25 @@ class PagedKVCache:
             raise SchedulingError(f"unknown sequence {seq_id}")
         self._grow(seq_id, n_tokens)
 
+    def append_decode(self, seq_ids: list[int]) -> None:
+        """Append one token to each sequence (one decode iteration).
+
+        The batched form of :meth:`append_token` — one call per step
+        instead of one per sequence, which is the serving loop's hottest
+        allocator path.  Raises partway on exhaustion like the sequential
+        equivalent; callers that preempt first never hit that.
+        """
+        lengths = self._lengths
+        block = self.spec.block_size
+        for seq_id in seq_ids:
+            current = lengths.get(seq_id)
+            if current is None:
+                raise SchedulingError(f"unknown sequence {seq_id}")
+            if current % block:
+                lengths[seq_id] = current + 1
+            else:
+                self._grow(seq_id, 1)
+
     def free(self, seq_id: int) -> int:
         """Release a sequence; returns the number of blocks freed."""
         table = self._tables.pop(seq_id, None)
@@ -153,6 +172,14 @@ class PagedKVCache:
 
     # ------------------------------------------------------------------
     def _grow(self, seq_id: int, n_tokens: int) -> None:
+        if n_tokens == 1:
+            # Decode fast path: a token that fits in the sequence's last
+            # block needs no allocator work (this is every step of a long
+            # decode except one in ``block_size``).
+            current = self._lengths[seq_id]
+            if current % self.spec.block_size:
+                self._lengths[seq_id] = current + 1
+                return
         new_blocks = self.blocks_needed(seq_id, n_tokens)
         if new_blocks > len(self._free):
             raise CapacityError(

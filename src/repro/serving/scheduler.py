@@ -1,19 +1,29 @@
-"""Request scheduling: static batches (the paper's benchmark mode) and a
-continuous-batching scheduler (vLLM's normal operation).
+"""Request scheduling: static batches, policies, chunked prefill, preemption.
 
-The end-to-end experiments in §6.5 run fixed batches of identical requests;
-:class:`StaticBatchScheduler` reproduces that.  :class:`ContinuousBatch
-Scheduler` implements FCFS admission under KV-capacity and batch-size limits
-so the repo also covers the serving behaviour the freed KV memory enables
-(larger admissible batches -> higher throughput).
+The **scheduling layer** of the three-layer serving architecture
+(costs -> scheduling -> serving core).  Three pieces:
+
+* :class:`StaticBatchScheduler` — the paper's §6.5 benchmark mode: all
+  requests run together from prefill to the last token;
+* a **policy hierarchy** (:class:`FCFSPolicy`, :class:`PriorityPolicy`,
+  :class:`SJFPolicy`) deciding admission order and preemption victims;
+* :class:`ContinuousBatchScheduler` — vLLM-style continuous batching with
+  KV/batch admission limits, **chunked prefill** planning (prefill tokens
+  co-scheduled with decode tokens under ``max_batched_tokens``) and
+  **preempt-and-recompute** when the KV cache fills mid-decode (the evicted
+  request re-prefills its whole accumulated context on re-admission).
+
+Schedulers decide *what* runs each iteration; they never touch the clock.
+The serving core (:mod:`repro.serving.serve`) prices the plans against a
+cost model and advances time.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from ..errors import SchedulingError
+from ..errors import CapacityError, SchedulingError, UnknownSpecError
 from .kvcache import PagedKVCache
 
 
@@ -22,12 +32,18 @@ class RequestState(enum.Enum):
 
     WAITING = "waiting"
     RUNNING = "running"
+    PREEMPTED = "preempted"
     FINISHED = "finished"
 
 
-@dataclass
+@dataclass(eq=False)
 class Request:
-    """One generation request."""
+    """One generation request.
+
+    Identity semantics (``eq=False``): two requests are the same only if
+    they are the same object — queue membership tests must not confuse
+    distinct requests that happen to share field values.
+    """
 
     request_id: int
     prompt_len: int
@@ -37,6 +53,10 @@ class Request:
     generated: int = 0
     first_token_s: float | None = None
     finish_s: float | None = None
+    priority: int = 0
+    tenant: str = "default"
+    prefill_remaining: int = 0
+    n_preemptions: int = 0
 
     def __post_init__(self) -> None:
         if self.prompt_len <= 0:
@@ -48,6 +68,11 @@ class Request:
     def context_len(self) -> int:
         """Tokens currently in context (prompt + generated)."""
         return self.prompt_len + self.generated
+
+    @property
+    def remaining_tokens(self) -> int:
+        """Output tokens still to generate (the SJF job-size signal)."""
+        return self.max_new_tokens - self.generated
 
     @property
     def done(self) -> bool:
@@ -92,7 +117,101 @@ class StaticBatchScheduler:
         return self._prefilled and all(r.done for r in self.requests)
 
 
-@dataclass
+# ----------------------------------------------------------------------
+# Policies
+# ----------------------------------------------------------------------
+class SchedulerPolicy:
+    """Admission ordering + preemption-victim ordering.
+
+    Subclasses override the two key functions; the scheduler keeps the
+    head-of-line blocking discipline (no skips past a request the policy
+    ranked first), so a policy is exactly an ordering.
+    """
+
+    name = "base"
+
+    def waiting_key(self, req: Request):
+        """Sort key over the waiting queue (first = admitted first)."""
+        raise NotImplementedError
+
+    def victim_key(self, req: Request):
+        """Sort key over running requests (first = preempted first)."""
+        raise NotImplementedError
+
+    def order_waiting(self, waiting: list[Request]) -> list[Request]:
+        """The waiting queue in admission order."""
+        return sorted(waiting, key=self.waiting_key)
+
+    def order_victims(self, running: list[Request]) -> list[Request]:
+        """Running requests in preemption order."""
+        return sorted(running, key=self.victim_key)
+
+
+class FCFSPolicy(SchedulerPolicy):
+    """First come, first served; newest request is preempted first."""
+
+    name = "fcfs"
+
+    def waiting_key(self, req: Request):
+        return (req.arrival_s, req.request_id)
+
+    def victim_key(self, req: Request):
+        return (-req.arrival_s, -req.request_id)
+
+
+class PriorityPolicy(SchedulerPolicy):
+    """Higher ``Request.priority`` wins; ties break FCFS.
+
+    Preemption evicts the lowest-priority, youngest request first, so a
+    burst of high-priority traffic reclaims KV from background tenants.
+    """
+
+    name = "priority"
+
+    def waiting_key(self, req: Request):
+        return (-req.priority, req.arrival_s, req.request_id)
+
+    def victim_key(self, req: Request):
+        return (req.priority, -req.arrival_s, -req.request_id)
+
+
+class SJFPolicy(SchedulerPolicy):
+    """Shortest job first, by expected remaining service tokens.
+
+    Minimises mean latency on heavy-tailed length mixes; preemption evicts
+    the longest-remaining request first (it has the most left to lose
+    anyway under recompute).
+    """
+
+    name = "sjf"
+
+    def waiting_key(self, req: Request):
+        return (
+            req.prompt_len + req.remaining_tokens,
+            req.arrival_s,
+            req.request_id,
+        )
+
+    def victim_key(self, req: Request):
+        return (-req.remaining_tokens, -req.arrival_s, -req.request_id)
+
+
+POLICIES: dict[str, type[SchedulerPolicy]] = {
+    cls.name: cls for cls in (FCFSPolicy, PriorityPolicy, SJFPolicy)
+}
+
+
+def get_policy(policy: str | SchedulerPolicy) -> SchedulerPolicy:
+    """Resolve a policy by name (case-insensitive) or pass one through."""
+    if isinstance(policy, SchedulerPolicy):
+        return policy
+    key = str(policy).lower()
+    if key not in POLICIES:
+        raise UnknownSpecError("scheduler policy", policy, list(POLICIES))
+    return POLICIES[key]()
+
+
+@dataclass(frozen=True)
 class SchedulerLimits:
     """Admission limits (vLLM-style)."""
 
@@ -100,15 +219,73 @@ class SchedulerLimits:
     max_batched_tokens: int = 8192
 
 
-class ContinuousBatchScheduler:
-    """FCFS continuous batching under KV and batch limits."""
+@dataclass
+class StepPlan:
+    """One iteration's work: prefill chunks co-scheduled with decode."""
 
-    def __init__(self, kv: PagedKVCache, limits: SchedulerLimits | None = None):
+    prefill: list[tuple[Request, int]] = field(default_factory=list)
+    decode: list[Request] = field(default_factory=list)
+    #: Sum of the decode set's context lengths (for the mean-ctx charge).
+    decode_ctx_sum: int = 0
+
+    @property
+    def mean_decode_ctx(self) -> int:
+        """Mean context of the decode set (0 when none decode)."""
+        if not self.decode:
+            return 0
+        return int(self.decode_ctx_sum / len(self.decode))
+
+    def drop(self, victims: list[Request]) -> None:
+        """Remove preempted requests from the plan (rare path)."""
+        gone = set(id(v) for v in victims)
+        self.prefill = [
+            (r, c) for r, c in self.prefill if id(r) not in gone
+        ]
+        self.decode = [r for r in self.decode if id(r) not in gone]
+        self.decode_ctx_sum = sum(r.context_len for r in self.decode)
+
+    @property
+    def n_prefill_tokens(self) -> int:
+        """Prompt tokens processed this step."""
+        return sum(chunk for _, chunk in self.prefill)
+
+    @property
+    def n_prefill_seqs(self) -> int:
+        """Sequences receiving a prefill chunk this step."""
+        return len(self.prefill)
+
+    @property
+    def n_decode_tokens(self) -> int:
+        """Decode tokens (one per decoding sequence) this step."""
+        return len(self.decode)
+
+    @property
+    def n_batched_tokens(self) -> int:
+        """Total batched tokens (the ``max_batched_tokens`` consumption)."""
+        return self.n_prefill_tokens + self.n_decode_tokens
+
+    @property
+    def empty(self) -> bool:
+        return not self.prefill and not self.decode
+
+
+class ContinuousBatchScheduler:
+    """Continuous batching under KV and batch limits, policy-ordered."""
+
+    def __init__(
+        self,
+        kv: PagedKVCache,
+        limits: SchedulerLimits | None = None,
+        policy: str | SchedulerPolicy = "fcfs",
+    ):
         self.kv = kv
         self.limits = limits or SchedulerLimits()
+        self.policy = get_policy(policy)
         self.waiting: list[Request] = []
         self.running: list[Request] = []
         self.finished: list[Request] = []
+        self.n_preemptions = 0
+        self._waiting_dirty = False
 
     def submit(self, request: Request) -> None:
         """Queue a new request."""
@@ -117,28 +294,179 @@ class ContinuousBatchScheduler:
                 f"request {request.request_id} is {request.state}"
             )
         self.waiting.append(request)
+        self._waiting_dirty = True
 
-    def admit(self) -> list[Request]:
-        """Admit waiting requests while capacity allows (FCFS, no skips)."""
+    def admit(self, enforce_token_budget: bool = True) -> list[Request]:
+        """Admit waiting requests while capacity allows (no queue skips).
+
+        The waiting queue is ranked by the policy; admission stops at the
+        first request that does not fit (head-of-line blocking), so the
+        policy's favourite is never starved by smaller requests behind it.
+        A (re-)admitted request owes a prefill pass over its whole
+        accumulated context — ``prompt_len`` for fresh requests, plus the
+        already-generated tokens after a recompute preemption.
+
+        ``enforce_token_budget`` caps one admission round's prompt tokens at
+        ``max_batched_tokens`` (group-prefill mode, where the whole group
+        prefills in a single pass).  Chunked prefill passes ``False``: the
+        step planner spreads any prompt across iterations, so a prompt
+        larger than the step budget must not block the queue forever.
+        Previously-preempted requests are exempt from the budget check even
+        in group mode — their accumulated context can legitimately exceed
+        it, and a request that was admitted once must stay re-admittable
+        or it (and everything queued behind it) is silently stranded.
+        """
+        if self._waiting_dirty:
+            self.waiting = self.policy.order_waiting(self.waiting)
+            self._waiting_dirty = False
         admitted = []
         budget = self.limits.max_batched_tokens
         while self.waiting:
             head = self.waiting[0]
+            restart_len = head.context_len
             if len(self.running) >= self.limits.max_num_seqs:
                 break
-            if head.prompt_len > budget:
+            if (
+                enforce_token_budget
+                and head.n_preemptions == 0
+                and restart_len > budget
+            ):
                 break
-            # Reserve prompt KV plus one decode block of headroom.
-            if not self.kv.can_allocate(None, head.prompt_len + 1):
+            # Reserve context KV plus one decode block of headroom.
+            if not self.kv.can_allocate(None, restart_len + 1):
                 break
             self.waiting.pop(0)
-            self.kv.allocate(head.request_id, head.prompt_len)
+            self.kv.allocate(head.request_id, restart_len)
             head.state = RequestState.RUNNING
-            budget -= head.prompt_len
+            head.prefill_remaining = restart_len
+            if enforce_token_budget:
+                budget -= restart_len
             self.running.append(head)
             admitted.append(head)
         return admitted
 
+    # ------------------------------------------------------------------
+    # Chunked prefill
+    # ------------------------------------------------------------------
+    def plan_step(self, max_batched_tokens: int | None = None) -> StepPlan:
+        """Co-schedule decode tokens and prefill chunks for one iteration.
+
+        Decode is prioritised (each decoding sequence takes one token of
+        budget); leftover budget is handed to still-prefilling sequences in
+        admission order, each receiving a chunk of at most its remaining
+        prompt.  This replaces the whole-group ``max(prompt_len)`` prefill
+        charge with vLLM-style token-level co-scheduling.
+        """
+        budget = (
+            max_batched_tokens
+            if max_batched_tokens is not None
+            else self.limits.max_batched_tokens
+        )
+        decode: list[Request] = []
+        ctx_sum = 0
+        for req in self.running:
+            if req.prefill_remaining == 0 and len(decode) < budget:
+                decode.append(req)
+                ctx_sum += req.context_len
+        budget -= len(decode)
+        prefill: list[tuple[Request, int]] = []
+        for req in self.running:
+            if budget <= 0:
+                break
+            if req.prefill_remaining <= 0:
+                continue
+            chunk = min(req.prefill_remaining, budget)
+            prefill.append((req, chunk))
+            budget -= chunk
+        return StepPlan(prefill=prefill, decode=decode, decode_ctx_sum=ctx_sum)
+
+    def apply_step(self, plan: StepPlan, clock: float) -> list[Request]:
+        """Commit one planned iteration at post-step time ``clock``.
+
+        Prefill chunks advance ``prefill_remaining``; a sequence whose
+        prefill completes this step produced its first token (TTFT stamp).
+        Decoding sequences append one token each and finish when done.
+        Returns the requests that finished this step.
+        """
+        for req, chunk in plan.prefill:
+            if chunk <= 0 or chunk > req.prefill_remaining:
+                raise SchedulingError(
+                    f"bad prefill chunk {chunk} for request"
+                    f" {req.request_id}"
+                )
+            req.prefill_remaining -= chunk
+            if req.prefill_remaining == 0 and req.first_token_s is None:
+                req.first_token_s = clock
+        self.kv.append_decode([req.request_id for req in plan.decode])
+        done = []
+        for req in plan.decode:
+            req.generated += 1
+            if req.done:
+                req.state = RequestState.FINISHED
+                req.finish_s = clock
+                self.kv.free(req.request_id)
+                self.running.remove(req)
+                self.finished.append(req)
+                done.append(req)
+        return done
+
+    # ------------------------------------------------------------------
+    # Preemption
+    # ------------------------------------------------------------------
+    def preempt(self, req: Request) -> None:
+        """Evict a running request (recompute-style).
+
+        Its KV blocks are freed and it rejoins the waiting queue; on
+        re-admission it re-prefills prompt + already-generated tokens
+        (vLLM's recompute preemption, the §6.5 mechanism by which freed KV
+        memory buys throughput).
+        """
+        if req not in self.running:
+            raise SchedulingError(
+                f"request {req.request_id} is not running"
+            )
+        self.kv.free(req.request_id)
+        self.running.remove(req)
+        req.state = RequestState.PREEMPTED
+        req.prefill_remaining = 0
+        req.n_preemptions += 1
+        self.n_preemptions += 1
+        self.waiting.append(req)
+        self._waiting_dirty = True
+
+    def ensure_decode_capacity(self, decode: list[Request]) -> list[Request]:
+        """Preempt until every request in ``decode`` can append one token.
+
+        Victims are chosen by the policy, never from requests that already
+        cannot be preempted without emptying the running set.  Returns the
+        preempted requests; ``decode`` is pruned in place as victims fall
+        out of it.
+        """
+        preempted: list[Request] = []
+        while True:
+            # Each sequence needs at most one new block per token, so a
+            # free-block count covering the whole set settles it without
+            # the per-sequence walk.
+            if self.kv.free_blocks >= len(decode):
+                return preempted
+            needed = sum(
+                self.kv.blocks_needed(r.request_id, 1) for r in decode
+            )
+            if needed <= self.kv.free_blocks:
+                return preempted
+            if len(self.running) <= 1:
+                raise CapacityError(
+                    "KV cache cannot grow the last running request"
+                )
+            victim = self.policy.order_victims(self.running)[0]
+            self.preempt(victim)
+            if victim in decode:
+                decode.remove(victim)
+            preempted.append(victim)
+
+    # ------------------------------------------------------------------
+    # Legacy single-token stepping (group-prefill mode, seed behaviour)
+    # ------------------------------------------------------------------
     def step(self) -> list[Request]:
         """One decode step over the running set."""
         stepped = []

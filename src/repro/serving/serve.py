@@ -1,0 +1,276 @@
+"""The serving core: an event-driven loop over cost + scheduling layers.
+
+Top of the three-layer serving architecture.  :class:`ServingCore` owns the
+simulated clock and nothing else: each iteration it asks the scheduler what
+to run (admission, chunked-prefill planning, preemption when KV fills),
+prices the plan with a :class:`~repro.serving.costs.StepCostModel`, advances
+time, and commits the plan.  When no work is runnable it jumps the clock to
+the next arrival — event-driven, no idle ticking.
+
+Two prefill modes:
+
+* ``"group"`` — the seed engine's behaviour, kept bit-compatible for the
+  ``InferenceEngine.run_continuous`` facade: each admission group pays one
+  whole-prompt prefill pass at ``max(prompt_len)``;
+* ``"chunked"`` — vLLM-style chunked prefill: prompt tokens are
+  co-scheduled with decode tokens under ``max_batched_tokens``, so decode
+  latency is never held hostage by a long prompt.
+
+Results carry the full metrics picture (TTFT/TPOT, interpolated
+percentiles, SLO goodput) via :mod:`repro.serving.metrics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..errors import ConfigError
+from ..utils import ceil_div
+from .costs import MemoizedStepCostModel, StepCostModel
+from .kvcache import KVCacheSpec, PagedKVCache
+from .metrics import ContinuousResult, SLOTarget
+from .scheduler import (
+    ContinuousBatchScheduler,
+    Request,
+    RequestState,
+    SchedulerLimits,
+    SchedulerPolicy,
+    get_policy,
+)
+
+PREFILL_MODES = ("group", "chunked")
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """How the serving core schedules and accounts a trace run."""
+
+    policy: str | SchedulerPolicy = "fcfs"
+    prefill_mode: str = "chunked"
+    limits: SchedulerLimits = field(default_factory=SchedulerLimits)
+    slo: SLOTarget = field(default_factory=SLOTarget)
+    #: 0 disables cost memoization; > 0 buckets decode contexts (and
+    #: prefill chunks, at a quarter of the size) to that many tokens.
+    cost_bucket: int = 0
+    preemption: bool = True
+
+    def __post_init__(self) -> None:
+        if self.prefill_mode not in PREFILL_MODES:
+            raise ConfigError(
+                f"prefill_mode must be one of {PREFILL_MODES},"
+                f" got {self.prefill_mode!r}"
+            )
+        if self.cost_bucket < 0:
+            raise ConfigError("cost_bucket must be >= 0")
+
+    def with_limits(self, limits: SchedulerLimits | None) -> "ServingConfig":
+        """A copy with ``limits`` swapped in (if given)."""
+        return self if limits is None else replace(self, limits=limits)
+
+
+class ServingCore:
+    """Event-driven continuous-batching simulator."""
+
+    def __init__(
+        self,
+        costs: StepCostModel,
+        kv_spec: KVCacheSpec,
+        kv_bytes: float,
+        config: ServingConfig | None = None,
+    ):
+        self.config = config or ServingConfig()
+        if self.config.cost_bucket > 0:
+            costs = MemoizedStepCostModel(
+                costs,
+                ctx_bucket=self.config.cost_bucket,
+                token_bucket=max(1, self.config.cost_bucket // 4),
+            )
+        self.costs = costs
+        self.kv_spec = kv_spec
+        self.kv_bytes = kv_bytes
+
+    # ------------------------------------------------------------------
+    def serve(self, requests: list[Request]) -> ContinuousResult:
+        """Replay a request trace; returns the full metrics picture."""
+        if not requests:
+            raise ConfigError("serve needs at least one request")
+        kv = PagedKVCache(self.kv_spec, self.kv_bytes)
+        scheduler = ContinuousBatchScheduler(
+            kv, self.config.limits, self.config.policy
+        )
+        pending = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
+        if self.config.prefill_mode == "group":
+            clock, n_steps, peak = self._serve_group(scheduler, pending)
+        else:
+            clock, n_steps, peak = self._serve_chunked(scheduler, pending)
+        return ContinuousResult.from_run(
+            scheduler.finished,
+            makespan_s=clock,
+            n_steps=n_steps,
+            peak_running=peak,
+            slo=self.config.slo,
+            n_preemptions=scheduler.n_preemptions,
+            policy=scheduler.policy.name,
+            prefill_mode=self.config.prefill_mode,
+        )
+
+    # ------------------------------------------------------------------
+    def _serve_group(
+        self,
+        scheduler: ContinuousBatchScheduler,
+        pending: list[Request],
+    ) -> tuple[float, int, int]:
+        """Seed-compatible loop: whole-prompt prefill per admission group."""
+        clock = 0.0
+        n_steps = 0
+        peak_running = 0
+        while pending or scheduler.has_work:
+            while pending and pending[0].arrival_s <= clock:
+                scheduler.submit(pending.pop(0))
+            admitted = scheduler.admit()
+            if admitted:
+                prompt = max(r.prefill_remaining for r in admitted)
+                clock += self.costs.prefill_step(
+                    len(admitted), prompt
+                ).total_s
+                for req in admitted:
+                    req.prefill_remaining = 0
+                    if req.first_token_s is None:
+                        req.first_token_s = clock
+            if not scheduler.running:
+                if pending:
+                    clock = max(clock, pending[0].arrival_s)
+                    continue
+                break
+            if self.config.preemption:
+                scheduler.ensure_decode_capacity(list(scheduler.running))
+            batch = len(scheduler.running)
+            peak_running = max(peak_running, batch)
+            mean_ctx = int(
+                sum(r.context_len for r in scheduler.running) / batch
+            )
+            clock += self.costs.decode_step(batch, max(mean_ctx, 1)).total_s
+            n_steps += 1
+            for req in scheduler.step():
+                if req.done:
+                    req.finish_s = clock
+        return clock, n_steps, peak_running
+
+    # ------------------------------------------------------------------
+    def _serve_chunked(
+        self,
+        scheduler: ContinuousBatchScheduler,
+        pending: list[Request],
+    ) -> tuple[float, int, int]:
+        """Chunked-prefill loop: prompt and decode tokens share the budget."""
+        clock = 0.0
+        n_steps = 0
+        peak_running = 0
+        while pending or scheduler.has_work:
+            while pending and pending[0].arrival_s <= clock:
+                scheduler.submit(pending.pop(0))
+            scheduler.admit(enforce_token_budget=False)
+            plan = scheduler.plan_step()
+            if self.config.preemption and plan.decode:
+                victims = scheduler.ensure_decode_capacity(plan.decode)
+                if victims:
+                    plan.drop(victims)
+            if plan.empty:
+                if pending:
+                    clock = max(clock, pending[0].arrival_s)
+                    continue
+                break
+            peak_running = max(peak_running, len(scheduler.running))
+            breakdown = self.costs.mixed_step(
+                len(plan.decode),
+                max(plan.mean_decode_ctx, 1),
+                plan.n_prefill_seqs,
+                plan.n_prefill_tokens,
+            )
+            k = self._decode_window(scheduler, plan, pending, clock,
+                                    breakdown.total_s)
+            if k > 1:
+                clock += breakdown.total_s * k
+                n_steps += k
+                self._apply_window(scheduler, plan, k, clock)
+            else:
+                clock += breakdown.total_s
+                n_steps += 1
+                scheduler.apply_step(plan, clock)
+        return clock, n_steps, peak_running
+
+    # ------------------------------------------------------------------
+    # Fast-forward over identical decode steps
+    # ------------------------------------------------------------------
+    def _decode_window(
+        self,
+        scheduler: ContinuousBatchScheduler,
+        plan,
+        pending: list[Request],
+        clock: float,
+        step_s: float,
+    ) -> int:
+        """Steps the current decode-only plan can repeat unchanged.
+
+        Only meaningful with bucketed costs (``cost_bucket > 0``): inside a
+        context bucket every decode step of a stable batch prices
+        identically, so the loop may advance ``k`` steps in one shot.  The
+        window ends at the first event that would change the plan or its
+        price: a request finishing, a pending arrival, the mean context
+        crossing a bucket edge, or KV needing more blocks than are free
+        (conservative — fall back to stepping so preemption logic runs).
+        Exact costs (``cost_bucket == 0``) always step one at a time, since
+        every step then prices differently.
+
+        A non-empty waiting queue does not end the window: admission was
+        just attempted and blocked, and with no arrivals, finishes or
+        frees inside the window the blocker (sequence slots, or free KV
+        which only shrinks while decode grows) persists until the window's
+        last step — exactly when the stepwise loop would next admit.
+        """
+        bucket = self.config.cost_bucket
+        if (
+            bucket <= 0
+            or plan.prefill
+            or not plan.decode
+            or len(plan.decode) != len(scheduler.running)
+        ):
+            return 1
+        k = min(r.remaining_tokens for r in plan.decode)
+        mean_ctx = max(plan.mean_decode_ctx, 1)
+        k = min(k, ceil_div(mean_ctx, bucket) * bucket - mean_ctx + 1)
+        if pending and step_s > 0:
+            gap = pending[0].arrival_s - clock
+            k = min(k, max(1, int(gap / step_s)))
+        if k > 1:
+            kv = scheduler.kv
+            needed = sum(
+                kv.blocks_needed(r.request_id, k) for r in plan.decode
+            )
+            if needed > kv.free_blocks:
+                return 1
+        return k
+
+    @staticmethod
+    def _apply_window(
+        scheduler: ContinuousBatchScheduler,
+        plan,
+        k: int,
+        clock: float,
+    ) -> None:
+        """Commit ``k`` identical decode steps at post-window time ``clock``.
+
+        ``k`` never exceeds the smallest remaining-token count, so only
+        requests finishing exactly at the window's last step finish — with
+        the same ``finish_s`` the stepwise loop would have stamped.
+        """
+        kv = scheduler.kv
+        for req in plan.decode:
+            kv.append_token(req.request_id, k)
+            req.generated += k
+            if req.done:
+                req.state = RequestState.FINISHED
+                req.finish_s = clock
+                kv.free(req.request_id)
+                scheduler.running.remove(req)
+                scheduler.finished.append(req)

@@ -4,6 +4,12 @@ Serving benchmarks beyond fixed batches need request traces; this module
 generates them with the usual shape assumptions: Poisson arrivals and
 log-normal prompt/output lengths (heavy-tailed, like real chat traffic).
 Everything is seeded for reproducibility.
+
+Two generators: :func:`poisson_trace` (one homogeneous stream) and
+:func:`multi_tenant_trace` (several streams with per-tenant arrival rates,
+length mixes and priorities — the priority scheduler's natural workload).
+Both take an explicit ``start_at`` time origin instead of silently
+rewriting the first arrival.
 """
 
 from __future__ import annotations
@@ -48,22 +54,48 @@ DEFAULT_PROMPTS = LengthDistribution(mean=256, cv=0.8, minimum=16, maximum=2048)
 DEFAULT_OUTPUTS = LengthDistribution(mean=192, cv=1.0, minimum=8, maximum=1024)
 
 
+def _poisson_arrivals(
+    n: int,
+    rate_rps: float,
+    rng: np.random.Generator,
+    start_at: float | None,
+) -> np.ndarray:
+    """Cumulative exponential gaps, optionally re-anchored to ``start_at``.
+
+    ``start_at=None`` keeps the raw process (the first request arrives one
+    exponential gap after time zero); a number shifts the whole stream so
+    the first arrival lands exactly there, preserving every gap.
+    """
+    arrivals = np.cumsum(rng.exponential(1.0 / rate_rps, size=n))
+    if start_at is not None:
+        arrivals += start_at - arrivals[0]
+    return arrivals
+
+
 def poisson_trace(
     n_requests: int,
     rate_rps: float,
     prompts: LengthDistribution = DEFAULT_PROMPTS,
     outputs: LengthDistribution = DEFAULT_OUTPUTS,
     seed: int = 0,
+    start_at: float | None = 0.0,
 ) -> list[Request]:
-    """Generate ``n_requests`` with Poisson arrivals at ``rate_rps``."""
+    """Generate ``n_requests`` with Poisson arrivals at ``rate_rps``.
+
+    ``start_at`` is the explicit time origin: the whole arrival stream is
+    shifted so the first request arrives at that instant (default 0.0),
+    preserving every inter-arrival gap.  Note this differs from the seed's
+    hidden ``arrivals[0] = 0.0`` rewrite, which collapsed only the first
+    gap and left later arrivals in place — same-seed traces therefore have
+    slightly earlier absolute arrivals than the seed's.  Pass ``None`` to
+    keep the unshifted Poisson process.
+    """
     if n_requests <= 0:
         raise ConfigError("need at least one request")
     if rate_rps <= 0:
         raise ConfigError("arrival rate must be positive")
     rng = np.random.default_rng(seed)
-    gaps = rng.exponential(1.0 / rate_rps, size=n_requests)
-    arrivals = np.cumsum(gaps)
-    arrivals[0] = 0.0  # the first request opens the trace
+    arrivals = _poisson_arrivals(n_requests, rate_rps, rng, start_at)
     prompt_lens = prompts.sample(n_requests, rng)
     output_lens = outputs.sample(n_requests, rng)
     return [
@@ -74,6 +106,90 @@ def poisson_trace(
             arrival_s=float(arrivals[i]),
         )
         for i in range(n_requests)
+    ]
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's traffic: arrival rate, length mix, priority."""
+
+    rate_rps: float
+    n_requests: int
+    prompts: LengthDistribution = DEFAULT_PROMPTS
+    outputs: LengthDistribution = DEFAULT_OUTPUTS
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rate_rps <= 0:
+            raise ConfigError("tenant arrival rate must be positive")
+        if self.n_requests <= 0:
+            raise ConfigError("tenant needs at least one request")
+
+
+#: An interactive chat tenant plus a bulk batch tenant — the canonical
+#: priority-scheduling scenario (short urgent vs long background work).
+DEFAULT_TENANTS: dict[str, TenantSpec] = {
+    "chat": TenantSpec(
+        rate_rps=8.0,
+        n_requests=32,
+        prompts=LengthDistribution(mean=128, cv=0.6, minimum=16, maximum=512),
+        outputs=LengthDistribution(mean=96, cv=0.8, minimum=8, maximum=384),
+        priority=1,
+    ),
+    "batch": TenantSpec(
+        rate_rps=2.0,
+        n_requests=8,
+        prompts=LengthDistribution(mean=768, cv=0.5, minimum=128,
+                                   maximum=2048),
+        outputs=LengthDistribution(mean=384, cv=0.6, minimum=64,
+                                   maximum=1024),
+        priority=0,
+    ),
+}
+
+
+def multi_tenant_trace(
+    tenants: dict[str, TenantSpec] | None = None,
+    seed: int = 0,
+    start_at: float | None = 0.0,
+) -> list[Request]:
+    """Merge per-tenant Poisson streams into one trace.
+
+    Each tenant gets its own arrival process and length distributions; the
+    merged trace is sorted by arrival time and re-numbered, with every
+    request tagged with its tenant name and priority (what the priority
+    scheduler keys on).  ``start_at`` anchors the earliest arrival across
+    all tenants (``None`` keeps the raw processes).
+    """
+    tenants = tenants if tenants is not None else DEFAULT_TENANTS
+    if not tenants:
+        raise ConfigError("need at least one tenant")
+    rng = np.random.default_rng(seed)
+    drafts: list[tuple[float, str, int, int, TenantSpec]] = []
+    for name in sorted(tenants):
+        spec = tenants[name]
+        arrivals = _poisson_arrivals(
+            spec.n_requests, spec.rate_rps, rng, start_at=None
+        )
+        prompt_lens = spec.prompts.sample(spec.n_requests, rng)
+        output_lens = spec.outputs.sample(spec.n_requests, rng)
+        for i in range(spec.n_requests):
+            drafts.append((
+                float(arrivals[i]), name, int(prompt_lens[i]),
+                int(output_lens[i]), spec,
+            ))
+    drafts.sort(key=lambda d: d[0])
+    shift = start_at - drafts[0][0] if start_at is not None else 0.0
+    return [
+        Request(
+            request_id=i,
+            prompt_len=prompt,
+            max_new_tokens=output,
+            arrival_s=arrival + shift,
+            tenant=name,
+            priority=spec.priority,
+        )
+        for i, (arrival, name, prompt, output, spec) in enumerate(drafts)
     ]
 
 

@@ -1,0 +1,164 @@
+"""Tests for the serving-metrics layer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.serving.metrics import (
+    ContinuousResult,
+    LatencySummary,
+    RequestTiming,
+    ServingMetrics,
+    SLOTarget,
+    collect_timings,
+    percentile,
+)
+from repro.serving.scheduler import Request
+
+
+def timing(ttft=0.1, tpot=0.02, n=10, arrival=0.0, **kw) -> RequestTiming:
+    first = arrival + ttft
+    return RequestTiming(
+        request_id=kw.pop("request_id", 0),
+        arrival_s=arrival,
+        first_token_s=first,
+        finish_s=first + tpot * (n - 1),
+        n_tokens=n,
+        **kw,
+    )
+
+
+class TestPercentile:
+    def test_matches_numpy_linear(self):
+        rng = np.random.default_rng(0)
+        values = list(rng.uniform(0, 10, size=37))
+        for q in (0, 25, 50, 90, 95, 99, 100):
+            assert percentile(values, q) == pytest.approx(
+                float(np.percentile(values, q))
+            )
+
+    def test_interpolates_even_count(self):
+        # The seed's latencies[len // 2] would give 3.0 here; true p50 is 2.5.
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == pytest.approx(2.5)
+
+    def test_single_value(self):
+        assert percentile([7.0], 95) == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            percentile([], 50)
+
+    def test_bad_q_rejected(self):
+        with pytest.raises(ConfigError):
+            percentile([1.0], 150)
+
+
+class TestLatencySummary:
+    def test_ordering(self):
+        s = LatencySummary.from_values([float(i) for i in range(1, 101)])
+        assert s.p50_s <= s.p90_s <= s.p95_s <= s.p99_s <= s.max_s
+        assert s.n == 100
+        assert s.mean_s == pytest.approx(50.5)
+
+    def test_empty_is_zero(self):
+        s = LatencySummary.from_values([])
+        assert s.n == 0 and s.max_s == 0.0
+
+
+class TestRequestTiming:
+    def test_derived_metrics(self):
+        t = RequestTiming(request_id=1, arrival_s=1.0, first_token_s=1.5,
+                          finish_s=3.5, n_tokens=5)
+        assert t.ttft_s == pytest.approx(0.5)
+        assert t.tpot_s == pytest.approx(0.5)
+        assert t.e2e_s == pytest.approx(2.5)
+
+    def test_single_token_tpot_zero(self):
+        t = RequestTiming(request_id=1, arrival_s=0.0, first_token_s=0.5,
+                          finish_s=0.5, n_tokens=1)
+        assert t.tpot_s == 0.0
+
+    def test_slo(self):
+        slo = SLOTarget(ttft_s=1.0, tpot_s=0.1)
+        assert timing(ttft=0.5, tpot=0.05).meets(slo)
+        assert not timing(ttft=1.5, tpot=0.05).meets(slo)
+        assert not timing(ttft=0.5, tpot=0.2).meets(slo)
+
+    def test_slo_validation(self):
+        with pytest.raises(ConfigError):
+            SLOTarget(ttft_s=0.0)
+
+
+class TestCollectTimings:
+    def test_skips_unfinished(self):
+        done = Request(0, 16, 4, arrival_s=0.0)
+        done.generated = 4
+        done.first_token_s = 0.1
+        done.finish_s = 0.5
+        half = Request(1, 16, 4)
+        rows = collect_timings([done, half])
+        assert [t.request_id for t in rows] == [0]
+        assert rows[0].n_tokens == 4
+
+    def test_carries_tenant_and_priority(self):
+        req = Request(0, 16, 4, tenant="chat", priority=3)
+        req.generated = 4
+        req.first_token_s = 0.1
+        req.finish_s = 0.5
+        row = collect_timings([req])[0]
+        assert row.tenant == "chat" and row.priority == 3
+
+
+class TestServingMetrics:
+    def test_goodput_counts_only_slo_met(self):
+        slo = SLOTarget(ttft_s=1.0, tpot_s=0.1)
+        rows = [timing(ttft=0.5, request_id=0),
+                timing(ttft=2.0, request_id=1),
+                timing(ttft=0.2, request_id=2)]
+        m = ServingMetrics.from_timings(rows, makespan_s=10.0, slo=slo)
+        assert m.slo_attainment == pytest.approx(2 / 3)
+        assert m.goodput_rps == pytest.approx(0.2)
+        assert m.goodput_tok_s == pytest.approx(2.0)
+
+    def test_empty_guarded(self):
+        m = ServingMetrics.from_timings([], makespan_s=5.0)
+        assert m.slo_attainment == 0.0 and m.goodput_rps == 0.0
+
+
+class TestContinuousResult:
+    def test_from_run_empty_finished_guarded(self):
+        result = ContinuousResult.from_run(
+            [], makespan_s=1.0, n_steps=0, peak_running=0
+        )
+        assert result.n_requests == 0
+        assert result.latency_p50_s == 0.0
+        assert result.throughput_tok_s == 0.0
+
+    def test_interpolated_p50(self):
+        reqs = []
+        for i, lat in enumerate((1.0, 2.0, 3.0, 4.0)):
+            r = Request(i, 16, 4, arrival_s=0.0)
+            r.generated = 4
+            r.first_token_s = 0.1
+            r.finish_s = lat
+            reqs.append(r)
+        result = ContinuousResult.from_run(
+            reqs, makespan_s=4.0, n_steps=4, peak_running=4
+        )
+        # Interpolated, not the seed's latencies[len // 2] (== 3.0).
+        assert result.latency_p50_s == pytest.approx(2.5)
+        assert result.latency_max_s == pytest.approx(4.0)
+
+    def test_tenant_timings_filter(self):
+        reqs = []
+        for i, tenant in enumerate(("chat", "batch", "chat")):
+            r = Request(i, 16, 2, tenant=tenant)
+            r.generated = 2
+            r.first_token_s = 0.1
+            r.finish_s = 1.0
+            reqs.append(r)
+        result = ContinuousResult.from_run(
+            reqs, makespan_s=1.0, n_steps=2, peak_running=3
+        )
+        assert len(result.tenant_timings("chat")) == 2
+        assert len(result.tenant_timings("batch")) == 1

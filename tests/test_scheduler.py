@@ -147,3 +147,179 @@ class TestContinuous:
         sched.admit()
         with pytest.raises(SchedulingError):
             sched.submit(r)
+
+
+class TestPolicies:
+    def test_registry(self):
+        from repro.errors import UnknownSpecError
+        from repro.serving.scheduler import (
+            FCFSPolicy, POLICIES, get_policy,
+        )
+
+        assert set(POLICIES) == {"fcfs", "priority", "sjf"}
+        assert isinstance(get_policy("FCFS"), FCFSPolicy)
+        passthrough = FCFSPolicy()
+        assert get_policy(passthrough) is passthrough
+        with pytest.raises(UnknownSpecError):
+            get_policy("lifo")
+
+    def test_fcfs_orders_by_arrival(self):
+        from repro.serving.scheduler import get_policy
+
+        a = Request(0, 16, 4, arrival_s=2.0)
+        b = Request(1, 16, 4, arrival_s=1.0)
+        assert get_policy("fcfs").order_waiting([a, b]) == [b, a]
+        # Newest first for preemption.
+        assert get_policy("fcfs").order_victims([a, b])[0] is a
+
+    def test_priority_orders_then_fcfs(self):
+        from repro.serving.scheduler import get_policy
+
+        low = Request(0, 16, 4, arrival_s=0.0, priority=0)
+        high_late = Request(1, 16, 4, arrival_s=1.0, priority=5)
+        high_early = Request(2, 16, 4, arrival_s=0.5, priority=5)
+        order = get_policy("priority").order_waiting(
+            [low, high_late, high_early]
+        )
+        assert [r.request_id for r in order] == [2, 1, 0]
+        assert get_policy("priority").order_victims(
+            [low, high_late]
+        )[0] is low
+
+    def test_sjf_orders_by_remaining_work(self):
+        from repro.serving.scheduler import get_policy
+
+        big = Request(0, 512, 512, arrival_s=0.0)
+        small = Request(1, 16, 8, arrival_s=5.0)
+        assert get_policy("sjf").order_waiting([big, small])[0] is small
+        assert get_policy("sjf").order_victims([big, small])[0] is big
+
+    def test_priority_admission_order(self):
+        sched = ContinuousBatchScheduler(
+            make_kv(), SchedulerLimits(max_num_seqs=1), policy="priority"
+        )
+        sched.submit(Request(0, 16, 4, priority=0))
+        sched.submit(Request(1, 16, 4, priority=9))
+        admitted = sched.admit()
+        assert [r.request_id for r in admitted] == [1]
+
+
+class TestChunkedPlanning:
+    def test_plan_prioritises_decode(self):
+        sched = ContinuousBatchScheduler(make_kv())
+        decoding = Request(0, 16, 8)
+        filling = Request(1, 64, 8)
+        sched.submit(decoding)
+        sched.submit(filling)
+        sched.admit(enforce_token_budget=False)
+        decoding.prefill_remaining = 0
+        plan = sched.plan_step(max_batched_tokens=40)
+        assert plan.decode == [decoding]
+        assert plan.prefill == [(filling, 39)]
+        assert plan.n_batched_tokens == 40
+        assert plan.decode_ctx_sum == decoding.context_len
+
+    def test_prefill_spreads_across_steps(self):
+        sched = ContinuousBatchScheduler(make_kv())
+        req = Request(0, 100, 4)
+        sched.submit(req)
+        sched.admit(enforce_token_budget=False)
+        chunks = []
+        while req.prefill_remaining:
+            plan = sched.plan_step(max_batched_tokens=32)
+            chunks.append(plan.n_prefill_tokens)
+            sched.apply_step(plan, clock=float(len(chunks)))
+        assert chunks == [32, 32, 32, 4]
+        assert req.first_token_s == 4.0  # stamped when prefill completed
+
+    def test_apply_step_rejects_bad_chunk(self):
+        from repro.serving.scheduler import StepPlan
+
+        sched = ContinuousBatchScheduler(make_kv())
+        req = Request(0, 16, 4)
+        sched.submit(req)
+        sched.admit()
+        with pytest.raises(SchedulingError):
+            sched.apply_step(
+                StepPlan(prefill=[(req, 999)]), clock=0.0
+            )
+
+    def test_budget_not_enforced_for_large_prompt(self):
+        # A prompt above max_batched_tokens admits in chunked mode ...
+        sched = ContinuousBatchScheduler(
+            make_kv(), SchedulerLimits(max_batched_tokens=64)
+        )
+        sched.submit(Request(0, 256, 4))
+        assert len(sched.admit(enforce_token_budget=False)) == 1
+        # ... but blocks in group mode (the seed behaviour).
+        sched2 = ContinuousBatchScheduler(
+            make_kv(), SchedulerLimits(max_batched_tokens=64)
+        )
+        sched2.submit(Request(1, 256, 4))
+        assert sched2.admit() == []
+
+
+class TestPreemptionMechanics:
+    def test_preempt_frees_kv_and_requeues(self):
+        kv = make_kv(n_blocks=8)
+        sched = ContinuousBatchScheduler(kv)
+        req = Request(0, 32, 8)
+        sched.submit(req)
+        sched.admit()
+        assert kv.used_blocks == 2
+        sched.preempt(req)
+        assert kv.used_blocks == 0
+        assert req.state is RequestState.PREEMPTED
+        assert req.n_preemptions == 1
+        assert sched.waiting == [req] and sched.running == []
+
+    def test_preempted_readmission_reprefills_context(self):
+        kv = make_kv(n_blocks=8)
+        sched = ContinuousBatchScheduler(kv)
+        req = Request(0, 32, 8)
+        sched.submit(req)
+        sched.admit()
+        req.prefill_remaining = 0
+        req.generated = 5
+        sched.preempt(req)
+        readmitted = sched.admit()
+        assert readmitted == [req]
+        # Recompute: prompt plus the 5 already-generated tokens.
+        assert req.prefill_remaining == 37
+        assert kv.sequence_length(0) == 37
+
+    def test_preempt_non_running_rejected(self):
+        sched = ContinuousBatchScheduler(make_kv())
+        with pytest.raises(SchedulingError):
+            sched.preempt(Request(0, 16, 4))
+
+    def test_ensure_decode_capacity_preempts_newest_first(self):
+        kv = make_kv(n_blocks=4)  # 64 token slots
+        sched = ContinuousBatchScheduler(kv)
+        old = Request(0, 31, 40, arrival_s=0.0)
+        new = Request(1, 31, 40, arrival_s=1.0)
+        for r in (old, new):
+            sched.submit(r)
+        sched.admit()
+        # Fill both blocks to the boundary: the next token each needs a
+        # new block, but 0 are free.
+        for r in (old, new):
+            kv.append_token(r.request_id)  # 32 tokens = 2 blocks each
+            r.prefill_remaining = 0
+        decode = list(sched.running)
+        victims = sched.ensure_decode_capacity(decode)
+        assert victims == [new]
+        assert decode == [old]
+        assert sched.n_preemptions == 1
+
+    def test_last_running_request_capacity_error(self):
+        from repro.errors import CapacityError
+
+        kv = make_kv(n_blocks=3)
+        sched = ContinuousBatchScheduler(kv)
+        req = Request(0, 32, 64)
+        sched.submit(req)
+        sched.admit()
+        kv.append_token(req.request_id, 16)  # 48 tokens: all 3 blocks held
+        with pytest.raises(CapacityError):
+            sched.ensure_decode_capacity([req])

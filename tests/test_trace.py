@@ -104,3 +104,99 @@ class TestClosedLoop:
         result = engine.run_continuous(trace)
         assert result.tokens_generated == expected
         assert result.n_requests == 10
+
+
+class TestTimeOrigin:
+    def test_default_anchors_at_zero(self):
+        trace = poisson_trace(20, 5.0, seed=11)
+        assert trace[0].arrival_s == 0.0
+
+    def test_explicit_start_shifts_whole_stream(self):
+        base = poisson_trace(20, 5.0, seed=11, start_at=0.0)
+        moved = poisson_trace(20, 5.0, seed=11, start_at=3.5)
+        assert moved[0].arrival_s == pytest.approx(3.5)
+        # Gaps are preserved, not rewritten.
+        for a, b in zip(base, moved):
+            assert b.arrival_s - a.arrival_s == pytest.approx(3.5)
+
+    def test_none_keeps_raw_process(self):
+        raw = poisson_trace(20, 5.0, seed=11, start_at=None)
+        assert raw[0].arrival_s > 0.0
+
+
+class TestMultiTenantTrace:
+    def test_default_mix(self):
+        from repro.serving.trace import DEFAULT_TENANTS, multi_tenant_trace
+
+        trace = multi_tenant_trace(seed=3)
+        expected = sum(t.n_requests for t in DEFAULT_TENANTS.values())
+        assert len(trace) == expected
+        tenants = {r.tenant for r in trace}
+        assert tenants == set(DEFAULT_TENANTS)
+        arrivals = [r.arrival_s for r in trace]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[0] == pytest.approx(0.0)
+        assert [r.request_id for r in trace] == list(range(len(trace)))
+
+    def test_priorities_tagged_per_tenant(self):
+        from repro.serving.trace import (
+            DEFAULT_TENANTS, TenantSpec, multi_tenant_trace,
+        )
+
+        trace = multi_tenant_trace(seed=3)
+        for req in trace:
+            assert req.priority == DEFAULT_TENANTS[req.tenant].priority
+
+    def test_custom_tenants_and_lengths(self):
+        from repro.serving.trace import TenantSpec, multi_tenant_trace
+
+        tenants = {
+            "short": TenantSpec(
+                rate_rps=50.0, n_requests=20,
+                prompts=LengthDistribution(32, 0.2, 16, 64),
+                outputs=LengthDistribution(8, 0.0, 8, 8),
+                priority=2,
+            ),
+            "long": TenantSpec(
+                rate_rps=5.0, n_requests=5,
+                prompts=LengthDistribution(512, 0.2, 256, 1024),
+                outputs=LengthDistribution(64, 0.0, 64, 64),
+            ),
+        }
+        trace = multi_tenant_trace(tenants, seed=4)
+        shorts = [r for r in trace if r.tenant == "short"]
+        longs = [r for r in trace if r.tenant == "long"]
+        assert len(shorts) == 20 and len(longs) == 5
+        assert max(r.prompt_len for r in shorts) <= 64
+        assert min(r.prompt_len for r in longs) >= 256
+        assert all(r.priority == 2 for r in shorts)
+        assert all(r.max_new_tokens == 64 for r in longs)
+
+    def test_deterministic(self):
+        from repro.serving.trace import multi_tenant_trace
+
+        a = multi_tenant_trace(seed=9)
+        b = multi_tenant_trace(seed=9)
+        assert all(
+            (x.arrival_s, x.prompt_len, x.max_new_tokens, x.tenant)
+            == (y.arrival_s, y.prompt_len, y.max_new_tokens, y.tenant)
+            for x, y in zip(a, b)
+        )
+
+    def test_validation(self):
+        from repro.serving.trace import TenantSpec, multi_tenant_trace
+
+        with pytest.raises(ConfigError):
+            multi_tenant_trace({}, seed=0)
+        with pytest.raises(ConfigError):
+            TenantSpec(rate_rps=0.0, n_requests=5)
+        with pytest.raises(ConfigError):
+            TenantSpec(rate_rps=1.0, n_requests=0)
+
+    def test_start_at_anchors_merged_stream(self):
+        from repro.serving.trace import multi_tenant_trace
+
+        moved = multi_tenant_trace(seed=5, start_at=2.0)
+        assert moved[0].arrival_s == pytest.approx(2.0)
+        raw = multi_tenant_trace(seed=5, start_at=None)
+        assert raw[0].arrival_s > 0.0
