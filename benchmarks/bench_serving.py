@@ -17,12 +17,14 @@ import time
 from repro.gpu.specs import get_gpu
 from repro.serving.backends import get_backend
 from repro.serving.costs import EngineCostModel
+from repro.serving.disagg import DisaggregatedCore
+from repro.serving.engine import InferenceEngine
 from repro.serving.kvcache import KVCacheSpec
 from repro.serving.memory_plan import plan_memory
 from repro.serving.models import get_model
 from repro.serving.scheduler import SchedulerLimits
-from repro.serving.serve import ServingConfig, ServingCore
-from repro.serving.trace import poisson_trace
+from repro.serving.serve import DisaggConfig, ServingConfig, ServingCore
+from repro.serving.trace import multi_tenant_trace, poisson_trace
 
 N_REQUESTS = 500
 RATE_RPS = 20.0
@@ -92,3 +94,81 @@ def test_memoized_metrics_stay_close():
     assert memo.metrics.latency.p95_s <= exact.metrics.latency.p95_s * 1.05
     assert memo.metrics.ttft.p95_s <= exact.metrics.ttft.p95_s * 1.10
     assert abs(memo.throughput_tok_s / exact.throughput_tok_s - 1.0) < 0.03
+
+
+# ----------------------------------------------------------------------
+# Disaggregated prefill/decode on the multi-tenant trace
+# ----------------------------------------------------------------------
+#: Starved interconnect so the KV-transfer stage is the bottleneck the
+#: compressed codec relieves (the SplitZip scenario).
+DISAGG_LINK_GB_PER_S = 0.125
+DISAGG_SEED = 7
+
+
+def _serve_mode(mode: str, codec: str = "none"):
+    if mode == "colocated":
+        config = ServingConfig(prefill_mode="chunked")
+        core = ServingCore(
+            EngineCostModel(_MODEL, _GPU, _BACKEND), _KV_SPEC,
+            _PLAN.kv_bytes, config,
+        )
+    else:
+        config = ServingConfig(
+            prefill_mode="chunked", mode="disaggregated",
+            disagg=DisaggConfig(link_gb_per_s=DISAGG_LINK_GB_PER_S,
+                                transfer_codec=codec),
+        )
+        core = DisaggregatedCore(
+            EngineCostModel(_MODEL, _GPU, _BACKEND), _KV_SPEC,
+            _PLAN.kv_bytes, config,
+        )
+    return core.serve(multi_tenant_trace(seed=DISAGG_SEED))
+
+
+def test_serve_disaggregated_compressed(benchmark):
+    result = benchmark(_serve_mode, "disaggregated", "kvcomp")
+    assert result.mode == "disaggregated"
+
+
+def test_disagg_compressed_kv_beats_raw_on_constrained_link():
+    """Acceptance: the SplitZip effect is visible end to end.
+
+    On a bandwidth-constrained link, Vector-TBE-compressed KV transfer
+    must move fewer bytes (by exactly the codec ratio), queue less, and
+    finish the trace sooner than raw BF16 transfer; both must serve the
+    whole trace.
+    """
+    raw = _serve_mode("disaggregated", "none")
+    comp = _serve_mode("disaggregated", "kvcomp")
+    n = len(multi_tenant_trace(seed=DISAGG_SEED))
+    assert raw.n_requests == comp.n_requests == n
+    assert raw.tokens_generated == comp.tokens_generated
+    ratio = comp.transfer.compression_ratio
+    assert ratio > 1.3
+    assert abs(raw.transfer.total_bytes / comp.transfer.total_bytes
+               - ratio) < 1e-9
+    assert comp.transfer.queue.p95_s < raw.transfer.queue.p95_s
+    assert comp.metrics.latency.p95_s < raw.metrics.latency.p95_s
+    assert comp.makespan_s < raw.makespan_s
+
+
+def test_colocated_mode_unchanged_by_disagg_surface():
+    """``mode="colocated"`` stays bit-compatible with the plain core.
+
+    The routed side goes through ``InferenceEngine.serve`` so the mode
+    dispatch itself is under test, not just ``ServingCore``; the engine
+    is built with the benchmark's memory-plan parameters so both sides
+    price and bound KV identically.
+    """
+    plain = ServingCore(
+        EngineCostModel(_MODEL, _GPU, _BACKEND), _KV_SPEC, _PLAN.kv_bytes,
+        ServingConfig(prefill_mode="chunked"),
+    ).serve(multi_tenant_trace(seed=DISAGG_SEED))
+    engine = InferenceEngine(_MODEL, _GPU, _BACKEND, gpu_mem_util=0.9)
+    routed = engine.serve(
+        multi_tenant_trace(seed=DISAGG_SEED),
+        config=ServingConfig(prefill_mode="chunked", mode="colocated"),
+    )
+    assert routed.makespan_s == plain.makespan_s
+    assert routed.timings == plain.timings
+    assert routed.mode == "colocated" and routed.transfer is None

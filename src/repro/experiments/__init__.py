@@ -11,6 +11,7 @@ or the CLI: ``python -m repro.experiments fig11``.
 
 from . import (  # noqa: F401  (imported for registration side effects)
     ext_continuous,
+    ext_disagg,
     ext_kvcomp,
     ext_quant,
     fig01_pipeline_overhead,

@@ -14,11 +14,22 @@ substrate:
   event-driven clock loop; :mod:`repro.serving.metrics` reports TTFT/TPOT,
   interpolated latency percentiles and SLO goodput.
 
+On top of the layers sit two serving topologies, selected by
+``ServingConfig.mode``: the colocated :class:`ServingCore` and the
+disaggregated :class:`DisaggregatedCore`
+(:mod:`repro.serving.disagg` — prefill pool → KV-transfer link → decode
+pool, with compressed-KV transfer via the kvcomp extension).
+
 Shared substrate: a model zoo with the real layer shapes of the paper's
 models, synthetic weight statistics, a paged KV-cache manager, tensor
 parallelism, a GPU memory planner, workload-trace generators, and the
 :class:`InferenceEngine` facade that wires everything together per
 (model, gpu, backend) triple.
+
+The repository-level walkthrough of this architecture — including the
+disaggregated data path diagram — lives in ``docs/ARCHITECTURE.md``; the
+recipes for adding a scheduler policy or a serving mode live in
+``docs/adding-a-scenario.md``.
 """
 
 from .backends import BACKENDS, BackendConfig, get_backend
@@ -28,6 +39,7 @@ from .costs import (
     StepBreakdown,
     StepCostModel,
 )
+from .disagg import DisaggregatedCore, resolve_transfer_ratio
 from .engine import (
     ContinuousResult,
     InferenceEngine,
@@ -37,9 +49,12 @@ from .kvcache import KVCacheSpec, PagedKVCache
 from .memory_plan import MemoryPlan, plan_memory
 from .metrics import (
     LatencySummary,
+    PoolStats,
     RequestTiming,
     ServingMetrics,
     SLOTarget,
+    TransferRecord,
+    TransferStats,
     collect_timings,
     percentile,
 )
@@ -59,7 +74,15 @@ from .scheduler import (
     StepPlan,
     get_policy,
 )
-from .serve import ServingConfig, ServingCore
+from .serve import DisaggConfig, ServingConfig, ServingCore
+from .trace import (
+    LengthDistribution,
+    TenantSpec,
+    closed_loop_trace,
+    multi_tenant_trace,
+    poisson_trace,
+    total_tokens,
+)
 from .weights import (
     estimate_layer_compression,
     layer_sigma,
@@ -103,12 +126,24 @@ __all__ = [
     "SchedulerLimits",
     "ServingConfig",
     "ServingCore",
+    "DisaggConfig",
+    "DisaggregatedCore",
+    "resolve_transfer_ratio",
     "SLOTarget",
     "LatencySummary",
+    "PoolStats",
     "RequestTiming",
     "ServingMetrics",
+    "TransferRecord",
+    "TransferStats",
     "collect_timings",
     "percentile",
+    "LengthDistribution",
+    "TenantSpec",
+    "poisson_trace",
+    "multi_tenant_trace",
+    "closed_loop_trace",
+    "total_tokens",
     "layer_sigma",
     "estimate_layer_compression",
     "materialize_layer",

@@ -17,6 +17,23 @@ Three implementations:
   context lengths and batched token counts so long traces stop recomputing
   near-identical steps (the ``benchmarks/bench_serving.py`` speedup);
 * anything test code supplies that satisfies :class:`StepCostModel`.
+
+Invariants this layer guarantees (tested in ``tests/test_costs.py`` and
+``benchmarks/bench_serving.py``):
+
+* **purity** — a cost model never mutates scheduler or request state;
+  the same (batch, context, chunk) query always prices identically, which
+  is what makes memoization and the core's fast-forward legal at all.
+* **bounded memoization drift** — :class:`MemoizedStepCostModel` rounds
+  contexts and token counts *up* to the bucket edge, never down: a
+  bucketed step is never cheaper than the exact step, and never more than
+  one ``ctx_bucket`` of context / one ``token_bucket`` of tokens more
+  expensive.  The drift is therefore one-sided and bounded per step
+  (makespans inflate by a few percent at ``ctx_bucket=64``, see the
+  benchmark's 1.03x ceiling), but it *is* config-dependent — keep buckets
+  small relative to typical contexts.
+* **cache isolation** — returned :class:`StepBreakdown` objects are
+  copies; callers accumulating into them cannot poison the cache.
 """
 
 from __future__ import annotations
@@ -392,3 +409,21 @@ class MemoizedStepCostModel:
                 decode_batch, b_ctx, prefill_seqs, b_tok
             ),
         )
+
+
+def maybe_memoize(costs: StepCostModel, cost_bucket: int) -> StepCostModel:
+    """Wrap ``costs`` in the standard memoization buckets, if enabled.
+
+    The single source of the bucket recipe (``token_bucket`` is a quarter
+    of the context bucket) shared by every serving core, so colocated and
+    disaggregated runs always price steps identically for the same
+    ``cost_bucket`` setting.  ``cost_bucket <= 0`` returns ``costs``
+    unchanged (exact pricing).
+    """
+    if cost_bucket <= 0:
+        return costs
+    return MemoizedStepCostModel(
+        costs,
+        ctx_bucket=cost_bucket,
+        token_bucket=max(1, cost_bucket // 4),
+    )

@@ -1,0 +1,352 @@
+"""Disaggregated prefill/decode serving with KV-transfer costs.
+
+Colocated serving (:class:`~repro.serving.serve.ServingCore`) time-shares
+one engine between prefill and decode, so long prompts inflate decode
+latency (chunking only softens this).  Production stacks increasingly
+*disaggregate*: a **prefill pool** runs nothing but whole-prompt prefill,
+a **decode pool** runs nothing but continuous-batching decode, and each
+finished prefill ships its KV cache across an interconnect.  That hand-off
+is where lossless KV compression pays a second dividend — the SplitZip
+observation — because the wire bytes shrink by the same Vector-TBE ratio
+that shrinks HBM residency (:mod:`repro.extensions.kvcomp`).
+
+:class:`DisaggregatedCore` models the whole path with three cooperating
+stages, each event-driven like the colocated core:
+
+1. **prefill pool** — ``prefill_replicas`` identical engines pulling from
+   one policy-ordered queue, each prefilling a single request at a time
+   (prefill saturates compute; batching buys nothing in this regime).
+   The first token is produced here, so TTFT is independent of the link.
+2. **transfer link** — a serial FIFO channel.  Each transfer carries
+   ``prompt_len * bytes_per_token / ratio`` bytes and costs
+   ``bytes / bandwidth + latency``; queueing behind earlier transfers is
+   accounted separately so a saturated link is visible as queue delay,
+   not just wire time.
+3. **decode pool** — ``decode_replicas`` engines, each with its own full
+   KV cache and :class:`~repro.serving.scheduler.ContinuousBatchScheduler`.
+   Requests are released to their replica when their KV lands; they enter
+   decode with ``prefill_remaining = 0`` (the KV came over the wire).  A
+   request preempted *on the decode replica* recomputes there — recompute
+   cannot be outsourced back to the prefill pool.
+
+Because nothing feeds back from decode to prefill (no backpressure), the
+three stages can be simulated in sequence and remain exactly equivalent to
+a fully interleaved event loop; per-pool busy time, per-transfer wire and
+queue times, and the usual TTFT/TPOT/goodput picture all come out of one
+:class:`~repro.serving.metrics.ContinuousResult`.
+
+Conservation invariants (tested in ``tests/test_disagg.py``): every
+submitted request is prefilled exactly once, transferred exactly once, and
+decoded to completion; wire bytes equal KV size divided by the codec
+ratio; an infinite, zero-latency link makes every transfer free.  A
+request whose KV can never fit its decode replica raises
+:class:`~repro.errors.CapacityError` instead of being silently dropped.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from ..errors import ConfigError
+from .costs import StepCostModel, maybe_memoize
+from .kvcache import KVCacheSpec, PagedKVCache
+from .metrics import (
+    ContinuousResult,
+    PoolStats,
+    TransferRecord,
+    TransferStats,
+)
+from .scheduler import ContinuousBatchScheduler, Request, get_policy
+from .serve import (
+    ServingConfig,
+    _raise_stranded,
+    commit_decode_window,
+    decode_window_len,
+)
+
+__all__ = ["DisaggregatedCore", "resolve_transfer_ratio"]
+
+
+def resolve_transfer_ratio(config: ServingConfig) -> float:
+    """The wire compression ratio implied by the transfer codec.
+
+    An explicit ``transfer_ratio`` wins; otherwise ``"none"`` ships raw
+    BF16 (ratio 1.0) and ``"kvcomp"`` ships Vector-TBE-compressed blocks
+    at the analytic activation ratio of
+    :func:`repro.extensions.kvcomp.kv_compression_ratio`.
+    """
+    disagg = config.disagg
+    if disagg.transfer_ratio is not None:
+        return float(disagg.transfer_ratio)
+    if disagg.transfer_codec == "kvcomp":
+        from ..extensions.kvcomp import kv_compression_ratio
+
+        return kv_compression_ratio()
+    return 1.0
+
+
+class _DecodeReplica:
+    """One decode-pool engine: its own KV cache, scheduler and clock."""
+
+    def __init__(
+        self,
+        index: int,
+        costs: StepCostModel,
+        kv_spec: KVCacheSpec,
+        kv_bytes: float,
+        config: ServingConfig,
+    ):
+        self.index = index
+        self.costs = costs
+        self.config = config
+        self.scheduler = ContinuousBatchScheduler(
+            PagedKVCache(kv_spec, kv_bytes), config.limits, config.policy
+        )
+        #: (release_s, tiebreak, request) — KV arrival order on this replica.
+        self.pending: list[tuple[float, int, Request]] = []
+        self.outstanding_tokens = 0
+        self.clock = 0.0
+        self.busy_s = 0.0
+        self.n_steps = 0
+        self.peak_running = 0
+
+    def assign(self, release_s: float, req: Request) -> None:
+        """Hand this replica a request whose KV lands at ``release_s``."""
+        heapq.heappush(self.pending, (release_s, req.request_id, req))
+        self.outstanding_tokens += req.remaining_tokens
+
+    def run(self) -> None:
+        """Drain every assigned request (decode-only continuous batching).
+
+        The loop mirrors the colocated chunked loop, with one twist: an
+        admitted request that was never preempted here enters with
+        ``prefill_remaining = 0`` — its KV arrived over the link, so no
+        prefill is owed.  Locally preempted requests keep the recompute
+        debt ``admit`` assigns them and re-prefill on this replica.
+        """
+        scheduler = self.scheduler
+        while self.pending or scheduler.has_work:
+            while self.pending and self.pending[0][0] <= self.clock:
+                _, _, req = heapq.heappop(self.pending)
+                scheduler.submit(req)
+            for req in scheduler.admit(enforce_token_budget=False):
+                if req.n_preemptions == 0:
+                    req.prefill_remaining = 0
+            plan = scheduler.plan_step()
+            if self.config.preemption and plan.decode:
+                victims = scheduler.ensure_decode_capacity(plan.decode)
+                if victims:
+                    plan.drop(victims)
+            if plan.empty:
+                if self.pending:
+                    self.clock = max(self.clock, self.pending[0][0])
+                    continue
+                if scheduler.has_work:
+                    # Nothing runs, nothing is due, yet requests remain:
+                    # their KV can never fit this replica.
+                    _raise_stranded(scheduler)
+                break
+            self.peak_running = max(
+                self.peak_running, len(scheduler.running)
+            )
+            breakdown = self.costs.mixed_step(
+                len(plan.decode),
+                max(plan.mean_decode_ctx, 1),
+                plan.n_prefill_seqs,
+                plan.n_prefill_tokens,
+            )
+            next_event = self.pending[0][0] if self.pending else None
+            k = decode_window_len(
+                scheduler, plan, next_event, self.clock,
+                breakdown.total_s, self.config.cost_bucket,
+            )
+            self.clock += breakdown.total_s * k
+            self.busy_s += breakdown.total_s * k
+            self.n_steps += k
+            if k > 1:
+                commit_decode_window(scheduler, plan, k, self.clock)
+            else:
+                scheduler.apply_step(plan, self.clock)
+
+
+class DisaggregatedCore:
+    """Two-pool serving: prefill pool → KV-transfer link → decode pool.
+
+    Drop-in sibling of :class:`~repro.serving.serve.ServingCore` — same
+    constructor shape, same :meth:`serve` contract — selected by
+    ``ServingConfig(mode="disaggregated")``.  The result's ``pools`` and
+    ``transfer`` fields carry the disaggregation-specific accounting.
+    """
+
+    def __init__(
+        self,
+        costs: StepCostModel,
+        kv_spec: KVCacheSpec,
+        kv_bytes: float,
+        config: ServingConfig | None = None,
+    ):
+        self.config = config or ServingConfig(mode="disaggregated")
+        if self.config.mode != "disaggregated":
+            raise ConfigError(
+                "DisaggregatedCore requires mode='disaggregated',"
+                f" got {self.config.mode!r}"
+            )
+        self.costs = maybe_memoize(costs, self.config.cost_bucket)
+        self.kv_spec = kv_spec
+        self.kv_bytes = kv_bytes
+        self.policy = get_policy(self.config.policy)
+        self.transfer_ratio = resolve_transfer_ratio(self.config)
+
+    # ------------------------------------------------------------------
+    def serve(self, requests: list[Request]) -> ContinuousResult:
+        """Replay a trace through both pools; returns the full picture."""
+        if not requests:
+            raise ConfigError("serve needs at least one request")
+        prefill_busy, handoffs = self._run_prefill_pool(requests)
+        transfers = self._run_link(handoffs)
+        replicas = self._run_decode_pool(handoffs, transfers)
+
+        makespan = max(
+            [r.clock for r in replicas]
+            + [t.done_s for t in transfers]
+            + [ready for ready, _ in handoffs]
+        )
+        finished: list[Request] = []
+        for replica in replicas:
+            finished.extend(replica.scheduler.finished)
+        finished.sort(key=lambda r: r.request_id)
+        pools = (
+            PoolStats.from_busy(
+                "prefill", prefill_busy, makespan, n_steps=len(requests)
+            ),
+            PoolStats.from_busy(
+                "decode",
+                [r.busy_s for r in replicas],
+                makespan,
+                n_steps=sum(r.n_steps for r in replicas),
+            ),
+        )
+        return ContinuousResult.from_run(
+            finished,
+            makespan_s=makespan,
+            n_steps=len(requests) + sum(r.n_steps for r in replicas),
+            peak_running=max(r.peak_running for r in replicas),
+            slo=self.config.slo,
+            n_preemptions=sum(
+                r.scheduler.n_preemptions for r in replicas
+            ),
+            policy=self.policy.name,
+            # The prefill pool always runs whole-prompt passes, whatever
+            # the config's (colocated-only) prefill_mode says — report
+            # what actually happened.
+            prefill_mode="group",
+            mode="disaggregated",
+            pools=pools,
+            transfer=TransferStats.from_records(
+                transfers, makespan, self.transfer_ratio
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    def _run_prefill_pool(
+        self, requests: list[Request]
+    ) -> tuple[list[float], list[tuple[float, Request]]]:
+        """Multi-server prefill queue: one whole-prompt pass per request.
+
+        Returns per-replica busy seconds and ``(prefill_done_s, request)``
+        hand-offs.  Replicas pull from one shared queue in policy order;
+        an idle pool jumps its earliest replica to the next arrival
+        (event-driven, like the colocated loop).
+        """
+        n = self.config.disagg.prefill_replicas
+        free: list[tuple[float, int]] = [(0.0, i) for i in range(n)]
+        heapq.heapify(free)
+        busy = [0.0] * n
+        pending = sorted(
+            requests, key=lambda r: (r.arrival_s, r.request_id)
+        )
+        waiting: list[Request] = []
+        handoffs: list[tuple[float, Request]] = []
+        while pending or waiting:
+            now, idx = heapq.heappop(free)
+            while pending and pending[0].arrival_s <= now:
+                waiting.append(pending.pop(0))
+            if not waiting:
+                now = max(now, pending[0].arrival_s)
+                while pending and pending[0].arrival_s <= now:
+                    waiting.append(pending.pop(0))
+            req = self.policy.order_waiting(waiting)[0]
+            waiting.remove(req)
+            # A replica freed by a short job can be popped with a clock
+            # behind requests another replica's jump already queued;
+            # prefill must still not start before the request arrives.
+            start = max(now, req.arrival_s)
+            duration = self.costs.prefill_step(1, req.prompt_len).total_s
+            done = start + duration
+            busy[idx] += duration
+            # The prefill engine emits the first token; TTFT never waits
+            # on the link.
+            if req.first_token_s is None:
+                req.first_token_s = done
+            handoffs.append((done, req))
+            heapq.heappush(free, (done, idx))
+        return busy, handoffs
+
+    # ------------------------------------------------------------------
+    def _run_link(
+        self, handoffs: list[tuple[float, Request]]
+    ) -> list[TransferRecord]:
+        """Serial FIFO link: wire each prefilled KV to the decode pool.
+
+        Transfers are served in KV-ready order (ties by request id).  Wire
+        bytes are the prompt's KV footprint divided by the codec ratio;
+        each transfer additionally pays the fixed link latency.
+        """
+        disagg = self.config.disagg
+        bandwidth = disagg.link_gb_per_s * 1e9
+        per_token = self.kv_spec.bytes_per_token / self.transfer_ratio
+        link_free = 0.0
+        records = []
+        for ready, req in sorted(
+            handoffs, key=lambda h: (h[0], h[1].request_id)
+        ):
+            nbytes = req.prompt_len * per_token
+            wire = nbytes / bandwidth + disagg.link_latency_s
+            start = max(ready, link_free)
+            link_free = start + wire
+            records.append(TransferRecord(
+                request_id=req.request_id,
+                nbytes=nbytes,
+                ready_s=ready,
+                start_s=start,
+                done_s=link_free,
+            ))
+        return records
+
+    # ------------------------------------------------------------------
+    def _run_decode_pool(
+        self,
+        handoffs: list[tuple[float, Request]],
+        transfers: list[TransferRecord],
+    ) -> list[_DecodeReplica]:
+        """Assign landed KV to decode replicas and drain them.
+
+        Assignment is least-outstanding-tokens first (ties to the lowest
+        replica index) in KV-arrival order — a deterministic greedy
+        balance.  Replicas share no state, so each drains independently.
+        """
+        replicas = [
+            _DecodeReplica(
+                i, self.costs, self.kv_spec, self.kv_bytes, self.config
+            )
+            for i in range(self.config.disagg.decode_replicas)
+        ]
+        by_id = {req.request_id: req for _, req in handoffs}
+        for record in transfers:
+            target = min(
+                replicas, key=lambda r: (r.outstanding_tokens, r.index)
+            )
+            target.assign(record.done_s, by_id[record.request_id])
+        for replica in replicas:
+            replica.run()
+        return replicas

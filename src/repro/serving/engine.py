@@ -293,8 +293,24 @@ class InferenceEngine:
         policy (``"fcfs"`` / ``"priority"`` / ``"sjf"``), an SLO target, or
         cost-model memoization.  ``limits`` overrides the config's
         scheduler limits for convenience.
+
+        ``config.mode`` selects the serving topology:
+        ``"colocated"`` (default) runs one engine through
+        :class:`~repro.serving.serve.ServingCore`, bit-identical to the
+        pre-disaggregation behaviour; ``"disaggregated"`` routes through
+        :class:`~repro.serving.disagg.DisaggregatedCore`, a prefill pool
+        and a decode pool joined by a KV-transfer link sized by
+        ``config.disagg`` (each replica gets this engine's full KV
+        budget).
         """
         config = (config or ServingConfig()).with_limits(limits)
+        if config.mode == "disaggregated":
+            from .disagg import DisaggregatedCore
+
+            disagg_core = DisaggregatedCore(
+                self.costs, self.kv_spec, self.plan.kv_bytes, config
+            )
+            return disagg_core.serve(requests)
         core = ServingCore(
             self.costs, self.kv_spec, self.plan.kv_bytes, config
         )

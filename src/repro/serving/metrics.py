@@ -11,7 +11,12 @@ the numbers a production operator actually watches:
   ``(finish_s - first_token_s) / (n_tokens - 1)``;
 * **SLO goodput** — requests per second that met *both* the TTFT and TPOT
   targets, the metric under which freed KV memory (§6.5) becomes visible
-  as admissible concurrency rather than raw throughput.
+  as admissible concurrency rather than raw throughput;
+* **disaggregation accounting** — :class:`PoolStats` (per-pool busy time
+  and utilization) and :class:`TransferStats` (per-transfer wire time and
+  link queueing delay, total bytes moved, link utilization) for the
+  two-pool mode of :mod:`repro.serving.disagg`, where compressed KV
+  transfer (the SplitZip effect) must be visible next to TTFT/TPOT.
 """
 
 from __future__ import annotations
@@ -176,6 +181,99 @@ class ServingMetrics:
         )
 
 
+@dataclass(frozen=True)
+class PoolStats:
+    """Aggregate utilization of one replica pool (disaggregated mode).
+
+    ``busy_s`` sums every replica's active compute time; ``utilization``
+    normalises it by ``n_replicas * makespan``, so a pool of two replicas
+    each busy half the run reports 0.5.
+    """
+
+    name: str
+    n_replicas: int
+    busy_s: float
+    utilization: float
+    n_steps: int
+
+    @classmethod
+    def from_busy(
+        cls, name: str, busy: list[float], makespan_s: float, n_steps: int
+    ) -> "PoolStats":
+        """Build from per-replica busy seconds over one run."""
+        span = max(makespan_s, 1e-12)
+        return cls(
+            name=name,
+            n_replicas=len(busy),
+            busy_s=sum(busy),
+            utilization=sum(busy) / (max(len(busy), 1) * span),
+            n_steps=n_steps,
+        )
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One KV hand-off over the prefill→decode link."""
+
+    request_id: int
+    nbytes: float
+    #: When the KV became ready to ship (prefill completed).
+    ready_s: float
+    #: When the link started serving it (>= ready_s under FIFO queueing).
+    start_s: float
+    #: When the last byte landed on the decode replica.
+    done_s: float
+
+    @property
+    def wire_s(self) -> float:
+        """Time on the wire (serialisation + link latency)."""
+        return self.done_s - self.start_s
+
+    @property
+    def queue_s(self) -> float:
+        """Time spent waiting for the link behind earlier transfers."""
+        return self.start_s - self.ready_s
+
+
+@dataclass(frozen=True)
+class TransferStats:
+    """The KV-transfer stage of one disaggregated run.
+
+    ``compression_ratio`` is the transfer codec's ratio (1.0 when KV ships
+    raw); ``total_bytes`` is post-compression wire bytes.  ``time`` and
+    ``queue`` summarise per-transfer wire time and link queueing delay —
+    the two numbers a bandwidth-constrained link inflates and a compressed
+    codec (SplitZip-style) deflates.
+    """
+
+    n_transfers: int
+    total_bytes: float
+    compression_ratio: float
+    link_utilization: float
+    time: LatencySummary = field(default_factory=LatencySummary)
+    queue: LatencySummary = field(default_factory=LatencySummary)
+    records: tuple[TransferRecord, ...] = ()
+
+    @classmethod
+    def from_records(
+        cls,
+        records: list[TransferRecord],
+        makespan_s: float,
+        compression_ratio: float,
+    ) -> "TransferStats":
+        """Summarise a run's transfer records."""
+        span = max(makespan_s, 1e-12)
+        return cls(
+            n_transfers=len(records),
+            total_bytes=sum(r.nbytes for r in records),
+            compression_ratio=compression_ratio,
+            link_utilization=sum(r.wire_s for r in records) / span,
+            time=LatencySummary.from_values([r.wire_s for r in records]),
+            queue=LatencySummary.from_values([r.queue_s for r in records]),
+            records=tuple(records),
+        )
+
+
 @dataclass
 class ContinuousResult:
     """Outcome of a continuous-batching trace run.
@@ -198,6 +296,23 @@ class ContinuousResult:
     n_preemptions: int = 0
     policy: str = "fcfs"
     prefill_mode: str = "group"
+    #: ``"colocated"`` (one engine does both phases) or ``"disaggregated"``
+    #: (prefill pool → KV-transfer link → decode pool).
+    mode: str = "colocated"
+    #: Per-pool utilization; empty in colocated mode.
+    pools: tuple[PoolStats, ...] = ()
+    #: KV-transfer accounting; ``None`` in colocated mode.
+    transfer: TransferStats | None = None
+
+    def pool(self, name: str) -> PoolStats:
+        """The named pool's stats (disaggregated runs only)."""
+        for stats in self.pools:
+            if stats.name == name:
+                return stats
+        raise ConfigError(
+            f"no pool {name!r} in this result"
+            f" (mode={self.mode!r}, pools={[p.name for p in self.pools]})"
+        )
 
     def tenant_timings(self, tenant: str) -> list[RequestTiming]:
         """Timings of one tenant's requests (multi-tenant traces)."""
@@ -214,6 +329,9 @@ class ContinuousResult:
         n_preemptions: int = 0,
         policy: str = "fcfs",
         prefill_mode: str = "group",
+        mode: str = "colocated",
+        pools: tuple[PoolStats, ...] = (),
+        transfer: TransferStats | None = None,
     ) -> "ContinuousResult":
         """Build the result from the finished set (guards the empty case)."""
         timings = collect_timings(finished)
@@ -233,4 +351,7 @@ class ContinuousResult:
             n_preemptions=n_preemptions,
             policy=policy,
             prefill_mode=prefill_mode,
+            mode=mode,
+            pools=pools,
+            transfer=transfer,
         )

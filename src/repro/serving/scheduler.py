@@ -16,6 +16,24 @@ The **scheduling layer** of the three-layer serving architecture
 Schedulers decide *what* runs each iteration; they never touch the clock.
 The serving core (:mod:`repro.serving.serve`) prices the plans against a
 cost model and advances time.
+
+Invariants this layer guarantees (tested in ``tests/test_scheduler.py``):
+
+* **head-of-line admission** — the waiting queue is ranked by the
+  policy's ``waiting_key`` and admission stops at the first request that
+  does not fit; smaller requests never skip past the policy's favourite.
+* **preemption ordering** — victims are chosen strictly by the policy's
+  ``victim_key`` (first in ``order_victims`` is evicted first), and the
+  last running request is never preempted: ``ensure_decode_capacity``
+  raises :class:`~repro.errors.CapacityError` instead of emptying the
+  running set.
+* **recompute debt** — a preempted request re-enters the waiting queue
+  and, on re-admission, owes a prefill pass over its *whole* accumulated
+  context (prompt + generated); previously-admitted requests are exempt
+  from the admission token budget so they can always be re-admitted.
+* **conservation** — a request leaves the scheduler only through
+  ``finished``, with exactly ``max_new_tokens`` generated; KV blocks are
+  freed on finish and on preemption, never leaked.
 """
 
 from __future__ import annotations

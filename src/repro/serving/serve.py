@@ -18,15 +18,39 @@ Two prefill modes:
 
 Results carry the full metrics picture (TTFT/TPOT, interpolated
 percentiles, SLO goodput) via :mod:`repro.serving.metrics`.
+
+:class:`ServingConfig` is also where the **serving mode** is chosen:
+``mode="colocated"`` runs this module's single-engine loop, while
+``mode="disaggregated"`` routes through
+:class:`repro.serving.disagg.DisaggregatedCore` — a prefill pool and a
+decode pool joined by a KV-transfer link whose cost and codec live in
+:class:`DisaggConfig`.
+
+Invariants this layer guarantees (tested in ``tests/test_serving_core.py``
+and ``tests/test_disagg.py``):
+
+* **bit-compatibility of ``run_continuous``** — ``prefill_mode="group"``
+  with the FCFS policy and exact costs reproduces the seed engine's clock
+  arithmetic exactly (same floats, not merely close), so
+  ``InferenceEngine.run_continuous`` never drifts from the seed;
+  ``mode="colocated"`` is likewise bit-identical to the pre-disaggregation
+  ``serve()`` output.
+* **event-driven clock** — time only moves when work is priced or the loop
+  jumps to the next arrival; no idle ticking, so makespan is exactly the
+  sum of executed step costs plus waiting gaps.
+* **fast-forward exactness** — a fast-forwarded window of ``k`` identical
+  decode steps commits the same token counts, finish stamps and KV growth
+  as ``k`` stepwise iterations would (only legal under bucketed costs,
+  where every step in the window prices identically).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-from ..errors import ConfigError
+from ..errors import CapacityError, ConfigError
 from ..utils import ceil_div
-from .costs import MemoizedStepCostModel, StepCostModel
+from .costs import StepCostModel, maybe_memoize
 from .kvcache import KVCacheSpec, PagedKVCache
 from .metrics import ContinuousResult, SLOTarget
 from .scheduler import (
@@ -39,6 +63,67 @@ from .scheduler import (
 )
 
 PREFILL_MODES = ("group", "chunked")
+SERVING_MODES = ("colocated", "disaggregated")
+TRANSFER_CODECS = ("none", "kvcomp")
+
+
+def _raise_stranded(scheduler) -> None:
+    """Fail loudly when queued work can never run.
+
+    Reached when nothing is running, nothing is due to arrive, admission
+    was just attempted, and requests still wait: their KV can never fit
+    (or, in group mode, their prompt exceeds the admission token budget).
+    Returning a clean-looking result would silently drop them — and under
+    head-of-line blocking everything queued behind them — so every
+    serving loop raises instead (the conservation invariant of
+    :mod:`repro.serving.scheduler`).
+    """
+    stranded = sorted(r.request_id for r in scheduler.waiting)
+    raise CapacityError(
+        f"requests {stranded} can never be admitted: KV demand or prompt"
+        " length exceeds what this engine can ever free"
+    )
+
+
+@dataclass(frozen=True)
+class DisaggConfig:
+    """Geometry and link of the disaggregated (two-pool) serving mode.
+
+    ``prefill_replicas`` engines do nothing but whole-prompt prefill;
+    ``decode_replicas`` engines do nothing but continuous-batching decode,
+    each with its own full KV cache.  Finished prefills ship their KV over
+    a serial FIFO link of ``link_gb_per_s`` GB/s (``inf`` models an ideal
+    fabric) with ``link_latency_s`` per-transfer setup cost.  The
+    ``transfer_codec`` decides what goes on the wire: ``"none"`` ships raw
+    BF16 KV, ``"kvcomp"`` ships Vector-TBE-compressed blocks at the
+    analytic activation ratio (override with ``transfer_ratio``) — the
+    SplitZip effect, where lossless KV compression pays off a second time
+    on the interconnect.
+    """
+
+    prefill_replicas: int = 1
+    decode_replicas: int = 1
+    link_gb_per_s: float = float("inf")
+    link_latency_s: float = 0.0
+    transfer_codec: str = "none"
+    #: Explicit wire compression ratio; ``None`` derives it from the codec
+    #: (1.0 for ``"none"``, the analytic activation ratio for ``"kvcomp"``).
+    transfer_ratio: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.prefill_replicas < 1 or self.decode_replicas < 1:
+            raise ConfigError("each pool needs at least one replica")
+        if not self.link_gb_per_s > 0:
+            raise ConfigError("link_gb_per_s must be positive (inf allowed)")
+        if self.link_latency_s < 0:
+            raise ConfigError("link_latency_s must be >= 0")
+        if self.transfer_codec not in TRANSFER_CODECS:
+            raise ConfigError(
+                f"transfer_codec must be one of {TRANSFER_CODECS},"
+                f" got {self.transfer_codec!r}"
+            )
+        if self.transfer_ratio is not None and self.transfer_ratio < 1.0:
+            raise ConfigError("transfer_ratio must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -53,6 +138,12 @@ class ServingConfig:
     #: prefill chunks, at a quarter of the size) to that many tokens.
     cost_bucket: int = 0
     preemption: bool = True
+    #: ``"colocated"`` runs prefill and decode on one engine
+    #: (:class:`ServingCore`); ``"disaggregated"`` splits them into two
+    #: pools joined by a KV-transfer link
+    #: (:class:`repro.serving.disagg.DisaggregatedCore`).
+    mode: str = "colocated"
+    disagg: DisaggConfig = field(default_factory=DisaggConfig)
 
     def __post_init__(self) -> None:
         if self.prefill_mode not in PREFILL_MODES:
@@ -62,6 +153,10 @@ class ServingConfig:
             )
         if self.cost_bucket < 0:
             raise ConfigError("cost_bucket must be >= 0")
+        if self.mode not in SERVING_MODES:
+            raise ConfigError(
+                f"mode must be one of {SERVING_MODES}, got {self.mode!r}"
+            )
 
     def with_limits(self, limits: SchedulerLimits | None) -> "ServingConfig":
         """A copy with ``limits`` swapped in (if given)."""
@@ -79,13 +174,16 @@ class ServingCore:
         config: ServingConfig | None = None,
     ):
         self.config = config or ServingConfig()
-        if self.config.cost_bucket > 0:
-            costs = MemoizedStepCostModel(
-                costs,
-                ctx_bucket=self.config.cost_bucket,
-                token_bucket=max(1, self.config.cost_bucket // 4),
+        if self.config.mode != "colocated":
+            # Mirror of DisaggregatedCore's guard: running a
+            # disaggregated config colocated would silently ignore the
+            # pool geometry and link costs.
+            raise ConfigError(
+                "ServingCore requires mode='colocated', got"
+                f" {self.config.mode!r}; use DisaggregatedCore (or"
+                " InferenceEngine.serve, which routes on mode)"
             )
-        self.costs = costs
+        self.costs = maybe_memoize(costs, self.config.cost_bucket)
         self.kv_spec = kv_spec
         self.kv_bytes = kv_bytes
 
@@ -141,6 +239,8 @@ class ServingCore:
                 if pending:
                     clock = max(clock, pending[0].arrival_s)
                     continue
+                if scheduler.has_work:
+                    _raise_stranded(scheduler)
                 break
             if self.config.preemption:
                 scheduler.ensure_decode_capacity(list(scheduler.running))
@@ -179,6 +279,8 @@ class ServingCore:
                 if pending:
                     clock = max(clock, pending[0].arrival_s)
                     continue
+                if scheduler.has_work:
+                    _raise_stranded(scheduler)
                 break
             peak_running = max(peak_running, len(scheduler.running))
             breakdown = self.costs.mixed_step(
@@ -187,90 +289,92 @@ class ServingCore:
                 plan.n_prefill_seqs,
                 plan.n_prefill_tokens,
             )
-            k = self._decode_window(scheduler, plan, pending, clock,
-                                    breakdown.total_s)
+            k = decode_window_len(
+                scheduler, plan,
+                pending[0].arrival_s if pending else None,
+                clock, breakdown.total_s, self.config.cost_bucket,
+            )
             if k > 1:
                 clock += breakdown.total_s * k
                 n_steps += k
-                self._apply_window(scheduler, plan, k, clock)
+                commit_decode_window(scheduler, plan, k, clock)
             else:
                 clock += breakdown.total_s
                 n_steps += 1
                 scheduler.apply_step(plan, clock)
         return clock, n_steps, peak_running
 
-    # ------------------------------------------------------------------
-    # Fast-forward over identical decode steps
-    # ------------------------------------------------------------------
-    def _decode_window(
-        self,
-        scheduler: ContinuousBatchScheduler,
-        plan,
-        pending: list[Request],
-        clock: float,
-        step_s: float,
-    ) -> int:
-        """Steps the current decode-only plan can repeat unchanged.
 
-        Only meaningful with bucketed costs (``cost_bucket > 0``): inside a
-        context bucket every decode step of a stable batch prices
-        identically, so the loop may advance ``k`` steps in one shot.  The
-        window ends at the first event that would change the plan or its
-        price: a request finishing, a pending arrival, the mean context
-        crossing a bucket edge, or KV needing more blocks than are free
-        (conservative — fall back to stepping so preemption logic runs).
-        Exact costs (``cost_bucket == 0``) always step one at a time, since
-        every step then prices differently.
+def decode_window_len(
+    scheduler: ContinuousBatchScheduler,
+    plan,
+    next_event_s: float | None,
+    clock: float,
+    step_s: float,
+    bucket: int,
+) -> int:
+    """Steps the current decode-only plan can repeat unchanged.
 
-        A non-empty waiting queue does not end the window: admission was
-        just attempted and blocked, and with no arrivals, finishes or
-        frees inside the window the blocker (sequence slots, or free KV
-        which only shrinks while decode grows) persists until the window's
-        last step — exactly when the stepwise loop would next admit.
-        """
-        bucket = self.config.cost_bucket
-        if (
-            bucket <= 0
-            or plan.prefill
-            or not plan.decode
-            or len(plan.decode) != len(scheduler.running)
-        ):
-            return 1
-        k = min(r.remaining_tokens for r in plan.decode)
-        mean_ctx = max(plan.mean_decode_ctx, 1)
-        k = min(k, ceil_div(mean_ctx, bucket) * bucket - mean_ctx + 1)
-        if pending and step_s > 0:
-            gap = pending[0].arrival_s - clock
-            k = min(k, max(1, int(gap / step_s)))
-        if k > 1:
-            kv = scheduler.kv
-            needed = sum(
-                kv.blocks_needed(r.request_id, k) for r in plan.decode
-            )
-            if needed > kv.free_blocks:
-                return 1
-        return k
+    Shared by the colocated core and the disaggregated decode replicas.
+    Only meaningful with bucketed costs (``bucket > 0``): inside a
+    context bucket every decode step of a stable batch prices
+    identically, so a loop may advance ``k`` steps in one shot.  The
+    window ends at the first event that would change the plan or its
+    price: a request finishing, the next external event (an arrival, or
+    a KV landing on a decode replica) at ``next_event_s``, the mean
+    context crossing a bucket edge, or KV needing more blocks than are
+    free (conservative — fall back to stepping so preemption logic
+    runs).  Exact costs (``bucket == 0``) always step one at a time,
+    since every step then prices differently.
 
-    @staticmethod
-    def _apply_window(
-        scheduler: ContinuousBatchScheduler,
-        plan,
-        k: int,
-        clock: float,
-    ) -> None:
-        """Commit ``k`` identical decode steps at post-window time ``clock``.
-
-        ``k`` never exceeds the smallest remaining-token count, so only
-        requests finishing exactly at the window's last step finish — with
-        the same ``finish_s`` the stepwise loop would have stamped.
-        """
+    A non-empty waiting queue does not end the window: admission was
+    just attempted and blocked, and with no arrivals, finishes or
+    frees inside the window the blocker (sequence slots, or free KV
+    which only shrinks while decode grows) persists until the window's
+    last step — exactly when the stepwise loop would next admit.
+    """
+    if (
+        bucket <= 0
+        or plan.prefill
+        or not plan.decode
+        or len(plan.decode) != len(scheduler.running)
+    ):
+        return 1
+    k = min(r.remaining_tokens for r in plan.decode)
+    mean_ctx = max(plan.mean_decode_ctx, 1)
+    k = min(k, ceil_div(mean_ctx, bucket) * bucket - mean_ctx + 1)
+    if next_event_s is not None and step_s > 0:
+        gap = next_event_s - clock
+        k = min(k, max(1, int(gap / step_s)))
+    if k > 1:
         kv = scheduler.kv
-        for req in plan.decode:
-            kv.append_token(req.request_id, k)
-            req.generated += k
-            if req.done:
-                req.state = RequestState.FINISHED
-                req.finish_s = clock
-                kv.free(req.request_id)
-                scheduler.running.remove(req)
-                scheduler.finished.append(req)
+        needed = sum(
+            kv.blocks_needed(r.request_id, k) for r in plan.decode
+        )
+        if needed > kv.free_blocks:
+            return 1
+    return k
+
+
+def commit_decode_window(
+    scheduler: ContinuousBatchScheduler,
+    plan,
+    k: int,
+    clock: float,
+) -> None:
+    """Commit ``k`` identical decode steps at post-window time ``clock``.
+
+    ``k`` never exceeds the smallest remaining-token count, so only
+    requests finishing exactly at the window's last step finish — with
+    the same ``finish_s`` the stepwise loop would have stamped.
+    """
+    kv = scheduler.kv
+    for req in plan.decode:
+        kv.append_token(req.request_id, k)
+        req.generated += k
+        if req.done:
+            req.state = RequestState.FINISHED
+            req.finish_s = clock
+            kv.free(req.request_id)
+            scheduler.running.remove(req)
+            scheduler.finished.append(req)

@@ -19,7 +19,8 @@ class TestRegistry:
             "fig01", "fig02", "fig05", "fig11", "fig12", "fig13", "fig14",
             "fig15", "fig16", "fig17", "fig18", "tab_codeword",
             "tab_memory", "tab_offline_cost", "tab_theory",
-            "ext_kvcomp", "ext_quant", "ext_continuous", "tab_pipeline",
+            "ext_kvcomp", "ext_quant", "ext_continuous", "ext_disagg",
+            "tab_pipeline",
         }
         assert set(ALL) == expected
 
@@ -160,3 +161,16 @@ class TestTables:
         assert s["all_unimodal"] == 1.0
         assert s["all_top7_contiguous"] == 1.0
         assert s["max_coverage_error"] < 0.01
+
+
+class TestExtDisagg:
+    def test_band(self):
+        s = run_experiment("ext_disagg", quick=True).summary
+        assert s["all_requests_served"] == 1.0
+        # Wire bytes drop by exactly the codec ratio (~1.4x -> ~29% cut).
+        assert s["transfer_ratio"] > 1.3
+        assert 0.2 < s["wire_bytes_cut"] < 0.4
+        # On the starved link the codec must relieve queueing and finish
+        # the trace sooner.
+        assert s["queue_p95_cut"] > 0.0
+        assert s["makespan_cut"] > 0.0

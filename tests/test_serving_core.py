@@ -278,3 +278,17 @@ class TestPolicies:
             result = core(16, policy=policy).serve(reqs(trace_spec))
             assert result.n_requests == 10
             assert result.policy == policy
+
+
+class TestStrandedRequests:
+    """Unservable queued work raises instead of silently vanishing."""
+
+    @pytest.mark.parametrize("mode", ["chunked", "group"])
+    def test_oversized_prompt_raises(self, mode):
+        # 80-token prompt KV (5 blocks) can never fit a 4-block cache;
+        # the request behind it is head-of-line blocked.  Both loops must
+        # surface the stranding as CapacityError, matching the
+        # disaggregated decode pool (tests/test_disagg.py).
+        trace = reqs([(80, 4, 0.0), (16, 4, 0.0)])
+        with pytest.raises(CapacityError):
+            core(4, prefill_mode=mode).serve(trace)

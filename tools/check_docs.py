@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Check intra-repo links in README.md and docs/*.md.
+
+Every relative markdown link target must exist on disk (anchors are
+stripped; external ``http(s)://`` and ``mailto:`` links are skipped).
+Used two ways: as the CI docs job (``python tools/check_docs.py``) and as
+a library from ``tests/test_docs.py`` so broken links also fail tier-1.
+
+Exit code 0 when every link resolves, 1 otherwise (broken links are
+listed one per line as ``file: target``).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown links: [text](target).  Images share the syntax.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+_SKIP_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def doc_files(root: Path) -> list[Path]:
+    """The documentation surface under link check."""
+    files = [root / "README.md"]
+    files.extend(sorted((root / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def iter_links(path: Path):
+    """Yield every link target in one markdown file."""
+    for match in _LINK.finditer(path.read_text()):
+        yield match.group(1)
+
+
+def broken_links(root: Path) -> list[tuple[Path, str]]:
+    """All intra-repo link targets that do not resolve to a file."""
+    broken = []
+    for doc in doc_files(root):
+        for target in iter_links(doc):
+            if target.startswith(_SKIP_PREFIXES):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:  # pure anchor into the same document
+                continue
+            if not (doc.parent / path).exists():
+                broken.append((doc, target))
+    return broken
+
+
+def main() -> int:
+    """CLI entry point; prints broken links and a summary line."""
+    root = Path(__file__).resolve().parent.parent
+    docs = doc_files(root)
+    bad = broken_links(root)
+    for doc, target in bad:
+        print(f"{doc.relative_to(root)}: {target}")
+    n_links = sum(1 for doc in docs for _ in iter_links(doc))
+    print(
+        f"checked {n_links} links in {len(docs)} file(s):"
+        f" {len(bad)} broken"
+    )
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
