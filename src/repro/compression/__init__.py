@@ -1,0 +1,44 @@
+"""Unified compression registry: codecs as a first-class serving layer.
+
+Importing this package registers the built-in codecs::
+
+    from repro.compression import get_codec, list_codecs, resolve_spec
+
+    codec = get_codec("kvcomp")            # alias of vector_tbe
+    spec = resolve_spec("tcatbe", "weight")
+    enc = codec.encode(bf16_bits)          # bit-exact round trip
+    assert (codec.decode(enc) == bf16_bits).all()
+
+Consumers: the cost layer resolves weight and KV codecs once at
+construction (:class:`repro.serving.costs.EngineCostModel`), the serving
+config carries one codec name per slot
+(:class:`repro.serving.serve.ServingConfig` — ``weight_codec`` /
+``kv_codec`` / ``transfer_codec``), and the disaggregated link prices
+wire bytes off the resolved transfer spec.  The ``ext_codec_matrix``
+experiment sweeps the combination space.
+"""
+
+from . import builtin  # noqa: F401  (imported for registration side effects)
+from .spec import (
+    ACTIVATION_SIGMA,
+    PLACEMENTS,
+    Codec,
+    CompressionSpec,
+    EncodedTensor,
+    get_codec,
+    list_codecs,
+    register_codec,
+    resolve_spec,
+)
+
+__all__ = [
+    "ACTIVATION_SIGMA",
+    "PLACEMENTS",
+    "Codec",
+    "CompressionSpec",
+    "EncodedTensor",
+    "get_codec",
+    "list_codecs",
+    "register_codec",
+    "resolve_spec",
+]

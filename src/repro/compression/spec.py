@@ -1,0 +1,322 @@
+"""The unified compression registry: codecs as a first-class layer.
+
+ZipServ's thesis is that lossless compression is a *pervasive* property of
+the serving stack — weights in HBM, KV blocks in the paged cache, KV bytes
+on the disaggregation wire.  Before this module each consumer hardcoded its
+codec (a ``("none", "kvcomp")`` tuple here, a lazy extension import there);
+now every layer resolves codecs through one registry.
+
+A registered :class:`Codec` bundles the four things a consumer may need:
+
+* a **name** (plus aliases — ``"kvcomp"`` resolves to ``vector_tbe``);
+* bit-exact **encode/decode** over BF16 bit patterns (uint16 arrays),
+  normalised through :class:`EncodedTensor` so callers never touch
+  codec-native blob types;
+* an **analytic ratio estimator** per placement — Gaussian weights price
+  differently from outlier-tinged activations (KV and wire);
+* **kernel-cost hooks** — the decode-ALU cycle factor and streaming
+  bandwidth fraction a fused kernel pays to consume the format in place,
+  and the linear-layer execution mode (dense cuBLAS, fused stage-aware,
+  or decompress-then-GEMM).
+
+:class:`CompressionSpec` is the resolved form consumers carry around: a
+codec pinned to a placement with its ratio settled once at config time —
+no per-step registry lookups, no import-at-call in hot paths.
+
+Registry invariants (tested in ``tests/test_compression_registry.py``):
+
+* every lossless codec round-trips bit-exactly on edge shapes (empty,
+  1x1, non-tile-multiple, all-outlier input) — empty tensors are
+  normalised here so individual codecs never see them;
+* lossy codecs (``zipquant``) are projections: a second encode/decode of
+  their own output is the identity;
+* ``resolve_spec`` accepts every registered codec in every placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..errors import CodecError, ConfigError, UnknownSpecError
+from ..kernels.base import WeightCompression
+
+#: Where a codec can be applied in the serving stack.
+PLACEMENTS = ("weight", "kv", "wire")
+
+#: Default activation scale for KV/wire ratio estimation (matches the
+#: kvcomp extension's historical default).
+ACTIVATION_SIGMA = 0.05
+
+#: Default weight scale for placement-level weight ratio estimation (the
+#: cost layer re-estimates per layer from the real fan-in/fan-out).
+WEIGHT_SIGMA = 0.02
+
+
+@dataclass
+class EncodedTensor:
+    """Codec-agnostic wrapper around one compressed tensor.
+
+    ``blob`` is the codec-native object (``TcaTbeMatrix``, ``VecTbe``,
+    ``CompressedBF16``, ...); ``None`` marks the empty-tensor fast path
+    the registry handles itself.
+    """
+
+    codec: str
+    shape: tuple[int, ...]
+    blob: object
+    nbytes: int
+
+    @property
+    def n_elements(self) -> int:
+        n = 1
+        for dim in self.shape:
+            n *= dim
+        return int(n)
+
+    @property
+    def original_nbytes(self) -> int:
+        """Uncompressed BF16 footprint."""
+        return 2 * self.n_elements
+
+    @property
+    def ratio(self) -> float:
+        """Measured compression ratio (original / compressed bytes).
+
+        An empty tensor reports 1.0 — the identity, keeping the stack's
+        ``ratio >= 1`` invariant rather than a nonsense 0.
+        """
+        if self.n_elements == 0:
+            return 1.0
+        return self.original_nbytes / max(self.nbytes, 1)
+
+
+@dataclass(eq=False)
+class Codec:
+    """One registered compression scheme (see module docstring).
+
+    ``encode_fn(flat) -> (blob, nbytes)`` and ``decode_fn(blob, shape) ->
+    array`` operate on non-empty uint16 arrays; the registry normalises
+    shape bookkeeping and the empty-tensor case around them.
+    ``weight_bits_fn`` / ``kv_bits_fn`` map a Gaussian scale ``sigma`` to
+    analytic bits/element (16 / bits = ratio).  ``wire`` pricing reuses
+    the KV estimator: the wire carries KV blocks.
+    """
+
+    name: str
+    lossless: bool = True
+    #: Linear-layer execution when used as a weight codec:
+    #: ``"cublas"`` (dense), ``"stage_aware"`` (fused decode, ZipGEMM
+    #: family) or ``"decoupled"`` (decompress-then-GEMM baseline).
+    linear_mode: str = "cublas"
+    #: Baseline decompressor name for ``linear_mode="decoupled"``.
+    baseline_codec: str | None = None
+    #: Multiplier on the calibrated TBE decode cycles/element a fused
+    #: streaming kernel pays (0.0 = free, i.e. raw loads).
+    decode_cycles_factor: float = 0.0
+    #: Streaming efficiency of a fused kernel gathering this format
+    #: (fraction of the paged-attention gather's 0.80 DRAM fraction).
+    stream_bw_frac: float = 1.0
+    aliases: tuple[str, ...] = ()
+    encode_fn: Callable | None = None
+    decode_fn: Callable | None = None
+    weight_bits_fn: Callable[[float], float] | None = None
+    kv_bits_fn: Callable[[float], float] | None = None
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.linear_mode not in ("cublas", "stage_aware", "decoupled"):
+            raise ConfigError(
+                f"codec {self.name!r}: unknown linear mode"
+                f" {self.linear_mode!r}"
+            )
+        if self.linear_mode == "decoupled" and not self.baseline_codec:
+            raise ConfigError(
+                f"codec {self.name!r}: decoupled mode needs baseline_codec"
+            )
+
+    # ------------------------------------------------------------------
+    # Functional layer
+    # ------------------------------------------------------------------
+    def encode(self, data: np.ndarray) -> EncodedTensor:
+        """Compress a BF16 (uint16) array of any shape."""
+        array = np.asarray(data)
+        if array.dtype != np.uint16:
+            raise CodecError(
+                f"codec {self.name!r} expects BF16 bit patterns (uint16),"
+                f" got {array.dtype}"
+            )
+        shape = tuple(array.shape)
+        if array.size == 0:
+            return EncodedTensor(codec=self.name, shape=shape, blob=None,
+                                 nbytes=0)
+        if self.encode_fn is None:
+            raise CodecError(f"codec {self.name!r} has no encoder")
+        blob, nbytes = self.encode_fn(np.ascontiguousarray(array))
+        return EncodedTensor(codec=self.name, shape=shape, blob=blob,
+                             nbytes=int(nbytes))
+
+    def decode(self, enc: EncodedTensor) -> np.ndarray:
+        """Recover the array (bit-exact when :attr:`lossless`)."""
+        if enc.codec != self.name:
+            raise CodecError(
+                f"blob was produced by {enc.codec!r}, not {self.name!r}"
+            )
+        if enc.blob is None:
+            return np.zeros(enc.shape, dtype=np.uint16)
+        if self.decode_fn is None:
+            raise CodecError(f"codec {self.name!r} has no decoder")
+        out = np.asarray(self.decode_fn(enc.blob, enc.shape))
+        if tuple(out.shape) != tuple(enc.shape):
+            out = out.reshape(enc.shape)
+        return out
+
+    # ------------------------------------------------------------------
+    # Analytic layer
+    # ------------------------------------------------------------------
+    def bits_per_element(self, placement: str, sigma: float) -> float:
+        """Analytic storage bits/element at scale ``sigma``."""
+        if placement not in PLACEMENTS:
+            raise ConfigError(
+                f"placement must be one of {PLACEMENTS}, got {placement!r}"
+            )
+        fn = self.weight_bits_fn if placement == "weight" else self.kv_bits_fn
+        if fn is None:
+            return 16.0
+        return float(fn(sigma))
+
+    def ratio(self, placement: str, sigma: float | None = None) -> float:
+        """Analytic compression ratio for one placement."""
+        if sigma is None:
+            sigma = WEIGHT_SIGMA if placement == "weight" else ACTIVATION_SIGMA
+        return 16.0 / self.bits_per_element(placement, sigma)
+
+    def weight_compression(self, sigma: float) -> WeightCompression:
+        """Per-layer weight statistics as the kernel models consume them."""
+        if self.weight_bits_fn is None:
+            return WeightCompression.identity()
+        comp = WeightCompression(
+            scheme=self.name,
+            ratio=16.0 / float(self.weight_bits_fn(sigma)),
+            coverage=float(self.extra.get("coverage_fn", _zero)(sigma)),
+        )
+        return comp
+
+    @property
+    def identity(self) -> bool:
+        """True for the raw (no-compression) codec."""
+        return self.weight_bits_fn is None and self.kv_bits_fn is None
+
+
+def _zero(_sigma: float) -> float:
+    return 0.0
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_CODECS: dict[str, Codec] = {}
+_ALIASES: dict[str, str] = {}
+
+
+def register_codec(codec: Codec) -> Codec:
+    """Register ``codec`` under its name and aliases (idempotent)."""
+    key = codec.name.lower()
+    _CODECS[key] = codec
+    for alias in codec.aliases:
+        _ALIASES[alias.lower()] = key
+    return codec
+
+
+def get_codec(name: str | Codec) -> Codec:
+    """Resolve a codec by name or alias (case-insensitive).
+
+    Canonical names win over aliases, so registering a codec under a
+    name that happens to be another codec's alias is never silently
+    shadowed by the alias table.
+    """
+    if isinstance(name, Codec):
+        return name
+    key = str(name).lower()
+    if key not in _CODECS:
+        key = _ALIASES.get(key, key)
+    if key not in _CODECS:
+        raise UnknownSpecError(
+            "codec", str(name), list(_CODECS) + list(_ALIASES)
+        )
+    return _CODECS[key]
+
+
+def list_codecs() -> list[str]:
+    """Canonical registered codec names, sorted."""
+    return sorted(_CODECS)
+
+
+# ----------------------------------------------------------------------
+# Resolved specs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CompressionSpec:
+    """A codec pinned to a placement, with its ratio settled.
+
+    This is what consumers hold after config-time resolution: the serving
+    cores, the KV allocator and the transfer link all read ``ratio`` (and
+    the codec's kernel hooks) without ever touching the registry again.
+    """
+
+    codec: str
+    placement: str
+    ratio: float
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if self.placement not in PLACEMENTS:
+            raise ConfigError(
+                f"placement must be one of {PLACEMENTS},"
+                f" got {self.placement!r}"
+            )
+        if self.ratio < 1.0:
+            raise ConfigError(
+                f"compression ratio must be >= 1, got {self.ratio}"
+            )
+
+    @property
+    def identity(self) -> bool:
+        """True when this spec applies no compression."""
+        return self.ratio == 1.0 and get_codec(self.codec).identity
+
+    def resolve(self) -> Codec:
+        """The codec object behind this spec."""
+        return get_codec(self.codec)
+
+
+def resolve_spec(
+    codec: str | Codec | CompressionSpec,
+    placement: str,
+    sigma: float | None = None,
+    ratio: float | None = None,
+) -> CompressionSpec:
+    """Resolve a codec (by any name form) into a placement-pinned spec.
+
+    An explicit ``ratio`` wins over the codec's analytic estimator —
+    that is how legacy knobs (``kv_compression_ratio=1.4``,
+    ``DisaggConfig.transfer_ratio``) keep their exact semantics.
+    """
+    if isinstance(codec, CompressionSpec):
+        if codec.placement != placement:
+            raise ConfigError(
+                f"spec is pinned to {codec.placement!r}, wanted"
+                f" {placement!r}"
+            )
+        return codec
+    resolved = get_codec(codec)
+    if sigma is None:
+        sigma = WEIGHT_SIGMA if placement == "weight" else ACTIVATION_SIGMA
+    if ratio is None:
+        ratio = resolved.ratio(placement, sigma)
+    return CompressionSpec(
+        codec=resolved.name, placement=placement,
+        ratio=float(ratio), sigma=float(sigma),
+    )

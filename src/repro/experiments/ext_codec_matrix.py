@@ -1,0 +1,142 @@
+"""Extension experiment: the {weight, kv, wire} codec matrix.
+
+The unified compression registry (:mod:`repro.compression`) makes every
+compression slot of the serving stack independently configurable:
+``ServingConfig(weight_codec=..., kv_codec=..., transfer_codec=...)``
+accepts any registered codec in any combination, across both serving
+topologies.  This experiment sweeps that space on one (model, gpu) pair
+and a bandwidth-starved disaggregation link, demonstrating deployments
+the old hardcoded plumbing could not express — most pointedly *raw
+weights + compressed KV + compressed wire*, where compression earns its
+keep twice (HBM capacity and interconnect bytes) without touching the
+weight path at all.
+
+Expected shape:
+
+* weight compression (``tcatbe``) buys KV budget (smaller weights →
+  more blocks) and faster memory-bound decode — the paper's core claim;
+* KV residency compression (``kvcomp``) multiplies token capacity by the
+  activation ratio and trims decode attention traffic;
+* wire compression cuts transfer bytes by the codec ratio, which on a
+  starved link shows up as queueing delay and makespan (SplitZip);
+* the effects compose: the full stack beats every partial configuration
+  on the disaggregated topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..gpu.specs import get_gpu
+from ..serving.backends import get_backend
+from ..serving.engine import InferenceEngine
+from ..serving.models import get_model
+from ..serving.serve import DisaggConfig, ServingConfig
+from ..serving.trace import DEFAULT_TENANTS, multi_tenant_trace
+from .common import ExperimentResult, experiment
+
+#: Same deliberately starved interconnect as ``ext_disagg``.
+LINK_GB_PER_S = 0.125
+SEED = 7
+
+#: (label, mode, weight_codec, kv_codec, transfer_codec)
+COMBOS: list[tuple[str, str, str, str, str]] = [
+    ("dense colocated", "colocated", "none", "none", "none"),
+    ("weights only", "colocated", "tcatbe", "none", "none"),
+    ("weights+kv", "colocated", "tcatbe", "kvcomp", "none"),
+    ("raw disagg", "disaggregated", "none", "none", "none"),
+    ("kv+wire, raw weights", "disaggregated", "none", "kvcomp", "kvcomp"),
+    ("full stack", "disaggregated", "tcatbe", "kvcomp", "kvcomp"),
+    ("entropy wire", "disaggregated", "tcatbe", "kvcomp", "dfloat11"),
+    ("lossy+lossless", "disaggregated", "zipquant", "kvcomp", "kvcomp"),
+]
+
+
+def _config(mode: str, weight: str, kv: str, wire: str) -> ServingConfig:
+    return ServingConfig(
+        policy="fcfs",
+        prefill_mode="chunked",
+        mode=mode,
+        disagg=DisaggConfig(link_gb_per_s=LINK_GB_PER_S),
+        weight_codec=weight,
+        kv_codec=kv,
+        transfer_codec=wire,
+    )
+
+
+def _trace(quick: bool):
+    if not quick:
+        return multi_tenant_trace(seed=SEED)
+    tenants = {
+        name: replace(spec, n_requests=max(2, spec.n_requests // 4))
+        for name, spec in DEFAULT_TENANTS.items()
+    }
+    return multi_tenant_trace(tenants, seed=SEED)
+
+
+@experiment("ext_codec_matrix")
+def run(quick: bool = False) -> ExperimentResult:
+    """Sweep {weight, kv, wire} codec combinations across topologies."""
+    engine = InferenceEngine(
+        get_model("llama3.1-8b"), get_gpu("rtx4090"),
+        get_backend("zipserv"),
+    )
+    n = len(_trace(quick))
+
+    rows = []
+    results = {}
+    for label, mode, weight, kv, wire in COMBOS:
+        result = engine.serve(
+            _trace(quick), config=_config(mode, weight, kv, wire)
+        )
+        results[label] = result
+        xfer = result.transfer
+        rows.append((
+            label, mode, weight, kv, wire,
+            result.makespan_s, result.throughput_tok_s,
+            result.metrics.ttft.p95_s, result.metrics.latency.p95_s,
+            xfer.compression_ratio if xfer else 1.0,
+            xfer.queue.p95_s * 1e3 if xfer else 0.0,
+        ))
+
+    dense = results["dense colocated"]
+    weights_only = results["weights only"]
+    raw_disagg = results["raw disagg"]
+    kv_wire = results["kv+wire, raw weights"]
+    full = results["full stack"]
+    return ExperimentResult(
+        experiment="ext_codec_matrix",
+        title=(
+            f"{{weight, kv, wire}} codec matrix, {n}-request"
+            f" multi-tenant trace, {LINK_GB_PER_S} GB/s KV link"
+        ),
+        columns=["scenario", "mode", "weight", "kv", "wire", "makespan_s",
+                 "tput_tok_s", "ttft_p95_s", "latency_p95_s", "wire_ratio",
+                 "queue_p95_ms"],
+        rows=rows,
+        summary={
+            "weights_only_makespan_cut": 1.0
+            - weights_only.makespan_s / dense.makespan_s,
+            "kv_wire_vs_raw_disagg_cut": 1.0
+            - kv_wire.makespan_s / raw_disagg.makespan_s,
+            "full_vs_raw_disagg_cut": 1.0
+            - full.makespan_s / raw_disagg.makespan_s,
+            # Measured on the actual serving path (not re-derived from
+            # the registry), so a broken transfer wiring fails the band.
+            "wire_ratio_kvcomp": full.transfer.compression_ratio,
+            "n_combos": float(len(COMBOS)),
+            "all_requests_served": float(all(
+                r.n_requests == n for r in results.values()
+            )),
+        },
+        paper={},
+        notes=(
+            "No paper counterpart: the registry makes slots orthogonal,"
+            " so this sweeps deployments the paper's fixed stack could"
+            " not express (e.g. raw weights with compressed KV residency"
+            " and wire).  Expected shape: each codec slot contributes an"
+            " independent win — weight codecs buy KV budget and decode"
+            " bandwidth, KV codecs buy token capacity, wire codecs buy"
+            " link bytes — and the full stack composes them."
+        ),
+    )

@@ -2,7 +2,15 @@
 
 The KV cache dominates memory in long-context serving; its BF16 entries are
 activations whose exponents are as skewed as weights', so the same
-fixed-length encoding applies.  This module provides:
+fixed-length encoding applies.  Since the unified compression registry
+(:mod:`repro.compression`) landed, this module is the *named entry point*
+for the Vector-TBE KV direction rather than a parallel universe: the
+functional round-trip, the analytic ratio, the compressed-attention kernel
+and the capacity-side spec all live in registry-resolved layers
+(``vector_tbe`` codec — alias ``"kvcomp"`` —,
+:func:`repro.kernels.attention.paged_attention_decode_compressed`,
+:class:`repro.serving.kvcache.CompressedKVCacheSpec`), and this module
+keeps the historical API surface on top of them:
 
 * **functional layer** — bit-exact compression of KV blocks with the 1-D
   Vector-TBE format (:mod:`repro.tcatbe.vector`);
@@ -10,12 +18,10 @@ fixed-length encoding applies.  This module provides:
   whose bytes/token shrink by the measured ratio (more tokens per GiB);
 * **kernel layer** — a fused paged-attention model that streams the cache
   compressed and decodes in-kernel, the same load-compressed /
-  compute-decompressed trade as ZipGEMM: less DRAM traffic, a bounded ALU
-  decode cost per token;
+  compute-decompressed trade as ZipGEMM;
 * **cost layer** — :func:`compressed_cost_model`, a ready-made
   :class:`~repro.serving.costs.EngineCostModel` whose decode attention
-  streams the compressed cache, pluggable straight into the event-driven
-  serving core (:class:`~repro.serving.serve.ServingCore`).
+  streams the compressed cache.
 
 Compression happens once per filled block (blocks are immutable after the
 16th token), so the online compression cost is one Vector-TBE encode per
@@ -24,27 +30,26 @@ block per sequence — negligible next to a decode step.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from functools import lru_cache
 
 import numpy as np
 
-from ..analysis.calibration import decode_cycles_per_element
-from ..analysis.theory import window_coverage_gaussian
+from ..compression import get_codec
 from ..errors import ConfigError, FormatError
-from ..gpu.memory import TrafficRecord
 from ..gpu.specs import GpuSpec
+from ..kernels.attention import paged_attention_decode_compressed as _fused
 from ..kernels.base import KernelProfile
-from ..serving.kvcache import KVCacheSpec
-from ..tcatbe.analysis import average_bits
+from ..serving.kvcache import CompressedKVCacheSpec
 from ..tcatbe.vector import VecTbe, compress_vector, decompress_vector
 
-#: Activations are spikier than weights; a mild outlier share on top of the
-#: Gaussian bulk lowers coverage slightly relative to weights.
-_ACTIVATION_OUTLIER_FRACTION = 0.02
-
-#: Streaming efficiency of the compressed paged-attention gather.
-_PAGED_BW_FRAC = 0.80
+__all__ = [
+    "CompressedKVCacheSpec",
+    "compress_kv_block",
+    "compressed_cost_model",
+    "decompress_kv_block",
+    "kv_compression_ratio",
+    "paged_attention_decode_compressed",
+]
 
 
 def compress_kv_block(block: np.ndarray) -> VecTbe:
@@ -69,15 +74,13 @@ def decompress_kv_block(blob: VecTbe, shape: tuple[int, int]) -> np.ndarray:
 def kv_compression_ratio(sigma: float = 0.05) -> float:
     """Analytic KV compression ratio for activation scale ``sigma``.
 
-    Same AverageBits(3) computation as weights, with coverage derated by the
-    activation outlier share; lands around 1.35-1.4x.
+    Delegates to the registry's ``vector_tbe`` estimator (AverageBits(3)
+    with coverage derated by the activation outlier share); lands around
+    1.35-1.4x.
     """
     if sigma <= 0:
         raise ConfigError("activation sigma must be positive")
-    coverage = window_coverage_gaussian(sigma, k=7)
-    coverage *= 1.0 - _ACTIVATION_OUTLIER_FRACTION
-    bits = average_bits(3, coverage) + 24.0 * 8.0 / 4096.0
-    return 16.0 / bits
+    return get_codec("vector_tbe").ratio("kv", sigma)
 
 
 def compressed_cost_model(
@@ -91,10 +94,10 @@ def compressed_cost_model(
     """A step cost model serving over a Vector-TBE-compressed KV cache.
 
     Convenience constructor for the serving stack's cost layer: decode
-    attention streams the cache at ``1/ratio`` of the plain traffic (via
-    :func:`paged_attention_decode_compressed`); pair it with a
-    :class:`CompressedKVCacheSpec`-scaled block budget to also model the
-    capacity side.  ``ratio=None`` uses the analytic activation ratio.
+    attention streams the cache at ``1/ratio`` of the plain traffic; pair
+    it with a :class:`CompressedKVCacheSpec`-scaled block budget to also
+    model the capacity side.  ``ratio=None`` uses the analytic activation
+    ratio.
     """
     from ..serving.costs import EngineCostModel
 
@@ -102,42 +105,9 @@ def compressed_cost_model(
         model, gpu, backend,
         tensor_parallel=tensor_parallel,
         pipeline_parallel=pipeline_parallel,
-        kv_compression_ratio=(
-            ratio if ratio is not None else kv_compression_ratio()
-        ),
+        kv_codec="vector_tbe",
+        kv_compression_ratio=ratio,
     )
-
-
-@dataclass(frozen=True)
-class CompressedKVCacheSpec:
-    """KV geometry with Vector-TBE-compressed blocks.
-
-    Wraps a :class:`~repro.serving.kvcache.KVCacheSpec`; bytes per token
-    shrink by ``ratio``, which the block allocator and memory planner then
-    turn into proportionally more token capacity.
-    """
-
-    inner: KVCacheSpec
-    ratio: float
-
-    def __post_init__(self) -> None:
-        if self.ratio < 1.0:
-            raise ConfigError("KV compression ratio must be >= 1")
-
-    @property
-    def bytes_per_token(self) -> int:
-        """Compressed K+V bytes per token (ceil, per-block container)."""
-        return max(1, int(np.ceil(self.inner.bytes_per_token / self.ratio)))
-
-    @property
-    def bytes_per_block(self) -> int:
-        """Compressed bytes of one block."""
-        return self.bytes_per_token * self.inner.block_size
-
-    @property
-    def capacity_gain(self) -> float:
-        """Token-capacity multiplier at equal memory."""
-        return self.inner.bytes_per_token / self.bytes_per_token
 
 
 def paged_attention_decode_compressed(
@@ -149,42 +119,12 @@ def paged_attention_decode_compressed(
     head_dim: int,
     ratio: float | None = None,
 ) -> KernelProfile:
-    """Fused decode attention over a compressed KV cache (per layer).
+    """Fused decode attention over a Vector-TBE-compressed KV cache.
 
-    Streams ``2 * ctx * kv_dim / ratio`` bytes per sequence and pays the
-    Vector-TBE decode ALU cost per element — the attention-side analogue of
-    ZipGEMM's trade.
+    Historical signature kept for callers of the extension: ``ratio=None``
+    resolves the analytic activation ratio.  The kernel model itself lives
+    in :func:`repro.kernels.attention.paged_attention_decode_compressed`,
+    parameterised by registry codec hooks.
     """
-    if min(batch, ctx, heads, kv_heads, head_dim) <= 0:
-        raise ConfigError("attention dims must be positive")
-    if heads % kv_heads:
-        raise ConfigError("query heads must divide by kv heads")
     r = ratio if ratio is not None else kv_compression_ratio()
-
-    elements = 2.0 * batch * ctx * kv_heads * head_dim
-    kv_bytes = elements * 2.0 / r
-    io_bytes = 2.0 * batch * heads * head_dim * 2.0
-    flops = 2.0 * 2.0 * batch * heads * ctx * head_dim
-
-    mem_time = (kv_bytes + io_bytes) / (
-        spec.dram_bytes_per_s * _PAGED_BW_FRAC
-    )
-    alu_time = elements * decode_cycles_per_element() / spec.sm_cycles_per_s
-    compute_time = flops / (spec.tc_flops * 0.6)
-    time_s = (
-        max(mem_time, alu_time, compute_time)
-        + spec.launch_overhead_us * 1e-6
-    )
-    return KernelProfile(
-        kernel="paged_attention_compressed",
-        time_s=time_s,
-        traffic=TrafficRecord(dram_read=kv_bytes + io_bytes / 2,
-                              dram_write=io_bytes / 2),
-        flops=flops,
-        details={
-            "mem_time_s": mem_time,
-            "alu_time_s": alu_time,
-            "compute_time_s": compute_time,
-            "kv_ratio": r,
-        },
-    )
+    return _fused(spec, batch, ctx, heads, kv_heads, head_dim, ratio=r)

@@ -13,12 +13,18 @@ from .attention import (
     eager_attention_prefill,
     flash_attention_prefill,
     paged_attention_decode,
+    paged_attention_decode_compressed,
 )
 from .base import KernelProfile, WeightCompression
 from .decompress import baseline_decompress, zipserv_decompress
 from .gemm import cublas_gemm
 from .marlin import marlin_w8a16_gemm
-from .pipeline import decoupled_pipeline, stage_aware_linear, fused_wins
+from .pipeline import (
+    decoupled_pipeline,
+    fused_wins,
+    linear_profile,
+    stage_aware_linear,
+)
 from .zipgemm import zipgemm
 
 __all__ = [
@@ -30,9 +36,11 @@ __all__ = [
     "baseline_decompress",
     "decoupled_pipeline",
     "stage_aware_linear",
+    "linear_profile",
     "fused_wins",
     "marlin_w8a16_gemm",
     "paged_attention_decode",
+    "paged_attention_decode_compressed",
     "flash_attention_prefill",
     "eager_attention_decode",
     "eager_attention_prefill",

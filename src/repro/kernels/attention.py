@@ -11,13 +11,16 @@ Two families:
 
 from __future__ import annotations
 
+from ..analysis.calibration import decode_cycles_per_element
 from ..errors import ConfigError
 from ..gpu.memory import TrafficRecord
 from ..gpu.specs import GpuSpec
 from .base import KernelProfile
 
 #: Streaming efficiency of the paged-KV gather (block tables cost a bit).
-_PAGED_BW_FRAC = 0.80
+#: Public: also the base fraction codec hooks derate for compressed
+#: streaming (see ``paged_attention_decode_compressed`` and the cost layer).
+PAGED_BW_FRAC = 0.80
 
 #: Tensor-core efficiency of FlashAttention-style prefill kernels.
 _FLASH_TC_FRAC = 0.60
@@ -53,7 +56,7 @@ def paged_attention_decode(
     io_bytes = 2.0 * batch * heads * head_dim * 2.0  # q in, out
     flops = 2.0 * 2.0 * batch * heads * ctx * head_dim  # qk + av
     mem_time = (kv_bytes + io_bytes) / (
-        spec.dram_bytes_per_s * _PAGED_BW_FRAC
+        spec.dram_bytes_per_s * PAGED_BW_FRAC
     )
     compute_time = flops / (spec.tc_flops * _FLASH_TC_FRAC)
     time_s = max(mem_time, compute_time) + spec.launch_overhead_us * 1e-6
@@ -64,6 +67,60 @@ def paged_attention_decode(
                               dram_write=io_bytes / 2),
         flops=flops,
         details={"mem_time_s": mem_time, "compute_time_s": compute_time},
+    )
+
+
+def paged_attention_decode_compressed(
+    spec: GpuSpec,
+    batch: int,
+    ctx: int,
+    heads: int,
+    kv_heads: int,
+    head_dim: int,
+    ratio: float,
+    cycles_per_element: float | None = None,
+    bw_frac: float = PAGED_BW_FRAC,
+) -> KernelProfile:
+    """Fused decode attention over a compressed KV cache (per layer).
+
+    Streams ``2 * ctx * kv_dim / ratio`` bytes per sequence and pays a
+    per-element decode ALU cost — the attention-side analogue of
+    ZipGEMM's load-compressed / compute-decompressed trade.  The codec
+    plugs in through two registry hooks: ``cycles_per_element`` (the
+    in-kernel decode cost; defaults to the calibrated TBE figure) and
+    ``bw_frac`` (streaming efficiency of the compressed gather; entropy
+    codecs derate it below the plain paged fraction).
+    """
+    _check(batch, ctx, heads, kv_heads, head_dim)
+    if ratio < 1.0:
+        raise ConfigError(f"compression ratio must be >= 1, got {ratio}")
+    if cycles_per_element is None:
+        cycles_per_element = decode_cycles_per_element()
+
+    elements = 2.0 * batch * ctx * kv_heads * head_dim
+    kv_bytes = elements * 2.0 / ratio
+    io_bytes = 2.0 * batch * heads * head_dim * 2.0
+    flops = 2.0 * 2.0 * batch * heads * ctx * head_dim
+
+    mem_time = (kv_bytes + io_bytes) / (spec.dram_bytes_per_s * bw_frac)
+    alu_time = elements * cycles_per_element / spec.sm_cycles_per_s
+    compute_time = flops / (spec.tc_flops * _FLASH_TC_FRAC)
+    time_s = (
+        max(mem_time, alu_time, compute_time)
+        + spec.launch_overhead_us * 1e-6
+    )
+    return KernelProfile(
+        kernel="paged_attention_compressed",
+        time_s=time_s,
+        traffic=TrafficRecord(dram_read=kv_bytes + io_bytes / 2,
+                              dram_write=io_bytes / 2),
+        flops=flops,
+        details={
+            "mem_time_s": mem_time,
+            "alu_time_s": alu_time,
+            "compute_time_s": compute_time,
+            "kv_ratio": ratio,
+        },
     )
 
 
@@ -82,7 +139,7 @@ def flash_attention_prefill(
     qkv_bytes = 3.0 * batch * seq_len * heads * head_dim * 2.0
     out_bytes = batch * seq_len * heads * head_dim * 2.0
     mem_time = (qkv_bytes + out_bytes) / (
-        spec.dram_bytes_per_s * _PAGED_BW_FRAC
+        spec.dram_bytes_per_s * PAGED_BW_FRAC
     )
     compute_time = flops / (spec.tc_flops * _FLASH_TC_FRAC)
     time_s = max(mem_time, compute_time) + spec.launch_overhead_us * 1e-6

@@ -77,6 +77,36 @@ def fused_wins(
     return fused.time_s <= decoupled.time_s
 
 
+def linear_profile(
+    spec: GpuSpec,
+    m: int,
+    k: int,
+    n: int,
+    codec,
+    compression: WeightCompression | None = None,
+) -> KernelProfile:
+    """Linear-layer execution for one registry codec (spec-driven).
+
+    The stage-aware selection used to be keyed on backend strings; it now
+    dispatches on the codec's declared ``linear_mode`` hook
+    (:class:`repro.compression.Codec`): ``"cublas"`` runs the dense GEMM,
+    ``"stage_aware"`` runs the fused-vs-decoupled ZipServ strategy, and
+    ``"decoupled"`` runs the decompress-then-GEMM baseline pipeline named
+    by ``codec.baseline_codec``.  ``codec`` is duck-typed (anything with
+    ``linear_mode`` / ``baseline_codec`` attributes) so this module stays
+    below the compression registry in the layer diagram.
+    """
+    if codec.linear_mode == "cublas":
+        return cublas_gemm(spec, m, k, n)
+    if codec.linear_mode == "stage_aware":
+        return stage_aware_linear(spec, m, k, n, compression)
+    if codec.linear_mode == "decoupled":
+        return decoupled_pipeline(
+            spec, m, k, n, codec.baseline_codec, compression
+        )
+    raise ConfigError(f"unknown linear mode {codec.linear_mode!r}")
+
+
 def stage_aware_linear(
     spec: GpuSpec,
     m: int,

@@ -8,8 +8,8 @@ substrate:
   (:class:`EngineCostModel`), with :class:`MemoizedStepCostModel` bucketing
   decode contexts so long traces stop recomputing near-identical steps;
 * **scheduling layer** — :mod:`repro.serving.scheduler`: FCFS / priority /
-  shortest-job-first policies, chunked-prefill planning under
-  ``max_batched_tokens``, and recompute preemption when KV fills;
+  aging-priority / shortest-job-first policies, chunked-prefill planning
+  under ``max_batched_tokens``, and recompute preemption when KV fills;
 * **serving core + metrics** — :mod:`repro.serving.serve` drives the
   event-driven clock loop; :mod:`repro.serving.metrics` reports TTFT/TPOT,
   interpolated latency percentiles and SLO goodput.
@@ -18,7 +18,10 @@ On top of the layers sit two serving topologies, selected by
 ``ServingConfig.mode``: the colocated :class:`ServingCore` and the
 disaggregated :class:`DisaggregatedCore`
 (:mod:`repro.serving.disagg` — prefill pool → KV-transfer link → decode
-pool, with compressed-KV transfer via the kvcomp extension).
+pool).  Compression is a first-class property across the stack: the
+``weight_codec`` / ``kv_codec`` / ``transfer_codec`` slots of
+:class:`ServingConfig` each accept any codec registered in the unified
+registry (:mod:`repro.compression`), in any combination.
 
 Shared substrate: a model zoo with the real layer shapes of the paper's
 models, synthetic weight statistics, a paged KV-cache manager, tensor
@@ -45,7 +48,7 @@ from .engine import (
     InferenceEngine,
     ServeResult,
 )
-from .kvcache import KVCacheSpec, PagedKVCache
+from .kvcache import CompressedKVCacheSpec, KVCacheSpec, PagedKVCache
 from .memory_plan import MemoryPlan, plan_memory
 from .metrics import (
     LatencySummary,
@@ -62,6 +65,7 @@ from .models import MODELS, LayerShape, ModelSpec, get_model
 from .parallel import TensorParallelLayout, allreduce_time, shard_layer
 from .scheduler import (
     POLICIES,
+    AgingPriorityPolicy,
     ContinuousBatchScheduler,
     FCFSPolicy,
     PriorityPolicy,
@@ -100,6 +104,7 @@ __all__ = [
     "get_backend",
     "PagedKVCache",
     "KVCacheSpec",
+    "CompressedKVCacheSpec",
     "MemoryPlan",
     "plan_memory",
     "Request",
@@ -109,6 +114,7 @@ __all__ = [
     "SchedulerPolicy",
     "FCFSPolicy",
     "PriorityPolicy",
+    "AgingPriorityPolicy",
     "SJFPolicy",
     "POLICIES",
     "get_policy",

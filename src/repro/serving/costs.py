@@ -41,21 +41,32 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
 
+from ..analysis.calibration import decode_cycles_per_element
+from ..compression import CompressionSpec, resolve_spec
 from ..errors import ConfigError
 from ..gpu.specs import GpuSpec
 from ..kernels.attention import (
+    PAGED_BW_FRAC,
     eager_attention_decode,
     eager_attention_prefill,
     flash_attention_prefill,
     paged_attention_decode,
+    paged_attention_decode_compressed,
 )
-from ..kernels.gemm import cublas_gemm
-from ..kernels.pipeline import decoupled_pipeline, stage_aware_linear
+from ..kernels.pipeline import linear_profile
 from ..utils import ceil_div
 from .backends import BackendConfig
 from .models import ModelSpec
 from .parallel import allreduce_time, shard_layer
 from .weights import estimate_layer_compression, layer_sigma
+
+#: Backend linear modes map onto these registry codecs when no explicit
+#: ``weight_codec`` is configured (the pre-registry behaviour).
+_BACKEND_WEIGHT_CODECS = {
+    "cublas": "none",
+    "stage_aware": "tcatbe",
+    "decoupled_per_use": "dfloat11",
+}
 
 
 @dataclass
@@ -145,18 +156,50 @@ class EngineCostModel:
         backend: BackendConfig,
         tensor_parallel: int = 1,
         pipeline_parallel: int = 1,
-        kv_compression_ratio: float = 1.0,
+        kv_compression_ratio: float | None = None,
+        weight_codec: str | CompressionSpec | None = None,
+        kv_codec: str | CompressionSpec | None = None,
     ):
-        if kv_compression_ratio < 1.0:
+        """``weight_codec`` / ``kv_codec`` are registry names (or resolved
+        :class:`~repro.compression.CompressionSpec` objects); ``None``
+        keeps the backend's historical mapping (linear mode -> weight
+        codec, ``kv_compression_ratio`` -> Vector-TBE KV streaming).  An
+        explicit ``kv_compression_ratio`` overrides the codec's analytic
+        estimate."""
+        if kv_compression_ratio is not None and kv_compression_ratio < 1.0:
             raise ConfigError("kv_compression_ratio must be >= 1")
         self.model = model
         self.gpu = gpu
         self.backend = backend
         self.tp = tensor_parallel
         self.pp = pipeline_parallel
-        self.kv_ratio = float(kv_compression_ratio)
         self.kv_heads = max(1, model.n_kv_heads // tensor_parallel)
         self._linear_cache: dict[tuple, tuple[float, int, float]] = {}
+
+        # Registry resolution happens once, here — consumers of this model
+        # never look codecs up again (and never import extensions lazily
+        # inside a step; that used to live in ``attention_time``).
+        if weight_codec is None:
+            weight_codec = _BACKEND_WEIGHT_CODECS[backend.linear_mode]
+        self.weight_spec = resolve_spec(weight_codec, "weight")
+        self._weight_codec = self.weight_spec.resolve()
+        if kv_codec is None:
+            ratio = float(kv_compression_ratio or 1.0)
+            kv_codec = "vector_tbe" if ratio > 1.0 else "none"
+            self.kv_spec_c = resolve_spec(kv_codec, "kv", ratio=ratio)
+        else:
+            self.kv_spec_c = resolve_spec(
+                kv_codec, "kv", ratio=kv_compression_ratio
+            )
+        self.kv_ratio = self.kv_spec_c.ratio
+        self._kv_attention_args: tuple[float, float, float] | None = None
+        if self.kv_ratio > 1.0 and backend.attention == "paged":
+            codec = self.kv_spec_c.resolve()
+            self._kv_attention_args = (
+                self.kv_ratio,
+                decode_cycles_per_element() * codec.decode_cycles_factor,
+                PAGED_BW_FRAC * codec.stream_bw_frac,
+            )
 
     # ------------------------------------------------------------------
     # Components
@@ -169,25 +212,19 @@ class EngineCostModel:
         total = 0.0
         comm = 0.0
         ops = 0
+        codec = self._weight_codec
         for layer in self.model.linear_layers():
             layout = shard_layer(layer, self.tp)
             sigma = layer_sigma(layer.kind, layout.m, layout.k)
-            if self.backend.linear_mode == "cublas":
-                profile = cublas_gemm(self.gpu, layout.m, layout.k, n_tokens)
-            elif self.backend.linear_mode == "stage_aware":
-                comp = estimate_layer_compression(
-                    layout.m, layout.k, sigma, "tcatbe"
+            comp = (
+                None if codec.identity
+                else estimate_layer_compression(
+                    layout.m, layout.k, sigma, codec.name
                 )
-                profile = stage_aware_linear(
-                    self.gpu, layout.m, layout.k, n_tokens, comp
-                )
-            else:  # decoupled_per_use (DFloat11)
-                comp = estimate_layer_compression(
-                    layout.m, layout.k, sigma, "dfloat11"
-                )
-                profile = decoupled_pipeline(
-                    self.gpu, layout.m, layout.k, n_tokens, "dfloat11", comp
-                )
+            )
+            profile = linear_profile(
+                self.gpu, layout.m, layout.k, n_tokens, codec, comp
+            )
             layer_time = profile.time_s + self.backend.per_layer_sync_s
             total += layer_time * layer.count
             ops += layer.count
@@ -203,14 +240,12 @@ class EngineCostModel:
         heads = max(1, self.model.n_heads // self.tp)
         kv_heads = self.kv_heads
         if phase == "decode":
-            if self.kv_ratio > 1.0 and self.backend.attention == "paged":
-                from ..extensions.kvcomp import (
-                    paged_attention_decode_compressed,
-                )
-
+            if self._kv_attention_args is not None:
+                ratio, cycles, bw_frac = self._kv_attention_args
                 profile = paged_attention_decode_compressed(
                     self.gpu, batch, ctx, heads, kv_heads,
-                    self.model.head_dim, ratio=self.kv_ratio,
+                    self.model.head_dim, ratio=ratio,
+                    cycles_per_element=cycles, bw_frac=bw_frac,
                 )
                 return profile.time_s * self.model.n_layers
             fn = (

@@ -18,7 +18,9 @@ stages, each event-driven like the colocated core:
    (prefill saturates compute; batching buys nothing in this regime).
    The first token is produced here, so TTFT is independent of the link.
 2. **transfer link** — a serial FIFO channel.  Each transfer carries
-   ``prompt_len * bytes_per_token / ratio`` bytes and costs
+   ``prompt_len * raw_bytes_per_token / ratio`` bytes (the sender
+   re-encodes the raw KV with the wire codec, whatever codec the cache
+   is resident in) and costs
    ``bytes / bandwidth + latency``; queueing behind earlier transfers is
    accounted separately so a saturated link is visible as queue delay,
    not just wire time.
@@ -47,6 +49,7 @@ from __future__ import annotations
 
 import heapq
 
+from ..compression import resolve_spec
 from ..errors import ConfigError
 from .costs import StepCostModel, maybe_memoize
 from .kvcache import KVCacheSpec, PagedKVCache
@@ -70,19 +73,16 @@ __all__ = ["DisaggregatedCore", "resolve_transfer_ratio"]
 def resolve_transfer_ratio(config: ServingConfig) -> float:
     """The wire compression ratio implied by the transfer codec.
 
-    An explicit ``transfer_ratio`` wins; otherwise ``"none"`` ships raw
-    BF16 (ratio 1.0) and ``"kvcomp"`` ships Vector-TBE-compressed blocks
-    at the analytic activation ratio of
-    :func:`repro.extensions.kvcomp.kv_compression_ratio`.
+    An explicit ``transfer_ratio`` wins; otherwise the codec named by
+    ``config.resolved_transfer_codec`` (the ``ServingConfig`` slot, with
+    ``DisaggConfig.transfer_codec`` as fallback) resolves through the
+    compression registry's wire estimator — 1.0 for ``"none"``, the
+    analytic activation ratio for ``"kvcomp"``/``vector_tbe``, the
+    entropy-coded split-plane ratio for the baseline codecs.
     """
-    disagg = config.disagg
-    if disagg.transfer_ratio is not None:
-        return float(disagg.transfer_ratio)
-    if disagg.transfer_codec == "kvcomp":
-        from ..extensions.kvcomp import kv_compression_ratio
-
-        return kv_compression_ratio()
-    return 1.0
+    if config.disagg.transfer_ratio is not None:
+        return float(config.disagg.transfer_ratio)
+    return resolve_spec(config.resolved_transfer_codec, "wire").ratio
 
 
 class _DecodeReplica:
@@ -304,7 +304,10 @@ class DisaggregatedCore:
         """
         disagg = self.config.disagg
         bandwidth = disagg.link_gb_per_s * 1e9
-        per_token = self.kv_spec.bytes_per_token / self.transfer_ratio
+        # Wire bytes are priced off the *raw* KV footprint: the sender
+        # re-encodes with the wire codec, whatever codec (if any) the KV
+        # is resident in.  For a plain spec raw == resident.
+        per_token = self.kv_spec.raw_bytes_per_token / self.transfer_ratio
         link_free = 0.0
         records = []
         for ready, req in sorted(

@@ -31,7 +31,7 @@ from ..gpu.specs import GpuSpec
 from ..utils import ceil_div
 from .backends import BackendConfig
 from .costs import EngineCostModel, StepBreakdown
-from .kvcache import KVCacheSpec, PagedKVCache
+from .kvcache import CompressedKVCacheSpec, KVCacheSpec, PagedKVCache
 from .memory_plan import DEFAULT_GPU_MEM_UTIL, MemoryPlan, plan_memory
 from .metrics import ContinuousResult
 from .models import ModelSpec
@@ -112,6 +112,7 @@ class InferenceEngine:
         self.backend = backend
         self.tp = tensor_parallel
         self.pp = pipeline_parallel
+        self.gpu_mem_util = gpu_mem_util
         self.costs = EngineCostModel(
             model, gpu, backend,
             tensor_parallel=tensor_parallel,
@@ -302,19 +303,79 @@ class InferenceEngine:
         and a decode pool joined by a KV-transfer link sized by
         ``config.disagg`` (each replica gets this engine's full KV
         budget).
+
+        ``config.weight_codec`` / ``config.kv_codec`` /
+        ``config.transfer_codec`` override the engine's construction-time
+        compression choices through the unified registry: the run prices
+        linear layers under the weight codec, streams (and budgets) the
+        KV cache under the KV codec, and ships wire bytes under the
+        transfer codec — any combination of registered codecs is valid.
+        Slots left ``None`` keep this engine's own cost model, KV spec
+        and memory plan, so default configs are bit-compatible.
         """
         config = (config or ServingConfig()).with_limits(limits)
+        costs, kv_spec, kv_bytes = self._codec_stack(config)
         if config.mode == "disaggregated":
             from .disagg import DisaggregatedCore
 
             disagg_core = DisaggregatedCore(
-                self.costs, self.kv_spec, self.plan.kv_bytes, config
+                costs, kv_spec, kv_bytes, config
             )
             return disagg_core.serve(requests)
-        core = ServingCore(
-            self.costs, self.kv_spec, self.plan.kv_bytes, config
-        )
+        core = ServingCore(costs, kv_spec, kv_bytes, config)
         return core.serve(requests)
+
+    def _codec_stack(
+        self, config: ServingConfig
+    ) -> tuple[EngineCostModel, KVCacheSpec, float]:
+        """Resolve the config's codec slots into (costs, kv spec, bytes).
+
+        Registry resolution happens here, once per ``serve`` call — the
+        cores and schedulers downstream only ever see settled specs.
+        With no codec slots set this returns the engine's own stack
+        unchanged (the bit-compatibility guarantee).
+        """
+        if config.weight_codec is None and config.kv_codec is None:
+            return self.costs, self.kv_spec, self.plan.kv_bytes
+        costs = EngineCostModel(
+            self.model, self.gpu, self.backend,
+            tensor_parallel=self.tp,
+            pipeline_parallel=self.pp,
+            weight_codec=config.weight_codec,
+            # A None slot keeps the engine's construction-time KV spec
+            # (including any kv_compression_ratio it was built with) —
+            # setting a weight codec must not silently change the KV
+            # stack.
+            kv_codec=(
+                config.kv_codec if config.kv_codec is not None
+                else self.costs.kv_spec_c
+            ),
+        )
+        plan = self.plan
+        if config.weight_codec is not None:
+            # A different weight codec changes the weight footprint, and
+            # the memory freed (or reclaimed) moves the KV budget.
+            scheme = (
+                "dense" if costs.weight_spec.identity
+                else costs.weight_spec.codec
+            )
+            plan = plan_memory(
+                self.model, self.gpu, scheme, self.tp,
+                self.gpu_mem_util, pipeline_parallel=self.pp,
+            )
+        kv_spec: KVCacheSpec | CompressedKVCacheSpec = self.kv_spec
+        if config.kv_codec is not None and costs.kv_ratio > 1.0:
+            # Compressed residency: same bytes, proportionally more
+            # tokens through the block allocator.  Only an *explicit*
+            # kv_codec slot scales capacity — a None slot keeps the
+            # engine's historical serve() geometry (raw block budget,
+            # compressed streaming), bit-compatible with PR 2.
+            kv_spec = CompressedKVCacheSpec(
+                inner=self.kv_spec,
+                ratio=costs.kv_ratio,
+                codec=costs.kv_spec_c.codec,
+            )
+        return costs, kv_spec, plan.kv_bytes
 
     def run_continuous(
         self,

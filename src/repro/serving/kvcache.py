@@ -8,9 +8,11 @@ batch sizes and context lengths.  This module is that memory manager: fixed
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
-from ..errors import CapacityError, SchedulingError
+from ..compression import resolve_spec
+from ..errors import CapacityError, ConfigError, SchedulingError
 from ..utils import ceil_div
 from .models import ModelSpec
 
@@ -60,6 +62,90 @@ class KVCacheSpec:
     def bytes_per_block(self) -> int:
         """Bytes of one block (``block_size`` tokens)."""
         return self.bytes_per_token * self.block_size
+
+    @property
+    def raw_bytes_per_token(self) -> int:
+        """Uncompressed K+V bytes per token (identical here; the
+        compressed spec reports its inner geometry)."""
+        return self.bytes_per_token
+
+
+@dataclass(frozen=True)
+class CompressedKVCacheSpec:
+    """KV geometry with losslessly compressed blocks.
+
+    Wraps a :class:`KVCacheSpec`; bytes per token shrink by ``ratio``,
+    which the block allocator and memory planner then turn into
+    proportionally more token capacity.  Any registered codec can back
+    it — build one with :meth:`from_codec` and the registry resolves
+    the analytic KV ratio (``extensions.kvcomp`` keeps its historical
+    Vector-TBE constructor on top of this class).
+    """
+
+    inner: KVCacheSpec
+    ratio: float
+    codec: str = "vector_tbe"
+
+    def __post_init__(self) -> None:
+        if self.ratio < 1.0:
+            raise ConfigError("KV compression ratio must be >= 1")
+
+    @classmethod
+    def from_codec(
+        cls,
+        inner: KVCacheSpec,
+        codec: str,
+        ratio: float | None = None,
+    ) -> "CompressedKVCacheSpec":
+        """Compressed geometry for any registered codec.
+
+        ``ratio=None`` resolves the codec's analytic activation ratio
+        through the compression registry; an explicit ratio overrides it.
+        """
+        spec = resolve_spec(codec, "kv", ratio=ratio)
+        return cls(inner=inner, ratio=spec.ratio, codec=spec.codec)
+
+    @property
+    def bytes_per_token(self) -> int:
+        """Compressed K+V bytes per token (ceil, per-block container)."""
+        return max(1, math.ceil(self.inner.bytes_per_token / self.ratio))
+
+    @property
+    def bytes_per_block(self) -> int:
+        """Compressed bytes of one block."""
+        return self.bytes_per_token * self.inner.block_size
+
+    @property
+    def raw_bytes_per_token(self) -> int:
+        """Uncompressed K+V bytes per token (what goes on a raw wire)."""
+        return self.inner.bytes_per_token
+
+    @property
+    def capacity_gain(self) -> float:
+        """Token-capacity multiplier at equal memory."""
+        return self.inner.bytes_per_token / self.bytes_per_token
+
+    # Geometry passthrough: the block allocator and serving cores read
+    # these off whichever spec flavour they were handed.
+    @property
+    def block_size(self) -> int:
+        return self.inner.block_size
+
+    @property
+    def n_layers(self) -> int:
+        return self.inner.n_layers
+
+    @property
+    def kv_heads(self) -> int:
+        return self.inner.kv_heads
+
+    @property
+    def head_dim(self) -> int:
+        return self.inner.head_dim
+
+    @property
+    def dtype_bytes(self) -> int:
+        return self.inner.dtype_bytes
 
 
 class PagedKVCache:

@@ -6,7 +6,10 @@ The **scheduling layer** of the three-layer serving architecture
 * :class:`StaticBatchScheduler` — the paper's §6.5 benchmark mode: all
   requests run together from prefill to the last token;
 * a **policy hierarchy** (:class:`FCFSPolicy`, :class:`PriorityPolicy`,
-  :class:`SJFPolicy`) deciding admission order and preemption victims;
+  :class:`AgingPriorityPolicy`, :class:`SJFPolicy`) deciding admission
+  order and preemption victims — aging is the anti-starvation variant:
+  waiting time buys effective priority, so batch tenants cannot be
+  parked forever behind sustained chat traffic;
 * :class:`ContinuousBatchScheduler` — vLLM-style continuous batching with
   KV/batch admission limits, **chunked prefill** planning (prefill tokens
   co-scheduled with decode tokens under ``max_batched_tokens``) and
@@ -193,6 +196,53 @@ class PriorityPolicy(SchedulerPolicy):
         return (req.priority, -req.arrival_s, -req.request_id)
 
 
+class AgingPriorityPolicy(PriorityPolicy):
+    """Priority with linear aging: waiting requests gain rank over time.
+
+    Plain priority starves batch tenants under sustained chat load: a
+    steady stream of priority-1 arrivals keeps every priority-0 request
+    parked at the back of the queue indefinitely.  Aging fixes this with
+    the classic waiting-time-weighted key: a request's *effective*
+    priority at time ``t`` is ``priority + aging_rate * (t - arrival_s)``,
+    so a batch request that has waited ``1 / aging_rate`` seconds ranks
+    level with a fresh chat request one priority class above it.
+
+    The key needs no clock: comparing two requests at the same instant,
+    the ``aging_rate * t`` term is common and cancels, leaving
+    ``priority - aging_rate * arrival_s`` — a static per-request key that
+    still orders exactly like the time-dependent effective priority.
+    (This is also why aging composes with the scheduler's sorted-queue
+    caching: relative order never changes as time passes.)
+
+    Preemption mirrors admission: the victim is the request whose
+    effective priority is lowest *now*, ties to the youngest.
+    """
+
+    name = "priority_aging"
+
+    #: Priority classes gained per second of waiting.  At 0.2/s a
+    #: batch request overtakes a chat arrival (one class up) after 5 s
+    #: of queueing; 0 degenerates to the plain priority policy.
+    DEFAULT_AGING_RATE = 0.2
+
+    def __init__(self, aging_rate: float | None = None):
+        if aging_rate is None:
+            aging_rate = self.DEFAULT_AGING_RATE
+        if aging_rate < 0:
+            raise SchedulingError("aging_rate must be >= 0")
+        self.aging_rate = float(aging_rate)
+
+    def _effective(self, req: Request) -> float:
+        """Time-shifted effective priority (clock-free form)."""
+        return req.priority - self.aging_rate * req.arrival_s
+
+    def waiting_key(self, req: Request):
+        return (-self._effective(req), req.arrival_s, req.request_id)
+
+    def victim_key(self, req: Request):
+        return (self._effective(req), -req.arrival_s, -req.request_id)
+
+
 class SJFPolicy(SchedulerPolicy):
     """Shortest job first, by expected remaining service tokens.
 
@@ -215,7 +265,8 @@ class SJFPolicy(SchedulerPolicy):
 
 
 POLICIES: dict[str, type[SchedulerPolicy]] = {
-    cls.name: cls for cls in (FCFSPolicy, PriorityPolicy, SJFPolicy)
+    cls.name: cls
+    for cls in (FCFSPolicy, PriorityPolicy, AgingPriorityPolicy, SJFPolicy)
 }
 
 

@@ -48,6 +48,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from ..compression import get_codec
 from ..errors import CapacityError, ConfigError
 from ..utils import ceil_div
 from .costs import StepCostModel, maybe_memoize
@@ -64,7 +65,6 @@ from .scheduler import (
 
 PREFILL_MODES = ("group", "chunked")
 SERVING_MODES = ("colocated", "disaggregated")
-TRANSFER_CODECS = ("none", "kvcomp")
 
 
 def _raise_stranded(scheduler) -> None:
@@ -94,9 +94,12 @@ class DisaggConfig:
     each with its own full KV cache.  Finished prefills ship their KV over
     a serial FIFO link of ``link_gb_per_s`` GB/s (``inf`` models an ideal
     fabric) with ``link_latency_s`` per-transfer setup cost.  The
-    ``transfer_codec`` decides what goes on the wire: ``"none"`` ships raw
-    BF16 KV, ``"kvcomp"`` ships Vector-TBE-compressed blocks at the
-    analytic activation ratio (override with ``transfer_ratio``) — the
+    ``transfer_codec`` decides what goes on the wire and may name *any*
+    codec in the compression registry (:mod:`repro.compression`):
+    ``"none"`` ships raw BF16 KV, ``"kvcomp"`` (the ``vector_tbe`` alias)
+    ships Vector-TBE-compressed blocks at the analytic activation ratio,
+    the entropy baselines ship their split-plane streams — override the
+    analytic ratio with ``transfer_ratio``.  Compressed transfer is the
     SplitZip effect, where lossless KV compression pays off a second time
     on the interconnect.
     """
@@ -106,8 +109,8 @@ class DisaggConfig:
     link_gb_per_s: float = float("inf")
     link_latency_s: float = 0.0
     transfer_codec: str = "none"
-    #: Explicit wire compression ratio; ``None`` derives it from the codec
-    #: (1.0 for ``"none"``, the analytic activation ratio for ``"kvcomp"``).
+    #: Explicit wire compression ratio; ``None`` derives it from the
+    #: codec's registry estimator (1.0 for ``"none"``).
     transfer_ratio: float | None = None
 
     def __post_init__(self) -> None:
@@ -117,18 +120,23 @@ class DisaggConfig:
             raise ConfigError("link_gb_per_s must be positive (inf allowed)")
         if self.link_latency_s < 0:
             raise ConfigError("link_latency_s must be >= 0")
-        if self.transfer_codec not in TRANSFER_CODECS:
-            raise ConfigError(
-                f"transfer_codec must be one of {TRANSFER_CODECS},"
-                f" got {self.transfer_codec!r}"
-            )
+        get_codec(self.transfer_codec)  # raises UnknownSpecError if absent
         if self.transfer_ratio is not None and self.transfer_ratio < 1.0:
             raise ConfigError("transfer_ratio must be >= 1")
 
 
 @dataclass(frozen=True)
 class ServingConfig:
-    """How the serving core schedules and accounts a trace run."""
+    """How the serving core schedules and accounts a trace run.
+
+    The three ``*_codec`` slots make compression a first-class serving
+    property: each may name any codec in the compression registry
+    (:mod:`repro.compression`) and any combination is valid — raw
+    weights with compressed KV and a compressed wire is a legal
+    deployment.  ``None`` keeps the historical behaviour for that slot
+    (backend-chosen weight scheme, engine-level ``kv_compression_ratio``,
+    ``disagg.transfer_codec``), so existing configs stay bit-compatible.
+    """
 
     policy: str | SchedulerPolicy = "fcfs"
     prefill_mode: str = "chunked"
@@ -144,6 +152,13 @@ class ServingConfig:
     #: (:class:`repro.serving.disagg.DisaggregatedCore`).
     mode: str = "colocated"
     disagg: DisaggConfig = field(default_factory=DisaggConfig)
+    #: Weight storage/execution codec (``None`` = the backend's scheme).
+    weight_codec: str | None = None
+    #: KV-cache residency codec (``None`` = the engine's construction-time
+    #: ``kv_compression_ratio``; ``"none"`` forces raw KV).
+    kv_codec: str | None = None
+    #: Disaggregation wire codec (``None`` = ``disagg.transfer_codec``).
+    transfer_codec: str | None = None
 
     def __post_init__(self) -> None:
         if self.prefill_mode not in PREFILL_MODES:
@@ -157,6 +172,18 @@ class ServingConfig:
             raise ConfigError(
                 f"mode must be one of {SERVING_MODES}, got {self.mode!r}"
             )
+        for slot in (self.weight_codec, self.kv_codec, self.transfer_codec):
+            if slot is not None:
+                get_codec(slot)  # raises UnknownSpecError if absent
+
+    @property
+    def resolved_transfer_codec(self) -> str:
+        """The wire codec name after slot fallback."""
+        return (
+            self.transfer_codec
+            if self.transfer_codec is not None
+            else self.disagg.transfer_codec
+        )
 
     def with_limits(self, limits: SchedulerLimits | None) -> "ServingConfig":
         """A copy with ``limits`` swapped in (if given)."""

@@ -14,22 +14,12 @@ from functools import lru_cache
 
 import numpy as np
 
-from ..analysis.theory import gaussian_exponent_entropy, window_coverage_gaussian
 from ..bf16 import gaussian_bf16_matrix
+from ..compression import get_codec
 from ..errors import ConfigError
 from ..kernels.base import WeightCompression
-from ..tcatbe.analysis import average_bits
 from ..utils import GIB
 from .models import ModelSpec
-
-#: TCA-TBE per-element container overhead in bits: per 64x64 BlockTile the
-#: format adds an 8 B offset entry plus ~16 B of alignment padding across the
-#: two value segments (see tcatbe.format), i.e. ~24 B / 4096 elements.
-_TCATBE_OVERHEAD_BITS = 24.0 * 8.0 / 4096.0
-
-#: Baseline container overhead in bits/element: chunk offsets, frequency
-#: tables and stream states amortised over a large layer.
-_BASELINE_OVERHEAD_BITS = 0.06
 
 
 def layer_sigma(kind: str, m: int, k: int) -> float:
@@ -51,23 +41,19 @@ def estimate_layer_compression(
 ) -> WeightCompression:
     """Analytic compression statistics of an (m, k) Gaussian layer.
 
-    TCA-TBE: ``AverageBits(3)`` at the analytic 7-window coverage plus the
-    measured container overhead.  Baselines: 8 raw bits + exponent entropy
-    (entropy coders sit within a percent of H) plus container overhead.
+    Thin facade over the unified registry
+    (:mod:`repro.compression`): each codec owns its weight-plane bits
+    math (TCA-TBE: ``AverageBits(3)`` at the analytic 7-window coverage
+    plus container overhead; entropy baselines: 8 raw bits + exponent
+    entropy + container overhead), so this function accepts *any*
+    registered codec name.  ``"dense"`` / ``"none"`` return the identity.
+    Raises :class:`~repro.errors.ConfigError` for unknown schemes (the
+    registry's :class:`~repro.errors.UnknownSpecError` is a subclass).
     """
-    if scheme == "dense":
+    codec = get_codec(scheme)
+    if codec.identity:
         return WeightCompression.identity()
-    if scheme == "tcatbe":
-        coverage = window_coverage_gaussian(sigma, k=7)
-        bits = average_bits(3, coverage) + _TCATBE_OVERHEAD_BITS
-        return WeightCompression(
-            scheme="tcatbe", ratio=16.0 / bits, coverage=coverage
-        )
-    if scheme in ("dfloat11", "dietgpu", "nvcomp"):
-        entropy = gaussian_exponent_entropy(sigma)
-        bits = 8.0 + entropy + _BASELINE_OVERHEAD_BITS
-        return WeightCompression(scheme=scheme, ratio=16.0 / bits)
-    raise ConfigError(f"unknown compression scheme {scheme!r}")
+    return codec.weight_compression(sigma)
 
 
 def materialize_layer(

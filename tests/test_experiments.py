@@ -20,7 +20,7 @@ class TestRegistry:
             "fig15", "fig16", "fig17", "fig18", "tab_codeword",
             "tab_memory", "tab_offline_cost", "tab_theory",
             "ext_kvcomp", "ext_quant", "ext_continuous", "ext_disagg",
-            "tab_pipeline",
+            "ext_codec_matrix", "tab_pipeline",
         }
         assert set(ALL) == expected
 
@@ -174,3 +174,18 @@ class TestExtDisagg:
         # the trace sooner.
         assert s["queue_p95_cut"] > 0.0
         assert s["makespan_cut"] > 0.0
+
+
+class TestExtCodecMatrix:
+    def test_band(self):
+        s = run_experiment("ext_codec_matrix", quick=True).summary
+        assert s["all_requests_served"] == 1.0
+        # The acceptance criterion: a real sweep, not a token pair.
+        assert s["n_combos"] >= 6.0
+        # Each slot contributes: weight codec alone helps colocated
+        # serving; kv+wire compression alone helps the starved link; the
+        # full stack composes at least as well as kv+wire alone.
+        assert s["weights_only_makespan_cut"] > 0.0
+        assert s["kv_wire_vs_raw_disagg_cut"] > 0.0
+        assert s["full_vs_raw_disagg_cut"] >= s["kv_wire_vs_raw_disagg_cut"]
+        assert s["wire_ratio_kvcomp"] > 1.3

@@ -156,7 +156,9 @@ class TestPolicies:
             FCFSPolicy, POLICIES, get_policy,
         )
 
-        assert set(POLICIES) == {"fcfs", "priority", "sjf"}
+        assert set(POLICIES) == {
+            "fcfs", "priority", "priority_aging", "sjf"
+        }
         assert isinstance(get_policy("FCFS"), FCFSPolicy)
         passthrough = FCFSPolicy()
         assert get_policy(passthrough) is passthrough
@@ -193,6 +195,41 @@ class TestPolicies:
         small = Request(1, 16, 8, arrival_s=5.0)
         assert get_policy("sjf").order_waiting([big, small])[0] is small
         assert get_policy("sjf").order_victims([big, small])[0] is big
+
+    def test_aging_matches_priority_at_rate_zero(self):
+        from repro.serving.scheduler import AgingPriorityPolicy, get_policy
+
+        low_old = Request(0, 16, 4, arrival_s=0.0, priority=0)
+        high_new = Request(1, 16, 4, arrival_s=50.0, priority=1)
+        frozen = AgingPriorityPolicy(aging_rate=0.0)
+        plain = get_policy("priority")
+        assert (
+            [r.request_id for r in frozen.order_waiting([low_old, high_new])]
+            == [r.request_id for r in plain.order_waiting([low_old, high_new])]
+            == [1, 0]
+        )
+
+    def test_aging_lets_waiting_batch_request_overtake(self):
+        from repro.serving.scheduler import AgingPriorityPolicy
+
+        policy = AgingPriorityPolicy(aging_rate=0.2)
+        batch_old = Request(0, 16, 4, arrival_s=0.0, priority=0)
+        chat_new = Request(1, 16, 4, arrival_s=10.0, priority=1)
+        # 10 s of waiting at 0.2/s buys 2 effective classes — the batch
+        # request now outranks the fresh chat request by one.
+        assert policy.order_waiting([chat_new, batch_old])[0] is batch_old
+        # ...and is correspondingly harder to evict.
+        assert policy.order_victims([chat_new, batch_old])[0] is chat_new
+        # A chat request arriving before the crossover still wins.
+        chat_early = Request(2, 16, 4, arrival_s=4.0, priority=1)
+        assert policy.order_waiting([chat_early, batch_old])[0] is chat_early
+
+    def test_aging_rate_validation(self):
+        from repro.errors import SchedulingError
+        from repro.serving.scheduler import AgingPriorityPolicy
+
+        with pytest.raises(SchedulingError):
+            AgingPriorityPolicy(aging_rate=-0.1)
 
     def test_priority_admission_order(self):
         sched = ContinuousBatchScheduler(

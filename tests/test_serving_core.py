@@ -272,9 +272,44 @@ class TestPolicies:
         ) / 2
         assert mean_short(sjf) < mean_short(fcfs)
 
+    def test_aging_unstarves_batch_tenant_under_sustained_chat(self):
+        # One execution slot and a sustained stream of priority-1 chat
+        # arrivals: plain priority parks the batch request until the chat
+        # stream dries up; under aging its accumulated waiting time buys
+        # admission ahead of chat requests arriving after the crossover
+        # (1 / aging_rate seconds, here 10 ms on the toy clock).
+        from repro.serving.scheduler import AgingPriorityPolicy
+
+        limits = SchedulerLimits(max_num_seqs=1, max_batched_tokens=64)
+
+        def trace():
+            out = [Request(
+                0, prompt_len=32, max_new_tokens=8, arrival_s=0.0,
+                priority=0, tenant="batch",
+            ), Request(
+                1, prompt_len=32, max_new_tokens=8, arrival_s=0.0,
+                priority=1, tenant="chat",
+            )]
+            for i in range(2, 15):
+                out.append(Request(
+                    i, prompt_len=32, max_new_tokens=8,
+                    arrival_s=i * 0.002, priority=1, tenant="chat",
+                ))
+            return out
+
+        plain = core(16, policy="priority", limits=limits).serve(trace())
+        aged = core(
+            16, policy=AgingPriorityPolicy(aging_rate=100.0), limits=limits,
+        ).serve(trace())
+        batch_ttft = lambda r: r.tenant_timings("batch")[0].ttft_s
+        assert batch_ttft(aged) < batch_ttft(plain)
+        # Everyone is still served either way (conservation).
+        assert plain.n_requests == aged.n_requests == 15
+        assert aged.policy == "priority_aging"
+
     def test_all_policies_serve_everything(self):
         trace_spec = [(32, 8, i * 0.01) for i in range(10)]
-        for policy in ("fcfs", "priority", "sjf"):
+        for policy in ("fcfs", "priority", "priority_aging", "sjf"):
             result = core(16, policy=policy).serve(reqs(trace_spec))
             assert result.n_requests == 10
             assert result.policy == policy

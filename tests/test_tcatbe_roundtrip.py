@@ -18,16 +18,17 @@ from repro.tcatbe import (
 
 
 class TestRoundTrip:
-    @pytest.mark.parametrize(
-        "shape", [(64, 64), (64, 128), (128, 64), (100, 130), (1, 1), (65, 1)]
-    )
-    def test_gaussian_shapes(self, shape):
-        w = gaussian_bf16_matrix(*shape, sigma=0.02, seed=shape[0])
+    """Format-level checks only — the codec-agnostic round-trip matrix
+    (edge shapes, all-outlier/random input, empty tensors) lives in
+    ``tests/test_compression_registry.py``."""
+
+    def test_validate_on_padded_shape(self):
+        w = gaussian_bf16_matrix(100, 130, sigma=0.02, seed=100)
         matrix = compress(w)
         matrix.validate()
         assert np.array_equal(decompress(matrix), w)
 
-    def test_fully_random_bits(self, rng):
+    def test_random_bits_mostly_fallback(self, rng):
         # Arbitrary uint16 patterns: terrible compression, still lossless.
         w = rng.integers(0, 2**16, (70, 80)).astype(np.uint16)
         matrix = compress(w)

@@ -11,8 +11,12 @@ from repro.tcatbe.vector import VecTbe, compress_vector, decompress_vector
 
 
 class TestRoundTrip:
-    @pytest.mark.parametrize("n", [1, 2, 63, 64, 65, 128, 1000, 5000])
-    def test_lengths(self, n):
+    """Format-level checks only — the codec-agnostic round-trip matrix
+    (edge shapes, all-outlier input, group boundaries) lives in
+    ``tests/test_compression_registry.py``."""
+
+    @pytest.mark.parametrize("n", [63, 64, 65])
+    def test_group_boundaries_validate(self, n):
         v = gaussian_bf16_sample(n, sigma=0.05, seed=n)
         blob = compress_vector(v)
         blob.validate()
@@ -23,12 +27,7 @@ class TestRoundTrip:
         blob = compress_vector(m)
         assert np.array_equal(decompress_vector(blob), m.ravel())
 
-    def test_random_bits(self, rng):
-        v = rng.integers(0, 2**16, 777).astype(np.uint16)
-        blob = compress_vector(v)
-        assert np.array_equal(decompress_vector(blob), v)
-
-    def test_all_zero(self):
+    def test_all_zero_coverage(self):
         v = np.zeros(100, dtype=np.uint16)
         blob = compress_vector(v)
         assert np.array_equal(decompress_vector(blob), v)

@@ -1,0 +1,157 @@
+#!/usr/bin/env python
+"""Serving-benchmark regression gate.
+
+Replays the deterministic serving scenarios from
+``benchmarks/bench_serving.py`` (which doubles as a library), writes the
+measured headline numbers to ``BENCH_serving.json`` and fails if the
+*simulated* makespan or throughput of any scenario regresses more than
+10% against the checked-in baseline
+(``benchmarks/BENCH_serving_baseline.json``).
+
+The gated metrics are simulator outputs, not wall-clock — they are
+bit-deterministic for a given code state, so any drift is a real
+behaviour change (a cost-model edit, a scheduler reordering, a codec
+ratio shift), never CI noise.  Wall time per scenario is recorded in the
+report for humans but deliberately not gated.
+
+Usage::
+
+    python tools/bench_regression.py                  # gate against baseline
+    python tools/bench_regression.py --update-baseline  # re-bless the numbers
+
+CI runs the gate in the tests job (see ``.github/workflows/ci.yml``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+sys.path.insert(0, str(ROOT / "benchmarks"))
+
+import bench_serving  # noqa: E402
+
+#: Allowed relative regression before the gate fails.
+TOLERANCE = 0.10
+
+#: Deterministic serving scenarios: name -> zero-arg runner returning a
+#: ContinuousResult.
+SCENARIOS = {
+    "colocated_exact": lambda: bench_serving._serve_once(0),
+    "colocated_memoized": lambda: bench_serving._serve_once(
+        bench_serving.CTX_BUCKET
+    ),
+    "disagg_raw": lambda: bench_serving._serve_mode("disaggregated", "none"),
+    "disagg_kvcomp": lambda: bench_serving._serve_mode(
+        "disaggregated", "kvcomp"
+    ),
+}
+
+DEFAULT_BASELINE = ROOT / "benchmarks" / "BENCH_serving_baseline.json"
+DEFAULT_OUTPUT = ROOT / "BENCH_serving.json"
+
+
+def measure() -> dict:
+    """Run every scenario; returns {name: {metric: value}}."""
+    out = {}
+    for name, runner in SCENARIOS.items():
+        start = time.perf_counter()
+        result = runner()
+        wall = time.perf_counter() - start
+        out[name] = {
+            "makespan_s": result.makespan_s,
+            "throughput_tok_s": result.throughput_tok_s,
+            "wall_s": round(wall, 3),
+        }
+        print(
+            f"  {name:20s} makespan={result.makespan_s:9.3f}s"
+            f" tput={result.throughput_tok_s:9.1f} tok/s"
+            f" wall={wall:6.3f}s"
+        )
+    return out
+
+
+def compare(measured: dict, baseline: dict) -> list[str]:
+    """Regressions beyond TOLERANCE, as human-readable failure lines."""
+    failures = [
+        f"{name}: scenario has no baseline entry — run"
+        " --update-baseline and commit it"
+        for name in measured if name not in baseline
+    ]
+    for name, base in baseline.items():
+        got = measured.get(name)
+        if got is None:
+            failures.append(f"{name}: scenario missing from this run")
+            continue
+        # Makespan regresses by going up, throughput by going down.
+        if got["makespan_s"] > base["makespan_s"] * (1 + TOLERANCE):
+            failures.append(
+                f"{name}: makespan {got['makespan_s']:.3f}s vs baseline"
+                f" {base['makespan_s']:.3f}s"
+                f" (+{got['makespan_s'] / base['makespan_s'] - 1:.1%})"
+            )
+        if got["throughput_tok_s"] < base["throughput_tok_s"] * (
+            1 - TOLERANCE
+        ):
+            failures.append(
+                f"{name}: throughput {got['throughput_tok_s']:.1f} vs"
+                f" baseline {base['throughput_tok_s']:.1f} tok/s"
+                f" ({got['throughput_tok_s'] / base['throughput_tok_s'] - 1:.1%})"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="re-bless the current numbers as the baseline",
+    )
+    args = parser.parse_args(argv)
+
+    print("running serving benchmark scenarios...")
+    measured = measure()
+    args.output.write_text(json.dumps(measured, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    if args.update_baseline:
+        # Strip the machine-dependent wall_s so the committed baseline
+        # is deterministic (only the gated simulator metrics remain).
+        blessed = {
+            name: {k: v for k, v in row.items() if k != "wall_s"}
+            for name, row in measured.items()
+        }
+        args.baseline.write_text(json.dumps(blessed, indent=2) + "\n")
+        print(f"updated baseline {args.baseline}")
+        return 0
+
+    if not args.baseline.exists():
+        print(
+            f"FAIL: no baseline at {args.baseline}; run with"
+            " --update-baseline and commit it", file=sys.stderr,
+        )
+        return 1
+
+    baseline = json.loads(args.baseline.read_text())
+    failures = compare(measured, baseline)
+    if failures:
+        print(
+            f"FAIL: serving benchmark regressed >{TOLERANCE:.0%}:",
+            file=sys.stderr,
+        )
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"ok: all scenarios within {TOLERANCE:.0%} of the baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
