@@ -23,7 +23,12 @@ from repro.serving.kvcache import KVCacheSpec
 from repro.serving.memory_plan import plan_memory
 from repro.serving.models import get_model
 from repro.serving.scheduler import SchedulerLimits
-from repro.serving.serve import DisaggConfig, ServingConfig, ServingCore
+from repro.serving.serve import (
+    BackpressureConfig,
+    DisaggConfig,
+    ServingConfig,
+    ServingCore,
+)
 from repro.serving.trace import multi_tenant_trace, poisson_trace
 
 N_REQUESTS = 500
@@ -150,6 +155,64 @@ def test_disagg_compressed_kv_beats_raw_on_constrained_link():
     assert comp.transfer.queue.p95_s < raw.transfer.queue.p95_s
     assert comp.metrics.latency.p95_s < raw.metrics.latency.p95_s
     assert comp.makespan_s < raw.makespan_s
+
+
+# ----------------------------------------------------------------------
+# Decode→prefill backpressure on a deliberately small decode pool
+# ----------------------------------------------------------------------
+#: Shrink the decode pool's KV to this fraction of the plan so admission
+#: pressure is real; the watermark then has something to bound.
+BP_KV_SCALE = 0.04
+BP_WATERMARK = 0.3
+#: Decode-side token growth pushes occupancy slightly past the
+#: admission-time bound; the boundedness assertion carries this margin.
+BP_GROWTH_MARGIN = 0.12
+
+
+def _serve_backpressure(enabled: bool):
+    backpressure = (
+        BackpressureConfig(min_free_kv_frac=BP_WATERMARK)
+        if enabled else None
+    )
+    # The pool runs DisaggConfig.prefill_mode (default "group"); the
+    # colocated-only ServingConfig.prefill_mode is deliberately left
+    # alone so this scenario reads as what it is.
+    config = ServingConfig(
+        mode="disaggregated",
+        disagg=DisaggConfig(backpressure=backpressure),
+    )
+    core = DisaggregatedCore(
+        EngineCostModel(_MODEL, _GPU, _BACKEND), _KV_SPEC,
+        _PLAN.kv_bytes * BP_KV_SCALE, config,
+    )
+    return core.serve(multi_tenant_trace(seed=DISAGG_SEED))
+
+
+def test_backpressure_bounds_decode_occupancy():
+    """Acceptance: the watermark bounds decode KV; the baseline overshoots.
+
+    On a decode pool squeezed to a twenty-fifth of the engine's KV, the
+    feedback-free pipeline saturates decode occupancy and pays a
+    preemption storm; with ``min_free_kv_frac=0.3`` the prefill pool
+    stalls admission instead, peak occupancy stays near ``1 - 0.3``
+    (plus in-flight decode growth), no preemption fires, and every
+    request is still served — conservation under active backpressure.
+    """
+    baseline = _serve_backpressure(False)
+    gated = _serve_backpressure(True)
+    n = len(multi_tenant_trace(seed=DISAGG_SEED))
+    assert baseline.n_requests == gated.n_requests == n
+    assert baseline.tokens_generated == gated.tokens_generated
+    assert gated.transfer.n_transfers == n
+    # The feedback-free baseline overshoots the watermark's bound.
+    assert baseline.pool("decode").peak_kv_frac > 1.0 - BP_WATERMARK
+    assert baseline.n_preemptions > 0
+    # Backpressure engages and bounds the peak.
+    assert gated.pool("prefill").stall_s > 0.0
+    assert gated.pool("decode").peak_kv_frac <= (
+        1.0 - BP_WATERMARK + BP_GROWTH_MARGIN
+    )
+    assert gated.n_preemptions == 0
 
 
 def test_colocated_mode_unchanged_by_disagg_surface():

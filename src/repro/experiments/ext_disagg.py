@@ -16,6 +16,14 @@ through three topologies on the same hardware:
 The headline is the SplitZip effect: compressed transfer cuts wire bytes
 by the KV ratio and, on a saturated link, turns that into lower transfer
 queueing, lower tail latency and a shorter makespan.
+
+A second section sweeps **decode→prefill backpressure** (the event-kernel
+scenario the sequential PR 2 pipeline could not express): on a
+deliberately small decode pool, the feedback-free pipeline drives decode
+KV occupancy to 1.0 and pays a preemption storm, while a
+``BackpressureConfig(min_free_kv_frac=w)`` watermark stalls prefill
+admission early enough that peak occupancy stays bounded near ``1 - w``
+(plus in-flight decode growth) with zero preemptions.
 """
 
 from __future__ import annotations
@@ -24,10 +32,11 @@ from dataclasses import replace
 
 from ..gpu.specs import get_gpu
 from ..serving.backends import get_backend
+from ..serving.disagg import DisaggregatedCore
 from ..serving.engine import InferenceEngine
 from ..serving.metrics import SLOTarget
 from ..serving.models import get_model
-from ..serving.serve import DisaggConfig, ServingConfig
+from ..serving.serve import BackpressureConfig, DisaggConfig, ServingConfig
 from ..serving.trace import DEFAULT_TENANTS, multi_tenant_trace
 from .common import ExperimentResult, experiment
 
@@ -36,6 +45,15 @@ from .common import ExperimentResult, experiment
 LINK_GB_PER_S = 0.125
 SLO = SLOTarget(ttft_s=1.0, tpot_s=0.1)
 SEED = 7
+#: Backpressure section: shrink the decode pool to this fraction of the
+#: engine's KV budget so admission pressure is real, and sweep these
+#: free-KV watermarks against the feedback-free baseline.
+BP_KV_SCALE = 0.04
+BP_WATERMARKS = (0.1, 0.3, 0.5)
+#: Decode-side token growth keeps pushing occupancy a little past the
+#: admission-time bound; the sweep's boundedness claim carries this
+#: margin (preemption, not the watermark, caps the baseline at 1.0).
+BP_GROWTH_MARGIN = 0.12
 
 
 def _scenarios() -> list[tuple[str, ServingConfig]]:
@@ -66,9 +84,34 @@ def _trace(quick: bool):
     return multi_tenant_trace(tenants, seed=SEED)
 
 
+def _backpressure_runs(
+    engine: InferenceEngine, quick: bool
+) -> list[tuple[str, float | None, object]]:
+    """The watermark sweep on a deliberately small decode pool."""
+    kv_bytes = engine.plan.kv_bytes * BP_KV_SCALE
+    runs: list[tuple[str, float | None, object]] = []
+    for watermark in (None,) + BP_WATERMARKS:
+        backpressure = (
+            None if watermark is None
+            else BackpressureConfig(min_free_kv_frac=watermark)
+        )
+        config = ServingConfig(
+            mode="disaggregated", slo=SLO,
+            disagg=DisaggConfig(backpressure=backpressure),
+        )
+        core = DisaggregatedCore(
+            engine.costs, engine.kv_spec, kv_bytes, config
+        )
+        name = (
+            "bp/off" if watermark is None else f"bp/wm={watermark}"
+        )
+        runs.append((name, watermark, core.serve(_trace(quick))))
+    return runs
+
+
 @experiment("ext_disagg")
 def run(quick: bool = False) -> ExperimentResult:
-    """Colocated vs disaggregated vs disaggregated+compressed-KV."""
+    """Colocated vs disaggregated vs compressed-KV, plus backpressure."""
     engine = InferenceEngine(
         get_model("llama3.1-8b"), get_gpu("rtx4090"),
         get_backend("zipserv"),
@@ -89,20 +132,49 @@ def run(quick: bool = False) -> ExperimentResult:
             xfer.queue.p95_s * 1e3 if xfer else 0.0,
             result.pool("prefill").utilization if result.pools else 1.0,
             result.pool("decode").utilization if result.pools else 1.0,
+            result.pool("decode").peak_kv_frac if result.pools else 0.0,
+            result.pool("prefill").stall_s if result.pools else 0.0,
+            result.n_preemptions,
+        ))
+
+    bp_runs = _backpressure_runs(engine, quick)
+    for name, _, result in bp_runs:
+        m = result.metrics
+        xfer = result.transfer
+        rows.append((
+            name, result.makespan_s, result.throughput_tok_s,
+            m.ttft.p95_s, m.tpot.p95_s, m.latency.p95_s, m.goodput_rps,
+            xfer.time.p95_s * 1e3, xfer.queue.p95_s * 1e3,
+            result.pool("prefill").utilization,
+            result.pool("decode").utilization,
+            result.pool("decode").peak_kv_frac,
+            result.pool("prefill").stall_s,
+            result.n_preemptions,
         ))
 
     raw = results["disagg/raw"]
     comp = results["disagg/kvcomp"]
+    bp_base = bp_runs[0][2]
+    gated = bp_runs[1:]
+    peaks = [r.pool("decode").peak_kv_frac for _, _, r in gated]
+    bounded = all(
+        r.pool("decode").peak_kv_frac <= (1.0 - wm) + BP_GROWTH_MARGIN
+        for _, wm, r in gated
+    )
+    # Tighter watermarks must not raise the occupancy ceiling.
+    monotone = all(a >= b for a, b in zip(peaks, peaks[1:]))
     return ExperimentResult(
         experiment="ext_disagg",
         title=(
             f"Disaggregated serving, {n}-request multi-tenant trace,"
-            f" {LINK_GB_PER_S} GB/s KV link"
+            f" {LINK_GB_PER_S} GB/s KV link; backpressure sweep at"
+            f" {BP_KV_SCALE:.0%} decode KV"
         ),
         columns=["scenario", "makespan_s", "tput_tok_s", "ttft_p95_s",
                  "tpot_p95_s", "latency_p95_s", "goodput_rps",
                  "xfer_p95_ms", "queue_p95_ms", "prefill_util",
-                 "decode_util"],
+                 "decode_util", "decode_peak_kv", "prefill_stall_s",
+                 "preemptions"],
         rows=rows,
         summary={
             "wire_bytes_cut": 1.0 - comp.transfer.total_bytes
@@ -113,6 +185,14 @@ def run(quick: bool = False) -> ExperimentResult:
             / max(raw.transfer.queue.p95_s, 1e-12),
             "all_requests_served": float(all(
                 r.n_requests == n for r in results.values()
+            ) and all(r.n_requests == n for _, _, r in bp_runs)),
+            "bp_baseline_peak_kv": bp_base.pool("decode").peak_kv_frac,
+            "bp_tightest_peak_kv": peaks[-1],
+            "bp_peaks_bounded_by_watermark": float(bounded),
+            "bp_peaks_monotone": float(monotone),
+            "bp_stall_engaged": float(all(
+                r.pool("prefill").stall_s > 0.0
+                for _, _, r in gated[-1:]
             )),
         },
         paper={},
@@ -123,6 +203,11 @@ def run(quick: bool = False) -> ExperimentResult:
             " shows up as lower transfer queueing delay, lower p95"
             " latency and a shorter makespan.  TTFT is pool-local"
             " (prefill emits the first token), so disaggregation shields"
-            " it from the link entirely."
+            " it from the link entirely.  The backpressure sweep runs the"
+            " same trace against a decode pool squeezed to"
+            f" {BP_KV_SCALE:.0%} of the engine's KV: the feedback-free"
+            " baseline saturates decode KV and preempts, while each"
+            " watermark bounds peak occupancy near (1 - watermark) plus"
+            " in-flight decode growth, trading stall time for stability."
         ),
     )

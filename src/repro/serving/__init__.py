@@ -15,10 +15,15 @@ substrate:
   interpolated latency percentiles and SLO goodput.
 
 On top of the layers sit two serving topologies, selected by
-``ServingConfig.mode``: the colocated :class:`ServingCore` and the
+``ServingConfig.mode`` and both driven by the shared event kernel
+(:mod:`repro.serving.kernel` — :class:`EventKernel` over pluggable
+:class:`Stage` objects): the colocated :class:`ServingCore` and the
 disaggregated :class:`DisaggregatedCore`
 (:mod:`repro.serving.disagg` — prefill pool → KV-transfer link → decode
-pool).  Compression is a first-class property across the stack: the
+pool, with optional decode→prefill backpressure, per-replica links,
+chunked pool prefill and transfer/prefill overlap via
+:class:`DisaggConfig`).  Compression is a first-class property across
+the stack: the
 ``weight_codec`` / ``kv_codec`` / ``transfer_codec`` slots of
 :class:`ServingConfig` each accept any codec registered in the unified
 registry (:mod:`repro.compression`), in any combination.
@@ -42,7 +47,14 @@ from .costs import (
     StepBreakdown,
     StepCostModel,
 )
-from .disagg import DisaggregatedCore, resolve_transfer_ratio
+from .disagg import (
+    ChunkedPrefillPoolStage,
+    DecodePoolStage,
+    DisaggregatedCore,
+    PrefillPoolStage,
+    TransferLinkStage,
+    resolve_transfer_ratio,
+)
 from .engine import (
     ContinuousResult,
     InferenceEngine,
@@ -78,7 +90,14 @@ from .scheduler import (
     StepPlan,
     get_policy,
 )
-from .serve import DisaggConfig, ServingConfig, ServingCore
+from .kernel import EventKernel, Stage
+from .serve import (
+    BackpressureConfig,
+    ColocatedStage,
+    DisaggConfig,
+    ServingConfig,
+    ServingCore,
+)
 from .trace import (
     LengthDistribution,
     TenantSpec,
@@ -132,8 +151,16 @@ __all__ = [
     "SchedulerLimits",
     "ServingConfig",
     "ServingCore",
+    "Stage",
+    "EventKernel",
+    "ColocatedStage",
     "DisaggConfig",
+    "BackpressureConfig",
     "DisaggregatedCore",
+    "PrefillPoolStage",
+    "ChunkedPrefillPoolStage",
+    "TransferLinkStage",
+    "DecodePoolStage",
     "resolve_transfer_ratio",
     "SLOTarget",
     "LatencySummary",

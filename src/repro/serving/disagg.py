@@ -1,47 +1,64 @@
-"""Disaggregated prefill/decode serving with KV-transfer costs.
+"""Disaggregated prefill/decode serving on the shared event kernel.
 
 Colocated serving (:class:`~repro.serving.serve.ServingCore`) time-shares
 one engine between prefill and decode, so long prompts inflate decode
 latency (chunking only softens this).  Production stacks increasingly
-*disaggregate*: a **prefill pool** runs nothing but whole-prompt prefill,
-a **decode pool** runs nothing but continuous-batching decode, and each
-finished prefill ships its KV cache across an interconnect.  That hand-off
-is where lossless KV compression pays a second dividend — the SplitZip
-observation — because the wire bytes shrink by the same Vector-TBE ratio
-that shrinks HBM residency (:mod:`repro.extensions.kvcomp`).
+*disaggregate*: a **prefill pool** runs prompt processing, a **decode
+pool** runs continuous-batching decode, and each finished prefill ships
+its KV cache across an interconnect.  That hand-off is where lossless KV
+compression pays a second dividend — the SplitZip observation — because
+the wire bytes shrink by the same Vector-TBE ratio that shrinks HBM
+residency (:mod:`repro.extensions.kvcomp`).
 
-:class:`DisaggregatedCore` models the whole path with three cooperating
-stages, each event-driven like the colocated core:
+:class:`DisaggregatedCore` models the whole path as three pluggable
+stages on one :class:`~repro.serving.kernel.EventKernel`:
 
-1. **prefill pool** — ``prefill_replicas`` identical engines pulling from
-   one policy-ordered queue, each prefilling a single request at a time
-   (prefill saturates compute; batching buys nothing in this regime).
-   The first token is produced here, so TTFT is independent of the link.
-2. **transfer link** — a serial FIFO channel.  Each transfer carries
+1. **prefill pool** (:class:`PrefillPoolStage`, or
+   :class:`ChunkedPrefillPoolStage` with
+   ``DisaggConfig(prefill_mode="chunked")``) — ``prefill_replicas``
+   engines pulling from one policy-ordered queue.  Group mode runs one
+   whole-prompt pass per request (prefill saturates compute; batching
+   buys nothing in this regime); chunked mode co-schedules prompt chunks
+   across concurrent requests on each replica via
+   :meth:`~repro.serving.scheduler.ContinuousBatchScheduler.plan_step`,
+   so one giant prompt no longer serializes a replica.  The first token
+   is produced here, so TTFT is independent of the link.
+2. **transfer link** (:class:`TransferLinkStage`) — a serial FIFO
+   channel (``link_topology="shared"``) or one dedicated channel per
+   decode replica (``"per_replica"``).  Each transfer carries
    ``prompt_len * raw_bytes_per_token / ratio`` bytes (the sender
    re-encodes the raw KV with the wire codec, whatever codec the cache
-   is resident in) and costs
-   ``bytes / bandwidth + latency``; queueing behind earlier transfers is
-   accounted separately so a saturated link is visible as queue delay,
-   not just wire time.
-3. **decode pool** — ``decode_replicas`` engines, each with its own full
-   KV cache and :class:`~repro.serving.scheduler.ContinuousBatchScheduler`.
-   Requests are released to their replica when their KV lands; they enter
-   decode with ``prefill_remaining = 0`` (the KV came over the wire).  A
-   request preempted *on the decode replica* recomputes there — recompute
-   cannot be outsourced back to the prefill pool.
+   is resident in) and costs ``bytes / bandwidth + latency``; queueing
+   behind earlier transfers is accounted separately so a saturated link
+   is visible as queue delay, not just wire time.
+   ``DisaggConfig.overlap_fraction`` hides that fraction of the
+   serialization time under the tail of the producing prefill
+   (layer-wise overlap, modelled analytically).
+3. **decode pool** (:class:`DecodePoolStage`) — ``decode_replicas``
+   engines, each with its own full KV cache and
+   :class:`~repro.serving.scheduler.ContinuousBatchScheduler`.
+   Requests are released to their replica when their KV lands; they
+   enter decode with ``prefill_remaining = 0`` (the KV came over the
+   wire).  A request preempted *on the decode replica* recomputes there
+   — recompute cannot be outsourced back to the prefill pool.
 
-Because nothing feeds back from decode to prefill (no backpressure), the
-three stages can be simulated in sequence and remain exactly equivalent to
-a fully interleaved event loop; per-pool busy time, per-transfer wire and
-queue times, and the usual TTFT/TPOT/goodput picture all come out of one
-:class:`~repro.serving.metrics.ContinuousResult`.
+With ``DisaggConfig.backpressure`` set, capacity pressure propagates
+*backwards*: the prefill stage stalls admission while the decode pool's
+projected free KV or the link queue depth crosses the configured
+watermark, and the kernel wakes it the instant a downstream event clears
+the condition.  The feedback-free default (backpressure ``None``, shared
+link, group prefill, exact costs) reproduces the old stage-by-stage
+sequential simulation bit-exactly — the stages perform the same float
+operations in the same order, the kernel only interleaves them
+(``tests/test_kernel.py`` pins this against recorded PR 3 floats).
 
-Conservation invariants (tested in ``tests/test_disagg.py``): every
-submitted request is prefilled exactly once, transferred exactly once, and
-decoded to completion; wire bytes equal KV size divided by the codec
-ratio; an infinite, zero-latency link makes every transfer free.  A
-request whose KV can never fit its decode replica raises
+Conservation invariants (tested in ``tests/test_disagg.py`` and
+``tests/test_kernel.py``): every submitted request is prefilled exactly
+once, transferred exactly once, and decoded to completion — also while
+backpressure is actively stalling admission; wire bytes equal KV size
+divided by the codec ratio; an infinite, zero-latency link makes every
+transfer free.  A request whose KV can never fit its decode replica (or
+whose footprint can never satisfy the backpressure watermark) raises
 :class:`~repro.errors.CapacityError` instead of being silently dropped.
 """
 
@@ -50,8 +67,10 @@ from __future__ import annotations
 import heapq
 
 from ..compression import resolve_spec
-from ..errors import ConfigError
+from ..errors import CapacityError, ConfigError, SchedulingError
+from ..utils import ceil_div
 from .costs import StepCostModel, maybe_memoize
+from .kernel import EventKernel, Stage
 from .kvcache import KVCacheSpec, PagedKVCache
 from .metrics import (
     ContinuousResult,
@@ -67,7 +86,14 @@ from .serve import (
     decode_window_len,
 )
 
-__all__ = ["DisaggregatedCore", "resolve_transfer_ratio"]
+__all__ = [
+    "DisaggregatedCore",
+    "PrefillPoolStage",
+    "ChunkedPrefillPoolStage",
+    "TransferLinkStage",
+    "DecodePoolStage",
+    "resolve_transfer_ratio",
+]
 
 
 def resolve_transfer_ratio(config: ServingConfig) -> float:
@@ -85,6 +111,551 @@ def resolve_transfer_ratio(config: ServingConfig) -> float:
     return resolve_spec(config.resolved_transfer_codec, "wire").ratio
 
 
+# ----------------------------------------------------------------------
+# Stage 1: the prefill pool
+# ----------------------------------------------------------------------
+class _BackpressureGate:
+    """The decode→prefill admission gate shared by both pool flavours.
+
+    Evaluates the configured watermarks against live downstream state
+    and owns the stall bookkeeping (observational only — recording the
+    first-stall instant never changes a scheduling decision, so calling
+    :meth:`stalled` from a stage's ``next_event_time`` keeps that
+    method effectively pure).
+    """
+
+    def __init__(
+        self,
+        backpressure,
+        link: "TransferLinkStage",
+        decode_pool: "DecodePoolStage",
+    ):
+        self.backpressure = backpressure
+        self.link = link
+        self.decode_pool = decode_pool
+        self.stall_s = 0.0
+        self._stall_since: float | None = None
+
+    def stalled(self, head: Request, t: float) -> bool:
+        """Whether admitting ``head`` at time ``t`` must wait."""
+        bp = self.backpressure
+        if bp is None:
+            return False
+        over = (
+            bp.max_link_queue is not None
+            and self.link.queue_depth >= bp.max_link_queue
+        ) or (
+            bp.min_free_kv_frac > 0.0
+            and self.decode_pool.projected_free_frac(
+                self.decode_pool.blocks_for(head)
+            ) < bp.min_free_kv_frac
+        )
+        if over and self._stall_since is None:
+            self._stall_since = t
+        return over
+
+    def resumed(self, now: float) -> bool:
+        """Credit a cleared stall (call when an admission succeeds)."""
+        if self._stall_since is None:
+            return False
+        self.stall_s += max(0.0, now - self._stall_since)
+        self._stall_since = None
+        return True
+
+    def raise_stranded(self, stranded_ids) -> None:
+        """Fail loudly for requests that were never prefilled."""
+        hint = (
+            " (backpressure watermark can never clear for them)"
+            if self.backpressure is not None else ""
+        )
+        raise CapacityError(
+            f"requests {sorted(stranded_ids)} were never prefilled{hint}"
+        )
+
+
+class PrefillPoolStage(Stage):
+    """Whole-prompt prefill pool: one policy-ordered queue, N replicas.
+
+    Each prefill-start decision replays the sequential pool's arithmetic
+    exactly — pop the earliest-free replica, absorb due arrivals, pick
+    the policy head, start at ``max(replica_free, arrival)`` — but as
+    kernel events, so a backpressure watermark can gate the *next* start
+    without touching any timestamp of the starts that do happen.  A
+    replica freed by a short job can be popped with a clock behind
+    requests another replica's jump already queued; prefill must still
+    not start before the request arrives.
+
+    Finished prefills are delivered to the transfer link at their
+    completion instant (the in-flight heap), never earlier, which is
+    what keeps the link's queue depth an honest backpressure signal.
+    """
+
+    name = "prefill"
+
+    def __init__(
+        self,
+        requests: list[Request],
+        costs: StepCostModel,
+        config: ServingConfig,
+        link: "TransferLinkStage",
+        decode_pool: "DecodePoolStage",
+    ):
+        disagg = config.disagg
+        self.costs = costs
+        self.policy = get_policy(config.policy)
+        self.backpressure = disagg.backpressure
+        self.link = link
+        self.decode_pool = decode_pool
+        self.gate = _BackpressureGate(disagg.backpressure, link, decode_pool)
+        n = disagg.prefill_replicas
+        self._free: list[tuple[float, int]] = [(0.0, i) for i in range(n)]
+        heapq.heapify(self._free)
+        self.busy = [0.0] * n
+        self.pending = sorted(
+            requests, key=lambda r: (r.arrival_s, r.request_id)
+        )
+        self.waiting: list[Request] = []
+        #: (done_s, request_id, request) — prefills on a replica now.
+        self._inflight: list[tuple[float, int, Request]] = []
+        self.n_prefills = 0
+        #: Starts may never predate the instant a stall cleared.
+        self._floor = 0.0
+        self._head_cache: tuple[tuple[float, int, int], Request] | None = (
+            None
+        )
+
+    # ------------------------------------------------------------------
+    def _next_start_time(self) -> float | None:
+        """When the next prefill-start decision is due (gate ignored)."""
+        if not (self.pending or self.waiting):
+            return None
+        free_t, _ = self._free[0]
+        if self.waiting or self.pending[0].arrival_s <= free_t:
+            return free_t
+        return self.pending[0].arrival_s
+
+    def _peek_head(self, t: float) -> Request:
+        """The request the policy would start at decision time ``t``.
+
+        The backpressure gate consults this on every kernel poll; the
+        candidate set only changes when a start mutates the queues
+        (which always moves a queue length), so the policy sort is
+        cached on ``(t, len(waiting), len(pending))``.
+        """
+        key = (t, len(self.waiting), len(self.pending))
+        if self._head_cache is not None and self._head_cache[0] == key:
+            return self._head_cache[1]
+        candidates = self.waiting + [
+            r for r in self.pending if r.arrival_s <= t
+        ]
+        head = self.policy.order_waiting(candidates)[0]
+        self._head_cache = (key, head)
+        return head
+
+    # ------------------------------------------------------------------
+    def next_event_time(self) -> float | None:
+        t_done = self._inflight[0][0] if self._inflight else None
+        t_start = self._next_start_time()
+        if (
+            self.backpressure is not None
+            and t_start is not None
+            and self.gate.stalled(self._peek_head(t_start), t_start)
+        ):
+            t_start = None
+        if t_done is None:
+            return t_start
+        if t_start is None:
+            return t_done
+        return min(t_done, t_start)
+
+    def advance(self, now: float) -> None:
+        # Deliver completed prefills to the link first: a hand-off due
+        # at `now` must be visible to the link within this instant.
+        while self._inflight and self._inflight[0][0] <= now:
+            done, _, req = heapq.heappop(self._inflight)
+            self.link.enqueue(done, req)
+        # Then make every start decision due at `now`.
+        while True:
+            t = self._next_start_time()
+            if t is None or t > now:
+                return
+            if self.backpressure is not None and self.gate.stalled(
+                self._peek_head(t), t
+            ):
+                return
+            self._start_one(now)
+
+    def _start_one(self, now: float) -> None:
+        """One prefill start: the sequential pool's loop body, verbatim."""
+        now_r, idx = heapq.heappop(self._free)
+        while self.pending and self.pending[0].arrival_s <= now_r:
+            self.waiting.append(self.pending.pop(0))
+        if not self.waiting:
+            now_r = max(now_r, self.pending[0].arrival_s)
+            while self.pending and self.pending[0].arrival_s <= now_r:
+                self.waiting.append(self.pending.pop(0))
+        req = self.policy.order_waiting(self.waiting)[0]
+        self.waiting.remove(req)
+        start = max(now_r, req.arrival_s)
+        if self.gate.resumed(now):
+            # The stall cleared at `now`; forbid this (and any later)
+            # start from predating it.
+            self._floor = max(self._floor, now)
+        if self._floor > start:
+            start = self._floor
+        duration = self.costs.prefill_step(1, req.prompt_len).total_s
+        done = start + duration
+        self.busy[idx] += duration
+        self.n_prefills += 1
+        # The prefill engine emits the first token; TTFT never waits on
+        # the link.
+        if req.first_token_s is None:
+            req.first_token_s = done
+        heapq.heappush(self._inflight, (done, req.request_id, req))
+        self.decode_pool.commit_blocks(req)
+        heapq.heappush(self._free, (done, idx))
+
+    @property
+    def stall_s(self) -> float:
+        return self.gate.stall_s
+
+    def finish(self) -> None:
+        if self.pending or self.waiting:
+            self.gate.raise_stranded(
+                r.request_id for r in self.pending + self.waiting
+            )
+
+
+class _PrefillReplica:
+    """One chunked prefill engine: scheduler, KV cache and local clock."""
+
+    def __init__(
+        self,
+        index: int,
+        costs: StepCostModel,
+        kv_spec: KVCacheSpec,
+        kv_bytes: float,
+        config: ServingConfig,
+    ):
+        self.index = index
+        self.costs = costs
+        self.config = config
+        self.scheduler = ContinuousBatchScheduler(
+            PagedKVCache(kv_spec, kv_bytes), config.limits, config.policy
+        )
+        #: (arrival_s, tiebreak, request) — dispatched, not yet due.
+        self.pending: list[tuple[float, int, Request]] = []
+        self.outstanding_prompt = 0
+        self.clock = 0.0
+        self.busy_s = 0.0
+        self.n_steps = 0
+
+
+class ChunkedPrefillPoolStage(Stage):
+    """Chunked prefill pool: each replica co-schedules prompt chunks.
+
+    Selected by ``DisaggConfig(prefill_mode="chunked")``.  Arrivals are
+    dispatched to the replica with the fewest outstanding prompt tokens
+    (ties to the lowest index); each replica then runs the colocated
+    chunked planner in prefill-only form — decode never happens here, a
+    request is :meth:`~repro.serving.scheduler.ContinuousBatchScheduler.release`-d
+    to the transfer link the instant its last chunk completes (which is
+    also its TTFT stamp).  Unlike the group pool, chunked replicas hold
+    prompt KV resident while prefilling, so each replica carries the
+    same KV budget as a decode replica.
+
+    Backpressure gates *admission* into a replica (running chunks always
+    finish): requests are admitted one at a time, the gate re-judged
+    against the new policy head after each, with the admitted request's
+    landing footprint committed to the decode pool's projection — so the
+    watermark holds per request, exactly as in the group pool.
+    """
+
+    name = "prefill"
+
+    def __init__(
+        self,
+        requests: list[Request],
+        costs: StepCostModel,
+        kv_spec: KVCacheSpec,
+        kv_bytes: float,
+        config: ServingConfig,
+        link: "TransferLinkStage",
+        decode_pool: "DecodePoolStage",
+    ):
+        self.costs = costs
+        self.config = config
+        self.backpressure = config.disagg.backpressure
+        self.link = link
+        self.decode_pool = decode_pool
+        self.gate = _BackpressureGate(
+            config.disagg.backpressure, link, decode_pool
+        )
+        self.replicas = [
+            _PrefillReplica(i, costs, kv_spec, kv_bytes, config)
+            for i in range(config.disagg.prefill_replicas)
+        ]
+        self.pending = sorted(
+            requests, key=lambda r: (r.arrival_s, r.request_id)
+        )
+        #: (ready_s, request_id, request) — chunk-complete hand-offs not
+        #: yet delivered to the link (a step's hand-off becomes ready at
+        #: the post-step clock, which may lie beyond the current kernel
+        #: instant — delivering early would inflate the link queue the
+        #: backpressure watermark reads).
+        self._inflight: list[tuple[float, int, Request]] = []
+
+    # ------------------------------------------------------------------
+    def _replica_event(self, replica: _PrefillReplica) -> float | None:
+        if replica.scheduler.running:
+            return replica.clock
+        if replica.pending:
+            return max(replica.clock, replica.pending[0][0])
+        if replica.scheduler.waiting and not self._gated(
+            replica, replica.clock
+        ):
+            # A gate-stalled replica has no event of its own: the kernel
+            # re-polls this method after every downstream event, so it
+            # wakes (at the kernel's clamped clock) the instant the
+            # watermark clears.
+            return replica.clock
+        return None
+
+    def next_event_time(self) -> float | None:
+        times = [self.pending[0].arrival_s] if self.pending else []
+        if self._inflight:
+            times.append(self._inflight[0][0])
+        times += [
+            t for r in self.replicas
+            if (t := self._replica_event(r)) is not None
+        ]
+        return min(times) if times else None
+
+    def advance(self, now: float) -> None:
+        while self._inflight and self._inflight[0][0] <= now:
+            ready, _, req = heapq.heappop(self._inflight)
+            self.link.enqueue(ready, req)
+        while self.pending and self.pending[0].arrival_s <= now:
+            req = self.pending.pop(0)
+            target = min(
+                self.replicas,
+                key=lambda r: (r.outstanding_prompt, r.index),
+            )
+            target.outstanding_prompt += req.prompt_len
+            heapq.heappush(
+                target.pending, (req.arrival_s, req.request_id, req)
+            )
+        for replica in self.replicas:
+            t = self._replica_event(replica)
+            if t is not None and t <= now:
+                self._step_replica(replica, now)
+
+    # ------------------------------------------------------------------
+    def _gated(self, replica: _PrefillReplica, now: float) -> bool:
+        if self.backpressure is None or not replica.scheduler.waiting:
+            return False
+        head = replica.scheduler.policy.order_waiting(
+            replica.scheduler.waiting
+        )[0]
+        return self.gate.stalled(head, now)
+
+    def _step_replica(self, replica: _PrefillReplica, now: float) -> None:
+        """One scheduling iteration of one chunked prefill replica."""
+        scheduler = replica.scheduler
+        while replica.pending and replica.pending[0][0] <= replica.clock:
+            _, _, req = heapq.heappop(replica.pending)
+            scheduler.submit(req)
+        if (
+            self.backpressure is not None
+            and not scheduler.running
+            and scheduler.waiting
+            and replica.clock < now
+        ):
+            # The replica sat gate-stalled with a frozen clock while the
+            # kernel moved on: admissions — and the chunks, TTFT stamps
+            # and hand-offs they produce — happen at the resume instant,
+            # never retroactively (the chunked twin of the group pool's
+            # start floor).
+            replica.clock = now
+        # Admit one request at a time so the backpressure gate sees each
+        # admission's committed KV before judging the next head — a
+        # whole-round admit could flood the decode pool in one go.
+        gated = self._gated(replica, now)
+        while not gated and scheduler.waiting:
+            admitted = scheduler.admit(
+                enforce_token_budget=False, max_requests=1
+            )
+            if not admitted:
+                break
+            self.decode_pool.commit_blocks(admitted[0])
+            self.gate.resumed(now)
+            gated = self._gated(replica, now)
+        plan = scheduler.plan_step()
+        if plan.empty:
+            if replica.pending:
+                replica.clock = max(replica.clock, replica.pending[0][0])
+                return
+            if scheduler.has_work and not gated:
+                # Nothing runs, nothing is due, admission is not gated,
+                # yet requests wait: their prompt KV can never fit this
+                # replica.  (A gated replica reports no event instead —
+                # the kernel re-polls it after every downstream event,
+                # and finish() reports it if the watermark never
+                # clears.)
+                _raise_stranded(scheduler)
+            return
+        breakdown = self.costs.mixed_step(
+            0, 1, plan.n_prefill_seqs, plan.n_prefill_tokens
+        )
+        replica.clock += breakdown.total_s
+        replica.busy_s += breakdown.total_s
+        replica.n_steps += 1
+        scheduler.apply_step(plan, replica.clock)
+        shipped = [
+            r for r in scheduler.running if r.prefill_remaining == 0
+        ]
+        for req in shipped:
+            scheduler.release(req)
+            replica.outstanding_prompt -= req.prompt_len
+            # Blocks were committed at admission (the KV journey became
+            # inevitable there); the decode pool uncommits on landing.
+            # Delivery to the link waits for the hand-off's ready
+            # instant (the post-step clock) via the in-flight heap.
+            heapq.heappush(
+                self._inflight, (replica.clock, req.request_id, req)
+            )
+
+    def finish(self) -> None:
+        stranded = [r.request_id for r in self.pending] + [
+            r.request_id
+            for replica in self.replicas
+            for r in (
+                replica.scheduler.waiting
+                + [req for _, _, req in replica.pending]
+            )
+        ]
+        if stranded:
+            self.gate.raise_stranded(stranded)
+
+    @property
+    def stall_s(self) -> float:
+        return self.gate.stall_s
+
+    @property
+    def busy(self) -> list[float]:
+        return [r.busy_s for r in self.replicas]
+
+    @property
+    def n_prefills(self) -> int:
+        return sum(r.n_steps for r in self.replicas)
+
+
+# ----------------------------------------------------------------------
+# Stage 2: the transfer link
+# ----------------------------------------------------------------------
+class TransferLinkStage(Stage):
+    """KV-transfer link: serial FIFO channel(s) between the pools.
+
+    ``link_topology="shared"`` is one channel serving hand-offs in
+    (ready, request-id) order — byte-for-byte the PR 2 fold.
+    ``"per_replica"`` gives every decode replica its own channel at the
+    configured bandwidth, so transfers to different replicas overlap on
+    the wire.  Either way the *target replica* is chosen when the
+    hand-off is enqueued (least outstanding decode tokens, ties to the
+    lowest index — the same greedy the sequential simulation applied in
+    transfer order, which for the shared FIFO is the same order), and
+    the decode pool learns the landing time the moment the transfer
+    starts, never earlier.
+    """
+
+    name = "transfer"
+
+    def __init__(
+        self,
+        config: ServingConfig,
+        kv_spec: KVCacheSpec,
+        transfer_ratio: float,
+        decode_pool: "DecodePoolStage",
+    ):
+        disagg = config.disagg
+        self.latency = disagg.link_latency_s
+        self.bandwidth = disagg.link_gb_per_s * 1e9
+        self.overlap = disagg.overlap_fraction
+        # Wire bytes are priced off the *raw* KV footprint: the sender
+        # re-encodes with the wire codec, whatever codec (if any) the KV
+        # is resident in.  For a plain spec raw == resident.
+        self.per_token = kv_spec.raw_bytes_per_token / transfer_ratio
+        self.per_replica = disagg.link_topology == "per_replica"
+        self.n_links = (
+            disagg.decode_replicas if self.per_replica else 1
+        )
+        self.decode_pool = decode_pool
+        self._free = [0.0] * self.n_links
+        #: Per-channel (ready_s, request_id, request, target) queues.
+        self._queues: list[list[tuple[float, int, Request, int]]] = [
+            [] for _ in range(self.n_links)
+        ]
+        self.records: list[TransferRecord] = []
+        self.peak_queue_depth = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Hand-offs waiting for a channel (not yet on the wire)."""
+        return sum(len(q) for q in self._queues)
+
+    def enqueue(self, ready: float, req: Request) -> None:
+        """Accept a finished prefill's KV for transfer at time ``ready``."""
+        target = self.decode_pool.assign(req)
+        channel = target if self.per_replica else 0
+        heapq.heappush(
+            self._queues[channel], (ready, req.request_id, req, target)
+        )
+        self.peak_queue_depth = max(self.peak_queue_depth, self.queue_depth)
+
+    # ------------------------------------------------------------------
+    def next_event_time(self) -> float | None:
+        times = [
+            max(q[0][0], self._free[ch])
+            for ch, q in enumerate(self._queues) if q
+        ]
+        return min(times) if times else None
+
+    def advance(self, now: float) -> None:
+        for channel, queue in enumerate(self._queues):
+            while queue and max(queue[0][0], self._free[channel]) <= now:
+                ready, _, req, target = heapq.heappop(queue)
+                nbytes = req.prompt_len * self.per_token
+                wire = nbytes / self.bandwidth
+                if self.overlap > 0.0:
+                    wire *= 1.0 - self.overlap
+                wire += self.latency
+                start = max(ready, self._free[channel])
+                done = start + wire
+                self._free[channel] = done
+                self.records.append(TransferRecord(
+                    request_id=req.request_id,
+                    nbytes=nbytes,
+                    ready_s=ready,
+                    start_s=start,
+                    done_s=done,
+                    link=channel,
+                ))
+                self.decode_pool.deliver(target, req, done)
+
+    def finish(self) -> None:
+        if self.queue_depth:
+            # The link always drains (it reports an event while queued);
+            # a leftover here is a kernel-wiring bug, not a workload
+            # property.
+            raise SchedulingError(
+                f"{self.queue_depth} transfers left on the link"
+            )
+
+
+# ----------------------------------------------------------------------
+# Stage 3: the decode pool
+# ----------------------------------------------------------------------
 class _DecodeReplica:
     """One decode-pool engine: its own KV cache, scheduler and clock."""
 
@@ -105,70 +676,219 @@ class _DecodeReplica:
         #: (release_s, tiebreak, request) — KV arrival order on this replica.
         self.pending: list[tuple[float, int, Request]] = []
         self.outstanding_tokens = 0
+        #: Assigned transfers whose landing time is not yet known.
+        self.n_unreleased = 0
         self.clock = 0.0
         self.busy_s = 0.0
         self.n_steps = 0
         self.peak_running = 0
+        self._quiescent = False
 
-    def assign(self, release_s: float, req: Request) -> None:
-        """Hand this replica a request whose KV lands at ``release_s``."""
-        heapq.heappush(self.pending, (release_s, req.request_id, req))
-        self.outstanding_tokens += req.remaining_tokens
 
-    def run(self) -> None:
-        """Drain every assigned request (decode-only continuous batching).
+class DecodePoolStage(Stage):
+    """Decode pool: N independent continuous-batching replicas.
 
-        The loop mirrors the colocated chunked loop, with one twist: an
-        admitted request that was never preempted here enters with
-        ``prefill_remaining = 0`` — its KV arrived over the link, so no
-        prefill is owed.  Locally preempted requests keep the recompute
-        debt ``admit`` assigns them and re-prefill on this replica.
+    Each replica's scheduling iteration mirrors the colocated chunked
+    loop, with one twist: an admitted request that was never preempted
+    here enters with ``prefill_remaining = 0`` — its KV arrived over the
+    link, so no prefill is owed.  Locally preempted requests keep the
+    recompute debt ``admit`` assigns them and re-prefill on this
+    replica.  Fast-forward windows are capped at the upstream stages'
+    next event in addition to the replica's own next KV landing: the
+    interleaved kernel cannot see hand-offs that have not been scheduled
+    yet, so it stops a window where new work *could* appear (with exact
+    costs every window is one step and the cap is moot).
+
+    The stage also owns the backpressure bookkeeping the prefill stage
+    reads: committed-but-not-landed KV blocks and the pool's projected
+    free fraction, plus the peak observed occupancy
+    (``peak_kv_frac``) the ``ext_disagg`` sweep reports.
+    """
+
+    name = "decode"
+
+    def __init__(
+        self,
+        costs: StepCostModel,
+        kv_spec: KVCacheSpec,
+        kv_bytes: float,
+        config: ServingConfig,
+    ):
+        self.config = config
+        self.replicas = [
+            _DecodeReplica(i, costs, kv_spec, kv_bytes, config)
+            for i in range(config.disagg.decode_replicas)
+        ]
+        self.block_size = kv_spec.block_size
+        self.total_blocks = sum(
+            r.scheduler.kv.n_blocks for r in self.replicas
+        )
+        self.committed_blocks = 0
+        self.peak_kv_frac = 0.0
+        self._upstream: tuple[Stage, ...] = ()
+
+    def set_upstream(self, *stages: Stage) -> None:
+        """Register the stages whose events cap fast-forward windows."""
+        self._upstream = stages
+
+    # ------------------------------------------------------------------
+    # Backpressure bookkeeping (read by the prefill stage)
+    # ------------------------------------------------------------------
+    def blocks_for(self, req: Request) -> int:
+        """KV blocks this request will occupy when its KV lands."""
+        return ceil_div(req.prompt_len, self.block_size)
+
+    def commit_blocks(self, req: Request) -> None:
+        """Reserve the request's landing footprint (at prefill start)."""
+        self.committed_blocks += self.blocks_for(req)
+
+    def _uncommit_blocks(self, req: Request) -> None:
+        self.committed_blocks -= self.blocks_for(req)
+
+    def projected_free_frac(self, extra_blocks: int = 0) -> float:
+        """Pool free-block fraction after in-flight KV (+extra) lands."""
+        free = sum(r.scheduler.kv.free_blocks for r in self.replicas)
+        return (free - self.committed_blocks - extra_blocks) / max(
+            self.total_blocks, 1
+        )
+
+    def _sample_occupancy(self) -> None:
+        used = sum(r.scheduler.kv.used_blocks for r in self.replicas)
+        self.peak_kv_frac = max(
+            self.peak_kv_frac, used / max(self.total_blocks, 1)
+        )
+
+    # ------------------------------------------------------------------
+    # Hand-off plumbing (called by the transfer link)
+    # ------------------------------------------------------------------
+    def assign(self, req: Request) -> int:
+        """Pick the target replica for a hand-off (at enqueue time).
+
+        Least-outstanding-tokens first, ties to the lowest replica index
+        — the same deterministic greedy the sequential simulation
+        applied, and over the same sequence of hand-offs, so the
+        placement is unchanged.  ``outstanding_tokens`` accumulates and
+        is never decremented, matching the sequential fold exactly.
         """
-        scheduler = self.scheduler
-        while self.pending or scheduler.has_work:
-            while self.pending and self.pending[0][0] <= self.clock:
-                _, _, req = heapq.heappop(self.pending)
-                scheduler.submit(req)
-            for req in scheduler.admit(enforce_token_budget=False):
-                if req.n_preemptions == 0:
-                    req.prefill_remaining = 0
-            plan = scheduler.plan_step()
-            if self.config.preemption and plan.decode:
-                victims = scheduler.ensure_decode_capacity(plan.decode)
-                if victims:
-                    plan.drop(victims)
-            if plan.empty:
-                if self.pending:
-                    self.clock = max(self.clock, self.pending[0][0])
-                    continue
-                if scheduler.has_work:
-                    # Nothing runs, nothing is due, yet requests remain:
-                    # their KV can never fit this replica.
-                    _raise_stranded(scheduler)
-                break
-            self.peak_running = max(
-                self.peak_running, len(scheduler.running)
-            )
-            breakdown = self.costs.mixed_step(
-                len(plan.decode),
-                max(plan.mean_decode_ctx, 1),
-                plan.n_prefill_seqs,
-                plan.n_prefill_tokens,
-            )
-            next_event = self.pending[0][0] if self.pending else None
-            k = decode_window_len(
-                scheduler, plan, next_event, self.clock,
-                breakdown.total_s, self.config.cost_bucket,
-            )
-            self.clock += breakdown.total_s * k
-            self.busy_s += breakdown.total_s * k
-            self.n_steps += k
-            if k > 1:
-                commit_decode_window(scheduler, plan, k, self.clock)
-            else:
-                scheduler.apply_step(plan, self.clock)
+        target = min(
+            self.replicas, key=lambda r: (r.outstanding_tokens, r.index)
+        )
+        target.outstanding_tokens += req.remaining_tokens
+        target.n_unreleased += 1
+        return target.index
+
+    def deliver(self, index: int, req: Request, release_s: float) -> None:
+        """Schedule a transfer's landing on its replica (at wire start)."""
+        replica = self.replicas[index]
+        replica.n_unreleased -= 1
+        heapq.heappush(
+            replica.pending, (release_s, req.request_id, req)
+        )
+        replica._quiescent = False
+
+    # ------------------------------------------------------------------
+    def _replica_event(self, replica: _DecodeReplica) -> float | None:
+        if replica._quiescent:
+            return None
+        if replica.scheduler.running or replica.scheduler.waiting:
+            return replica.clock
+        if replica.pending:
+            return max(replica.clock, replica.pending[0][0])
+        return None
+
+    def next_event_time(self) -> float | None:
+        times = [
+            t for r in self.replicas
+            if (t := self._replica_event(r)) is not None
+        ]
+        return min(times) if times else None
+
+    def advance(self, now: float) -> None:
+        for replica in self.replicas:
+            t = self._replica_event(replica)
+            if t is not None and t <= now:
+                self._step_replica(replica)
+
+    def _upstream_horizon(self) -> float | None:
+        times = [
+            t for s in self._upstream
+            if (t := s.next_event_time()) is not None
+        ]
+        return min(times) if times else None
+
+    def _step_replica(self, replica: _DecodeReplica) -> None:
+        """One scheduling iteration: the sequential replica loop body."""
+        scheduler = replica.scheduler
+        while replica.pending and replica.pending[0][0] <= replica.clock:
+            _, _, req = heapq.heappop(replica.pending)
+            scheduler.submit(req)
+        for req in scheduler.admit(enforce_token_budget=False):
+            if req.n_preemptions == 0:
+                req.prefill_remaining = 0
+                self._uncommit_blocks(req)
+        plan = scheduler.plan_step()
+        if self.config.preemption and plan.decode:
+            victims = scheduler.ensure_decode_capacity(plan.decode)
+            if victims:
+                plan.drop(victims)
+        if plan.empty:
+            if replica.pending:
+                replica.clock = max(replica.clock, replica.pending[0][0])
+                return
+            # Nothing runs and nothing is scheduled to land.  If
+            # requests still wait their KV cannot fit *now* — quiesce;
+            # a later landing re-polls us, and finish() raises if none
+            # ever comes (the conservation guarantee).
+            replica._quiescent = True
+            return
+        replica.peak_running = max(
+            replica.peak_running, len(scheduler.running)
+        )
+        breakdown = replica.costs.mixed_step(
+            len(plan.decode),
+            max(plan.mean_decode_ctx, 1),
+            plan.n_prefill_seqs,
+            plan.n_prefill_tokens,
+        )
+        next_event = replica.pending[0][0] if replica.pending else None
+        if self.config.cost_bucket > 0:
+            # Only bucketed costs fast-forward; with exact costs the
+            # window is always one step and the horizon cap is moot —
+            # skip the upstream polls (they include the prefill pool's
+            # policy sort) on the hot path.
+            horizon = self._upstream_horizon()
+            if horizon is not None:
+                next_event = (
+                    horizon if next_event is None
+                    else min(next_event, horizon)
+                )
+        k = decode_window_len(
+            scheduler, plan, next_event, replica.clock,
+            breakdown.total_s, self.config.cost_bucket,
+        )
+        replica.clock += breakdown.total_s * k
+        replica.busy_s += breakdown.total_s * k
+        replica.n_steps += k
+        if k > 1:
+            commit_decode_window(scheduler, plan, k, replica.clock)
+        else:
+            scheduler.apply_step(plan, replica.clock)
+        self._sample_occupancy()
+
+    def finish(self) -> None:
+        for replica in self.replicas:
+            if replica.scheduler.has_work:
+                _raise_stranded(replica.scheduler)
+            if replica.pending or replica.n_unreleased:
+                raise SchedulingError(
+                    f"decode replica {replica.index} left"
+                    " undelivered hand-offs"
+                )
 
 
+# ----------------------------------------------------------------------
+# The core: three stages on one kernel
+# ----------------------------------------------------------------------
 class DisaggregatedCore:
     """Two-pool serving: prefill pool → KV-transfer link → decode pool.
 
@@ -199,17 +919,34 @@ class DisaggregatedCore:
 
     # ------------------------------------------------------------------
     def serve(self, requests: list[Request]) -> ContinuousResult:
-        """Replay a trace through both pools; returns the full picture."""
+        """Replay a trace through the three-stage kernel pipeline."""
         if not requests:
             raise ConfigError("serve needs at least one request")
-        prefill_busy, handoffs = self._run_prefill_pool(requests)
-        transfers = self._run_link(handoffs)
-        replicas = self._run_decode_pool(handoffs, transfers)
+        disagg = self.config.disagg
+        decode_pool = DecodePoolStage(
+            self.costs, self.kv_spec, self.kv_bytes, self.config
+        )
+        link = TransferLinkStage(
+            self.config, self.kv_spec, self.transfer_ratio, decode_pool
+        )
+        if disagg.prefill_mode == "chunked":
+            prefill: Stage = ChunkedPrefillPoolStage(
+                requests, self.costs, self.kv_spec, self.kv_bytes,
+                self.config, link, decode_pool,
+            )
+        else:
+            prefill = PrefillPoolStage(
+                requests, self.costs, self.config, link, decode_pool
+            )
+        decode_pool.set_upstream(prefill, link)
+        EventKernel([prefill, link, decode_pool]).run()
 
+        replicas = decode_pool.replicas
+        transfers = link.records
         makespan = max(
             [r.clock for r in replicas]
             + [t.done_s for t in transfers]
-            + [ready for ready, _ in handoffs]
+            + [t.ready_s for t in transfers]
         )
         finished: list[Request] = []
         for replica in replicas:
@@ -217,139 +954,37 @@ class DisaggregatedCore:
         finished.sort(key=lambda r: r.request_id)
         pools = (
             PoolStats.from_busy(
-                "prefill", prefill_busy, makespan, n_steps=len(requests)
+                "prefill", prefill.busy, makespan,
+                n_steps=prefill.n_prefills,
+                stall_s=prefill.stall_s,
             ),
             PoolStats.from_busy(
                 "decode",
                 [r.busy_s for r in replicas],
                 makespan,
                 n_steps=sum(r.n_steps for r in replicas),
+                peak_kv_frac=decode_pool.peak_kv_frac,
             ),
         )
         return ContinuousResult.from_run(
             finished,
             makespan_s=makespan,
-            n_steps=len(requests) + sum(r.n_steps for r in replicas),
+            n_steps=prefill.n_prefills + sum(r.n_steps for r in replicas),
             peak_running=max(r.peak_running for r in replicas),
             slo=self.config.slo,
             n_preemptions=sum(
                 r.scheduler.n_preemptions for r in replicas
             ),
             policy=self.policy.name,
-            # The prefill pool always runs whole-prompt passes, whatever
-            # the config's (colocated-only) prefill_mode says — report
-            # what actually happened.
-            prefill_mode="group",
+            # The pool runs whatever DisaggConfig.prefill_mode says —
+            # the (colocated-only) ServingConfig.prefill_mode does not
+            # reshape it; report what actually happened.
+            prefill_mode=disagg.prefill_mode,
             mode="disaggregated",
             pools=pools,
             transfer=TransferStats.from_records(
-                transfers, makespan, self.transfer_ratio
+                transfers, makespan, self.transfer_ratio,
+                n_links=link.n_links,
+                peak_queue_depth=link.peak_queue_depth,
             ),
         )
-
-    # ------------------------------------------------------------------
-    def _run_prefill_pool(
-        self, requests: list[Request]
-    ) -> tuple[list[float], list[tuple[float, Request]]]:
-        """Multi-server prefill queue: one whole-prompt pass per request.
-
-        Returns per-replica busy seconds and ``(prefill_done_s, request)``
-        hand-offs.  Replicas pull from one shared queue in policy order;
-        an idle pool jumps its earliest replica to the next arrival
-        (event-driven, like the colocated loop).
-        """
-        n = self.config.disagg.prefill_replicas
-        free: list[tuple[float, int]] = [(0.0, i) for i in range(n)]
-        heapq.heapify(free)
-        busy = [0.0] * n
-        pending = sorted(
-            requests, key=lambda r: (r.arrival_s, r.request_id)
-        )
-        waiting: list[Request] = []
-        handoffs: list[tuple[float, Request]] = []
-        while pending or waiting:
-            now, idx = heapq.heappop(free)
-            while pending and pending[0].arrival_s <= now:
-                waiting.append(pending.pop(0))
-            if not waiting:
-                now = max(now, pending[0].arrival_s)
-                while pending and pending[0].arrival_s <= now:
-                    waiting.append(pending.pop(0))
-            req = self.policy.order_waiting(waiting)[0]
-            waiting.remove(req)
-            # A replica freed by a short job can be popped with a clock
-            # behind requests another replica's jump already queued;
-            # prefill must still not start before the request arrives.
-            start = max(now, req.arrival_s)
-            duration = self.costs.prefill_step(1, req.prompt_len).total_s
-            done = start + duration
-            busy[idx] += duration
-            # The prefill engine emits the first token; TTFT never waits
-            # on the link.
-            if req.first_token_s is None:
-                req.first_token_s = done
-            handoffs.append((done, req))
-            heapq.heappush(free, (done, idx))
-        return busy, handoffs
-
-    # ------------------------------------------------------------------
-    def _run_link(
-        self, handoffs: list[tuple[float, Request]]
-    ) -> list[TransferRecord]:
-        """Serial FIFO link: wire each prefilled KV to the decode pool.
-
-        Transfers are served in KV-ready order (ties by request id).  Wire
-        bytes are the prompt's KV footprint divided by the codec ratio;
-        each transfer additionally pays the fixed link latency.
-        """
-        disagg = self.config.disagg
-        bandwidth = disagg.link_gb_per_s * 1e9
-        # Wire bytes are priced off the *raw* KV footprint: the sender
-        # re-encodes with the wire codec, whatever codec (if any) the KV
-        # is resident in.  For a plain spec raw == resident.
-        per_token = self.kv_spec.raw_bytes_per_token / self.transfer_ratio
-        link_free = 0.0
-        records = []
-        for ready, req in sorted(
-            handoffs, key=lambda h: (h[0], h[1].request_id)
-        ):
-            nbytes = req.prompt_len * per_token
-            wire = nbytes / bandwidth + disagg.link_latency_s
-            start = max(ready, link_free)
-            link_free = start + wire
-            records.append(TransferRecord(
-                request_id=req.request_id,
-                nbytes=nbytes,
-                ready_s=ready,
-                start_s=start,
-                done_s=link_free,
-            ))
-        return records
-
-    # ------------------------------------------------------------------
-    def _run_decode_pool(
-        self,
-        handoffs: list[tuple[float, Request]],
-        transfers: list[TransferRecord],
-    ) -> list[_DecodeReplica]:
-        """Assign landed KV to decode replicas and drain them.
-
-        Assignment is least-outstanding-tokens first (ties to the lowest
-        replica index) in KV-arrival order — a deterministic greedy
-        balance.  Replicas share no state, so each drains independently.
-        """
-        replicas = [
-            _DecodeReplica(
-                i, self.costs, self.kv_spec, self.kv_bytes, self.config
-            )
-            for i in range(self.config.disagg.decode_replicas)
-        ]
-        by_id = {req.request_id: req for _, req in handoffs}
-        for record in transfers:
-            target = min(
-                replicas, key=lambda r: (r.outstanding_tokens, r.index)
-            )
-            target.assign(record.done_s, by_id[record.request_id])
-        for replica in replicas:
-            replica.run()
-        return replicas

@@ -295,14 +295,20 @@ class InferenceEngine:
         cost-model memoization.  ``limits`` overrides the config's
         scheduler limits for convenience.
 
-        ``config.mode`` selects the serving topology:
+        ``config.mode`` selects the serving topology — both run on the
+        shared event kernel (:mod:`repro.serving.kernel`):
         ``"colocated"`` (default) runs one engine through
         :class:`~repro.serving.serve.ServingCore`, bit-identical to the
         pre-disaggregation behaviour; ``"disaggregated"`` routes through
         :class:`~repro.serving.disagg.DisaggregatedCore`, a prefill pool
         and a decode pool joined by a KV-transfer link sized by
         ``config.disagg`` (each replica gets this engine's full KV
-        budget).
+        budget).  The disaggregated pipeline's coupling knobs all live
+        on :class:`~repro.serving.serve.DisaggConfig`: decode→prefill
+        backpressure watermarks (``backpressure=BackpressureConfig``),
+        ``link_topology="shared"|"per_replica"``, chunked prefill inside
+        the prefill pool (``prefill_mode="chunked"``) and analytic
+        layer-wise prefill/transfer overlap (``overlap_fraction``).
 
         ``config.weight_codec`` / ``config.kv_codec`` /
         ``config.transfer_codec`` override the engine's construction-time

@@ -1,0 +1,161 @@
+"""The event-driven simulation kernel shared by every serving topology.
+
+Before this module existed the repository had two hand-rolled clock
+loops: :class:`~repro.serving.serve.ServingCore` drove one colocated
+engine, and :class:`~repro.serving.disagg.DisaggregatedCore` simulated
+its prefill pool, transfer link and decode pool *in sequence* — legal
+only because nothing fed back from decode to prefill.  Backpressure,
+per-replica links and chunked prefill inside the prefill pool all break
+that one-way assumption, so the loops were unified here instead: one
+kernel, pluggable **stages**, requests flowing through explicit stage
+queues.
+
+A :class:`Stage` owns a piece of the pipeline (an engine pool, a
+transfer link) and exposes exactly two verbs:
+
+* :meth:`Stage.next_event_time` — when this stage can next do work
+  (``None`` when it has nothing runnable and nothing scheduled — e.g.
+  idle, or stalled on another stage's state);
+* :meth:`Stage.advance` — perform the work due at ``now``.
+
+:class:`EventKernel` interleaves them: each iteration it takes the
+minimum next-event time across stages and advances, **in stage order**,
+every stage whose event is due.  Stage order is upstream→downstream
+(prefill, link, decode), so a hand-off produced at time ``t`` is visible
+to the next stage within the same instant — exactly the causality the
+old sequential simulation got for free by running stages to completion
+one after another.  Reverse-direction coupling (decode→prefill
+backpressure) needs no special casing: a stalled upstream stage returns
+``None`` and is simply re-polled after every downstream event, so it
+wakes the moment the watermark clears.
+
+Invariants (tested in ``tests/test_kernel.py``):
+
+* **time is monotone** — the kernel clamps stage-reported times to its
+  own clock, so a stage waking from a stall can never rewind the run;
+* **progress** — a stage advanced at its own event time must either do
+  work or move its internal clock; the kernel raises
+  :class:`~repro.errors.SchedulingError` instead of spinning if the
+  pipeline stops making progress at one instant;
+* **no silent exits** — after the loop drains, every stage's
+  :meth:`Stage.finish` hook runs; stages still holding requests raise
+  there (:class:`~repro.errors.CapacityError`), so a backpressure
+  deadlock or an unservable request can never be dropped;
+* **bit-compatibility** — with exact costs (``cost_bucket=0``),
+  backpressure off, a shared link and whole-prompt pool prefill, the
+  interleaved schedule reproduces the old sequential simulation's floats
+  bit-exactly (the stages perform the same float operations in the same
+  order; the kernel only re-orders *between* stages, which the one-way
+  data flow makes commutative).  Under bucketed costs a decode stage's
+  fast-forward window is additionally capped at the upstream stages'
+  next event (the interleaved kernel cannot see hand-offs that have not
+  been scheduled yet), which may split a window the sequential
+  simulation took whole — token counts are unchanged; step counts and
+  stamps agree to within the one-step boundary shifts float
+  accumulation can introduce (the same approximation contract bucketed
+  costs already had versus stepwise execution).
+"""
+
+from __future__ import annotations
+
+from ..errors import SchedulingError
+
+__all__ = ["Stage", "EventKernel"]
+
+#: Advancing this many consecutive kernel iterations without the clock
+#: moving means a stage is reporting events it never retires — a stage
+#: bug, not a workload property (same-instant cascades are bounded by
+#: the number of queued work items).
+_MAX_STALLED_ITERATIONS = 1_000_000
+
+
+class Stage:
+    """One pipeline stage of an event-driven serving simulation.
+
+    Subclasses own their internal clocks and queues; the kernel only
+    ever asks *when* they next have something to do and tells them to
+    do it.  Contract:
+
+    * :meth:`next_event_time` must be side-effect-free and may be
+      called any number of times between advances;
+    * returned times must not decrease except after an external state
+      change (another stage delivering work, or a backpressure
+      watermark clearing) — the kernel clamps such wake-ups to its own
+      monotone clock;
+    * :meth:`advance` called at the stage's own event time must make
+      progress: commit work, or move the stage's internal clock
+      strictly forward.
+    """
+
+    #: Human-readable stage name (used in error messages and stats).
+    name = "stage"
+
+    def next_event_time(self) -> float | None:
+        """When this stage can next do work (``None`` = nothing runnable)."""
+        raise NotImplementedError
+
+    def advance(self, now: float) -> None:
+        """Perform the work due at ``now``."""
+        raise NotImplementedError
+
+    def finish(self) -> None:
+        """Post-run invariant hook: raise if work was left behind.
+
+        Called once by :meth:`EventKernel.run` after every stage has
+        reported ``None``.  The default accepts a clean exit; stages
+        holding undeliverable requests (a prompt that can never fit, a
+        watermark that can never clear) override this to raise
+        :class:`~repro.errors.CapacityError` instead of letting the
+        run end looking successful.
+        """
+
+
+class EventKernel:
+    """Interleaves a list of stages into one event-driven simulation.
+
+    ``stages`` must be listed upstream→downstream: at each instant the
+    kernel advances due stages in list order, so same-instant hand-offs
+    flow forward through the pipeline, while feedback (backpressure)
+    takes effect on the next kernel iteration at the same instant.
+    """
+
+    def __init__(self, stages: list[Stage]):
+        if not stages:
+            raise SchedulingError("EventKernel needs at least one stage")
+        self.stages = list(stages)
+        #: The kernel's monotone clock: the latest instant processed.
+        self.now = 0.0
+
+    def run(self) -> float:
+        """Drive all stages until none reports an event; returns the clock.
+
+        Each iteration: find the earliest next event across stages,
+        clamp it to the monotone clock (a stage waking from a
+        backpressure stall may report a stale time), then advance every
+        stage whose event is due at that instant, in stage order.  When
+        the loop drains, every stage's :meth:`Stage.finish` hook runs.
+        """
+        stalled_iterations = 0
+        while True:
+            due = [s.next_event_time() for s in self.stages]
+            times = [t for t in due if t is not None]
+            if not times:
+                break
+            t = min(times)
+            if t > self.now:
+                self.now = t
+                stalled_iterations = 0
+            else:
+                stalled_iterations += 1
+                if stalled_iterations > _MAX_STALLED_ITERATIONS:
+                    raise SchedulingError(
+                        "event kernel stopped making progress at"
+                        f" t={self.now!r} (stages:"
+                        f" {[s.name for s in self.stages]})"
+                    )
+            for stage, stage_t in zip(self.stages, due):
+                if stage_t is not None and stage_t <= self.now:
+                    stage.advance(self.now)
+        for stage in self.stages:
+            stage.finish()
+        return self.now

@@ -187,7 +187,11 @@ class PoolStats:
 
     ``busy_s`` sums every replica's active compute time; ``utilization``
     normalises it by ``n_replicas * makespan``, so a pool of two replicas
-    each busy half the run reports 0.5.
+    each busy half the run reports 0.5.  ``stall_s`` is the time the
+    pool's admission was held back by decode→prefill backpressure
+    (prefill pool only; 0 without a watermark), and ``peak_kv_frac`` is
+    the highest KV-block occupancy the pool observed (decode pool only —
+    the quantity a backpressure watermark bounds).
     """
 
     name: str
@@ -195,10 +199,18 @@ class PoolStats:
     busy_s: float
     utilization: float
     n_steps: int
+    stall_s: float = 0.0
+    peak_kv_frac: float = 0.0
 
     @classmethod
     def from_busy(
-        cls, name: str, busy: list[float], makespan_s: float, n_steps: int
+        cls,
+        name: str,
+        busy: list[float],
+        makespan_s: float,
+        n_steps: int,
+        stall_s: float = 0.0,
+        peak_kv_frac: float = 0.0,
     ) -> "PoolStats":
         """Build from per-replica busy seconds over one run."""
         span = max(makespan_s, 1e-12)
@@ -208,6 +220,8 @@ class PoolStats:
             busy_s=sum(busy),
             utilization=sum(busy) / (max(len(busy), 1) * span),
             n_steps=n_steps,
+            stall_s=stall_s,
+            peak_kv_frac=peak_kv_frac,
         )
 
 
@@ -223,6 +237,9 @@ class TransferRecord:
     start_s: float
     #: When the last byte landed on the decode replica.
     done_s: float
+    #: Which link channel carried it (always 0 on the shared FIFO; the
+    #: target replica's index under ``link_topology="per_replica"``).
+    link: int = 0
 
     @property
     def wire_s(self) -> float:
@@ -243,7 +260,12 @@ class TransferStats:
     raw); ``total_bytes`` is post-compression wire bytes.  ``time`` and
     ``queue`` summarise per-transfer wire time and link queueing delay —
     the two numbers a bandwidth-constrained link inflates and a compressed
-    codec (SplitZip-style) deflates.
+    codec (SplitZip-style) deflates.  ``n_links`` is 1 for the shared
+    FIFO channel and ``decode_replicas`` for the per-replica topology
+    (``link_utilization`` normalises over all channels);
+    ``peak_queue_depth`` is the most hand-offs ever waiting for a
+    channel at once — the quantity a ``max_link_queue`` backpressure
+    watermark bounds.
     """
 
     n_transfers: int
@@ -253,6 +275,8 @@ class TransferStats:
     time: LatencySummary = field(default_factory=LatencySummary)
     queue: LatencySummary = field(default_factory=LatencySummary)
     records: tuple[TransferRecord, ...] = ()
+    n_links: int = 1
+    peak_queue_depth: int = 0
 
     @classmethod
     def from_records(
@@ -260,6 +284,8 @@ class TransferStats:
         records: list[TransferRecord],
         makespan_s: float,
         compression_ratio: float,
+        n_links: int = 1,
+        peak_queue_depth: int = 0,
     ) -> "TransferStats":
         """Summarise a run's transfer records."""
         span = max(makespan_s, 1e-12)
@@ -267,10 +293,13 @@ class TransferStats:
             n_transfers=len(records),
             total_bytes=sum(r.nbytes for r in records),
             compression_ratio=compression_ratio,
-            link_utilization=sum(r.wire_s for r in records) / span,
+            link_utilization=sum(r.wire_s for r in records)
+            / (max(n_links, 1) * span),
             time=LatencySummary.from_values([r.wire_s for r in records]),
             queue=LatencySummary.from_values([r.queue_s for r in records]),
             records=tuple(records),
+            n_links=n_links,
+            peak_queue_depth=peak_queue_depth,
         )
 
 

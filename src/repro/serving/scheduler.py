@@ -365,7 +365,11 @@ class ContinuousBatchScheduler:
         self.waiting.append(request)
         self._waiting_dirty = True
 
-    def admit(self, enforce_token_budget: bool = True) -> list[Request]:
+    def admit(
+        self,
+        enforce_token_budget: bool = True,
+        max_requests: int | None = None,
+    ) -> list[Request]:
         """Admit waiting requests while capacity allows (no queue skips).
 
         The waiting queue is ranked by the policy; admission stops at the
@@ -384,6 +388,11 @@ class ContinuousBatchScheduler:
         in group mode — their accumulated context can legitimately exceed
         it, and a request that was admitted once must stay re-admittable
         or it (and everything queued behind it) is silently stranded.
+
+        ``max_requests`` caps the round's admissions (``None`` = no cap);
+        a caller that re-evaluates an external gate between admissions —
+        the backpressure-aware chunked prefill pool — admits one request
+        at a time with it.
         """
         if self._waiting_dirty:
             self.waiting = self.policy.order_waiting(self.waiting)
@@ -391,6 +400,8 @@ class ContinuousBatchScheduler:
         admitted = []
         budget = self.limits.max_batched_tokens
         while self.waiting:
+            if max_requests is not None and len(admitted) >= max_requests:
+                break
             head = self.waiting[0]
             restart_len = head.context_len
             if len(self.running) >= self.limits.max_num_seqs:
@@ -478,6 +489,29 @@ class ContinuousBatchScheduler:
                 self.finished.append(req)
                 done.append(req)
         return done
+
+    # ------------------------------------------------------------------
+    # Hand-off (disaggregated pipelines)
+    # ------------------------------------------------------------------
+    def release(self, req: Request) -> Request:
+        """Hand a running request off this engine without finishing it.
+
+        Frees its KV blocks and removes it from the running set; the
+        request re-enters ``WAITING`` so a downstream pool's scheduler
+        can :meth:`submit` it (the chunked prefill pool releases each
+        request the moment its last prompt chunk completes and its KV
+        ships over the transfer link).  Unlike :meth:`preempt` this is
+        not a failure path: no recompute debt is assigned and
+        ``n_preemptions`` does not move.
+        """
+        if req not in self.running:
+            raise SchedulingError(
+                f"request {req.request_id} is not running"
+            )
+        self.kv.free(req.request_id)
+        self.running.remove(req)
+        req.state = RequestState.WAITING
+        return req
 
     # ------------------------------------------------------------------
     # Preemption

@@ -26,6 +26,13 @@ percentiles, SLO goodput) via :mod:`repro.serving.metrics`.
 decode pool joined by a KV-transfer link whose cost and codec live in
 :class:`DisaggConfig`.
 
+Both topologies run on the shared event kernel
+(:mod:`repro.serving.kernel`): the colocated loop is a single
+:class:`~repro.serving.kernel.Stage` whose per-event body is exactly one
+iteration of the historical clock loop, so the kernel refactor moved no
+timestamps; the disaggregated topology is three cooperating stages with
+optional decode→prefill backpressure (:class:`BackpressureConfig`).
+
 Invariants this layer guarantees (tested in ``tests/test_serving_core.py``
 and ``tests/test_disagg.py``):
 
@@ -52,6 +59,7 @@ from ..compression import get_codec
 from ..errors import CapacityError, ConfigError
 from ..utils import ceil_div
 from .costs import StepCostModel, maybe_memoize
+from .kernel import EventKernel, Stage
 from .kvcache import KVCacheSpec, PagedKVCache
 from .metrics import ContinuousResult, SLOTarget
 from .scheduler import (
@@ -65,6 +73,7 @@ from .scheduler import (
 
 PREFILL_MODES = ("group", "chunked")
 SERVING_MODES = ("colocated", "disaggregated")
+LINK_TOPOLOGIES = ("shared", "per_replica")
 
 
 def _raise_stranded(scheduler) -> None:
@@ -83,6 +92,53 @@ def _raise_stranded(scheduler) -> None:
         f"requests {stranded} can never be admitted: KV demand or prompt"
         " length exceeds what this engine can ever free"
     )
+
+
+@dataclass(frozen=True)
+class BackpressureConfig:
+    """Decode→prefill backpressure watermarks (disaggregated mode).
+
+    The feedback-free pipeline admits prefills as fast as the prefill
+    pool can run them, so a slow link or a full decode pool shows up as
+    an unbounded transfer queue and decode-side preemption storms.  With
+    backpressure configured, the prefill pool **stalls admission** (the
+    event kernel simply stops scheduling prefill starts; running
+    prefills complete) while either watermark is crossed, and resumes
+    the instant downstream events clear it:
+
+    Each watermark is opt-in (the defaults gate nothing):
+
+    * ``min_free_kv_frac`` — the decode pool's *projected* free-block
+      fraction (free blocks minus blocks already committed to prefilled
+      or in-flight KV, over total blocks) must stay at or above this
+      after admitting the candidate request; 0 (default) disables the
+      occupancy watermark;
+    * ``max_link_queue`` — no new prefill is admitted while this many
+      hand-offs sit queued (not yet on the wire) at the transfer link;
+      ``None`` (default) disables the queue watermark.
+
+    Watermarks gate *admission* only — prefills already in flight still
+    complete and their KV still lands, so observed peaks can exceed the
+    watermark's level by the work admitted before it tripped (up to one
+    request per prefill replica on the queue side, plus decode-time KV
+    growth on the occupancy side).  This is deliberate hysteresis, not
+    slack: admission-time projection is what a real admission controller
+    has.
+
+    A request whose own KV footprint can never satisfy the watermark is
+    stranded and raises :class:`~repro.errors.CapacityError` at the end
+    of the run instead of being silently dropped (tested in
+    ``tests/test_kernel.py``).
+    """
+
+    min_free_kv_frac: float = 0.0
+    max_link_queue: int | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.min_free_kv_frac <= 1.0:
+            raise ConfigError("min_free_kv_frac must be in [0, 1]")
+        if self.max_link_queue is not None and self.max_link_queue < 1:
+            raise ConfigError("max_link_queue must be >= 1 (or None)")
 
 
 @dataclass(frozen=True)
@@ -112,6 +168,30 @@ class DisaggConfig:
     #: Explicit wire compression ratio; ``None`` derives it from the
     #: codec's registry estimator (1.0 for ``"none"``).
     transfer_ratio: float | None = None
+    #: ``"shared"`` — one serial FIFO channel carries every hand-off
+    #: (the PR 2 model); ``"per_replica"`` — each decode replica has its
+    #: own dedicated link of ``link_gb_per_s``, so transfers to
+    #: different replicas overlap on the wire.
+    link_topology: str = "shared"
+    #: How the prefill pool runs: ``"group"`` — one whole-prompt pass
+    #: per request per replica (the PR 2 model, bit-compatible default);
+    #: ``"chunked"`` — each prefill replica co-schedules prompt chunks
+    #: across concurrent requests under ``SchedulerLimits`` via
+    #: :meth:`~repro.serving.scheduler.ContinuousBatchScheduler.plan_step`.
+    #: (Deliberately separate from the colocated-only
+    #: ``ServingConfig.prefill_mode``, which existing disagg configs set
+    #: without meaning to reshape the pool.)
+    prefill_mode: str = "group"
+    #: Analytic layer-wise prefill/transfer overlap: this fraction of a
+    #: hand-off's serialization time is hidden under the tail of its
+    #: prefill (early layers' KV ships while late layers still compute),
+    #: so only ``1 - overlap_fraction`` of the wire time plus the link
+    #: latency is paid after prefill completes.  0 (default) keeps the
+    #: PR 2 no-overlap arithmetic bit-exactly.
+    overlap_fraction: float = 0.0
+    #: Decode→prefill backpressure watermarks; ``None`` (default) keeps
+    #: the feedback-free PR 2 pipeline.
+    backpressure: BackpressureConfig | None = None
 
     def __post_init__(self) -> None:
         if self.prefill_replicas < 1 or self.decode_replicas < 1:
@@ -123,6 +203,18 @@ class DisaggConfig:
         get_codec(self.transfer_codec)  # raises UnknownSpecError if absent
         if self.transfer_ratio is not None and self.transfer_ratio < 1.0:
             raise ConfigError("transfer_ratio must be >= 1")
+        if self.link_topology not in LINK_TOPOLOGIES:
+            raise ConfigError(
+                f"link_topology must be one of {LINK_TOPOLOGIES},"
+                f" got {self.link_topology!r}"
+            )
+        if self.prefill_mode not in PREFILL_MODES:
+            raise ConfigError(
+                f"disagg prefill_mode must be one of {PREFILL_MODES},"
+                f" got {self.prefill_mode!r}"
+            )
+        if not 0.0 <= self.overlap_fraction <= 1.0:
+            raise ConfigError("overlap_fraction must be in [0, 1]")
 
 
 @dataclass(frozen=True)
@@ -190,8 +282,128 @@ class ServingConfig:
         return self if limits is None else replace(self, limits=limits)
 
 
+class ColocatedStage(Stage):
+    """The colocated engine as one event-kernel stage.
+
+    Each :meth:`advance` performs exactly one iteration of the
+    historical ``ServingCore`` clock loop (group or chunked body), so
+    running it under :class:`~repro.serving.kernel.EventKernel` emits
+    the same float operations in the same order as the pre-kernel
+    hand-rolled ``while`` loop — the bit-compatibility contract of
+    ``run_continuous`` and ``mode="colocated"`` survives the refactor
+    untouched.  As the only stage in its topology, its next event is
+    trivially its own clock.
+    """
+
+    name = "engine"
+
+    def __init__(
+        self,
+        costs: StepCostModel,
+        scheduler: ContinuousBatchScheduler,
+        pending: list[Request],
+        config: ServingConfig,
+    ):
+        self.costs = costs
+        self.scheduler = scheduler
+        self.pending = pending
+        self.config = config
+        self.clock = 0.0
+        self.n_steps = 0
+        self.peak_running = 0
+        self._body = (
+            self._advance_group if config.prefill_mode == "group"
+            else self._advance_chunked
+        )
+
+    # ------------------------------------------------------------------
+    def next_event_time(self) -> float | None:
+        if not self.pending and not self.scheduler.has_work:
+            return None
+        return self.clock
+
+    def advance(self, now: float) -> None:
+        self._body()
+
+    # ------------------------------------------------------------------
+    def _advance_group(self) -> None:
+        """One iteration of the seed-compatible whole-prompt-prefill loop."""
+        scheduler, pending = self.scheduler, self.pending
+        while pending and pending[0].arrival_s <= self.clock:
+            scheduler.submit(pending.pop(0))
+        admitted = scheduler.admit()
+        if admitted:
+            prompt = max(r.prefill_remaining for r in admitted)
+            self.clock += self.costs.prefill_step(
+                len(admitted), prompt
+            ).total_s
+            for req in admitted:
+                req.prefill_remaining = 0
+                if req.first_token_s is None:
+                    req.first_token_s = self.clock
+        if not scheduler.running:
+            if pending:
+                self.clock = max(self.clock, pending[0].arrival_s)
+                return
+            if scheduler.has_work:
+                _raise_stranded(scheduler)
+            return
+        if self.config.preemption:
+            scheduler.ensure_decode_capacity(list(scheduler.running))
+        batch = len(scheduler.running)
+        self.peak_running = max(self.peak_running, batch)
+        mean_ctx = int(
+            sum(r.context_len for r in scheduler.running) / batch
+        )
+        self.clock += self.costs.decode_step(batch, max(mean_ctx, 1)).total_s
+        self.n_steps += 1
+        for req in scheduler.step():
+            if req.done:
+                req.finish_s = self.clock
+
+    # ------------------------------------------------------------------
+    def _advance_chunked(self) -> None:
+        """One iteration of the chunked-prefill co-scheduling loop."""
+        scheduler, pending = self.scheduler, self.pending
+        while pending and pending[0].arrival_s <= self.clock:
+            scheduler.submit(pending.pop(0))
+        scheduler.admit(enforce_token_budget=False)
+        plan = scheduler.plan_step()
+        if self.config.preemption and plan.decode:
+            victims = scheduler.ensure_decode_capacity(plan.decode)
+            if victims:
+                plan.drop(victims)
+        if plan.empty:
+            if pending:
+                self.clock = max(self.clock, pending[0].arrival_s)
+                return
+            if scheduler.has_work:
+                _raise_stranded(scheduler)
+            return
+        self.peak_running = max(self.peak_running, len(scheduler.running))
+        breakdown = self.costs.mixed_step(
+            len(plan.decode),
+            max(plan.mean_decode_ctx, 1),
+            plan.n_prefill_seqs,
+            plan.n_prefill_tokens,
+        )
+        k = decode_window_len(
+            scheduler, plan,
+            pending[0].arrival_s if pending else None,
+            self.clock, breakdown.total_s, self.config.cost_bucket,
+        )
+        if k > 1:
+            self.clock += breakdown.total_s * k
+            self.n_steps += k
+            commit_decode_window(scheduler, plan, k, self.clock)
+        else:
+            self.clock += breakdown.total_s
+            self.n_steps += 1
+            scheduler.apply_step(plan, self.clock)
+
+
 class ServingCore:
-    """Event-driven continuous-batching simulator."""
+    """Event-driven continuous-batching simulator (colocated topology)."""
 
     def __init__(
         self,
@@ -224,112 +436,18 @@ class ServingCore:
             kv, self.config.limits, self.config.policy
         )
         pending = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
-        if self.config.prefill_mode == "group":
-            clock, n_steps, peak = self._serve_group(scheduler, pending)
-        else:
-            clock, n_steps, peak = self._serve_chunked(scheduler, pending)
+        stage = ColocatedStage(self.costs, scheduler, pending, self.config)
+        EventKernel([stage]).run()
         return ContinuousResult.from_run(
             scheduler.finished,
-            makespan_s=clock,
-            n_steps=n_steps,
-            peak_running=peak,
+            makespan_s=stage.clock,
+            n_steps=stage.n_steps,
+            peak_running=stage.peak_running,
             slo=self.config.slo,
             n_preemptions=scheduler.n_preemptions,
             policy=scheduler.policy.name,
             prefill_mode=self.config.prefill_mode,
         )
-
-    # ------------------------------------------------------------------
-    def _serve_group(
-        self,
-        scheduler: ContinuousBatchScheduler,
-        pending: list[Request],
-    ) -> tuple[float, int, int]:
-        """Seed-compatible loop: whole-prompt prefill per admission group."""
-        clock = 0.0
-        n_steps = 0
-        peak_running = 0
-        while pending or scheduler.has_work:
-            while pending and pending[0].arrival_s <= clock:
-                scheduler.submit(pending.pop(0))
-            admitted = scheduler.admit()
-            if admitted:
-                prompt = max(r.prefill_remaining for r in admitted)
-                clock += self.costs.prefill_step(
-                    len(admitted), prompt
-                ).total_s
-                for req in admitted:
-                    req.prefill_remaining = 0
-                    if req.first_token_s is None:
-                        req.first_token_s = clock
-            if not scheduler.running:
-                if pending:
-                    clock = max(clock, pending[0].arrival_s)
-                    continue
-                if scheduler.has_work:
-                    _raise_stranded(scheduler)
-                break
-            if self.config.preemption:
-                scheduler.ensure_decode_capacity(list(scheduler.running))
-            batch = len(scheduler.running)
-            peak_running = max(peak_running, batch)
-            mean_ctx = int(
-                sum(r.context_len for r in scheduler.running) / batch
-            )
-            clock += self.costs.decode_step(batch, max(mean_ctx, 1)).total_s
-            n_steps += 1
-            for req in scheduler.step():
-                if req.done:
-                    req.finish_s = clock
-        return clock, n_steps, peak_running
-
-    # ------------------------------------------------------------------
-    def _serve_chunked(
-        self,
-        scheduler: ContinuousBatchScheduler,
-        pending: list[Request],
-    ) -> tuple[float, int, int]:
-        """Chunked-prefill loop: prompt and decode tokens share the budget."""
-        clock = 0.0
-        n_steps = 0
-        peak_running = 0
-        while pending or scheduler.has_work:
-            while pending and pending[0].arrival_s <= clock:
-                scheduler.submit(pending.pop(0))
-            scheduler.admit(enforce_token_budget=False)
-            plan = scheduler.plan_step()
-            if self.config.preemption and plan.decode:
-                victims = scheduler.ensure_decode_capacity(plan.decode)
-                if victims:
-                    plan.drop(victims)
-            if plan.empty:
-                if pending:
-                    clock = max(clock, pending[0].arrival_s)
-                    continue
-                if scheduler.has_work:
-                    _raise_stranded(scheduler)
-                break
-            peak_running = max(peak_running, len(scheduler.running))
-            breakdown = self.costs.mixed_step(
-                len(plan.decode),
-                max(plan.mean_decode_ctx, 1),
-                plan.n_prefill_seqs,
-                plan.n_prefill_tokens,
-            )
-            k = decode_window_len(
-                scheduler, plan,
-                pending[0].arrival_s if pending else None,
-                clock, breakdown.total_s, self.config.cost_bucket,
-            )
-            if k > 1:
-                clock += breakdown.total_s * k
-                n_steps += k
-                commit_decode_window(scheduler, plan, k, clock)
-            else:
-                clock += breakdown.total_s
-                n_steps += 1
-                scheduler.apply_step(plan, clock)
-        return clock, n_steps, peak_running
 
 
 def decode_window_len(

@@ -125,12 +125,19 @@ class TestConservation:
     def test_memoized_costs_fast_forward_matches_stepwise(self):
         # A context-insensitive cost model prices identically whether or
         # not contexts are bucketed, so the memoized run's fast-forwarded
-        # decode windows must reproduce the stepwise run exactly — same
-        # logical steps, same finish stamps.
+        # decode windows must reproduce the stepwise run's work — same
+        # tokens, approximately the same stamps.  The event kernel caps
+        # a window at the upstream stages' next event (it cannot see
+        # hand-offs that are not scheduled yet), so window boundaries —
+        # and with them the iteration count — may shift by a step where
+        # the old sequential simulation, which knew every landing time
+        # upfront, fast-forwarded straight through.
+        decode_step_s = 1e-3
+
         class ConstCostModel(FlatCostModel):
             def mixed_step(self, decode_batch, decode_ctx, prefill_seqs,
                            prefill_tokens):
-                return StepBreakdown(linear_s=1e-3)
+                return StepBreakdown(linear_s=decode_step_s)
 
             def prefill_step(self, batch, prompt_len):
                 return StepBreakdown(linear_s=5e-3)
@@ -145,15 +152,16 @@ class TestConservation:
             ServingConfig(mode="disaggregated", cost_bucket=64),
         ).serve(reqs(TRACE))
         assert memo.tokens_generated == exact.tokens_generated
-        assert memo.n_steps == exact.n_steps
+        assert abs(memo.n_steps - exact.n_steps) <= len(TRACE)
         assert memo.makespan_s == pytest.approx(exact.makespan_s)
         # Fast-forward multiplies step costs where the stepwise loop sums
-        # them, so stamps agree only up to float accumulation error.
+        # them, and a split window can push an admission one boundary
+        # over — stamps agree to within one decode step.
         for m, e in zip(memo.timings, exact.timings):
             assert m.request_id == e.request_id
             assert m.n_tokens == e.n_tokens
             assert m.first_token_s == pytest.approx(e.first_token_s)
-            assert m.finish_s == pytest.approx(e.finish_s)
+            assert abs(m.finish_s - e.finish_s) <= 1.5 * decode_step_s
 
 
 class TestTransferAccounting:

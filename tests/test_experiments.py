@@ -174,6 +174,14 @@ class TestExtDisagg:
         # the trace sooner.
         assert s["queue_p95_cut"] > 0.0
         assert s["makespan_cut"] > 0.0
+        # Backpressure sweep: every watermark bounds decode-pool peak KV
+        # occupancy (near 1 - watermark, modulo decode growth), tighter
+        # watermarks never raise the ceiling, and the tightest watermark
+        # visibly stalls admission below the feedback-free baseline.
+        assert s["bp_peaks_bounded_by_watermark"] == 1.0
+        assert s["bp_peaks_monotone"] == 1.0
+        assert s["bp_stall_engaged"] == 1.0
+        assert s["bp_tightest_peak_kv"] < s["bp_baseline_peak_kv"]
 
 
 class TestExtCodecMatrix:

@@ -360,3 +360,39 @@ class TestPreemptionMechanics:
         kv.append_token(req.request_id, 16)  # 48 tokens: all 3 blocks held
         with pytest.raises(CapacityError):
             sched.ensure_decode_capacity([req])
+
+
+class TestReleaseAndCappedAdmission:
+    """Hand-off plumbing the disaggregated kernel stages rely on."""
+
+    def test_release_frees_kv_without_finishing(self):
+        kv = make_kv(n_blocks=8)
+        sched = ContinuousBatchScheduler(kv)
+        req = Request(0, 32, 8)
+        sched.submit(req)
+        sched.admit()
+        assert kv.used_blocks == 2
+        sched.release(req)
+        assert kv.used_blocks == 0
+        assert sched.running == [] and sched.finished == []
+        # No recompute debt, no preemption count: this is a hand-off.
+        assert req.state is RequestState.WAITING
+        assert req.n_preemptions == 0
+        # A downstream scheduler can submit it straight away.
+        downstream = ContinuousBatchScheduler(make_kv())
+        downstream.submit(req)
+        assert downstream.waiting == [req]
+
+    def test_release_non_running_rejected(self):
+        sched = ContinuousBatchScheduler(make_kv())
+        with pytest.raises(SchedulingError):
+            sched.release(Request(0, 16, 4))
+
+    def test_admit_max_requests_caps_the_round(self):
+        sched = ContinuousBatchScheduler(make_kv())
+        for r in reqs(5):
+            sched.submit(r)
+        first = sched.admit(enforce_token_budget=False, max_requests=1)
+        assert [r.request_id for r in first] == [0]
+        rest = sched.admit(enforce_token_budget=False)
+        assert [r.request_id for r in rest] == [1, 2, 3, 4]

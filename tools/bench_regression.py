@@ -50,6 +50,7 @@ SCENARIOS = {
     "disagg_kvcomp": lambda: bench_serving._serve_mode(
         "disaggregated", "kvcomp"
     ),
+    "disagg_backpressure": lambda: bench_serving._serve_backpressure(True),
 }
 
 DEFAULT_BASELINE = ROOT / "benchmarks" / "BENCH_serving_baseline.json"
