@@ -16,9 +16,43 @@ config carries one codec name per slot
 ``kv_codec`` / ``transfer_codec``), and the disaggregated link prices
 wire bytes off the resolved transfer spec.  The ``ext_codec_matrix``
 experiment sweeps the combination space.
+
+Two subsystems sit on top of the registry:
+
+* **measured calibration** (:mod:`repro.compression.calibrate`) — run
+  the real codecs over sampled per-class tensors, persist the measured
+  ratios as a :class:`MeasuredRatioProfile`, and feed them back into
+  :func:`resolve_spec` (explicit ``ratio=`` > measured > analytic);
+* **codec policies** (:mod:`repro.compression.policy`) — pick a codec
+  per placement / tensor class by a hardware-aware objective
+  (``best_ratio`` / ``best_throughput`` / ``balanced(alpha)``), wired
+  into ``ServingConfig(weight_codec="auto", ...)``.  The
+  ``ext_autotune`` experiment sweeps policies against fixed stacks.
 """
 
 from . import builtin  # noqa: F401  (imported for registration side effects)
+from .calibrate import (
+    ANALYTIC_DRIFT_BOUND,
+    MeasuredRatio,
+    MeasuredRatioProfile,
+    TensorClass,
+    calibrate,
+    default_tensor_classes,
+    glorot_sigma,
+    tensor_classes_for_model,
+)
+from .policy import (
+    CODEC_POLICIES,
+    MAX_HOT_PATH_SLOWDOWN,
+    BalancedPolicy,
+    BestRatioPolicy,
+    BestThroughputPolicy,
+    CodecPolicy,
+    default_candidates,
+    get_codec_policy,
+    hot_path_time,
+    list_codec_policies,
+)
 from .spec import (
     ACTIVATION_SIGMA,
     PLACEMENTS,
@@ -26,19 +60,43 @@ from .spec import (
     CompressionSpec,
     EncodedTensor,
     get_codec,
+    get_measured_profile,
     list_codecs,
+    measured_profile,
     register_codec,
     resolve_spec,
+    set_measured_profile,
 )
 
 __all__ = [
     "ACTIVATION_SIGMA",
+    "ANALYTIC_DRIFT_BOUND",
     "PLACEMENTS",
     "Codec",
     "CompressionSpec",
     "EncodedTensor",
+    "MeasuredRatio",
+    "MeasuredRatioProfile",
+    "TensorClass",
+    "calibrate",
+    "default_tensor_classes",
+    "glorot_sigma",
+    "tensor_classes_for_model",
+    "CODEC_POLICIES",
+    "MAX_HOT_PATH_SLOWDOWN",
+    "BalancedPolicy",
+    "BestRatioPolicy",
+    "BestThroughputPolicy",
+    "CodecPolicy",
+    "default_candidates",
+    "get_codec_policy",
+    "hot_path_time",
+    "list_codec_policies",
     "get_codec",
+    "get_measured_profile",
     "list_codecs",
+    "measured_profile",
     "register_codec",
     "resolve_spec",
+    "set_measured_profile",
 ]

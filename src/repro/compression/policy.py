@@ -1,0 +1,325 @@
+"""Codec selection policies: pick a codec per tensor class, hardware-aware.
+
+The registry makes every codec valid in every slot; this module decides
+*which* codec each slot (and each tensor class inside the weight slot)
+should actually run.  A :class:`CodecPolicy` scores candidates on two
+axes and is the single place the trade-off lives:
+
+* **ratio** — measured when a calibration profile
+  (:mod:`repro.compression.calibrate`) is supplied, analytic otherwise;
+* **hot-path time** — a per-element time proxy evaluated with the *same
+  kernel models the cost layer prices steps with* (``linear_profile``
+  for weights, the paged-attention pair for KV streams), driven by the
+  registry's kernel-cost hooks (``linear_mode``, decode-cycles factor,
+  stream bandwidth fraction) on a concrete :class:`~repro.gpu.specs
+  .GpuSpec`.
+
+Every policy first applies a **feasibility gate**: a codec whose hot
+path is slower than :data:`MAX_HOT_PATH_SLOWDOWN` x the identity codec
+is never auto-selected, whatever its ratio.  That is the paper's own
+argument made operational — decompress-per-use baselines compress well
+but cannot serve — and it is what keeps ``best_ratio`` from picking a
+weight codec that triples every linear layer.
+
+Three shipped policies (:func:`get_codec_policy` parses the names):
+
+* ``"best_ratio"`` — maximise the (measured) ratio among feasible
+  candidates;
+* ``"best_throughput"`` — minimise the hot-path time proxy;
+* ``"balanced"`` / ``"balanced(alpha)"`` — maximise
+  ``alpha * log(ratio) + (1 - alpha) * log(speedup vs identity)``;
+  ``alpha=1`` leans all the way to ratio, ``alpha=0`` to throughput
+  (default ``alpha=0.5``).
+
+Lossy codecs (``zipquant``) are excluded from the default candidate set:
+auto-selection must never silently change numerics.  Pass them in
+``candidates`` explicitly to opt in.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from functools import lru_cache
+
+from ..analysis.calibration import decode_cycles_per_element
+from ..errors import ConfigError, UnknownSpecError
+from ..gpu.specs import GpuSpec
+from ..kernels.attention import (
+    PAGED_BW_FRAC,
+    paged_attention_decode,
+    paged_attention_decode_compressed,
+)
+from ..kernels.base import WeightCompression
+from ..kernels.pipeline import linear_profile
+from .spec import (
+    Codec,
+    CompressionSpec,
+    PLACEMENTS,
+    get_codec,
+    list_codecs,
+    resolve_spec,
+)
+
+__all__ = [
+    "MAX_HOT_PATH_SLOWDOWN",
+    "CodecPolicy",
+    "BestRatioPolicy",
+    "BestThroughputPolicy",
+    "BalancedPolicy",
+    "CODEC_POLICIES",
+    "get_codec_policy",
+    "list_codec_policies",
+    "default_candidates",
+    "hot_path_time",
+]
+
+#: Feasibility gate: a codec slower than this many times the identity
+#: codec on its placement's hot path is never auto-selected.  2.0 admits
+#: every in-place streaming format (fused TBE, derated entropy streams)
+#: and rejects the decompress-then-GEMM weight baselines, whose modelled
+#: slowdown is >=3x on decode-shaped layers.
+MAX_HOT_PATH_SLOWDOWN = 2.0
+
+#: Representative decode-phase shapes the time proxies are evaluated at
+#: (the policy optimises steady-state decode, the serving bottleneck):
+#: a hidden-sized linear layer at a decode-sized batch, and a paged
+#: attention step at GQA geometry over a mid-length context.
+_PROXY_LINEAR = dict(m=4096, k=4096, n=16)
+_PROXY_ATTENTION = dict(batch=16, ctx=1024, heads=32, kv_heads=8,
+                        head_dim=128)
+
+
+@lru_cache(maxsize=512)
+def _hot_path_time_cached(
+    codec_name: str, placement: str, ratio: float, gpu: GpuSpec
+) -> float:
+    codec = get_codec(codec_name)
+    if placement == "weight":
+        comp = (
+            None if codec.identity
+            else WeightCompression(
+                scheme=codec.name, ratio=ratio, coverage=0.0
+            )
+        )
+        profile = linear_profile(
+            gpu, codec=codec, compression=comp, **_PROXY_LINEAR
+        )
+        return profile.time_s
+    if placement == "kv":
+        if ratio <= 1.0 and codec.identity:
+            profile = paged_attention_decode(gpu, **_PROXY_ATTENTION)
+        else:
+            profile = paged_attention_decode_compressed(
+                gpu, ratio=max(ratio, 1.0 + 1e-12),
+                cycles_per_element=(
+                    decode_cycles_per_element() * codec.decode_cycles_factor
+                ),
+                bw_frac=PAGED_BW_FRAC * codec.stream_bw_frac,
+                **_PROXY_ATTENTION,
+            )
+        return profile.time_s
+    # Wire: serialization dominates — bytes per element over the link,
+    # plus the receiver-side decode ALU cost (tiny, but it orders
+    # equal-ratio codecs by their hooks).  Normalised to a 1 GB/s link;
+    # the *ranking* is link-bandwidth-invariant.
+    wire_s = (2.0 / max(ratio, 1.0)) / 1e9
+    decode_s = (
+        codec.decode_cycles_factor * decode_cycles_per_element()
+        / gpu.sm_cycles_per_s
+    )
+    derate = (
+        (1.0 / codec.stream_bw_frac - 1.0) * 2.0
+        / gpu.dram_bytes_per_s
+    )
+    return wire_s + decode_s + derate
+
+
+def hot_path_time(
+    codec: str | Codec, placement: str, ratio: float, gpu: GpuSpec
+) -> float:
+    """Per-evaluation hot-path time proxy (seconds; lower is better).
+
+    Weights: one decode-shaped linear layer through
+    :func:`~repro.kernels.pipeline.linear_profile` under the codec's
+    ``linear_mode``.  KV: one paged-attention decode step, compressed
+    streaming priced by the codec's cycle/bandwidth hooks.  Wire: the
+    serialized bytes per element plus the receiver decode cost.
+    """
+    if placement not in PLACEMENTS:
+        raise ConfigError(
+            f"placement must be one of {PLACEMENTS}, got {placement!r}"
+        )
+    return _hot_path_time_cached(
+        get_codec(codec).name, placement, float(ratio), gpu
+    )
+
+
+def default_candidates() -> list[str]:
+    """The codecs auto-selection considers: every registered lossless
+    codec (lossy ones change numerics and must be opted into)."""
+    return [n for n in list_codecs() if get_codec(n).lossless]
+
+
+class CodecPolicy:
+    """Base class: candidate scoring + per-class selection.
+
+    Subclasses implement :meth:`score` (higher wins).  ``select``
+    resolves each candidate's ratio through the full precedence chain
+    (measured profile, then analytic at the class sigma), applies the
+    feasibility gate, and returns the winning codec as a settled
+    :class:`~repro.compression.spec.CompressionSpec`.  Ties break on
+    the lower hot-path time, then the codec name — selection is fully
+    deterministic.
+    """
+
+    name = "policy"
+
+    def __init__(self, max_slowdown: float = MAX_HOT_PATH_SLOWDOWN):
+        if max_slowdown < 1.0:
+            raise ConfigError("max_slowdown must be >= 1")
+        self.max_slowdown = max_slowdown
+
+    # ------------------------------------------------------------------
+    def score(self, ratio: float, time_s: float, identity_time_s: float
+              ) -> float:
+        """Candidate goodness (higher wins); see subclasses."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def select(
+        self,
+        placement: str,
+        gpu: GpuSpec,
+        profile=None,
+        sigma: float | None = None,
+        cls: str | None = None,
+        candidates=None,
+    ) -> CompressionSpec:
+        """Pick the best codec for one placement (and tensor class).
+
+        ``profile`` is a measured
+        :class:`~repro.compression.calibrate.MeasuredRatioProfile`
+        (ratios fall back to analytic estimates at ``sigma`` without
+        one); ``cls`` narrows the measured lookup to one tensor class.
+        The identity codec is always feasible, so selection never fails.
+        """
+        if candidates is None:
+            candidates = default_candidates()
+        identity_time = hot_path_time("none", placement, 1.0, gpu)
+        best = None
+        for name in candidates:
+            spec = resolve_spec(
+                name, placement, sigma=sigma, cls=cls, profile=profile
+            )
+            time_s = hot_path_time(name, placement, spec.ratio, gpu)
+            codec_name = spec.codec
+            if (
+                codec_name != "none"
+                and time_s > self.max_slowdown * identity_time
+            ):
+                continue
+            key = (
+                self.score(spec.ratio, time_s, identity_time),
+                -time_s,
+                codec_name,
+            )
+            if best is None or key > best[0]:
+                best = (key, spec)
+        if best is None:
+            # Every non-identity candidate failed the gate and "none"
+            # was not offered: fall back to the identity codec.
+            return resolve_spec("none", placement, sigma=sigma,
+                                cls=cls, profile=profile)
+        return best[1]
+
+    def select_for_classes(
+        self,
+        classes,
+        gpu: GpuSpec,
+        profile=None,
+        candidates=None,
+    ) -> dict[str, CompressionSpec]:
+        """Per-tensor-class selection: one settled spec per
+        :class:`~repro.compression.calibrate.TensorClass`."""
+        return {
+            tcls.name: self.select(
+                tcls.placement, gpu, profile=profile, sigma=tcls.sigma,
+                cls=tcls.name, candidates=candidates,
+            )
+            for tcls in classes
+        }
+
+
+class BestRatioPolicy(CodecPolicy):
+    """Maximise the (measured) compression ratio among feasible codecs."""
+
+    name = "best_ratio"
+
+    def score(self, ratio, time_s, identity_time_s):
+        return ratio
+
+
+class BestThroughputPolicy(CodecPolicy):
+    """Minimise the hot-path time proxy (capacity is a tie-breaker only
+    through the ratio-blind score; ties break on time, then name)."""
+
+    name = "best_throughput"
+
+    def score(self, ratio, time_s, identity_time_s):
+        return -time_s
+
+
+class BalancedPolicy(CodecPolicy):
+    """Geometric trade-off: ``alpha * log(ratio) + (1-alpha) *
+    log(identity_time / time)``.  ``alpha=1`` reduces to ratio-seeking,
+    ``alpha=0`` to throughput-seeking."""
+
+    name = "balanced"
+
+    def __init__(self, alpha: float = 0.5,
+                 max_slowdown: float = MAX_HOT_PATH_SLOWDOWN):
+        super().__init__(max_slowdown=max_slowdown)
+        if not 0.0 <= alpha <= 1.0:
+            raise ConfigError(f"balanced alpha must be in [0, 1]: {alpha}")
+        self.alpha = alpha
+        self.name = f"balanced({alpha:g})"
+
+    def score(self, ratio, time_s, identity_time_s):
+        return (
+            self.alpha * math.log(ratio)
+            + (1.0 - self.alpha) * math.log(identity_time_s / time_s)
+        )
+
+
+#: Policy registry: name -> zero-arg factory.  ``balanced(alpha)`` is
+#: parsed by :func:`get_codec_policy` on top of these.
+CODEC_POLICIES: dict[str, type] = {
+    "best_ratio": BestRatioPolicy,
+    "best_throughput": BestThroughputPolicy,
+    "balanced": BalancedPolicy,
+}
+
+_BALANCED_RE = re.compile(r"^balanced\(\s*([0-9.eE+-]+)\s*\)$")
+
+
+def list_codec_policies() -> list[str]:
+    """Registered policy names, sorted."""
+    return sorted(CODEC_POLICIES)
+
+
+def get_codec_policy(policy: str | CodecPolicy) -> CodecPolicy:
+    """Resolve a policy by name (``"best_ratio"``, ``"best_throughput"``,
+    ``"balanced"``, ``"balanced(0.3)"``) or pass an instance through."""
+    if isinstance(policy, CodecPolicy):
+        return policy
+    key = str(policy).strip().lower()
+    match = _BALANCED_RE.match(key)
+    if match:
+        return BalancedPolicy(alpha=float(match.group(1)))
+    if key not in CODEC_POLICIES:
+        raise UnknownSpecError(
+            "codec policy", str(policy),
+            list(CODEC_POLICIES) + ["balanced(<alpha>)"],
+        )
+    return CODEC_POLICIES[key]()

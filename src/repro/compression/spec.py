@@ -23,6 +23,19 @@ A registered :class:`Codec` bundles the four things a consumer may need:
 codec pinned to a placement with its ratio settled once at config time —
 no per-step registry lookups, no import-at-call in hot paths.
 
+Ratio resolution is a three-level precedence (highest first):
+
+1. an **explicit** ``ratio=`` argument — legacy knobs keep their exact
+   semantics;
+2. a **measured** ratio from a calibration profile
+   (:mod:`repro.compression.calibrate` — the real codec run over sampled
+   tensors), either passed as ``profile=`` or installed process-wide via
+   :func:`set_measured_profile`;
+3. the codec's **analytic** estimator at the placement's sigma.
+
+With no profile installed and no explicit ratio, resolution is exactly
+the historical analytic path — bit-compatible by construction.
+
 Registry invariants (tested in ``tests/test_compression_registry.py``):
 
 * every lossless codec round-trips bit-exactly on edge shapes (empty,
@@ -255,6 +268,49 @@ def list_codecs() -> list[str]:
 
 
 # ----------------------------------------------------------------------
+# Measured-profile hook (see repro.compression.calibrate)
+# ----------------------------------------------------------------------
+#: Process-wide calibration profile consulted by :func:`resolve_spec`
+#: when no explicit ``ratio``/``profile`` is given.  Duck-typed: anything
+#: with ``ratio_for(codec, placement, cls) -> float | None``.
+_ACTIVE_PROFILE = None
+
+
+def set_measured_profile(profile) -> None:
+    """Install (or, with ``None``, clear) the process-wide measured
+    profile that :func:`resolve_spec` consults between the explicit
+    ``ratio=`` override and the analytic estimator."""
+    global _ACTIVE_PROFILE
+    _ACTIVE_PROFILE = profile
+
+
+def get_measured_profile():
+    """The currently installed process-wide measured profile (or None)."""
+    return _ACTIVE_PROFILE
+
+
+class measured_profile:
+    """Context manager scoping a measured profile to a ``with`` block::
+
+        with measured_profile(profile):
+            spec = resolve_spec("kvcomp", "kv")   # measured ratio
+    """
+
+    def __init__(self, profile):
+        self.profile = profile
+        self._saved = None
+
+    def __enter__(self):
+        self._saved = get_measured_profile()
+        set_measured_profile(self.profile)
+        return self.profile
+
+    def __exit__(self, *exc):
+        set_measured_profile(self._saved)
+        return False
+
+
+# ----------------------------------------------------------------------
 # Resolved specs
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -264,12 +320,16 @@ class CompressionSpec:
     This is what consumers hold after config-time resolution: the serving
     cores, the KV allocator and the transfer link all read ``ratio`` (and
     the codec's kernel hooks) without ever touching the registry again.
+    ``source`` records which precedence level settled the ratio
+    (``"explicit"`` / ``"measured"`` / ``"analytic"``) — provenance only,
+    excluded from equality.
     """
 
     codec: str
     placement: str
     ratio: float
     sigma: float
+    source: str = field(default="analytic", compare=False)
 
     def __post_init__(self) -> None:
         if self.placement not in PLACEMENTS:
@@ -297,12 +357,19 @@ def resolve_spec(
     placement: str,
     sigma: float | None = None,
     ratio: float | None = None,
+    cls: str | None = None,
+    profile=None,
 ) -> CompressionSpec:
     """Resolve a codec (by any name form) into a placement-pinned spec.
 
-    An explicit ``ratio`` wins over the codec's analytic estimator —
-    that is how legacy knobs (``kv_compression_ratio=1.4``,
-    ``DisaggConfig.transfer_ratio``) keep their exact semantics.
+    Ratio precedence: an explicit ``ratio`` wins over everything — that
+    is how legacy knobs (``kv_compression_ratio=1.4``,
+    ``DisaggConfig.transfer_ratio``) keep their exact semantics — then a
+    **measured** ratio from ``profile`` (or the process-wide profile
+    installed with :func:`set_measured_profile`), then the codec's
+    analytic estimator.  ``cls`` narrows the measured lookup to one
+    tensor class (e.g. ``"weight:qkv_proj"``); without it the profile's
+    placement-level aggregate is used.
     """
     if isinstance(codec, CompressionSpec):
         if codec.placement != placement:
@@ -314,9 +381,16 @@ def resolve_spec(
     resolved = get_codec(codec)
     if sigma is None:
         sigma = WEIGHT_SIGMA if placement == "weight" else ACTIVATION_SIGMA
+    source = "explicit"
+    if ratio is None:
+        prof = profile if profile is not None else _ACTIVE_PROFILE
+        if prof is not None:
+            ratio = prof.ratio_for(resolved.name, placement, cls)
+            source = "measured"
     if ratio is None:
         ratio = resolved.ratio(placement, sigma)
+        source = "analytic"
     return CompressionSpec(
         codec=resolved.name, placement=placement,
-        ratio=float(ratio), sigma=float(sigma),
+        ratio=float(ratio), sigma=float(sigma), source=source,
     )

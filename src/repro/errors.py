@@ -27,15 +27,29 @@ class ConfigError(ReproError):
     """An invalid configuration value was supplied."""
 
 
-class UnknownSpecError(ConfigError):
-    """A GPU, model, or backend name was not found in its registry."""
+class UnknownSpecError(ConfigError, ValueError):
+    """A GPU, model, backend, codec, ... name missing from its registry.
+
+    Also a :class:`ValueError` so registry lookups fail the way plain
+    Python mapping/validation code expects to catch them.  The message
+    always lists every registered name and, when the miss looks like a
+    typo, the nearest match.
+    """
 
     def __init__(self, kind: str, name: str, known: list[str]):
+        import difflib
+
         self.kind = kind
         self.name = name
         self.known = sorted(known)
+        close = difflib.get_close_matches(
+            str(name).lower(), self.known, n=1, cutoff=0.6
+        )
+        self.suggestion = close[0] if close else None
+        hint = f" (did you mean {self.suggestion!r}?)" if close else ""
         super().__init__(
-            f"unknown {kind} {name!r}; known {kind}s: {', '.join(self.known)}"
+            f"unknown {kind} {name!r}{hint};"
+            f" known {kind} names: {', '.join(self.known)}"
         )
 
 

@@ -10,6 +10,7 @@ or the CLI: ``python -m repro.experiments fig11``.
 """
 
 from . import (  # noqa: F401  (imported for registration side effects)
+    ext_autotune,
     ext_codec_matrix,
     ext_continuous,
     ext_disagg,

@@ -1,0 +1,172 @@
+"""Extension experiment: measured calibration + codec-policy autotune.
+
+The calibration subsystem (:mod:`repro.compression.calibrate`) replaces
+the registry's analytic ratio estimators with *measured* ratios — the
+real bit-exact codecs run over sampled tensors per tensor class — and
+the policy layer (:mod:`repro.compression.policy`) turns those
+measurements into per-class codec choices through
+``ServingConfig(weight_codec="auto", kv_codec="auto",
+transfer_codec="auto", codec_policy=...)``.
+
+This experiment asks the two questions that justify the subsystem:
+
+1. **How far off are the analytic estimators?**  Per codec x placement,
+   the measured/analytic gap (ZipNN's observation: real compressibility
+   is not what a Gaussian model says — here the gap is small because
+   the synthetic weights *are* Gaussian, but container overheads and
+   integer codeword losses still move ratios by up to ~5%).
+2. **Does hardware-aware auto-selection beat a fixed stack end to
+   end?**  Policies x placements are swept on the starved-link
+   disaggregated trace against the single-codec ``kvcomp``-everywhere
+   configuration.  Expected shape: ``best_ratio`` keeps the fused TBE
+   weight path (decoupled baselines fail the hot-path feasibility gate)
+   but switches KV residency and the wire to the higher-measured-ratio
+   entropy codec, cutting wire bytes and KV pressure — strictly better
+   makespan *and* SLO goodput; ``best_throughput`` surrenders ratio for
+   the fastest hot paths; ``balanced`` interpolates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..compression import calibrate, tensor_classes_for_model
+from ..gpu.specs import get_gpu
+from ..serving.backends import get_backend
+from ..serving.engine import InferenceEngine
+from ..serving.models import get_model
+from ..serving.serve import DisaggConfig, ServingConfig
+from ..serving.trace import DEFAULT_TENANTS, multi_tenant_trace
+from .common import ExperimentResult, experiment
+
+#: Same deliberately starved interconnect as ``ext_disagg`` /
+#: ``ext_codec_matrix`` — the wire codec has to matter.
+LINK_GB_PER_S = 0.125
+SEED = 7
+CALIBRATION_SEED = 0
+
+#: (label, codec_policy, use measured calibration) for the auto rows.
+POLICY_ROWS: list[tuple[str, str, bool]] = [
+    ("auto best_ratio", "best_ratio", True),
+    ("auto best_ratio (analytic)", "best_ratio", False),
+    ("auto best_throughput", "best_throughput", True),
+    ("auto balanced(0.5)", "balanced(0.5)", True),
+    ("auto balanced(0.9)", "balanced(0.9)", True),
+]
+
+
+def _trace(quick: bool):
+    if not quick:
+        return multi_tenant_trace(seed=SEED)
+    tenants = {
+        name: replace(spec, n_requests=max(2, spec.n_requests // 4))
+        for name, spec in DEFAULT_TENANTS.items()
+    }
+    return multi_tenant_trace(tenants, seed=SEED)
+
+
+def _config(**codec_slots) -> ServingConfig:
+    return ServingConfig(
+        policy="fcfs",
+        prefill_mode="chunked",
+        mode="disaggregated",
+        disagg=DisaggConfig(link_gb_per_s=LINK_GB_PER_S),
+        **codec_slots,
+    )
+
+
+@experiment("ext_autotune")
+def run(quick: bool = False) -> ExperimentResult:
+    """Sweep codec policies x placements vs the fixed kvcomp stack."""
+    model = get_model("llama3.1-8b")
+    engine = InferenceEngine(model, get_gpu("rtx4090"),
+                             get_backend("zipserv"))
+    profile = calibrate(
+        classes=tensor_classes_for_model(model), seed=CALIBRATION_SEED
+    )
+
+    # Per-placement measured-vs-analytic gap (the calibration headline).
+    gap_by_placement = {p: 0.0 for p in ("weight", "kv", "wire")}
+    for rec in profile.records:
+        gap_by_placement[rec.placement] = max(
+            gap_by_placement[rec.placement], abs(rec.analytic_gap)
+        )
+
+    n = len(_trace(quick))
+    rows = []
+    results = {}
+
+    def serve(label: str, config: ServingConfig):
+        selection = engine.resolve_codecs(config)
+        result = engine.serve(_trace(quick), config=config)
+        results[label] = result
+        weight_names = sorted(
+            {s.codec for s in selection["weight"].values()}
+        )
+        rows.append((
+            label,
+            "+".join(weight_names),
+            selection["kv"].codec,
+            selection["transfer"].codec,
+            result.makespan_s,
+            result.throughput_tok_s,
+            result.metrics.goodput_rps,
+            result.metrics.ttft.p95_s,
+            result.transfer.compression_ratio,
+        ))
+        return result
+
+    serve("kvcomp everywhere", _config(
+        weight_codec="kvcomp", kv_codec="kvcomp", transfer_codec="kvcomp",
+    ))
+    for label, policy, measured in POLICY_ROWS:
+        serve(label, _config(
+            weight_codec="auto", kv_codec="auto", transfer_codec="auto",
+            codec_policy=policy,
+            calibration=profile if measured else None,
+        ))
+
+    fixed = results["kvcomp everywhere"]
+    best_ratio = results["auto best_ratio"]
+    analytic = results["auto best_ratio (analytic)"]
+    return ExperimentResult(
+        experiment="ext_autotune",
+        title=(
+            f"codec-policy autotune vs fixed kvcomp stack, {n}-request"
+            f" multi-tenant trace, {LINK_GB_PER_S} GB/s KV link"
+        ),
+        columns=["scenario", "weight", "kv", "wire", "makespan_s",
+                 "tput_tok_s", "goodput_rps", "ttft_p95_s", "wire_ratio"],
+        rows=rows,
+        summary={
+            # The acceptance claim: auto best_ratio strictly beats the
+            # single-codec stack end to end (both must be > 0).
+            "best_ratio_vs_kvcomp_makespan_cut": 1.0
+            - best_ratio.makespan_s / fixed.makespan_s,
+            "best_ratio_vs_kvcomp_goodput_gain":
+            best_ratio.metrics.goodput_rps / fixed.metrics.goodput_rps
+            - 1.0,
+            # Measured calibration matters beyond the analytic registry.
+            "measured_vs_analytic_makespan_delta": 1.0
+            - best_ratio.makespan_s / analytic.makespan_s,
+            "max_gap_weight": gap_by_placement["weight"],
+            "max_gap_kv": gap_by_placement["kv"],
+            "max_gap_wire": gap_by_placement["wire"],
+            "n_calibration_records": float(len(profile)),
+            "all_requests_served": float(all(
+                r.n_requests == n for r in results.values()
+            )),
+        },
+        paper={},
+        notes=(
+            "No paper counterpart: ZipServ fixes one codec per"
+            " placement; this subsystem calibrates measured ratios per"
+            " tensor class (ZipNN's observation) and lets a"
+            " hardware-aware policy pick each slot.  Expected shape:"
+            " best_ratio keeps fused TBE weights (decompress-per-use"
+            " baselines fail the hot-path gate) but moves KV/wire to"
+            " the higher-measured-ratio entropy codec and beats the"
+            " fixed kvcomp stack on makespan and goodput; the analytic"
+            " row shows what selection would do without measurement."
+        ),
+    )

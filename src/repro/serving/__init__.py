@@ -26,7 +26,11 @@ chunked pool prefill and transfer/prefill overlap via
 the stack: the
 ``weight_codec`` / ``kv_codec`` / ``transfer_codec`` slots of
 :class:`ServingConfig` each accept any codec registered in the unified
-registry (:mod:`repro.compression`), in any combination.
+registry (:mod:`repro.compression`), in any combination — or
+``"auto"``, resolved at config time by a hardware-aware codec policy
+(``codec_policy=``) over measured calibration ratios
+(``calibration=``; see :mod:`repro.compression.calibrate` and
+:mod:`repro.compression.policy`).
 
 Shared substrate: a model zoo with the real layer shapes of the paper's
 models, synthetic weight statistics, a paged KV-cache manager, tensor
@@ -92,6 +96,7 @@ from .scheduler import (
 )
 from .kernel import EventKernel, Stage
 from .serve import (
+    AUTO_CODEC,
     BackpressureConfig,
     ColocatedStage,
     DisaggConfig,
@@ -149,6 +154,7 @@ __all__ = [
     "MemoizedStepCostModel",
     "ContinuousResult",
     "SchedulerLimits",
+    "AUTO_CODEC",
     "ServingConfig",
     "ServingCore",
     "Stage",

@@ -38,11 +38,12 @@ Invariants this layer guarantees (tested in ``tests/test_costs.py`` and
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections.abc import Mapping
+from dataclasses import dataclass, replace
 from typing import Protocol, runtime_checkable
 
 from ..analysis.calibration import decode_cycles_per_element
-from ..compression import CompressionSpec, resolve_spec
+from ..compression import CompressionSpec, get_codec, resolve_spec
 from ..errors import ConfigError
 from ..gpu.specs import GpuSpec
 from ..kernels.attention import (
@@ -157,15 +158,26 @@ class EngineCostModel:
         tensor_parallel: int = 1,
         pipeline_parallel: int = 1,
         kv_compression_ratio: float | None = None,
-        weight_codec: str | CompressionSpec | None = None,
+        weight_codec: str | CompressionSpec | Mapping | None = None,
         kv_codec: str | CompressionSpec | None = None,
+        calibration=None,
     ):
         """``weight_codec`` / ``kv_codec`` are registry names (or resolved
         :class:`~repro.compression.CompressionSpec` objects); ``None``
         keeps the backend's historical mapping (linear mode -> weight
         codec, ``kv_compression_ratio`` -> Vector-TBE KV streaming).  An
         explicit ``kv_compression_ratio`` overrides the codec's analytic
-        estimate."""
+        estimate.
+
+        ``weight_codec`` may also be a **mapping from layer kind**
+        (``qkv_proj`` / ``o_proj`` / ``gateup_proj`` / ``down_proj`` /
+        ``lm_head``, with an optional ``"default"`` fallback) to a codec
+        name or resolved spec — per-tensor-class codec selection, the
+        form the ``"auto"`` serving slots produce.  ``calibration`` is a
+        measured :class:`~repro.compression.MeasuredRatioProfile`; with
+        one supplied, per-layer weight pricing and the KV spec use
+        measured ratios (measured wins over analytic, explicit ratios
+        still win over both)."""
         if kv_compression_ratio is not None and kv_compression_ratio < 1.0:
             raise ConfigError("kv_compression_ratio must be >= 1")
         self.model = model
@@ -173,6 +185,7 @@ class EngineCostModel:
         self.backend = backend
         self.tp = tensor_parallel
         self.pp = pipeline_parallel
+        self.calibration = calibration
         self.kv_heads = max(1, model.n_kv_heads // tensor_parallel)
         self._linear_cache: dict[tuple, tuple[float, int, float]] = {}
 
@@ -181,7 +194,25 @@ class EngineCostModel:
         # inside a step; that used to live in ``attention_time``).
         if weight_codec is None:
             weight_codec = _BACKEND_WEIGHT_CODECS[backend.linear_mode]
-        self.weight_spec = resolve_spec(weight_codec, "weight")
+        #: Per-layer-kind resolved weight specs; ``None`` keeps the
+        #: scalar analytic path bit-exactly.  Built for an explicit
+        #: mapping, or for a scalar codec when a calibration profile
+        #: should re-price each layer class with measured ratios.
+        self.layer_specs: dict[str, CompressionSpec] | None = None
+        if isinstance(weight_codec, Mapping):
+            self.layer_specs = self._resolve_layer_specs(weight_codec)
+        elif calibration is not None:
+            scalar = resolve_spec(
+                weight_codec, "weight", profile=calibration
+            )
+            if not scalar.resolve().identity:
+                self.layer_specs = self._resolve_layer_specs(
+                    {"default": weight_codec}
+                )
+        if self.layer_specs is not None:
+            self.weight_spec = self._dominant_layer_spec()
+        else:
+            self.weight_spec = resolve_spec(weight_codec, "weight")
         self._weight_codec = self.weight_spec.resolve()
         if kv_codec is None:
             ratio = float(kv_compression_ratio or 1.0)
@@ -189,7 +220,8 @@ class EngineCostModel:
             self.kv_spec_c = resolve_spec(kv_codec, "kv", ratio=ratio)
         else:
             self.kv_spec_c = resolve_spec(
-                kv_codec, "kv", ratio=kv_compression_ratio
+                kv_codec, "kv", ratio=kv_compression_ratio,
+                profile=calibration,
             )
         self.kv_ratio = self.kv_spec_c.ratio
         self._kv_attention_args: tuple[float, float, float] | None = None
@@ -202,6 +234,57 @@ class EngineCostModel:
             )
 
     # ------------------------------------------------------------------
+    # Per-layer weight-spec resolution (the "auto" / calibrated path)
+    # ------------------------------------------------------------------
+    def _resolve_layer_specs(
+        self, mapping: Mapping
+    ) -> dict[str, CompressionSpec]:
+        """Resolve one weight spec per layer kind at its sharded sigma.
+
+        Values may be codec names or already-resolved specs; measured
+        ratios come from ``self.calibration`` keyed by the layer's
+        tensor class (``"weight:<kind>"``), with the profile's weight
+        aggregate, then the analytic estimator, as fallbacks.
+        """
+        specs: dict[str, CompressionSpec] = {}
+        for layer in self.model.linear_layers():
+            value = mapping.get(layer.kind, mapping.get("default"))
+            if value is None:
+                raise ConfigError(
+                    f"weight codec mapping misses layer kind"
+                    f" {layer.kind!r} (add it or a 'default' entry);"
+                    f" got {sorted(mapping)}"
+                )
+            layout = shard_layer(layer, self.tp)
+            specs[layer.kind] = resolve_spec(
+                value, "weight",
+                sigma=layer_sigma(layer.kind, layout.m, layout.k),
+                cls=f"weight:{layer.kind}",
+                profile=self.calibration,
+            )
+        return specs
+
+    def _dominant_layer_spec(self) -> CompressionSpec:
+        """The spec covering the most parameters (introspection and the
+        memory planner's scheme label; pricing stays per-layer)."""
+        weight = {
+            layer.kind: layer.params for layer in self.model.linear_layers()
+        }
+        kind = max(
+            self.layer_specs, key=lambda k: (weight.get(k, 0), k)
+        )
+        return self.layer_specs[kind]
+
+    def layer_ratios(self) -> dict[str, float] | None:
+        """Per-layer-kind weight compression ratios (None on the scalar
+        path) — what the memory planner turns into KV capacity."""
+        if self.layer_specs is None:
+            return None
+        return {
+            kind: spec.ratio for kind, spec in self.layer_specs.items()
+        }
+
+    # ------------------------------------------------------------------
     # Components
     # ------------------------------------------------------------------
     def linear_time(self, n_tokens: int) -> tuple[float, int, float]:
@@ -212,16 +295,29 @@ class EngineCostModel:
         total = 0.0
         comm = 0.0
         ops = 0
-        codec = self._weight_codec
         for layer in self.model.linear_layers():
             layout = shard_layer(layer, self.tp)
             sigma = layer_sigma(layer.kind, layout.m, layout.k)
-            comp = (
-                None if codec.identity
-                else estimate_layer_compression(
-                    layout.m, layout.k, sigma, codec.name
+            if self.layer_specs is not None:
+                spec = self.layer_specs[layer.kind]
+                codec = get_codec(spec.codec)
+                # The registry's own coverage math at this layer's
+                # sigma, with the spec's (possibly measured) ratio
+                # swapped in over the analytic one.
+                comp = (
+                    None if codec.identity
+                    else replace(
+                        codec.weight_compression(sigma), ratio=spec.ratio
+                    )
                 )
-            )
+            else:
+                codec = self._weight_codec
+                comp = (
+                    None if codec.identity
+                    else estimate_layer_compression(
+                        layout.m, layout.k, sigma, codec.name
+                    )
+                )
             profile = linear_profile(
                 self.gpu, layout.m, layout.k, n_tokens, codec, comp
             )

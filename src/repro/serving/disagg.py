@@ -102,13 +102,23 @@ def resolve_transfer_ratio(config: ServingConfig) -> float:
     An explicit ``transfer_ratio`` wins; otherwise the codec named by
     ``config.resolved_transfer_codec`` (the ``ServingConfig`` slot, with
     ``DisaggConfig.transfer_codec`` as fallback) resolves through the
-    compression registry's wire estimator — 1.0 for ``"none"``, the
-    analytic activation ratio for ``"kvcomp"``/``vector_tbe``, the
-    entropy-coded split-plane ratio for the baseline codecs.
+    compression registry's wire estimator — **measured** when the
+    config carries a calibration profile (``config.calibration``) or
+    one is installed process-wide, analytic otherwise: 1.0 for
+    ``"none"``, the activation ratio for ``"kvcomp"``/``vector_tbe``,
+    the entropy-coded split-plane ratio for the baseline codecs.  This
+    is the value :class:`TransferLinkStage` prices every wire byte off.
     """
     if config.disagg.transfer_ratio is not None:
         return float(config.disagg.transfer_ratio)
-    return resolve_spec(config.resolved_transfer_codec, "wire").ratio
+    name = config.resolved_transfer_codec
+    if name == "auto":
+        raise ConfigError(
+            "transfer_codec='auto' must be resolved through"
+            " InferenceEngine.serve (codec policy selection needs the"
+            " model/GPU pair); pass the selected codec name here"
+        )
+    return resolve_spec(name, "wire", profile=config.calibration).ratio
 
 
 # ----------------------------------------------------------------------

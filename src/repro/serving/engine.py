@@ -24,8 +24,15 @@ the full scheduler-policy / chunked-prefill / SLO surface.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
+from ..compression import (
+    ACTIVATION_SIGMA,
+    CompressionSpec,
+    TensorClass,
+    get_codec_policy,
+    resolve_spec,
+)
 from ..errors import CapacityError, ConfigError
 from ..gpu.specs import GpuSpec
 from ..utils import ceil_div
@@ -318,9 +325,18 @@ class InferenceEngine:
         transfer codec — any combination of registered codecs is valid.
         Slots left ``None`` keep this engine's own cost model, KV spec
         and memory plan, so default configs are bit-compatible.
+
+        Any slot set to ``"auto"`` is resolved right here, at config
+        time, by ``config.codec_policy`` against this engine's
+        (model, gpu) pair — per tensor class for the weight slot — and
+        ``config.calibration`` makes every ratio in the run resolve
+        measured rather than analytic (:mod:`repro.compression`'s
+        calibration subsystem).  :meth:`resolve_codecs` exposes the
+        same selection for inspection without running a trace.
         """
         config = (config or ServingConfig()).with_limits(limits)
-        costs, kv_spec, kv_bytes = self._codec_stack(config)
+        config, layer_specs = self._resolve_auto(config)
+        costs, kv_spec, kv_bytes = self._codec_stack(config, layer_specs)
         if config.mode == "disaggregated":
             from .disagg import DisaggregatedCore
 
@@ -331,23 +347,146 @@ class InferenceEngine:
         core = ServingCore(costs, kv_spec, kv_bytes, config)
         return core.serve(requests)
 
-    def _codec_stack(
+    # ------------------------------------------------------------------
+    # Codec auto-selection (the calibration + policy subsystem)
+    # ------------------------------------------------------------------
+    def _selection_classes(self) -> dict[str, TensorClass]:
+        """Tensor classes at this engine's *sharded* geometry.
+
+        The sibling of :func:`~repro.compression.tensor_classes_for_model`
+        (which samples for calibration at the full layer shapes): weight
+        sigmas here come from the TP-sharded layer dims, exactly the
+        sigmas ``EngineCostModel`` prices at, so auto selection's
+        analytic fallback and the cost layer agree.  Measured lookups
+        key on the class *name* and are sigma-independent.
+        """
+        from .parallel import shard_layer
+        from .weights import layer_sigma
+
+        classes: dict[str, TensorClass] = {}
+        for layer in self.model.linear_layers():
+            layout = shard_layer(layer, self.tp)
+            name = f"weight:{layer.kind}"
+            classes[name] = TensorClass(
+                name, "weight", layer_sigma(layer.kind, layout.m, layout.k)
+            )
+        classes["kv:block"] = TensorClass(
+            "kv:block", "kv", ACTIVATION_SIGMA
+        )
+        classes["wire:kv"] = TensorClass(
+            "wire:kv", "wire", ACTIVATION_SIGMA
+        )
+        return classes
+
+    def resolve_codecs(self, config: ServingConfig) -> dict:
+        """What the codec slots of ``config`` resolve to on this engine.
+
+        Returns ``{"policy": <name>, "weight": {layer kind: spec},
+        "kv": spec, "transfer": spec}`` with settled
+        :class:`~repro.compression.CompressionSpec` values — ``"auto"``
+        slots through the policy, named slots through the same
+        per-class, calibration-aware resolution ``serve`` prices with.
+        Pure inspection: running :meth:`serve` with the same config
+        uses exactly this selection (the one exception is an all-default
+        config with no calibration, where ``serve`` keeps the engine's
+        construction-time stack and this method reports the equivalent
+        analytic per-class resolution of it).
+        """
+        policy = get_codec_policy(config.codec_policy)
+        profile = config.calibration
+        classes = self._selection_classes()
+
+        def slot_spec(slot, placement, cls):
+            tcls = classes[cls]
+            if slot == "auto":
+                return policy.select(
+                    placement, self.gpu, profile=profile,
+                    sigma=tcls.sigma, cls=cls,
+                )
+            name = slot
+            if name is None:
+                name = (
+                    config.resolved_transfer_codec
+                    if placement == "wire" else
+                    self.costs.kv_spec_c if placement == "kv"
+                    else self.costs.weight_spec.codec
+                )
+            return resolve_spec(
+                name, placement, sigma=tcls.sigma, cls=cls,
+                profile=profile,
+            )
+
+        weight: dict[str, CompressionSpec] = {}
+        for name, tcls in classes.items():
+            if tcls.placement != "weight":
+                continue
+            kind = name.split(":", 1)[1]
+            weight[kind] = slot_spec(config.weight_codec, "weight", name)
+        return {
+            "policy": policy.name,
+            "weight": weight,
+            "kv": slot_spec(config.kv_codec, "kv", "kv:block"),
+            "transfer": slot_spec(
+                config.transfer_codec, "wire", "wire:kv"
+            ),
+        }
+
+    def _resolve_auto(
         self, config: ServingConfig
+    ) -> tuple[ServingConfig, dict[str, CompressionSpec] | None]:
+        """Settle ``"auto"`` slots into concrete codecs at config time.
+
+        Returns the (possibly rewritten) config plus the per-layer
+        weight spec mapping for an auto weight slot (``None``
+        otherwise).  Configs without auto slots pass through untouched —
+        the bit-compatibility fast path.
+        """
+        if not config.auto_slots:
+            return config, None
+        selection = self.resolve_codecs(config)
+        layer_specs = None
+        updates: dict[str, str] = {}
+        if config.weight_codec == "auto":
+            layer_specs = selection["weight"]
+            # The dominant name keeps the rewritten config readable; the
+            # cost model prices through the per-layer mapping.
+            updates["weight_codec"] = max(
+                layer_specs.values(), key=lambda s: s.ratio
+            ).codec
+        if config.kv_codec == "auto":
+            updates["kv_codec"] = selection["kv"].codec
+        if config.transfer_codec == "auto":
+            updates["transfer_codec"] = selection["transfer"].codec
+        return replace(config, **updates), layer_specs
+
+    def _codec_stack(
+        self,
+        config: ServingConfig,
+        layer_specs: dict[str, CompressionSpec] | None = None,
     ) -> tuple[EngineCostModel, KVCacheSpec, float]:
         """Resolve the config's codec slots into (costs, kv spec, bytes).
 
         Registry resolution happens here, once per ``serve`` call — the
         cores and schedulers downstream only ever see settled specs.
-        With no codec slots set this returns the engine's own stack
-        unchanged (the bit-compatibility guarantee).
+        With no codec slots, no calibration profile and no per-layer
+        specs this returns the engine's own stack unchanged (the
+        bit-compatibility guarantee).
         """
-        if config.weight_codec is None and config.kv_codec is None:
+        if (
+            config.weight_codec is None
+            and config.kv_codec is None
+            and config.calibration is None
+            and layer_specs is None
+        ):
             return self.costs, self.kv_spec, self.plan.kv_bytes
         costs = EngineCostModel(
             self.model, self.gpu, self.backend,
             tensor_parallel=self.tp,
             pipeline_parallel=self.pp,
-            weight_codec=config.weight_codec,
+            weight_codec=(
+                layer_specs if layer_specs is not None
+                else config.weight_codec
+            ),
             # A None slot keeps the engine's construction-time KV spec
             # (including any kv_compression_ratio it was built with) —
             # setting a weight codec must not silently change the KV
@@ -356,9 +495,10 @@ class InferenceEngine:
                 config.kv_codec if config.kv_codec is not None
                 else self.costs.kv_spec_c
             ),
+            calibration=config.calibration,
         )
         plan = self.plan
-        if config.weight_codec is not None:
+        if config.weight_codec is not None or costs.layer_specs is not None:
             # A different weight codec changes the weight footprint, and
             # the memory freed (or reclaimed) moves the KV budget.
             scheme = (
@@ -368,6 +508,7 @@ class InferenceEngine:
             plan = plan_memory(
                 self.model, self.gpu, scheme, self.tp,
                 self.gpu_mem_util, pipeline_parallel=self.pp,
+                layer_ratios=costs.layer_ratios(),
             )
         kv_spec: KVCacheSpec | CompressedKVCacheSpec = self.kv_spec
         if config.kv_codec is not None and costs.kv_ratio > 1.0:

@@ -96,13 +96,17 @@ class CompressedKVCacheSpec:
         inner: KVCacheSpec,
         codec: str,
         ratio: float | None = None,
+        profile=None,
     ) -> "CompressedKVCacheSpec":
         """Compressed geometry for any registered codec.
 
-        ``ratio=None`` resolves the codec's analytic activation ratio
-        through the compression registry; an explicit ratio overrides it.
+        ``ratio=None`` resolves the codec's activation ratio through the
+        compression registry — **measured** when a calibration
+        ``profile`` (:class:`~repro.compression.MeasuredRatioProfile`)
+        is given or installed process-wide, analytic otherwise; an
+        explicit ratio overrides both.
         """
-        spec = resolve_spec(codec, "kv", ratio=ratio)
+        spec = resolve_spec(codec, "kv", ratio=ratio, profile=profile)
         return cls(inner=inner, ratio=spec.ratio, codec=spec.codec)
 
     @property

@@ -65,14 +65,24 @@ def plan_memory(
     gpu_mem_util: float = DEFAULT_GPU_MEM_UTIL,
     reserve_bytes: float = DEFAULT_RESERVE_BYTES,
     pipeline_parallel: int = 1,
+    layer_ratios: dict[str, float] | None = None,
 ) -> MemoryPlan:
-    """Compute the per-GPU memory plan; raises if weights do not fit."""
+    """Compute the per-GPU memory plan; raises if weights do not fit.
+
+    ``layer_ratios`` (layer kind -> weight compression ratio) overrides
+    the analytic per-layer estimate — the path measured calibration and
+    per-class auto-selected codecs plan through; ``scheme`` is then only
+    the plan's label.
+    """
     if tensor_parallel < 1 or pipeline_parallel < 1:
         raise CapacityError("parallel degrees must be >= 1")
     if not 0.0 < gpu_mem_util <= 1.0:
         raise CapacityError("gpu_mem_util must be in (0, 1]")
 
-    if scheme == "dense":
+    if layer_ratios is not None:
+        report = model_compression_report(model, scheme, ratios=layer_ratios)
+        total_weights = report["compressed_gib"] * GIB
+    elif scheme == "dense":
         total_weights = float(model.weight_bytes_bf16)
     else:
         report = model_compression_report(model, scheme)

@@ -55,7 +55,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-from ..compression import get_codec
+from ..compression import get_codec, get_codec_policy
 from ..errors import CapacityError, ConfigError
 from ..utils import ceil_div
 from .costs import StepCostModel, maybe_memoize
@@ -74,6 +74,11 @@ from .scheduler import (
 PREFILL_MODES = ("group", "chunked")
 SERVING_MODES = ("colocated", "disaggregated")
 LINK_TOPOLOGIES = ("shared", "per_replica")
+
+#: Sentinel for the codec slots: resolve the slot through the codec
+#: policy at config time (``InferenceEngine.serve`` does the resolution,
+#: since selection needs the model/GPU pair).
+AUTO_CODEC = "auto"
 
 
 def _raise_stranded(scheduler) -> None:
@@ -228,6 +233,16 @@ class ServingConfig:
     deployment.  ``None`` keeps the historical behaviour for that slot
     (backend-chosen weight scheme, engine-level ``kv_compression_ratio``,
     ``disagg.transfer_codec``), so existing configs stay bit-compatible.
+
+    Each slot also accepts ``"auto"``: the slot is then resolved at
+    config time by ``codec_policy`` (``"best_ratio"`` /
+    ``"best_throughput"`` / ``"balanced"`` / ``"balanced(alpha)"`` — see
+    :mod:`repro.compression.policy`), per tensor class for the weight
+    slot, against the engine's (model, gpu) pair.  ``calibration``
+    carries a measured :class:`~repro.compression.MeasuredRatioProfile`
+    (:func:`repro.compression.calibrate`): with one set, every codec
+    ratio in the run — auto-selected or named — resolves measured
+    rather than analytic (explicit ratios still win over both).
     """
 
     policy: str | SchedulerPolicy = "fcfs"
@@ -244,13 +259,24 @@ class ServingConfig:
     #: (:class:`repro.serving.disagg.DisaggregatedCore`).
     mode: str = "colocated"
     disagg: DisaggConfig = field(default_factory=DisaggConfig)
-    #: Weight storage/execution codec (``None`` = the backend's scheme).
+    #: Weight storage/execution codec (``None`` = the backend's scheme;
+    #: ``"auto"`` = per-layer-class policy selection).
     weight_codec: str | None = None
     #: KV-cache residency codec (``None`` = the engine's construction-time
-    #: ``kv_compression_ratio``; ``"none"`` forces raw KV).
+    #: ``kv_compression_ratio``; ``"none"`` forces raw KV; ``"auto"`` =
+    #: policy selection).
     kv_codec: str | None = None
-    #: Disaggregation wire codec (``None`` = ``disagg.transfer_codec``).
+    #: Disaggregation wire codec (``None`` = ``disagg.transfer_codec``;
+    #: ``"auto"`` = policy selection).
     transfer_codec: str | None = None
+    #: Codec-selection policy used by ``"auto"`` slots — a name parsed
+    #: by :func:`repro.compression.get_codec_policy` or a
+    #: :class:`~repro.compression.CodecPolicy` instance.
+    codec_policy: object = "balanced"
+    #: Measured calibration profile
+    #: (:class:`~repro.compression.MeasuredRatioProfile`); ``None``
+    #: keeps analytic ratio resolution (bit-compatible).
+    calibration: object = None
 
     def __post_init__(self) -> None:
         if self.prefill_mode not in PREFILL_MODES:
@@ -265,8 +291,23 @@ class ServingConfig:
                 f"mode must be one of {SERVING_MODES}, got {self.mode!r}"
             )
         for slot in (self.weight_codec, self.kv_codec, self.transfer_codec):
-            if slot is not None:
+            if slot is not None and slot != AUTO_CODEC:
                 get_codec(slot)  # raises UnknownSpecError if absent
+        # A bad policy name should fail at config construction, not at
+        # the first serve() with an "auto" slot.
+        get_codec_policy(self.codec_policy)
+
+    @property
+    def auto_slots(self) -> tuple[str, ...]:
+        """Which codec slots are set to ``"auto"``."""
+        return tuple(
+            name for name, slot in (
+                ("weight", self.weight_codec),
+                ("kv", self.kv_codec),
+                ("transfer", self.transfer_codec),
+            )
+            if slot == AUTO_CODEC
+        )
 
     @property
     def resolved_transfer_codec(self) -> str:

@@ -9,13 +9,12 @@ model) and validated against sampled matrices in the tests.
 
 from __future__ import annotations
 
-import math
 from functools import lru_cache
 
 import numpy as np
 
 from ..bf16 import gaussian_bf16_matrix
-from ..compression import get_codec
+from ..compression import get_codec, glorot_sigma
 from ..errors import ConfigError
 from ..kernels.base import WeightCompression
 from ..utils import GIB
@@ -28,11 +27,11 @@ def layer_sigma(kind: str, m: int, k: int) -> float:
     ``sigma = sqrt(2 / (fan_in + fan_out))`` matches the magnitude ranges
     observed in trained LLMs (~0.01-0.03); the compression statistics are
     insensitive to the exact value because the exponent pmf's *shape* is
-    scale-invariant (Appendix A).
+    scale-invariant (Appendix A).  Single-sourced with the calibration
+    subsystem (:func:`repro.compression.glorot_sigma`), so measured
+    weight classes sample at exactly the sigma the cost layer prices.
     """
-    if m <= 0 or k <= 0:
-        raise ConfigError(f"layer dims must be positive, got {m}x{k}")
-    return math.sqrt(2.0 / (m + k))
+    return glorot_sigma(m, k)
 
 
 @lru_cache(maxsize=4096)
@@ -66,12 +65,18 @@ def materialize_layer(
 
 
 def model_compression_report(
-    model: ModelSpec, scheme: str = "tcatbe"
+    model: ModelSpec, scheme: str = "tcatbe",
+    ratios: dict[str, float] | None = None,
 ) -> dict:
     """Whole-model weight footprint, original vs compressed (§6.5).
 
     The input embedding stays dense (it is a gather table, not a GEMM);
-    every linear layer, LM head included, is compressed.
+    every linear layer, LM head included, is compressed.  With
+    ``ratios`` given — a mapping from layer *kind* to a (typically
+    measured, possibly per-codec-heterogeneous) compression ratio —
+    those override the analytic per-layer estimate and ``scheme`` is
+    only a label; this is how calibrated/auto-selected weight stacks
+    plan memory.
     """
     dense_bytes = float(model.weight_bytes_bf16)
     embed_bytes = 2.0 * model.embedding_params
@@ -86,14 +91,25 @@ def model_compression_report(
         layers = model.linear_layers()
     per_layer = {}
     for layer in layers:
-        comp = estimate_layer_compression(
-            layer.m, layer.k, layer_sigma(layer.kind, layer.m, layer.k),
-            scheme,
-        )
-        layer_bytes = layer.bytes_bf16 / comp.ratio
+        if ratios is not None:
+            if layer.kind not in ratios:
+                # A silent 1.0 here would overstate the weight footprint
+                # and quietly shrink the KV budget; mirror the cost
+                # model's loud guard for the same omission.
+                raise ConfigError(
+                    f"layer_ratios misses layer kind {layer.kind!r};"
+                    f" got {sorted(ratios)}"
+                )
+            ratio = float(ratios[layer.kind])
+        else:
+            ratio = estimate_layer_compression(
+                layer.m, layer.k,
+                layer_sigma(layer.kind, layer.m, layer.k), scheme,
+            ).ratio
+        layer_bytes = layer.bytes_bf16 / ratio
         compressed += layer_bytes
         per_layer[layer.name] = {
-            "ratio": comp.ratio,
+            "ratio": ratio,
             "dense_gib": layer.bytes_bf16 / GIB,
             "compressed_gib": layer_bytes / GIB,
         }

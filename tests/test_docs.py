@@ -77,6 +77,16 @@ class TestEntryPoints:
         assert "repro.serving.scheduler.SchedulerPolicy" in entry_points
         assert "repro.serving.disagg.DisaggregatedCore" in entry_points
 
+    def test_recipe_covers_calibration_and_codec_policy(self, entry_points):
+        """The calibration & codec-policy subsystem recipe stays pinned."""
+        assert "repro.compression.policy.CodecPolicy" in entry_points
+        assert "repro.compression.calibrate" in entry_points
+        assert "repro.compression.MeasuredRatioProfile" in entry_points
+        assert (
+            "repro.serving.engine.InferenceEngine.resolve_codecs"
+            in entry_points
+        )
+
 
 class TestReadmeCommands:
     """The README quickstart's moving parts exist."""

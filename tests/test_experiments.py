@@ -20,7 +20,7 @@ class TestRegistry:
             "fig15", "fig16", "fig17", "fig18", "tab_codeword",
             "tab_memory", "tab_offline_cost", "tab_theory",
             "ext_kvcomp", "ext_quant", "ext_continuous", "ext_disagg",
-            "ext_codec_matrix", "tab_pipeline",
+            "ext_codec_matrix", "ext_autotune", "tab_pipeline",
         }
         assert set(ALL) == expected
 

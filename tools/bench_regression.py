@@ -3,9 +3,9 @@
 
 Replays the deterministic serving scenarios from
 ``benchmarks/bench_serving.py`` (which doubles as a library), writes the
-measured headline numbers to ``BENCH_serving.json`` and fails if the
-*simulated* makespan or throughput of any scenario regresses more than
-10% against the checked-in baseline
+measured headline numbers to ``benchmarks/BENCH_serving.json`` and fails
+if the *simulated* makespan or throughput of any scenario regresses more
+than 10% against the checked-in baseline
 (``benchmarks/BENCH_serving_baseline.json``).
 
 The gated metrics are simulator outputs, not wall-clock — they are
@@ -51,10 +51,13 @@ SCENARIOS = {
         "disaggregated", "kvcomp"
     ),
     "disagg_backpressure": lambda: bench_serving._serve_backpressure(True),
+    "auto_codec": lambda: bench_serving._serve_auto("best_ratio"),
 }
 
 DEFAULT_BASELINE = ROOT / "benchmarks" / "BENCH_serving_baseline.json"
-DEFAULT_OUTPUT = ROOT / "BENCH_serving.json"
+#: Per-run artifact lives next to the baseline, not in the repo root
+#: (both paths are gitignored; only the baseline is committed).
+DEFAULT_OUTPUT = ROOT / "benchmarks" / "BENCH_serving.json"
 
 
 def measure() -> dict:
