@@ -8,10 +8,26 @@ step math and lets the loop fast-forward whole windows of identical steps —
 the sim-side speedup that makes long-trace studies cheap.
 
 Run: ``PYTHONPATH=src python -m pytest benchmarks/bench_serving.py -q``
+
+The module doubles as a command-line harness over the named scenarios in
+:data:`SCENARIOS` (the same registry ``tools/bench_regression.py``
+gates)::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py large_trace_colocated
+    PYTHONPATH=src python benchmarks/bench_serving.py colocated_memoized --profile
+
+``--profile`` wraps the scenario in ``cProfile`` and prints the top
+cumulative-time functions — how the simulator's hot loop is observed
+before and after an optimisation.  Each run also reports sim-throughput
+(kernel events per wall second, simulated seconds per wall second) and,
+when the scenario's cost model memoizes, its per-kind cache statistics.
 """
 
 from __future__ import annotations
 
+import argparse
+import cProfile
+import pstats
 import time
 
 from repro.gpu.specs import get_gpu
@@ -46,14 +62,26 @@ _PLAN = plan_memory(_MODEL, _GPU, _BACKEND.weight_scheme, 1, 0.9)
 _KV_SPEC = KVCacheSpec.for_model(_MODEL)
 
 
+#: The serving core of the most recent scenario run — how the CLI
+#: harness reaches the cost model for cache statistics after the
+#: scenario function has returned only a result.
+_LAST_CORE = None
+
+
+def _record(core):
+    global _LAST_CORE
+    _LAST_CORE = core
+    return core
+
+
 def _serve_once(cost_bucket: int):
-    core = ServingCore(
+    core = _record(ServingCore(
         EngineCostModel(_MODEL, _GPU, _BACKEND),
         _KV_SPEC,
         _PLAN.kv_bytes,
         ServingConfig(prefill_mode="chunked", cost_bucket=cost_bucket,
                       limits=LIMITS),
-    )
+    ))
     return core.serve(poisson_trace(N_REQUESTS, RATE_RPS, seed=SEED))
 
 
@@ -127,7 +155,7 @@ def _serve_mode(mode: str, codec: str = "none"):
             EngineCostModel(_MODEL, _GPU, _BACKEND), _KV_SPEC,
             _PLAN.kv_bytes, config,
         )
-    return core.serve(multi_tenant_trace(seed=DISAGG_SEED))
+    return _record(core).serve(multi_tenant_trace(seed=DISAGG_SEED))
 
 
 def test_serve_disaggregated_compressed(benchmark):
@@ -185,7 +213,7 @@ def _serve_backpressure(enabled: bool):
         EngineCostModel(_MODEL, _GPU, _BACKEND), _KV_SPEC,
         _PLAN.kv_bytes * BP_KV_SCALE, config,
     )
-    return core.serve(multi_tenant_trace(seed=DISAGG_SEED))
+    return _record(core).serve(multi_tenant_trace(seed=DISAGG_SEED))
 
 
 def test_backpressure_bounds_decode_occupancy():
@@ -293,3 +321,119 @@ def test_colocated_mode_unchanged_by_disagg_surface():
     assert routed.makespan_s == plain.makespan_s
     assert routed.timings == plain.timings
     assert routed.mode == "colocated" and routed.transfer is None
+
+
+# ----------------------------------------------------------------------
+# Large traces: raw simulator speed (the sim-throughput scenarios)
+# ----------------------------------------------------------------------
+#: The colocated large trace doubles as the roadmap's 100k-request scale
+#: check: it must finish inside the regression gate's wall budget.
+LARGE_N_COLOCATED = 100_000
+LARGE_N_DISAGG = 20_000
+
+
+def _serve_large_colocated():
+    """100k-request colocated trace under bucketed costs."""
+    core = _record(ServingCore(
+        EngineCostModel(_MODEL, _GPU, _BACKEND), _KV_SPEC, _PLAN.kv_bytes,
+        ServingConfig(prefill_mode="chunked", cost_bucket=CTX_BUCKET,
+                      limits=LIMITS),
+    ))
+    return core.serve(poisson_trace(LARGE_N_COLOCATED, RATE_RPS, seed=SEED))
+
+
+def _serve_large_disagg():
+    """20k-request disaggregated trace under bucketed costs."""
+    config = ServingConfig(
+        prefill_mode="chunked", mode="disaggregated",
+        cost_bucket=CTX_BUCKET, limits=LIMITS, disagg=DisaggConfig(),
+    )
+    core = _record(DisaggregatedCore(
+        EngineCostModel(_MODEL, _GPU, _BACKEND), _KV_SPEC,
+        _PLAN.kv_bytes, config,
+    ))
+    return core.serve(poisson_trace(LARGE_N_DISAGG, RATE_RPS, seed=SEED))
+
+
+# ----------------------------------------------------------------------
+# The scenario registry (shared with tools/bench_regression.py)
+# ----------------------------------------------------------------------
+#: Deterministic serving scenarios: name -> zero-arg runner returning a
+#: ContinuousResult.  ``tools/bench_regression.py`` gates every entry.
+SCENARIOS = {
+    "colocated_exact": lambda: _serve_once(0),
+    "colocated_memoized": lambda: _serve_once(CTX_BUCKET),
+    "disagg_raw": lambda: _serve_mode("disaggregated", "none"),
+    "disagg_kvcomp": lambda: _serve_mode("disaggregated", "kvcomp"),
+    "disagg_backpressure": lambda: _serve_backpressure(True),
+    "auto_codec": lambda: _serve_auto("best_ratio"),
+    "large_trace_colocated": _serve_large_colocated,
+    "large_trace_disagg": _serve_large_disagg,
+}
+
+
+def _print_cache_info() -> None:
+    """Per-kind cache statistics of the last scenario's cost model."""
+    costs = getattr(_LAST_CORE, "costs", None)
+    info_fn = getattr(costs, "cache_info", None)
+    if info_fn is None:
+        return
+    print("  step-cost cache:")
+    for kind, stats in info_fn().items():
+        total = stats["hits"] + stats["misses"]
+        rate = stats["hits"] / total if total else 0.0
+        print(
+            f"    {kind:8s} hits={stats['hits']:>9,d}"
+            f" misses={stats['misses']:>6,d}"
+            f" size={stats['size']:>6,d} hit-rate={rate:6.1%}"
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="run one serving scenario and report sim-throughput"
+    )
+    parser.add_argument(
+        "scenario", nargs="?", default="colocated_memoized",
+        choices=sorted(SCENARIOS),
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="run under cProfile and print the top cumulative functions",
+    )
+    parser.add_argument(
+        "--top", type=int, default=20,
+        help="how many profile rows to print (default 20)",
+    )
+    args = parser.parse_args(argv)
+    runner = SCENARIOS[args.scenario]
+
+    profiler = cProfile.Profile() if args.profile else None
+    start = time.perf_counter()
+    if profiler is not None:
+        result = profiler.runcall(runner)
+    else:
+        result = runner()
+    wall = time.perf_counter() - start
+
+    print(f"{args.scenario}: {result.n_requests} requests")
+    print(
+        f"  makespan={result.makespan_s:.3f}s"
+        f" throughput={result.throughput_tok_s:.1f} tok/s"
+        f" steps={result.n_steps:,d}"
+    )
+    print(
+        f"  wall={wall:.3f}s"
+        f" events/s={result.n_steps / wall:,.0f}"
+        f" sim-s/wall-s={result.makespan_s / wall:,.1f}"
+    )
+    _print_cache_info()
+    if profiler is not None:
+        stats = pstats.Stats(profiler)
+        stats.sort_stats("cumulative")
+        stats.print_stats(args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

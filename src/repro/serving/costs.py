@@ -42,6 +42,8 @@ from collections.abc import Mapping
 from dataclasses import dataclass, replace
 from typing import Protocol, runtime_checkable
 
+import numpy as np
+
 from ..analysis.calibration import decode_cycles_per_element
 from ..compression import CompressionSpec, get_codec, resolve_spec
 from ..errors import ConfigError
@@ -49,10 +51,13 @@ from ..gpu.specs import GpuSpec
 from ..kernels.attention import (
     PAGED_BW_FRAC,
     eager_attention_decode,
+    eager_attention_decode_batch,
     eager_attention_prefill,
     flash_attention_prefill,
     paged_attention_decode,
+    paged_attention_decode_batch,
     paged_attention_decode_compressed,
+    paged_attention_decode_compressed_batch,
 )
 from ..kernels.pipeline import linear_profile
 from ..utils import ceil_div
@@ -361,6 +366,33 @@ class EngineCostModel:
                          self.model.head_dim)
         return profile.time_s * self.model.n_layers
 
+    def attention_time_batch(self, batch: int, ctxs) -> np.ndarray:
+        """Decode attention seconds for an array of context lengths.
+
+        Element ``i`` is bitwise equal to
+        ``attention_time(batch, ctxs[i], "decode")`` — the batch kernels
+        preserve the scalar expression trees, and the per-layer scaling
+        is the same single multiply.
+        """
+        heads = max(1, self.model.n_heads // self.tp)
+        kv_heads = self.kv_heads
+        if self._kv_attention_args is not None:
+            ratio, cycles, bw_frac = self._kv_attention_args
+            times = paged_attention_decode_compressed_batch(
+                self.gpu, batch, ctxs, heads, kv_heads,
+                self.model.head_dim, ratio=ratio,
+                cycles_per_element=cycles, bw_frac=bw_frac,
+            )
+        else:
+            fn = (
+                paged_attention_decode_batch
+                if self.backend.attention == "paged"
+                else eager_attention_decode_batch
+            )
+            times = fn(self.gpu, batch, ctxs, heads, kv_heads,
+                       self.model.head_dim)
+        return times * self.model.n_layers
+
     def elementwise_time(self, n_tokens: int) -> float:
         """Norms, RoPE, activation and residual traffic per pass."""
         h = self.model.hidden
@@ -409,6 +441,30 @@ class EngineCostModel:
     def decode_step(self, batch: int, ctx: int) -> StepBreakdown:
         """Breakdown of one decode step at context length ``ctx``."""
         return self._step(batch, self.attention_time(batch, ctx, "decode"))
+
+    def decode_step_batch(self, batch: int, ctxs) -> np.ndarray:
+        """Total seconds of one decode step at each context in ``ctxs``.
+
+        One numpy pass over the whole array.  Element ``i`` is bitwise
+        equal to ``decode_step(batch, ctxs[i]).total_s`` — and therefore
+        also to a decode-only ``mixed_step``'s total (its attention sum
+        starts from ``0.0`` and its token count adds ``0``, both exact
+        no-ops) — because the per-component math below mirrors
+        :meth:`_step` and the final sum runs in the same left-to-right
+        component order as :attr:`StepBreakdown.total_s`.  That bitwise
+        contract is what lets fast-forward windows price whole bucket
+        spans here and still replay the stepwise float sequence exactly.
+        """
+        attention_s = self.attention_time_batch(batch, ctxs)
+        linear_s, ops, comm_s = self.linear_time(batch)
+        comm_s = comm_s + self.pipeline_hop_time(batch)
+        n_other = self.backend.other_ops_per_layer * self.model.n_layers
+        dispatch_s = (ops + n_other) * self.backend.dispatch_overhead_s
+        other_s = (
+            self.elementwise_time(batch)
+            + self.backend.fixed_step_overhead_s
+        )
+        return (((linear_s + attention_s) + comm_s) + other_s) + dispatch_s
 
     def prefill_step(self, batch: int, prompt_len: int) -> StepBreakdown:
         """Breakdown of the whole-prompt prefill pass."""
@@ -478,6 +534,12 @@ class MemoizedStepCostModel:
         self.hits = 0
         self.misses = 0
         self._cache: dict[tuple, StepBreakdown] = {}
+        # Per-step-kind [hits, misses]; kinds are the cache-key tags
+        # ("d" decode, "p" prefill, "m" mixed).  Global hits/misses stay
+        # as the sum for backwards compatibility.
+        self._kind_stats: dict[str, list[int]] = {
+            "d": [0, 0], "p": [0, 0], "m": [0, 0],
+        }
 
     # Raw component queries pass straight through (exact).
     def linear_time(self, n_tokens: int) -> tuple[float, int, float]:
@@ -493,17 +555,75 @@ class MemoizedStepCostModel:
         return self.inner.elementwise_time(n_tokens)
 
     def _lookup(self, key: tuple, compute) -> StepBreakdown:
+        stats = self._kind_stats[key[0]]
         found = self._cache.get(key)
         if found is not None:
             self.hits += 1
+            stats[0] += 1
         else:
             self.misses += 1
+            stats[1] += 1
             found = compute()
             self._cache[key] = found
         # Copy on return: StepBreakdown.add() mutates in place, and a
         # caller accumulating into a returned breakdown must not poison
         # the cache.
         return found.scaled(1.0)
+
+    def cache_info(self) -> dict[str, dict[str, int]]:
+        """Cache effectiveness per step kind.
+
+        Returns ``{"decode"|"prefill"|"mixed": {"hits", "misses",
+        "size"}}`` where ``size`` is the number of live cache entries of
+        that kind.  ``hits``/``misses`` count every pricing query —
+        including each element of a :meth:`decode_step_batch` call, so a
+        fast-forward window that prices many bucket edges at once is
+        accounted like the equivalent scalar loop.
+        """
+        names = {"d": "decode", "p": "prefill", "m": "mixed"}
+        sizes = {kind: 0 for kind in names}
+        for key in self._cache:
+            sizes[key[0]] += 1
+        return {
+            names[kind]: {"hits": h, "misses": m, "size": sizes[kind]}
+            for kind, (h, m) in self._kind_stats.items()
+        }
+
+    def decode_step_batch(self, batch: int, ctxs) -> np.ndarray:
+        """Total seconds of a decode-only step at each context in ``ctxs``.
+
+        The bucketed window-pricing path: each context rounds up to its
+        ``ctx_bucket`` edge and the inner model is evaluated once per
+        *unique* edge.  Queries go through the decode-only **mixed**
+        query — ``mixed_step(batch, edge, 0, 0)``, sharing its cache key
+        with the scalar :meth:`mixed_step` path — because that is the
+        exact call a chunked serving core makes per step, and arbitrary
+        inner models (test doubles included) may price ``decode_step``
+        differently.  Returned totals are therefore bitwise equal to the
+        stepwise scalar sequence for *any* inner model, and per-element
+        hit/miss accounting matches the equivalent scalar loop.
+        """
+        ctxs = np.asarray(ctxs, dtype=np.int64)
+        bucket = self.ctx_bucket
+        edges = np.maximum(
+            (ctxs + (bucket - 1)) // bucket, 1
+        ) * bucket
+        out = np.empty(edges.size, dtype=np.float64)
+        stats = self._kind_stats["m"]
+        cache = self._cache
+        for i, b_ctx in enumerate(edges.tolist()):
+            key = ("m", batch, b_ctx, 0, 0)
+            found = cache.get(key)
+            if found is not None:
+                self.hits += 1
+                stats[0] += 1
+            else:
+                self.misses += 1
+                stats[1] += 1
+                found = self.inner.mixed_step(batch, b_ctx, 0, 0)
+                cache[key] = found
+            out[i] = found.total_s
+        return out
 
     def decode_step(self, batch: int, ctx: int) -> StepBreakdown:
         """Decode step at the bucketed context."""

@@ -82,8 +82,8 @@ from .scheduler import ContinuousBatchScheduler, Request, get_policy
 from .serve import (
     ServingConfig,
     _raise_stranded,
-    commit_decode_window,
     decode_window_len,
+    run_decode_window,
 )
 
 __all__ = [
@@ -622,6 +622,9 @@ class TransferLinkStage(Stage):
             self._queues[channel], (ready, req.request_id, req, target)
         )
         self.peak_queue_depth = max(self.peak_queue_depth, self.queue_depth)
+        # A hand-off may be due earlier than this stage's cached next
+        # event — tell the kernel to re-poll (the heap contract).
+        self.notify()
 
     # ------------------------------------------------------------------
     def next_event_time(self) -> float | None:
@@ -795,6 +798,9 @@ class DecodePoolStage(Stage):
             replica.pending, (release_s, req.request_id, req)
         )
         replica._quiescent = False
+        # The landing may predate this stage's cached next event — tell
+        # the kernel to re-poll (the heap contract).
+        self.notify()
 
     # ------------------------------------------------------------------
     def _replica_event(self, replica: _DecodeReplica) -> float | None:
@@ -876,14 +882,23 @@ class DecodePoolStage(Stage):
             scheduler, plan, next_event, replica.clock,
             breakdown.total_s, self.config.cost_bucket,
         )
-        replica.clock += breakdown.total_s * k
-        replica.busy_s += breakdown.total_s * k
-        replica.n_steps += k
         if k > 1:
-            commit_decode_window(scheduler, plan, k, replica.clock)
+            replica.clock, segments = run_decode_window(
+                scheduler, replica.costs, plan, next_event,
+                replica.clock, self.config.cost_bucket,
+                breakdown.total_s, k,
+                preemption=self.config.preemption,
+                on_segment=self._sample_occupancy,
+            )
+            for step_s, ki in segments:
+                replica.busy_s += step_s * ki
+                replica.n_steps += ki
         else:
+            replica.clock += breakdown.total_s
+            replica.busy_s += breakdown.total_s
+            replica.n_steps += 1
             scheduler.apply_step(plan, replica.clock)
-        self._sample_occupancy()
+            self._sample_occupancy()
 
     def finish(self) -> None:
         for replica in self.replicas:

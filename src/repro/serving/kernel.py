@@ -29,6 +29,26 @@ backpressure) needs no special casing: a stalled upstream stage returns
 ``None`` and is simply re-polled after every downstream event, so it
 wakes the moment the watermark clears.
 
+Event extraction is **heap-driven with lazy invalidation** rather than
+an every-iteration re-poll of all stages.  The kernel caches each
+stage's last reported event time in a min-heap and only re-polls a
+stage when its cached entry could be stale:
+
+* the stage was just advanced (its own state changed);
+* the stage called :meth:`Stage.notify` — or another stage called it on
+  the stage's behalf — after an external state change (a hand-off
+  delivered into its queue);
+* the stage's cached answer is ``None`` — an idle or stalled stage is
+  re-polled every iteration, because "nothing runnable" can be flipped
+  by *any* other stage's progress (a backpressure watermark clearing,
+  a flag armed cross-stage) without an explicit notification.
+
+The ``None`` rule keeps the pre-heap wake-up semantics intact for
+stages written before :meth:`Stage.notify` existed; ``notify`` is what
+makes the heap profitable, by sparing busy stages the re-poll when
+nothing about them changed.  Stale heap entries are skipped on pop via
+per-stage generation counters (lazy deletion), never searched for.
+
 Invariants (tested in ``tests/test_kernel.py``):
 
 * **time is monotone** — the kernel clamps stage-reported times to its
@@ -58,6 +78,8 @@ Invariants (tested in ``tests/test_kernel.py``):
 
 from __future__ import annotations
 
+import heapq
+
 from ..errors import SchedulingError
 
 __all__ = ["Stage", "EventKernel"]
@@ -84,11 +106,29 @@ class Stage:
       monotone clock;
     * :meth:`advance` called at the stage's own event time must make
       progress: commit work, or move the stage's internal clock
-      strictly forward.
+      strictly forward;
+    * a stage that mutates *another* stage's queues mid-advance (a
+      hand-off) must call :meth:`notify` on the receiving stage, so the
+      kernel re-polls it — unless the receiver was idle (its last
+      report was ``None``), in which case the kernel re-polls it
+      anyway.  Calling :meth:`notify` when in doubt is always safe; it
+      costs one extra poll, never correctness.
     """
 
     #: Human-readable stage name (used in error messages and stats).
     name = "stage"
+
+    def notify(self) -> None:
+        """Mark this stage's cached next-event time stale.
+
+        Called (by the stage itself or by a peer delivering work into
+        it) after an external state change that may move the stage's
+        next event *earlier*.  Outside a running kernel this is a
+        no-op, so stages may call it unconditionally.
+        """
+        kernel = getattr(self, "_kernel", None)
+        if kernel is not None:
+            kernel.invalidate(self)
 
     def next_event_time(self) -> float | None:
         """When this stage can next do work (``None`` = nothing runnable)."""
@@ -125,37 +165,86 @@ class EventKernel:
         self.stages = list(stages)
         #: The kernel's monotone clock: the latest instant processed.
         self.now = 0.0
+        # Lazy-invalidation heap state, live only while run() executes.
+        self._index: dict[int, int] = {}   # id(stage) -> stage index
+        self._dirty: set[int] = set()      # stage indices needing re-poll
+
+    def invalidate(self, stage: Stage) -> None:
+        """Mark ``stage``'s cached next-event time stale (see notify)."""
+        idx = self._index.get(id(stage))
+        if idx is not None:
+            self._dirty.add(idx)
 
     def run(self) -> float:
         """Drive all stages until none reports an event; returns the clock.
 
-        Each iteration: find the earliest next event across stages,
+        Each iteration: refresh the cached event times of dirty and
+        idle stages, take the earliest cached event from the heap,
         clamp it to the monotone clock (a stage waking from a
         backpressure stall may report a stale time), then advance every
         stage whose event is due at that instant, in stage order.  When
         the loop drains, every stage's :meth:`Stage.finish` hook runs.
+
+        Heap entries are ``(time, generation, stage_index)``; a stage's
+        generation bumps on every re-poll, so entries whose generation
+        no longer matches are skipped on pop instead of being removed
+        eagerly (lazy deletion).
         """
-        stalled_iterations = 0
-        while True:
-            due = [s.next_event_time() for s in self.stages]
-            times = [t for t in due if t is not None]
-            if not times:
-                break
-            t = min(times)
-            if t > self.now:
-                self.now = t
-                stalled_iterations = 0
-            else:
-                stalled_iterations += 1
-                if stalled_iterations > _MAX_STALLED_ITERATIONS:
-                    raise SchedulingError(
-                        "event kernel stopped making progress at"
-                        f" t={self.now!r} (stages:"
-                        f" {[s.name for s in self.stages]})"
-                    )
-            for stage, stage_t in zip(self.stages, due):
-                if stage_t is not None and stage_t <= self.now:
-                    stage.advance(self.now)
+        n = len(self.stages)
+        cached: list[float | None] = [None] * n
+        gen = [0] * n
+        heap: list[tuple[float, int, int]] = []
+        self._index = {id(s): i for i, s in enumerate(self.stages)}
+        self._dirty = set(range(n))
         for stage in self.stages:
-            stage.finish()
+            stage._kernel = self
+        try:
+            stalled_iterations = 0
+            while True:
+                # Re-poll stages whose cache is stale (dirty) or whose
+                # last answer was None (idle/stalled stages can be woken
+                # by any other stage's progress, with no notification).
+                for i in range(n):
+                    if i in self._dirty or cached[i] is None:
+                        t = self.stages[i].next_event_time()
+                        cached[i] = t
+                        gen[i] += 1
+                        if t is not None:
+                            heapq.heappush(heap, (t, gen[i], i))
+                self._dirty.clear()
+                # Pop stale generations until the heap head is live.
+                while heap and heap[0][1] != gen[heap[0][2]]:
+                    heapq.heappop(heap)
+                if not heap:
+                    break
+                t = heap[0][0]
+                if t > self.now:
+                    self.now = t
+                    stalled_iterations = 0
+                else:
+                    stalled_iterations += 1
+                    if stalled_iterations > _MAX_STALLED_ITERATIONS:
+                        raise SchedulingError(
+                            "event kernel stopped making progress at"
+                            f" t={self.now!r} (stages:"
+                            f" {[s.name for s in self.stages]})"
+                        )
+                # Snapshot due stages before advancing any: an advance
+                # may notify peers, and those re-polls belong to the
+                # *next* iteration (matching the pre-heap semantics of
+                # polling everything up front).
+                due = [
+                    i for i in range(n)
+                    if cached[i] is not None and cached[i] <= self.now
+                ]
+                for i in due:
+                    self.stages[i].advance(self.now)
+                    self._dirty.add(i)
+            for stage in self.stages:
+                stage.finish()
+        finally:
+            for stage in self.stages:
+                stage._kernel = None
+            self._index = {}
+            self._dirty = set()
         return self.now

@@ -42,7 +42,10 @@ Invariants this layer guarantees (tested in ``tests/test_scheduler.py``):
 from __future__ import annotations
 
 import enum
+from bisect import insort
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from ..errors import CapacityError, SchedulingError, UnknownSpecError
 from .kvcache import PagedKVCache
@@ -166,6 +169,20 @@ class SchedulerPolicy:
     def order_victims(self, running: list[Request]) -> list[Request]:
         """Running requests in preemption order."""
         return sorted(running, key=self.victim_key)
+
+    @property
+    def supports_incremental_order(self) -> bool:
+        """Whether queues may be kept sorted by ``waiting_key`` insorts.
+
+        True exactly when the policy's admission order *is* the key sort
+        — i.e. :meth:`order_waiting` was not overridden.  Every built-in
+        policy qualifies (their keys end in ``request_id``, a total
+        order, so insorted insertion reproduces ``order_waiting``
+        element-for-element); a subclass that overrides
+        :meth:`order_waiting` to do something richer than a key sort
+        falls back to whole-queue re-sorts automatically.
+        """
+        return type(self).order_waiting is SchedulerPolicy.order_waiting
 
 
 class FCFSPolicy(SchedulerPolicy):
@@ -338,6 +355,59 @@ class StepPlan:
         return not self.prefill and not self.decode
 
 
+class DecodeWindowState:
+    """Array-of-struct view of a stable decode batch (fast-forward windows).
+
+    The serving cores' widened fast-forward advances one stable decode
+    set through many bucketed segments inside a single stage advance;
+    re-walking ``Request`` attributes and the KV allocator's
+    per-sequence dicts between segments would put python attribute
+    lookups back on the hot path the windows exist to avoid.  This holds
+    the two per-request fields the window math needs — context length
+    and remaining output tokens — as parallel numpy arrays, built once
+    per window and advanced in O(1) vectorized ops.  Timestamps stay on
+    the ``Request`` objects: only a window's final segment can finish
+    requests, and ``commit_decode_window`` stamps them scalar-side
+    there.
+
+    KV-growth checks run off the ``ctx`` array alone, relying on a
+    scheduler invariant: a decode-phase request's KV sequence holds
+    exactly ``context_len`` tokens (admission allocates the whole
+    restart context; every decode step appends one token and increments
+    ``generated`` together).
+    """
+
+    __slots__ = ("ctx", "remaining")
+
+    def __init__(self, decode: list[Request]):
+        n = len(decode)
+        self.ctx = np.fromiter(
+            (r.context_len for r in decode), dtype=np.int64, count=n
+        )
+        self.remaining = np.fromiter(
+            (r.remaining_tokens for r in decode), dtype=np.int64, count=n
+        )
+
+    def advance(self, k: int) -> None:
+        """Account ``k`` committed decode steps for every request."""
+        self.ctx += k
+        self.remaining -= k
+
+    def min_remaining(self) -> int:
+        """Steps until the first request finishes."""
+        return int(self.remaining.min())
+
+    def blocks_to_grow(self, k: int, block_size: int) -> int:
+        """New KV blocks the whole batch needs to append ``k`` tokens each.
+
+        Vectorized twin of summing ``PagedKVCache.blocks_needed(id, k)``
+        over the batch (same ceil arithmetic, batched).
+        """
+        have = (self.ctx + (block_size - 1)) // block_size
+        need = (self.ctx + (k + block_size - 1)) // block_size
+        return int((need - have).sum())
+
+
 class ContinuousBatchScheduler:
     """Continuous batching under KV and batch limits, policy-ordered."""
 
@@ -355,6 +425,39 @@ class ContinuousBatchScheduler:
         self.finished: list[Request] = []
         self.n_preemptions = 0
         self._waiting_dirty = False
+        #: Built-in policies admit in ``waiting_key`` order, so the
+        #: waiting queue can be kept sorted by O(log n) insorts instead
+        #: of a whole-queue re-sort per admission round (the profiled
+        #: hot spot on large traces, where the queue backs up to
+        #: thousands).  Policies overriding ``order_waiting`` keep the
+        #: legacy dirty-flag re-sort.
+        self._incremental = self.policy.supports_incremental_order
+
+    def _enqueue_waiting(self, request: Request) -> None:
+        """Add to the waiting queue, preserving admission order.
+
+        While the incremental invariant holds (``_waiting_dirty`` is
+        False) the queue is already in ``waiting_key`` order and an
+        insort keeps it there — identical to the ``sorted()`` result
+        because every built-in key ends in ``request_id``, making keys
+        unique.  Otherwise append and let :meth:`admit` re-sort.
+        """
+        if self._incremental and not self._waiting_dirty:
+            insort(self.waiting, request, key=self.policy.waiting_key)
+        else:
+            self.waiting.append(request)
+            self._waiting_dirty = True
+
+    def waiting_head(self) -> Request:
+        """The request the policy would admit next (queue must be non-empty)."""
+        if not self._incremental:
+            # A custom order_waiting may consult external state; always
+            # ask it fresh rather than trusting a cached sort.
+            return self.policy.order_waiting(self.waiting)[0]
+        if self._waiting_dirty:
+            self.waiting = self.policy.order_waiting(self.waiting)
+            self._waiting_dirty = False
+        return self.waiting[0]
 
     def submit(self, request: Request) -> None:
         """Queue a new request."""
@@ -362,8 +465,7 @@ class ContinuousBatchScheduler:
             raise SchedulingError(
                 f"request {request.request_id} is {request.state}"
             )
-        self.waiting.append(request)
-        self._waiting_dirty = True
+        self._enqueue_waiting(request)
 
     def admit(
         self,
@@ -534,8 +636,7 @@ class ContinuousBatchScheduler:
         req.prefill_remaining = 0
         req.n_preemptions += 1
         self.n_preemptions += 1
-        self.waiting.append(req)
-        self._waiting_dirty = True
+        self._enqueue_waiting(req)
 
     def ensure_decode_capacity(self, decode: list[Request]) -> list[Request]:
         """Preempt until every request in ``decode`` can append one token.

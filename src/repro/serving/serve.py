@@ -64,6 +64,7 @@ from .kvcache import KVCacheSpec, PagedKVCache
 from .metrics import ContinuousResult, SLOTarget
 from .scheduler import (
     ContinuousBatchScheduler,
+    DecodeWindowState,
     Request,
     RequestState,
     SchedulerLimits,
@@ -428,15 +429,19 @@ class ColocatedStage(Stage):
             plan.n_prefill_seqs,
             plan.n_prefill_tokens,
         )
+        next_event = pending[0].arrival_s if pending else None
         k = decode_window_len(
-            scheduler, plan,
-            pending[0].arrival_s if pending else None,
+            scheduler, plan, next_event,
             self.clock, breakdown.total_s, self.config.cost_bucket,
         )
         if k > 1:
-            self.clock += breakdown.total_s * k
-            self.n_steps += k
-            commit_decode_window(scheduler, plan, k, self.clock)
+            self.clock, segments = run_decode_window(
+                scheduler, self.costs, plan, next_event, self.clock,
+                self.config.cost_bucket, breakdown.total_s, k,
+                preemption=self.config.preemption,
+            )
+            for _, ki in segments:
+                self.n_steps += ki
         else:
             self.clock += breakdown.total_s
             self.n_steps += 1
@@ -534,11 +539,17 @@ def decode_window_len(
         k = min(k, max(1, int(gap / step_s)))
     if k > 1:
         kv = scheduler.kv
-        needed = sum(
-            kv.blocks_needed(r.request_id, k) for r in plan.decode
-        )
-        if needed > kv.free_blocks:
-            return 1
+        # Appending k tokens never needs more than k//block + 1 new
+        # blocks per sequence; when free blocks cover that bound the
+        # exact per-sequence walk (a dict lookup per request) is skipped
+        # — the common case on large traces.
+        bound = len(plan.decode) * (k // kv.spec.block_size + 1)
+        if bound > kv.free_blocks:
+            needed = sum(
+                kv.blocks_needed(r.request_id, k) for r in plan.decode
+            )
+            if needed > kv.free_blocks:
+                return 1
     return k
 
 
@@ -564,3 +575,131 @@ def commit_decode_window(
             kv.free(req.request_id)
             scheduler.running.remove(req)
             scheduler.finished.append(req)
+
+
+def run_decode_window(
+    scheduler: ContinuousBatchScheduler,
+    costs: StepCostModel,
+    plan,
+    next_event_s: float | None,
+    clock: float,
+    bucket: int,
+    first_step_s: float,
+    first_k: int,
+    preemption: bool,
+    on_segment=None,
+) -> tuple[float, list[tuple[float, int]]]:
+    """Advance the widest fast-forward window: chained bucketed segments.
+
+    The stepwise simulator pays a full scheduling iteration — arrival
+    submit, admission attempt, ``plan_step``, capacity check, step
+    pricing — between every pair of :func:`decode_window_len` windows,
+    even when each of those is provably a no-op.  This helper chains
+    segments inside one stage advance while the no-op proof holds:
+
+    * **no arrivals/landings** — the window never crosses
+      ``next_event_s`` (the caller folds its upstream horizon in), so no
+      submits happen and, with no finishes either, admission's blocker
+      (sequence slots, or free KV, which only shrinks while decode
+      grows) persists — the attempt stays a no-op.  With a custom
+      admission order (``order_waiting`` overridden) a non-empty queue
+      ends the window conservatively: such an order may be
+      time-dependent, and only whole-queue re-sorts observe it.
+    * **no preemptions** — chaining continues only where
+      ``ensure_decode_capacity`` would return without acting.
+    * **same plan** — no finishes and a no-op admission leave the
+      running set (and its order) untouched, so ``plan_step`` would
+      rebuild exactly this decode set with contexts one segment older.
+
+    The moment any condition fails the loop breaks *without* committing
+    further work; the next kernel advance then runs the unmodified
+    stepwise body from an identical scheduler state, so breaking early
+    is always bit-safe.
+
+    **Float discipline**: the clock advances ``step_s * k`` per segment
+    — the same ``(step_s, k)`` sequence, in the same order, as the
+    stepwise loop's per-window adds — and segment prices come from
+    ``decode_step_batch`` (bitwise equal to the scalar decode-only
+    ``mixed_step`` the stepwise body calls; one vectorized pricing pass
+    covers every bucket edge the window can reach).  Request state is
+    tracked in a :class:`~repro.serving.scheduler.DecodeWindowState`
+    array pair; ``Request`` objects are only touched by the per-segment
+    ``commit_decode_window``.
+
+    Returns ``(new_clock, segments)`` with one ``(step_s, k)`` tuple per
+    committed segment, so callers replicate the stepwise float
+    accumulation into their own counters (``busy_s``, ``n_steps``).
+    ``on_segment`` (if given) runs after each segment's commit —
+    occupancy sampling hooks, which must see the pre-free peak of a
+    finishing segment, not just the window end.
+    """
+    segments: list[tuple[float, int]] = []
+    batch = len(plan.decode)
+    kv = scheduler.kv
+    block_size = kv.spec.block_size
+    incremental = scheduler._incremental
+    # The AoS view and the vectorized price table are built lazily, on
+    # the first segment that actually chains: most windows end at the
+    # next arrival and never continue, and for those the array setup
+    # would cost more than the python it replaces.
+    state: DecodeWindowState | None = None
+    prices: dict[int, float] | None = None
+    min_rem = min(r.remaining_tokens for r in plan.decode)
+    step_s, k = first_step_s, first_k
+    while True:
+        clock += step_s * k
+        segments.append((step_s, k))
+        finishes = k >= min_rem
+        commit_decode_window(scheduler, plan, k, clock)
+        if state is not None:
+            state.advance(k)
+        plan.decode_ctx_sum += batch * k
+        if on_segment is not None:
+            on_segment()
+        if finishes:
+            break
+        if next_event_s is not None and next_event_s <= clock:
+            break
+        if scheduler.waiting and not incremental:
+            break
+        if state is None:
+            # Snapshot *after* the first commit, so no catch-up advance
+            # is owed.
+            state = DecodeWindowState(plan.decode)
+        min_rem = state.min_remaining()
+        if (
+            preemption
+            and kv.free_blocks < batch
+            and state.blocks_to_grow(1, block_size) > kv.free_blocks
+        ):
+            break
+        mean_ctx = max(plan.mean_decode_ctx, 1)
+        edge = ceil_div(mean_ctx, bucket) * bucket
+        if prices is None:
+            batch_fn = getattr(costs, "decode_step_batch", None)
+            if batch_fn is not None:
+                # One vectorized pricing pass over every bucket edge the
+                # window can still reach (bounded by the first finish).
+                hi = ceil_div(mean_ctx + min_rem, bucket) * bucket
+                edges = list(range(edge, hi + bucket, bucket))
+                prices = dict(
+                    zip(edges, batch_fn(batch, edges).tolist())
+                )
+            else:
+                prices = {}
+        step_s = prices.get(edge)
+        if step_s is None:
+            step_s = costs.mixed_step(batch, mean_ctx, 0, 0).total_s
+        k = min_rem
+        k = min(k, edge - mean_ctx + 1)
+        if next_event_s is not None and step_s > 0:
+            gap = next_event_s - clock
+            k = min(k, max(1, int(gap / step_s)))
+        if k > 1 and state.blocks_to_grow(k, block_size) > kv.free_blocks:
+            k = 1
+        if k <= 1:
+            # A one-step window must run the stepwise body (its finish
+            # and preemption handling differ); leave it to the next
+            # kernel advance.
+            break
+    return clock, segments

@@ -117,3 +117,59 @@ class TestMemoizedCostModel:
     def test_bucket_validation(self):
         with pytest.raises(ConfigError):
             MemoizedStepCostModel(model(), ctx_bucket=0)
+
+    def test_cache_info_tracks_kinds(self):
+        memo = MemoizedStepCostModel(model(), ctx_bucket=64)
+        memo.decode_step(8, 100)
+        memo.decode_step(8, 120)  # same bucket: hit
+        memo.prefill_step(1, 256)
+        memo.mixed_step(8, 100, 1, 100)
+        info = memo.cache_info()
+        assert info["decode"] == {"hits": 1, "misses": 1, "size": 1}
+        assert info["prefill"] == {"hits": 0, "misses": 1, "size": 1}
+        assert info["mixed"] == {"hits": 0, "misses": 1, "size": 1}
+        # Per-kind counters partition the global ones.
+        assert memo.hits == 1 and memo.misses == 3
+
+
+class TestBatchDecodeCosts:
+    """decode_step_batch must be bit-identical to the scalar paths."""
+
+    CTXS = [1, 7, 64, 129, 1000, 4096]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{}, {"kv_compression_ratio": 4.0}],
+        ids=["raw", "kvcomp"],
+    )
+    def test_engine_batch_matches_scalar_bitwise(self, kwargs):
+        costs = model(**kwargs)
+        batch = costs.decode_step_batch(8, self.CTXS)
+        assert batch.shape == (len(self.CTXS),)
+        for i, ctx in enumerate(self.CTXS):
+            # Exact equality on purpose: the batch path replays the same
+            # float ops elementwise, so == is the contract, not approx.
+            assert batch[i] == costs.decode_step(8, ctx).total_s
+            assert batch[i] == costs.mixed_step(8, ctx, 0, 0).total_s
+
+    @pytest.mark.parametrize("backend", ["transformers", "vllm", "dfloat11"])
+    def test_engine_batch_across_backends(self, backend):
+        costs = model(backend)
+        batch = costs.decode_step_batch(4, self.CTXS)
+        for i, ctx in enumerate(self.CTXS):
+            assert batch[i] == costs.decode_step(4, ctx).total_s
+
+    def test_memoized_batch_prices_like_window_path(self):
+        # The serving cores price decode-only windows via mixed_step;
+        # the batch fast path must agree bitwise AND share the same
+        # cache entries so scalar/batch interleaving stays coherent.
+        memo = MemoizedStepCostModel(model(), ctx_bucket=64)
+        ctxs = [100, 120, 128, 129]  # buckets: 128, 128, 128, 192
+        batch = memo.decode_step_batch(8, ctxs)
+        for i, ctx in enumerate(ctxs):
+            assert batch[i] == memo.mixed_step(8, ctx, 0, 0).total_s
+        info = memo.cache_info()
+        assert info["mixed"]["misses"] == 2   # two distinct buckets
+        assert info["mixed"]["size"] == 2
+        # The scalar calls above all hit entries the batch call seeded.
+        assert info["mixed"]["hits"] == 2 + len(ctxs)

@@ -178,6 +178,21 @@ class TestFastForward:
         late = fast.timings[1]
         assert late.arrival_s <= late.first_token_s
 
+    def test_cache_hits_grow_across_fast_forward_windows(self):
+        # Bucketed serving memoizes step prices; arrivals break decode
+        # windows, and the re-priced windows revisit ctx buckets the
+        # earlier ones already paid for — so hits must accumulate.
+        c = core(256, prefill_mode="chunked", cost_bucket=64)
+        info = c.costs.cache_info()
+        assert info["mixed"] == {"hits": 0, "misses": 0, "size": 0}
+        c.serve(reqs([(16, 200, i * 0.01) for i in range(8)]))
+        info = c.costs.cache_info()
+        assert info["mixed"]["hits"] > 0
+        assert info["mixed"]["size"] == info["mixed"]["misses"] > 0
+        # Every priced entry is a decode/prefill mix: the dedicated
+        # decode/prefill caches stay untouched by the serving core.
+        assert info["decode"]["misses"] == 0
+
 
 class TestRealEnginePreemption:
     """The engine-level recompute paths with the real cost model."""

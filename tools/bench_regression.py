@@ -1,18 +1,34 @@
 #!/usr/bin/env python
 """Serving-benchmark regression gate.
 
-Replays the deterministic serving scenarios from
-``benchmarks/bench_serving.py`` (which doubles as a library), writes the
-measured headline numbers to ``benchmarks/BENCH_serving.json`` and fails
-if the *simulated* makespan or throughput of any scenario regresses more
-than 10% against the checked-in baseline
-(``benchmarks/BENCH_serving_baseline.json``).
+Replays the deterministic serving scenarios registered in
+``benchmarks/bench_serving.py`` (``SCENARIOS`` — the module doubles as a
+library), writes the measured numbers to
+``benchmarks/BENCH_serving.json`` and fails against the checked-in
+baseline (``benchmarks/BENCH_serving_baseline.json``) on either kind of
+regression:
 
-The gated metrics are simulator outputs, not wall-clock — they are
-bit-deterministic for a given code state, so any drift is a real
-behaviour change (a cost-model edit, a scheduler reordering, a codec
-ratio shift), never CI noise.  Wall time per scenario is recorded in the
-report for humans but deliberately not gated.
+* **accuracy** — simulated makespan or token throughput drifting more
+  than ``TOLERANCE`` (10%).  These are simulator outputs,
+  bit-deterministic for a given code state, so any drift is a real
+  behaviour change (a cost-model edit, a scheduler reordering, a codec
+  ratio shift), never CI noise.
+* **sim-throughput** — kernel events per wall second
+  (``events_per_s``) dropping more than ``SIM_THROUGHPUT_TOLERANCE``
+  (25%) below the baseline.  Unlike the accuracy metrics this one is
+  wall-clock dependent: the committed baseline captures the machine it
+  was blessed on, and the wide tolerance absorbs host noise while still
+  catching the order-of-change a simulator-core regression produces (an
+  accidental O(n) re-poll, a de-vectorized hot loop).
+
+Each scenario must also finish inside ``WALL_BUDGET_S`` — the
+large-trace scenarios (100k requests colocated, 20k disaggregated)
+exist precisely to keep raw simulator speed from regressing below what
+roadmap-scale studies need.
+
+``wall_s`` and ``sim_s_per_wall_s`` (simulated seconds advanced per
+wall second) are recorded in the per-run report for humans but not
+gated directly and not committed in the baseline.
 
 Usage::
 
@@ -36,23 +52,21 @@ sys.path.insert(0, str(ROOT / "benchmarks"))
 
 import bench_serving  # noqa: E402
 
-#: Allowed relative regression before the gate fails.
+#: Allowed relative regression of the simulated (accuracy) metrics.
 TOLERANCE = 0.10
 
-#: Deterministic serving scenarios: name -> zero-arg runner returning a
-#: ContinuousResult.
-SCENARIOS = {
-    "colocated_exact": lambda: bench_serving._serve_once(0),
-    "colocated_memoized": lambda: bench_serving._serve_once(
-        bench_serving.CTX_BUCKET
-    ),
-    "disagg_raw": lambda: bench_serving._serve_mode("disaggregated", "none"),
-    "disagg_kvcomp": lambda: bench_serving._serve_mode(
-        "disaggregated", "kvcomp"
-    ),
-    "disagg_backpressure": lambda: bench_serving._serve_backpressure(True),
-    "auto_codec": lambda: bench_serving._serve_auto("best_ratio"),
-}
+#: Allowed relative regression of events/s before the gate fails.  Wide
+#: enough for host noise, tight enough to catch a simulator-core slip.
+SIM_THROUGHPUT_TOLERANCE = 0.25
+
+#: Hard wall-clock ceiling per scenario (seconds).  The 100k-request
+#: colocated trace runs in well under a quarter of this on the blessing
+#: machine; hitting the ceiling means the simulator lost its speed, not
+#: that the host had a bad moment.
+WALL_BUDGET_S = 120.0
+
+#: Deterministic serving scenarios, shared with the bench harness CLI.
+SCENARIOS = bench_serving.SCENARIOS
 
 DEFAULT_BASELINE = ROOT / "benchmarks" / "BENCH_serving_baseline.json"
 #: Per-run artifact lives next to the baseline, not in the repo root
@@ -67,26 +81,37 @@ def measure() -> dict:
         start = time.perf_counter()
         result = runner()
         wall = time.perf_counter() - start
+        events_per_s = result.n_steps / wall
         out[name] = {
             "makespan_s": result.makespan_s,
             "throughput_tok_s": result.throughput_tok_s,
+            "n_steps": result.n_steps,
+            "events_per_s": round(events_per_s, 1),
+            "sim_s_per_wall_s": round(result.makespan_s / wall, 1),
             "wall_s": round(wall, 3),
         }
         print(
-            f"  {name:20s} makespan={result.makespan_s:9.3f}s"
+            f"  {name:22s} makespan={result.makespan_s:9.3f}s"
             f" tput={result.throughput_tok_s:9.1f} tok/s"
+            f" events/s={events_per_s:9,.0f}"
             f" wall={wall:6.3f}s"
         )
     return out
 
 
 def compare(measured: dict, baseline: dict) -> list[str]:
-    """Regressions beyond TOLERANCE, as human-readable failure lines."""
+    """Regressions beyond tolerance, as human-readable failure lines."""
     failures = [
         f"{name}: scenario has no baseline entry — run"
         " --update-baseline and commit it"
         for name in measured if name not in baseline
     ]
+    for name, row in measured.items():
+        if row["wall_s"] > WALL_BUDGET_S:
+            failures.append(
+                f"{name}: wall {row['wall_s']:.1f}s over the"
+                f" {WALL_BUDGET_S:.0f}s budget"
+            )
     for name, base in baseline.items():
         got = measured.get(name)
         if got is None:
@@ -107,6 +132,17 @@ def compare(measured: dict, baseline: dict) -> list[str]:
                 f" baseline {base['throughput_tok_s']:.1f} tok/s"
                 f" ({got['throughput_tok_s'] / base['throughput_tok_s'] - 1:.1%})"
             )
+        # Sim-throughput: wall-clock, gated wide (see module docstring).
+        # Older baselines predate the key — skip the gate until re-blessed.
+        base_eps = base.get("events_per_s")
+        if base_eps and got["events_per_s"] < base_eps * (
+            1 - SIM_THROUGHPUT_TOLERANCE
+        ):
+            failures.append(
+                f"{name}: sim-throughput {got['events_per_s']:,.0f}"
+                f" events/s vs baseline {base_eps:,.0f}"
+                f" ({got['events_per_s'] / base_eps - 1:.1%})"
+            )
     return failures
 
 
@@ -126,10 +162,15 @@ def main(argv: list[str] | None = None) -> int:
     print(f"wrote {args.output}")
 
     if args.update_baseline:
-        # Strip the machine-dependent wall_s so the committed baseline
-        # is deterministic (only the gated simulator metrics remain).
+        # Strip the purely informational wall-clock columns; the
+        # committed baseline carries only gated metrics (events_per_s
+        # stays — it is the sim-throughput gate's reference point, and
+        # machine-dependence is inherent to gating speed at all).
         blessed = {
-            name: {k: v for k, v in row.items() if k != "wall_s"}
+            name: {
+                k: v for k, v in row.items()
+                if k not in ("wall_s", "sim_s_per_wall_s")
+            }
             for name, row in measured.items()
         }
         args.baseline.write_text(json.dumps(blessed, indent=2) + "\n")
@@ -147,13 +188,18 @@ def main(argv: list[str] | None = None) -> int:
     failures = compare(measured, baseline)
     if failures:
         print(
-            f"FAIL: serving benchmark regressed >{TOLERANCE:.0%}:",
+            "FAIL: serving benchmark regressed"
+            f" (accuracy >{TOLERANCE:.0%}, sim-throughput"
+            f" >{SIM_THROUGHPUT_TOLERANCE:.0%}, or wall budget):",
             file=sys.stderr,
         )
         for line in failures:
             print(f"  {line}", file=sys.stderr)
         return 1
-    print(f"ok: all scenarios within {TOLERANCE:.0%} of the baseline")
+    print(
+        f"ok: all scenarios within {TOLERANCE:.0%} accuracy and"
+        f" {SIM_THROUGHPUT_TOLERANCE:.0%} sim-throughput of the baseline"
+    )
     return 0
 
 
