@@ -1,0 +1,326 @@
+"""Open-loop capacity benchmark: QPS vs latency/goodput, knee per config.
+
+The capacity surface the roadmap's studies report against: for each
+workload profile (:mod:`repro.serving.profiles`) × serving configuration
+(colocated / disaggregated-on-a-starved-link / auto-codec on the same
+link), drive the simulator **open loop** at a sweep of offered rates and
+locate the **knee** — the highest rate whose steady-state SLO goodput
+still tracks the offered rate (:func:`repro.serving.openloop.find_knee`).
+
+The headline comparison is the ZipServ/SplitZip claim end to end: on the
+0.125 GB/s interconnect, the auto-codec stack (policy-selected
+compression on weights, KV and the wire) must sustain a strictly higher
+knee than raw transfer — freed bytes become admissible request rate, not
+just a smaller artifact.
+
+Everything is simulated and seeded, so the numbers are bit-deterministic
+for a given code state; ``tools/bench_regression.py --mode capacity``
+gates the knees against the committed baseline
+(``benchmarks/BENCH_capacity_baseline.json``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_capacity.py                # sweep + knees
+    PYTHONPATH=src python benchmarks/bench_capacity.py --quick        # CI smoke (2 rates x 2 profiles)
+    PYTHONPATH=src python benchmarks/bench_capacity.py --update-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+from repro.gpu.specs import get_gpu  # noqa: E402
+from repro.serving import (  # noqa: E402
+    DisaggConfig,
+    InferenceEngine,
+    SchedulerLimits,
+    ServingConfig,
+    SLOTarget,
+    find_knee,
+    get_backend,
+    get_model,
+    goodput_feasible,
+    list_profiles,
+    run_open_loop,
+)
+
+# ----------------------------------------------------------------------
+# Measurement geometry (mirrors bench_serving's engine parameters)
+# ----------------------------------------------------------------------
+LIMITS = SchedulerLimits(max_num_seqs=16, max_batched_tokens=8192)
+CTX_BUCKET = 64
+#: Starved interconnect: the SplitZip scenario's bottleneck.
+DISAGG_LINK_GB_PER_S = 0.125
+
+#: One open-loop measurement: offered horizon and exclusion windows
+#: (simulated seconds).  The deadline is run_open_loop's default
+#: (3x duration) — feasible runs drain long before it.
+DURATION_S = 15.0
+WARMUP_S = 2.5
+COOLDOWN_S = 2.5
+SEED = 0
+
+#: Knee-search bracket.  The low edge must sit below the slowest knee
+#: (rag raw transfer lands near 0.3 rps); the tolerance must resolve
+#: knees that small, hence well under the serving-scale tolerances.
+LO_RPS = 0.125
+HI_RPS = 64.0
+RATE_TOL_RPS = 0.0625
+MAX_PROBES = 14
+
+#: Per-profile SLOs.  Interactive profiles take the default budget
+#: (TTFT 1 s / TPOT 100 ms); the long-prefill profiles get a looser
+#: per-token budget — their short decodes amortize the prefill->decode
+#: handoff over few tokens, so a chat-grade TPOT would declare *every*
+#: disaggregated stack infeasible and hide the bandwidth knee the
+#: benchmark exists to measure.
+PROFILE_SLOS = {
+    "code_generation": SLOTarget(ttft_s=2.0, tpot_s=0.25),
+    "rag_long_context": SLOTarget(ttft_s=4.0, tpot_s=0.25),
+}
+
+#: Curve sample points as fractions of the measured knee.
+CURVE_FRACTIONS = (0.5, 0.75, 0.9, 1.0, 1.1, 1.5)
+
+#: --quick mode: no bisection, this fixed grid only (CI smoke).
+QUICK_RATES = (2.0, 8.0)
+QUICK_PROFILES = ("fixed_length", "chat")
+
+DEFAULT_BASELINE = ROOT / "benchmarks" / "BENCH_capacity_baseline.json"
+DEFAULT_OUTPUT = ROOT / "benchmarks" / "BENCH_capacity.json"
+
+_MODEL = get_model("llama3.1-8b")
+_GPU = get_gpu("rtx4090")
+_BACKEND = get_backend("zipserv")
+
+_ENGINE = None
+_CALIBRATION_PROFILE = None
+
+
+def _engine() -> InferenceEngine:
+    global _ENGINE
+    if _ENGINE is None:
+        _ENGINE = InferenceEngine(_MODEL, _GPU, _BACKEND, gpu_mem_util=0.9)
+    return _ENGINE
+
+
+def _calibration():
+    """Measured ratio profile (lazy: calibration prices every codec)."""
+    global _CALIBRATION_PROFILE
+    if _CALIBRATION_PROFILE is None:
+        from repro.compression import calibrate, tensor_classes_for_model
+
+        _CALIBRATION_PROFILE = calibrate(
+            classes=tensor_classes_for_model(_MODEL), seed=0
+        )
+    return _CALIBRATION_PROFILE
+
+
+def _colocated_config() -> ServingConfig:
+    return ServingConfig(
+        prefill_mode="chunked", cost_bucket=CTX_BUCKET, limits=LIMITS
+    )
+
+
+def _disagg_config() -> ServingConfig:
+    """Raw BF16 transfer over the starved link (the baseline stack)."""
+    return ServingConfig(
+        mode="disaggregated", cost_bucket=CTX_BUCKET, limits=LIMITS,
+        disagg=DisaggConfig(
+            link_gb_per_s=DISAGG_LINK_GB_PER_S, transfer_codec="none",
+            prefill_mode="chunked",
+        ),
+    )
+
+
+def _auto_codec_config() -> ServingConfig:
+    """Policy-selected codecs everywhere, same starved link."""
+    return ServingConfig(
+        mode="disaggregated", cost_bucket=CTX_BUCKET, limits=LIMITS,
+        disagg=DisaggConfig(
+            link_gb_per_s=DISAGG_LINK_GB_PER_S, prefill_mode="chunked",
+        ),
+        weight_codec="auto", kv_codec="auto", transfer_codec="auto",
+        codec_policy="best_ratio", calibration=_calibration(),
+    )
+
+
+#: Serving configurations under test: name -> zero-arg config factory
+#: (factories, so --quick never pays the auto stack's calibration).
+CONFIGS = {
+    "colocated": _colocated_config,
+    "disagg": _disagg_config,
+    "auto_codec": _auto_codec_config,
+}
+
+
+def _serve_fn(config: ServingConfig):
+    engine = _engine()
+    return lambda requests, deadline_s: engine.serve(
+        requests, config=config, deadline_s=deadline_s
+    )
+
+
+def _measure_at(serve, profile: str, rate_rps: float):
+    return run_open_loop(
+        serve, profile, rate_rps, DURATION_S,
+        warmup_s=WARMUP_S, cooldown_s=COOLDOWN_S, seed=SEED,
+        slo=PROFILE_SLOS.get(profile),
+    )
+
+
+def _curve_row(measurement) -> dict:
+    """One rate sample's emitted metrics (the QPS-vs-latency curve)."""
+    steady = measurement.steady
+    return {
+        "rate_rps": round(measurement.rate_rps, 4),
+        "offered_rps": round(measurement.steady_offered_rps, 4),
+        "goodput_rps": round(steady.goodput_rps, 4),
+        "ttft_p95_s": round(steady.ttft.p95_s, 6),
+        "itl_p95_s": round(steady.tpot.p95_s, 6),
+        "slo_violation_rate": round(
+            measurement.steady_slo_violation_rate, 4
+        ),
+        "unfinished_rate": round(measurement.result.unfinished_rate, 4),
+    }
+
+
+def measure_config(
+    profile: str, config: ServingConfig, curves: bool = True
+) -> dict:
+    """Knee + (optionally) the rate curve for one profile × config."""
+    serve = _serve_fn(config)
+
+    def probe(rate: float) -> bool:
+        return goodput_feasible(_measure_at(serve, profile, rate))
+
+    knee = find_knee(
+        probe, LO_RPS, HI_RPS,
+        rate_tol_rps=RATE_TOL_RPS, max_probes=MAX_PROBES,
+    )
+    row = {
+        "knee_rps": round(knee.knee_rps, 4),
+        "n_probes": knee.n_probes,
+    }
+    if curves and knee.knee_rps > 0:
+        row["curve"] = [
+            _curve_row(_measure_at(serve, profile, frac * knee.knee_rps))
+            for frac in CURVE_FRACTIONS
+        ]
+    return row
+
+
+def measure_capacity(quick: bool = False, curves: bool = True) -> dict:
+    """The full capacity surface: {profile: {config: {knee, curve}}}.
+
+    ``quick`` skips the bisection and sweeps the fixed
+    :data:`QUICK_RATES` × :data:`QUICK_PROFILES` grid — the CI smoke
+    run, exercising the whole pipeline in a few simulated minutes.
+    """
+    profiles = QUICK_PROFILES if quick else tuple(list_profiles())
+    surface: dict = {}
+    for profile in profiles:
+        surface[profile] = {}
+        for name, config_fn in CONFIGS.items():
+            start = time.perf_counter()
+            config = config_fn()
+            if quick:
+                serve = _serve_fn(config)
+                row = {
+                    "curve": [
+                        _curve_row(_measure_at(serve, profile, rate))
+                        for rate in QUICK_RATES
+                    ],
+                }
+            else:
+                row = measure_config(profile, config, curves=curves)
+            row["wall_s"] = round(time.perf_counter() - start, 3)
+            surface[profile][name] = row
+            knee = row.get("knee_rps")
+            label = (
+                f"knee={knee:7.3f} rps" if knee is not None
+                else f"{len(row['curve'])} rates"
+            )
+            print(
+                f"  {profile:18s} {name:12s} {label}"
+                f"  wall={row['wall_s']:6.3f}s"
+            )
+    return {
+        "config": {
+            "duration_s": DURATION_S,
+            "warmup_s": WARMUP_S,
+            "cooldown_s": COOLDOWN_S,
+            "seed": SEED,
+            "lo_rps": LO_RPS,
+            "hi_rps": HI_RPS,
+            "rate_tol_rps": RATE_TOL_RPS,
+            "link_gb_per_s": DISAGG_LINK_GB_PER_S,
+            "profile_slos": {
+                name: {"ttft_s": slo.ttft_s, "tpot_s": slo.tpot_s}
+                for name, slo in sorted(PROFILE_SLOS.items())
+            },
+            "quick": quick,
+        },
+        "profiles": surface,
+    }
+
+
+def _strip_wall(report: dict) -> dict:
+    """The committed baseline carries no wall-clock columns."""
+    return {
+        "config": report["config"],
+        "profiles": {
+            profile: {
+                name: {k: v for k, v in row.items() if k != "wall_s"}
+                for name, row in configs.items()
+            }
+            for profile, configs in report["profiles"].items()
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help=f"no bisection: {QUICK_RATES} x {QUICK_PROFILES} only",
+    )
+    parser.add_argument(
+        "--no-curves", action="store_true",
+        help="knees only (what the regression gate compares)",
+    )
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="re-bless the committed capacity baseline",
+    )
+    args = parser.parse_args(argv)
+
+    print("running open-loop capacity sweep...")
+    report = measure_capacity(quick=args.quick, curves=not args.no_curves)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    if args.update_baseline:
+        if args.quick:
+            print(
+                "FAIL: --quick runs measure no knees; refusing to bless"
+                " a baseline from them", file=sys.stderr,
+            )
+            return 1
+        DEFAULT_BASELINE.write_text(
+            json.dumps(_strip_wall(report), indent=2) + "\n"
+        )
+        print(f"updated baseline {DEFAULT_BASELINE}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -78,7 +78,23 @@ from .metrics import (
     percentile,
 )
 from .models import MODELS, LayerShape, ModelSpec, get_model
+from .openloop import (
+    KneeResult,
+    OpenLoopResult,
+    find_knee,
+    goodput_feasible,
+    open_loop_arrivals,
+    run_open_loop,
+)
 from .parallel import TensorParallelLayout, allreduce_time, shard_layer
+from .profiles import (
+    PROFILES,
+    WorkloadProfile,
+    WorkloadStream,
+    get_profile,
+    list_profiles,
+    register_profile,
+)
 from .scheduler import (
     POLICIES,
     AgingPriorityPolicy,
@@ -183,6 +199,18 @@ __all__ = [
     "multi_tenant_trace",
     "closed_loop_trace",
     "total_tokens",
+    "WorkloadStream",
+    "WorkloadProfile",
+    "PROFILES",
+    "register_profile",
+    "get_profile",
+    "list_profiles",
+    "open_loop_arrivals",
+    "OpenLoopResult",
+    "run_open_loop",
+    "goodput_feasible",
+    "KneeResult",
+    "find_knee",
     "layer_sigma",
     "estimate_layer_compression",
     "materialize_layer",

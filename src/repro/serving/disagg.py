@@ -943,8 +943,22 @@ class DisaggregatedCore:
         self.transfer_ratio = resolve_transfer_ratio(self.config)
 
     # ------------------------------------------------------------------
-    def serve(self, requests: list[Request]) -> ContinuousResult:
-        """Replay a trace through the three-stage kernel pipeline."""
+    def serve(
+        self,
+        requests: list[Request],
+        deadline_s: float | None = None,
+    ) -> ContinuousResult:
+        """Replay a trace through the three-stage kernel pipeline.
+
+        ``deadline_s`` bounds the simulation exactly as in
+        :meth:`~repro.serving.serve.ServingCore.serve`: the kernel stops
+        before the first event past it, and every request not yet
+        decoded to completion — still queued for prefill, on the wire,
+        or mid-decode — is counted in ``n_unfinished`` (with partial
+        timings where a first token exists) instead of raising the
+        stranded-work invariant.  ``None`` keeps run-to-completion
+        behaviour bit-exactly.
+        """
         if not requests:
             raise ConfigError("serve needs at least one request")
         disagg = self.config.disagg
@@ -964,7 +978,7 @@ class DisaggregatedCore:
                 requests, self.costs, self.config, link, decode_pool
             )
         decode_pool.set_upstream(prefill, link)
-        EventKernel([prefill, link, decode_pool]).run()
+        EventKernel([prefill, link, decode_pool]).run(until=deadline_s)
 
         replicas = decode_pool.replicas
         transfers = link.records
@@ -977,6 +991,10 @@ class DisaggregatedCore:
         for replica in replicas:
             finished.extend(replica.scheduler.finished)
         finished.sort(key=lambda r: r.request_id)
+        finished_ids = {r.request_id for r in finished}
+        unfinished = [
+            r for r in requests if r.request_id not in finished_ids
+        ]
         pools = (
             PoolStats.from_busy(
                 "prefill", prefill.busy, makespan,
@@ -1012,4 +1030,6 @@ class DisaggregatedCore:
                 n_links=link.n_links,
                 peak_queue_depth=link.peak_queue_depth,
             ),
+            unfinished=unfinished,
+            deadline_s=deadline_s,
         )

@@ -293,6 +293,7 @@ class InferenceEngine:
         requests: list[Request],
         config: ServingConfig | None = None,
         limits: SchedulerLimits | None = None,
+        deadline_s: float | None = None,
     ) -> ContinuousResult:
         """Serve a request trace through the event-driven serving core.
 
@@ -333,6 +334,12 @@ class InferenceEngine:
         measured rather than analytic (:mod:`repro.compression`'s
         calibration subsystem).  :meth:`resolve_codecs` exposes the
         same selection for inspection without running a trace.
+
+        ``deadline_s`` bounds the simulation (both topologies): the run
+        stops before the first event past it and requests still in
+        flight are counted as ``n_unfinished`` on the result — the
+        open-loop overload contract of :mod:`repro.serving.openloop`.
+        ``None`` (default) runs to completion, bit-compatibly.
         """
         config = (config or ServingConfig()).with_limits(limits)
         config, layer_specs = self._resolve_auto(config)
@@ -343,9 +350,9 @@ class InferenceEngine:
             disagg_core = DisaggregatedCore(
                 costs, kv_spec, kv_bytes, config
             )
-            return disagg_core.serve(requests)
+            return disagg_core.serve(requests, deadline_s=deadline_s)
         core = ServingCore(costs, kv_spec, kv_bytes, config)
-        return core.serve(requests)
+        return core.serve(requests, deadline_s=deadline_s)
 
     # ------------------------------------------------------------------
     # Codec auto-selection (the calibration + policy subsystem)

@@ -175,7 +175,7 @@ class EventKernel:
         if idx is not None:
             self._dirty.add(idx)
 
-    def run(self) -> float:
+    def run(self, until: float | None = None) -> float:
         """Drive all stages until none reports an event; returns the clock.
 
         Each iteration: refresh the cached event times of dirty and
@@ -184,6 +184,18 @@ class EventKernel:
         backpressure stall may report a stale time), then advance every
         stage whose event is due at that instant, in stage order.  When
         the loop drains, every stage's :meth:`Stage.finish` hook runs.
+
+        ``until`` is a hard simulation deadline: the kernel stops
+        *before* the first event scheduled strictly past it, leaving
+        unfinished work in the stages (an overloaded open-loop run must
+        terminate with its backlog counted, not simulated forever).  A
+        deadline stop skips the :meth:`Stage.finish` invariant hooks —
+        leftover work is the expected outcome, and the caller accounts
+        it; a run that drains *before* the deadline still runs them.
+        An event *at* ``until`` is processed (its advance may carry a
+        stage's internal clock past the deadline — the last step is
+        committed whole, never split).  ``until=None`` (default) is the
+        historical run-to-completion behaviour, bit-identical.
 
         Heap entries are ``(time, generation, stage_index)``; a stage's
         generation bumps on every re-poll, so entries whose generation
@@ -200,6 +212,7 @@ class EventKernel:
             stage._kernel = self
         try:
             stalled_iterations = 0
+            timed_out = False
             while True:
                 # Re-poll stages whose cache is stale (dirty) or whose
                 # last answer was None (idle/stalled stages can be woken
@@ -218,6 +231,9 @@ class EventKernel:
                 if not heap:
                     break
                 t = heap[0][0]
+                if until is not None and t > until:
+                    timed_out = True
+                    break
                 if t > self.now:
                     self.now = t
                     stalled_iterations = 0
@@ -240,8 +256,9 @@ class EventKernel:
                 for i in due:
                     self.stages[i].advance(self.now)
                     self._dirty.add(i)
-            for stage in self.stages:
-                stage.finish()
+            if not timed_out:
+                for stage in self.stages:
+                    stage.finish()
         finally:
             for stage in self.stages:
                 stage._kernel = None

@@ -61,7 +61,16 @@ class LatencySummary:
 
     @classmethod
     def from_values(cls, values: list[float]) -> "LatencySummary":
-        """Summarise a sample; an empty sample yields the zero summary."""
+        """Summarise a sample; an empty sample yields the zero summary.
+
+        Non-finite values (the NaN stamps of partial timings — requests
+        cut off by a deadline before finishing) are filtered out rather
+        than poisoning the percentiles; a cohort with *only* non-finite
+        values therefore also yields the zero summary (``n == 0``), so
+        an overloaded window with zero finished requests summarises
+        cleanly instead of raising.
+        """
+        values = [v for v in values if math.isfinite(v)]
         if not values:
             return cls()
         return cls(
@@ -89,15 +98,27 @@ class SLOTarget:
 
 @dataclass(frozen=True)
 class RequestTiming:
-    """Timing of one finished request, derived from its lifecycle stamps."""
+    """Timing of one request, derived from its lifecycle stamps.
+
+    ``finish_s=None`` marks a **partial** timing — the request produced
+    its first token but was cut off (by an open-loop ``deadline_s``)
+    before finishing.  Its TTFT is real; its TPOT and end-to-end latency
+    are ``nan`` (filtered by :meth:`LatencySummary.from_values`), and it
+    never meets an SLO (``nan`` comparisons are False).
+    """
 
     request_id: int
     arrival_s: float
     first_token_s: float
-    finish_s: float
+    finish_s: float | None
     n_tokens: int
     tenant: str = "default"
     priority: int = 0
+
+    @property
+    def finished(self) -> bool:
+        """Whether the request ran to completion (has a finish stamp)."""
+        return self.finish_s is not None
 
     @property
     def ttft_s(self) -> float:
@@ -106,30 +127,47 @@ class RequestTiming:
 
     @property
     def tpot_s(self) -> float:
-        """Mean time per output token after the first."""
+        """Mean time per output token after the first (nan if partial)."""
+        if self.finish_s is None:
+            return math.nan
         if self.n_tokens <= 1:
             return 0.0
         return (self.finish_s - self.first_token_s) / (self.n_tokens - 1)
 
     @property
     def e2e_s(self) -> float:
-        """End-to-end request latency."""
+        """End-to-end request latency (nan if partial)."""
+        if self.finish_s is None:
+            return math.nan
         return self.finish_s - self.arrival_s
 
     def meets(self, slo: SLOTarget) -> bool:
-        """Whether this request met both SLO targets."""
+        """Whether this request met both SLO targets.
+
+        A partial timing never meets (its ``nan`` TPOT compares False),
+        so deadline-cut requests count as SLO violations, not free
+        passes.
+        """
         return self.ttft_s <= slo.ttft_s and self.tpot_s <= slo.tpot_s
 
 
-def collect_timings(finished) -> list[RequestTiming]:
-    """Extract :class:`RequestTiming` rows from finished requests.
+def collect_timings(
+    finished, include_partial: bool = False,
+) -> list[RequestTiming]:
+    """Extract :class:`RequestTiming` rows from request objects.
 
-    Requests missing a ``first_token_s`` or ``finish_s`` stamp are dropped
-    (they never produced output — e.g. the run was cut short).
+    Requests missing a ``first_token_s`` stamp are always dropped (they
+    never produced output).  Requests with a first token but no
+    ``finish_s`` are dropped by default (the historical contract for
+    finished sets); with ``include_partial=True`` they become partial
+    timings (``finish_s=None``) — the deadline-cut cohort of an
+    open-loop overload run, whose TTFTs are real measurements.
     """
     rows = []
     for req in finished:
-        if req.first_token_s is None or req.finish_s is None:
+        if req.first_token_s is None:
+            continue
+        if req.finish_s is None and not include_partial:
             continue
         rows.append(RequestTiming(
             request_id=req.request_id,
@@ -154,6 +192,15 @@ class ServingMetrics:
     slo_attainment: float = 0.0
     goodput_rps: float = 0.0
     goodput_tok_s: float = 0.0
+    #: How many timings entered the aggregation (finished + partial);
+    #: the denominator behind ``slo_attainment``.  ``latency.n`` can be
+    #: smaller — partial timings carry no finite e2e latency.
+    n_timings: int = 0
+
+    @property
+    def slo_violation_rate(self) -> float:
+        """Fraction of timed requests that violated the SLO (0 if none)."""
+        return 1.0 - self.slo_attainment if self.n_timings else 0.0
 
     @classmethod
     def from_timings(
@@ -162,7 +209,16 @@ class ServingMetrics:
         makespan_s: float,
         slo: SLOTarget | None = None,
     ) -> "ServingMetrics":
-        """Aggregate a run; empty ``timings`` yields the zero metrics."""
+        """Aggregate a run; empty ``timings`` yields the zero metrics.
+
+        Partial timings (``finish_s=None``) are legal inputs: their
+        ``nan`` latencies are filtered out of the summaries by
+        :meth:`LatencySummary.from_values`, they count in the
+        ``slo_attainment`` denominator, and they never reach the goodput
+        numerator — an all-partial overloaded window therefore reports
+        real TTFTs, zero latency samples, zero attainment, finite
+        everything.
+        """
         slo = slo or SLOTarget()
         if not timings:
             return cls(slo=slo)
@@ -178,6 +234,7 @@ class ServingMetrics:
             slo_attainment=len(good) / len(timings),
             goodput_rps=len(good) / span,
             goodput_tok_s=sum(t.n_tokens for t in good) / span,
+            n_timings=len(timings),
         )
 
 
@@ -310,6 +367,12 @@ class ContinuousResult:
     The first eight fields are the seed-era summary (kept for
     compatibility); ``metrics`` carries the full TTFT/TPOT/percentile/SLO
     picture and the remaining fields describe how the run was scheduled.
+
+    ``n_requests`` counts *finished* requests.  A deadline-bounded run
+    (open-loop overload) additionally reports ``n_unfinished`` (offered
+    but cut off by ``deadline_s``) and ``n_rejected`` (refused at
+    admission); conservation holds by construction:
+    ``n_requests + n_unfinished + n_rejected == n_offered``.
     """
 
     makespan_s: float
@@ -332,6 +395,52 @@ class ContinuousResult:
     pools: tuple[PoolStats, ...] = ()
     #: KV-transfer accounting; ``None`` in colocated mode.
     transfer: TransferStats | None = None
+    #: Requests still in flight (or never started) when the run's
+    #: ``deadline_s`` cut it off; 0 on run-to-completion traces.
+    n_unfinished: int = 0
+    #: Requests refused at admission (none of the current admission
+    #: paths reject — the slot exists so conservation is checkable).
+    n_rejected: int = 0
+    #: The hard simulation deadline the run was bounded by, if any.
+    deadline_s: float | None = None
+
+    @property
+    def n_offered(self) -> int:
+        """Total requests submitted to the run (finished or not)."""
+        return self.n_requests + self.n_unfinished + self.n_rejected
+
+    @property
+    def unfinished_rate(self) -> float:
+        """Fraction of offered requests cut off unfinished (0 if none)."""
+        offered = self.n_offered
+        return self.n_unfinished / offered if offered else 0.0
+
+    def window_metrics(
+        self,
+        start_s: float,
+        end_s: float,
+        slo: SLOTarget | None = None,
+    ) -> ServingMetrics:
+        """Metrics over the requests that *arrived* in ``[start_s, end_s)``.
+
+        The steady-state window of an open-loop run: warmup and cooldown
+        cohorts are excluded by arrival stamp (the standard open-loop
+        convention — a request belongs to the window that offered it,
+        wherever its tokens land), and the goodput denominator is the
+        window length, so goodput_rps is directly comparable to the
+        offered rate.  Partial timings inside the window count as SLO
+        violations; an empty window yields the zero metrics.
+        """
+        if not end_s > start_s:
+            raise ConfigError(
+                f"window needs end_s > start_s, got [{start_s}, {end_s})"
+            )
+        rows = [
+            t for t in self.timings if start_s <= t.arrival_s < end_s
+        ]
+        return ServingMetrics.from_timings(
+            rows, end_s - start_s, slo or self.metrics.slo
+        )
 
     def pool(self, name: str) -> PoolStats:
         """The named pool's stats (disaggregated runs only)."""
@@ -361,11 +470,24 @@ class ContinuousResult:
         mode: str = "colocated",
         pools: tuple[PoolStats, ...] = (),
         transfer: TransferStats | None = None,
+        unfinished=(),
+        n_rejected: int = 0,
+        deadline_s: float | None = None,
     ) -> "ContinuousResult":
-        """Build the result from the finished set (guards the empty case)."""
+        """Build the result from the finished set (guards the empty case).
+
+        ``unfinished`` carries the requests a ``deadline_s`` cut off:
+        those that produced a first token contribute partial timings
+        (real TTFT, nan TPOT/e2e, never SLO-good) and their generated
+        tokens count toward throughput — the work was done, even if the
+        request was not.  Default arguments keep run-to-completion
+        results bit-identical.
+        """
         timings = collect_timings(finished)
+        timings += collect_timings(unfinished, include_partial=True)
         metrics = ServingMetrics.from_timings(timings, makespan_s, slo)
         tokens = sum(r.generated for r in finished)
+        tokens += sum(r.generated for r in unfinished)
         return cls(
             makespan_s=makespan_s,
             tokens_generated=tokens,
@@ -383,4 +505,7 @@ class ContinuousResult:
             mode=mode,
             pools=pools,
             transfer=transfer,
+            n_unfinished=len(unfinished),
+            n_rejected=n_rejected,
+            deadline_s=deadline_s,
         )

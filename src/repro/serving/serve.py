@@ -473,8 +473,23 @@ class ServingCore:
         self.kv_bytes = kv_bytes
 
     # ------------------------------------------------------------------
-    def serve(self, requests: list[Request]) -> ContinuousResult:
-        """Replay a request trace; returns the full metrics picture."""
+    def serve(
+        self,
+        requests: list[Request],
+        deadline_s: float | None = None,
+    ) -> ContinuousResult:
+        """Replay a request trace; returns the full metrics picture.
+
+        ``deadline_s`` bounds the simulation: the kernel stops before
+        the first event past it, and everything still pending, waiting
+        or running is counted in the result's ``n_unfinished`` (with
+        partial timings for requests that produced a first token)
+        instead of being simulated to completion.  ``None`` (default)
+        keeps the historical run-to-completion behaviour bit-exactly —
+        including the stranded-request :class:`~repro.errors.CapacityError`,
+        which a deadline run skips (a backlog at the deadline is the
+        measured outcome, not a bug).
+        """
         if not requests:
             raise ConfigError("serve needs at least one request")
         kv = PagedKVCache(self.kv_spec, self.kv_bytes)
@@ -483,7 +498,11 @@ class ServingCore:
         )
         pending = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
         stage = ColocatedStage(self.costs, scheduler, pending, self.config)
-        EventKernel([stage]).run()
+        EventKernel([stage]).run(until=deadline_s)
+        unfinished = (
+            list(stage.pending) + list(scheduler.waiting)
+            + list(scheduler.running)
+        )
         return ContinuousResult.from_run(
             scheduler.finished,
             makespan_s=stage.clock,
@@ -493,6 +512,8 @@ class ServingCore:
             n_preemptions=scheduler.n_preemptions,
             policy=scheduler.policy.name,
             prefill_mode=self.config.prefill_mode,
+            unfinished=unfinished,
+            deadline_s=deadline_s,
         )
 
 

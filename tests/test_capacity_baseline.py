@@ -1,0 +1,79 @@
+"""Structural checks on the committed capacity baseline.
+
+``benchmarks/BENCH_capacity_baseline.json`` is a measured artifact
+(blessed by ``bench_capacity.py --update-baseline``), so these tests
+read it rather than re-measuring: they pin the *shape* the rest of the
+tooling depends on and the headline acceptance property — on the
+0.125 GB/s link, the auto-codec stack's knee is strictly above raw
+transfer's for every workload profile.  If a re-bless breaks one of
+these, the capacity story regressed, not the test.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.serving import list_profiles
+
+BASELINE_PATH = (
+    Path(__file__).parent.parent
+    / "benchmarks" / "BENCH_capacity_baseline.json"
+)
+
+CONFIG_NAMES = ("colocated", "disagg", "auto_codec")
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return json.loads(BASELINE_PATH.read_text())
+
+
+def test_baseline_committed(baseline):
+    assert not baseline["config"]["quick"], (
+        "the committed baseline must come from a full (bisecting) run,"
+        " not --quick"
+    )
+    assert baseline["config"]["link_gb_per_s"] == pytest.approx(0.125)
+
+
+def test_every_profile_and_config_present(baseline):
+    assert set(baseline["profiles"]) == set(list_profiles())
+    for profile, configs in baseline["profiles"].items():
+        assert set(configs) == set(CONFIG_NAMES), profile
+
+
+def test_knees_positive_and_converged(baseline):
+    for profile, configs in baseline["profiles"].items():
+        for config, row in configs.items():
+            assert row["knee_rps"] > 0, f"{profile}/{config}"
+            assert row["n_probes"] >= 2, f"{profile}/{config}"
+
+
+def test_auto_codec_knee_strictly_above_raw_on_starved_link(baseline):
+    """The paper's claim, end to end: compression buys admissible rate.
+
+    On the bandwidth-starved link, policy-selected codecs must sustain
+    a strictly higher saturating rate than raw BF16 transfer — for
+    every workload profile, not just the friendly ones.
+    """
+    for profile, configs in baseline["profiles"].items():
+        raw = configs["disagg"]["knee_rps"]
+        auto = configs["auto_codec"]["knee_rps"]
+        assert auto > raw, (
+            f"{profile}: auto_codec knee {auto} rps not strictly above"
+            f" raw-transfer knee {raw} rps"
+        )
+
+
+def test_curves_cover_the_knee(baseline):
+    """Committed curves bracket saturation: sub- and super-knee rates."""
+    for profile, configs in baseline["profiles"].items():
+        for config, row in configs.items():
+            curve = row["curve"]
+            knee = row["knee_rps"]
+            rates = [point["rate_rps"] for point in curve]
+            assert min(rates) < knee < max(rates), f"{profile}/{config}"
+            for point in curve:
+                assert point["goodput_rps"] >= 0
+                assert 0 <= point["slo_violation_rate"] <= 1

@@ -87,6 +87,13 @@ class TestEntryPoints:
             in entry_points
         )
 
+    def test_recipe_covers_workload_profiles(self, entry_points):
+        """Recipe 6 (capacity measurement) stays pinned."""
+        assert "repro.serving.profiles.WorkloadProfile" in entry_points
+        assert "repro.serving.profiles.register_profile" in entry_points
+        assert "repro.serving.openloop.run_open_loop" in entry_points
+        assert "repro.serving.openloop.find_knee" in entry_points
+
 
 class TestReadmeCommands:
     """The README quickstart's moving parts exist."""

@@ -1,0 +1,271 @@
+"""Tests for the workload-profile library (`repro.serving.profiles`).
+
+Every profile must be a pure function of its seed (the capacity
+baseline's comparability depends on it) and is pinned by a committed
+golden (``tests/data/profile_goldens.json``) so a distribution change
+shows up as a reviewable diff, never as a silent knee shift.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, UnknownSpecError
+from repro.serving.profiles import (
+    PROFILES,
+    WorkloadProfile,
+    WorkloadStream,
+    get_profile,
+    list_profiles,
+    register_profile,
+)
+from repro.serving.trace import LengthDistribution, multi_tenant_trace
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "profile_goldens.json"
+
+#: The arrival grid the goldens were generated on (seed 0).
+GOLDEN_ARRIVALS = [0.5 * i for i in range(8)]
+
+BUILTINS = ("fixed_length", "chat", "code_generation", "rag_long_context")
+
+
+def _fields(trace):
+    return [
+        (r.request_id, r.arrival_s, r.prompt_len, r.max_new_tokens,
+         r.tenant, r.priority)
+        for r in trace
+    ]
+
+
+def small_profile(name="tmp", weight_a=1.0, weight_b=None):
+    streams = {
+        "a": WorkloadStream(
+            weight=weight_a,
+            prompts=LengthDistribution(64, 0.2, 16, 128),
+            outputs=LengthDistribution(16, 0.0, 16, 16),
+        ),
+    }
+    if weight_b is not None:
+        streams["b"] = WorkloadStream(
+            weight=weight_b,
+            prompts=LengthDistribution(512, 0.2, 256, 1024),
+            outputs=LengthDistribution(64, 0.0, 64, 64),
+            priority=1,
+        )
+    return WorkloadProfile(name=name, description="test", streams=streams)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert set(BUILTINS) <= set(PROFILES)
+
+    def test_list_profiles_sorted(self):
+        assert list_profiles() == sorted(PROFILES)
+
+    def test_get_profile_by_name(self):
+        assert get_profile("chat").name == "chat"
+
+    def test_get_profile_passthrough(self):
+        p = small_profile()
+        assert get_profile(p) is p
+
+    def test_unknown_name_suggests(self):
+        with pytest.raises(UnknownSpecError) as exc:
+            get_profile("caht")
+        assert exc.value.suggestion == "chat"
+        assert "chat" in str(exc.value)
+
+    def test_register_and_remove(self):
+        p = small_profile(name="scratch_profile")
+        try:
+            assert register_profile(p) is p
+            assert get_profile("scratch_profile") is p
+        finally:
+            del PROFILES["scratch_profile"]
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigError):
+            register_profile(small_profile(name="chat"))
+
+
+class TestValidation:
+    def test_stream_weight_positive(self):
+        with pytest.raises(ConfigError):
+            WorkloadStream(
+                weight=0.0,
+                prompts=LengthDistribution(64, 0.2, 16, 128),
+                outputs=LengthDistribution(16, 0.0, 16, 16),
+            )
+
+    def test_profile_needs_streams(self):
+        with pytest.raises(ConfigError):
+            WorkloadProfile(name="empty", description="x", streams={})
+
+    def test_profile_needs_name(self):
+        with pytest.raises(ConfigError):
+            WorkloadProfile(name="", description="x",
+                            streams=small_profile().streams)
+
+    def test_trace_needs_arrivals(self):
+        with pytest.raises(ConfigError):
+            get_profile("chat").trace([])
+
+    def test_trace_rejects_unsorted_arrivals(self):
+        with pytest.raises(ConfigError):
+            get_profile("chat").trace([1.0, 0.5])
+
+    def test_tenant_specs_rate_positive(self):
+        with pytest.raises(ConfigError):
+            get_profile("chat").tenant_specs(0.0, 10)
+
+    def test_tenant_specs_needs_request_per_stream(self):
+        with pytest.raises(ConfigError):
+            get_profile("chat").tenant_specs(1.0, 1)
+
+
+class TestSeedDeterminism:
+    """Every profile must replay bit-identically from its seed."""
+
+    @pytest.mark.parametrize("name", BUILTINS)
+    def test_trace_replays_from_seed(self, name):
+        profile = get_profile(name)
+        arrivals = np.linspace(0.0, 10.0, 50)
+        a = _fields(profile.trace(arrivals, seed=42))
+        b = _fields(profile.trace(arrivals, seed=42))
+        assert a == b
+
+    @pytest.mark.parametrize("name", BUILTINS)
+    def test_seed_changes_stream(self, name):
+        profile = get_profile(name)
+        if name == "fixed_length":
+            pytest.skip("cv=0 profile is seed-independent by design")
+        arrivals = np.linspace(0.0, 10.0, 50)
+        a = _fields(profile.trace(arrivals, seed=42))
+        b = _fields(profile.trace(arrivals, seed=43))
+        assert a != b
+
+    def test_fixed_length_seed_independent(self):
+        profile = get_profile("fixed_length")
+        arrivals = np.linspace(0.0, 10.0, 20)
+        a = _fields(profile.trace(arrivals, seed=0))
+        b = _fields(profile.trace(arrivals, seed=999))
+        assert a == b
+
+
+class TestGoldens:
+    """Committed per-profile goldens: distribution drift is a diff."""
+
+    @pytest.fixture(scope="class")
+    def goldens(self):
+        return json.loads(GOLDEN_PATH.read_text())
+
+    def test_every_builtin_has_a_golden(self, goldens):
+        assert set(goldens) == set(BUILTINS)
+
+    @pytest.mark.parametrize("name", BUILTINS)
+    def test_matches_golden(self, goldens, name):
+        trace = get_profile(name).trace(GOLDEN_ARRIVALS, seed=0)
+        got = [
+            {
+                "request_id": r.request_id,
+                "arrival_s": r.arrival_s,
+                "prompt_len": r.prompt_len,
+                "max_new_tokens": r.max_new_tokens,
+                "tenant": r.tenant,
+                "priority": r.priority,
+            }
+            for r in trace
+        ]
+        assert got == goldens[name], (
+            f"profile {name!r} drifted from its committed golden;"
+            " if intentional, regenerate tests/data/profile_goldens.json"
+            " and re-bless the capacity baseline"
+        )
+
+
+class TestTraceShape:
+    @pytest.mark.parametrize("name", BUILTINS)
+    def test_lengths_within_declared_bounds(self, name):
+        profile = get_profile(name)
+        arrivals = np.linspace(0.0, 20.0, 300)
+        trace = profile.trace(arrivals, seed=1)
+        for req in trace:
+            stream = profile.streams[req.tenant]
+            assert stream.prompts.minimum <= req.prompt_len \
+                <= stream.prompts.maximum
+            assert stream.outputs.minimum <= req.max_new_tokens \
+                <= stream.outputs.maximum
+            assert req.priority == stream.priority
+
+    def test_arrival_stamps_preserved(self):
+        arrivals = [0.0, 0.25, 1.5, 1.5, 7.0]
+        trace = get_profile("chat").trace(arrivals, seed=0)
+        assert [r.arrival_s for r in trace] == arrivals
+        assert [r.request_id for r in trace] == list(range(5))
+
+    def test_chat_mix_roughly_ninety_ten(self):
+        arrivals = np.linspace(0.0, 100.0, 2000)
+        trace = get_profile("chat").trace(arrivals, seed=2)
+        interactive = sum(1 for r in trace if r.tenant == "interactive")
+        assert interactive / len(trace) == pytest.approx(0.9, abs=0.03)
+        assert all(
+            r.priority == 1 for r in trace if r.tenant == "interactive"
+        )
+
+    def test_code_generation_is_prefill_heavy(self):
+        trace = get_profile("code_generation").trace(
+            np.linspace(0.0, 50.0, 500), seed=3
+        )
+        mean_prompt = np.mean([r.prompt_len for r in trace])
+        mean_output = np.mean([r.max_new_tokens for r in trace])
+        assert mean_prompt > 8 * mean_output
+
+    def test_rag_prompts_longest_of_builtins(self):
+        arrivals = np.linspace(0.0, 50.0, 500)
+        means = {
+            name: np.mean([
+                r.prompt_len
+                for r in get_profile(name).trace(arrivals, seed=4)
+            ])
+            for name in BUILTINS
+        }
+        assert means["rag_long_context"] == max(means.values())
+
+    def test_single_stream_matches_bare_distribution_draws(self):
+        # Single-stream profiles skip the assignment draw, so their
+        # length sequence equals sampling the distributions directly.
+        profile = get_profile("rag_long_context")
+        stream = profile.streams["rag"]
+        arrivals = np.linspace(0.0, 10.0, 64)
+        trace = profile.trace(arrivals, seed=5)
+        rng = np.random.default_rng(5)
+        prompts = stream.prompts.sample(64, rng)
+        outputs = stream.outputs.sample(64, rng)
+        assert [r.prompt_len for r in trace] == prompts.tolist()
+        assert [r.max_new_tokens for r in trace] == outputs.tolist()
+
+
+class TestTenantSpecs:
+    def test_rates_split_by_weight(self):
+        specs = get_profile("chat").tenant_specs(10.0, 100)
+        assert specs["interactive"].rate_rps == pytest.approx(9.0)
+        assert specs["batch"].rate_rps == pytest.approx(1.0)
+        assert sum(s.rate_rps for s in specs.values()) == pytest.approx(10.0)
+        assert specs["interactive"].priority == 1
+
+    def test_counts_split_by_weight(self):
+        specs = get_profile("chat").tenant_specs(10.0, 100)
+        assert specs["interactive"].n_requests == 90
+        assert specs["batch"].n_requests == 10
+
+    def test_every_stream_gets_a_request(self):
+        specs = get_profile("chat").tenant_specs(10.0, 2)
+        assert all(s.n_requests >= 1 for s in specs.values())
+
+    def test_compiles_through_multi_tenant_trace(self):
+        specs = get_profile("chat").tenant_specs(20.0, 30)
+        trace = multi_tenant_trace(specs, seed=6)
+        assert len(trace) == 30
+        assert {r.tenant for r in trace} == {"interactive", "batch"}

@@ -30,12 +30,21 @@ roadmap-scale studies need.
 wall second) are recorded in the per-run report for humans but not
 gated directly and not committed in the baseline.
 
+``--mode capacity`` gates the open-loop capacity surface instead: it
+re-measures every workload profile × serving configuration knee via
+``benchmarks/bench_capacity.py`` and fails when any knee drops more
+than ``KNEE_TOLERANCE`` (10%) below the committed
+``benchmarks/BENCH_capacity_baseline.json``.  Knees are simulated and
+seeded, so — like the accuracy metrics — any drop is a real capacity
+regression, never CI noise.
+
 Usage::
 
     python tools/bench_regression.py                  # gate against baseline
     python tools/bench_regression.py --update-baseline  # re-bless the numbers
+    python tools/bench_regression.py --mode capacity  # gate the knees
 
-CI runs the gate in the tests job (see ``.github/workflows/ci.yml``).
+CI runs both gates in the tests job (see ``.github/workflows/ci.yml``).
 """
 
 from __future__ import annotations
@@ -65,6 +74,9 @@ SIM_THROUGHPUT_TOLERANCE = 0.25
 #: that the host had a bad moment.
 WALL_BUDGET_S = 120.0
 
+#: Allowed relative drop of any capacity knee (``--mode capacity``).
+KNEE_TOLERANCE = 0.10
+
 #: Deterministic serving scenarios, shared with the bench harness CLI.
 SCENARIOS = bench_serving.SCENARIOS
 
@@ -72,6 +84,9 @@ DEFAULT_BASELINE = ROOT / "benchmarks" / "BENCH_serving_baseline.json"
 #: Per-run artifact lives next to the baseline, not in the repo root
 #: (both paths are gitignored; only the baseline is committed).
 DEFAULT_OUTPUT = ROOT / "benchmarks" / "BENCH_serving.json"
+
+CAPACITY_BASELINE = ROOT / "benchmarks" / "BENCH_capacity_baseline.json"
+CAPACITY_OUTPUT = ROOT / "benchmarks" / "BENCH_capacity.json"
 
 
 def measure() -> dict:
@@ -146,15 +161,114 @@ def compare(measured: dict, baseline: dict) -> list[str]:
     return failures
 
 
+def measure_capacity() -> dict:
+    """Re-measure every profile × config knee (no curves — gate only)."""
+    import bench_capacity
+
+    return bench_capacity.measure_capacity(quick=False, curves=False)
+
+
+def compare_capacity(measured: dict, baseline: dict) -> list[str]:
+    """Knee drops beyond KNEE_TOLERANCE, as failure lines.
+
+    Knees may *rise* freely (that is the point of the work); only drops
+    gate.  A profile × config pair present in the baseline but missing
+    from the run — or vice versa — fails loudly rather than silently
+    shrinking coverage.
+    """
+    failures = []
+    got_profiles = measured["profiles"]
+    base_profiles = baseline["profiles"]
+    for profile, configs in got_profiles.items():
+        for config in configs:
+            if base_profiles.get(profile, {}).get(config) is None:
+                failures.append(
+                    f"{profile}/{config}: no baseline entry — run"
+                    " bench_capacity.py --update-baseline and commit it"
+                )
+    for profile, configs in base_profiles.items():
+        for config, base_row in configs.items():
+            got_row = got_profiles.get(profile, {}).get(config)
+            if got_row is None:
+                failures.append(
+                    f"{profile}/{config}: missing from this run"
+                )
+                continue
+            got_knee = got_row["knee_rps"]
+            base_knee = base_row["knee_rps"]
+            if got_knee < base_knee * (1 - KNEE_TOLERANCE):
+                failures.append(
+                    f"{profile}/{config}: knee {got_knee:.3f} rps vs"
+                    f" baseline {base_knee:.3f} rps"
+                    f" ({got_knee / base_knee - 1:.1%})"
+                )
+    return failures
+
+
+def _run_capacity_mode(args) -> int:
+    import bench_capacity
+
+    print("running open-loop capacity scenarios...")
+    measured = measure_capacity()
+    args.output.write_text(json.dumps(measured, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    if args.update_baseline:
+        args.baseline.write_text(
+            json.dumps(bench_capacity._strip_wall(measured), indent=2)
+            + "\n"
+        )
+        print(f"updated baseline {args.baseline}")
+        return 0
+
+    if not args.baseline.exists():
+        print(
+            f"FAIL: no baseline at {args.baseline}; run with"
+            " --update-baseline and commit it", file=sys.stderr,
+        )
+        return 1
+
+    failures = compare_capacity(measured, json.loads(args.baseline.read_text()))
+    if failures:
+        print(
+            f"FAIL: capacity knee regressed (> {KNEE_TOLERANCE:.0%} drop):",
+            file=sys.stderr,
+        )
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(
+        f"ok: all capacity knees within {KNEE_TOLERANCE:.0%} of the baseline"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
-    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument(
+        "--mode", choices=("serving", "capacity"), default="serving",
+        help="serving: scenario makespans/throughput;"
+        " capacity: open-loop knees per profile x config",
+    )
+    parser.add_argument("--baseline", type=Path, default=None)
+    parser.add_argument("--output", type=Path, default=None)
     parser.add_argument(
         "--update-baseline", action="store_true",
         help="re-bless the current numbers as the baseline",
     )
     args = parser.parse_args(argv)
+
+    if args.baseline is None:
+        args.baseline = (
+            CAPACITY_BASELINE if args.mode == "capacity" else DEFAULT_BASELINE
+        )
+    if args.output is None:
+        args.output = (
+            CAPACITY_OUTPUT if args.mode == "capacity" else DEFAULT_OUTPUT
+        )
+
+    if args.mode == "capacity":
+        return _run_capacity_mode(args)
 
     print("running serving benchmark scenarios...")
     measured = measure()
