@@ -1,0 +1,274 @@
+"""Fleet capacity benchmark: scale-out knees per routing policy.
+
+The scale-out half of the capacity story: for each workload profile,
+locate the open-loop knee (:func:`repro.serving.openloop.find_knee`) of
+a single colocated replica and of a 4-replica colocated fleet
+(:class:`~repro.serving.fleet.FleetCore`) under two routing policies —
+``round_robin`` and ``least_kv_occupancy``.  The committed baseline
+(``benchmarks/BENCH_fleet_baseline.json``) carries the two claims the
+regression gate and ``tests/test_fleet_baseline.py`` pin:
+
+* **scale-out** — the fleet knee is at least ``0.8 × N ×`` the
+  single-replica knee on every profile (in practice it is superlinear:
+  one replica is concurrency-capped long before its GPU is);
+* **KV-aware routing** — ``least_kv_occupancy`` sustains a knee at
+  least as high as ``round_robin`` on every profile, and strictly
+  higher on the heterogeneous profiles (chat / RAG / code-generation),
+  where balancing committed KV bytes beats balancing request counts.
+
+Fleet measurement geometry deliberately differs from
+``bench_capacity.py`` in two places, both forced by what is being
+measured:
+
+* ``max_num_seqs=64`` (vs 16): with interactive single-replica limits
+  the fleet saturates on concurrency slots long before KV pressure
+  differentiates the replicas, and every routing policy measures
+  identically — the benchmark would be blind to the signal it exists
+  to compare;
+* a 30 s offered horizon (vs 15 s): fleet knees sit at 4×+ the rate,
+  where the goodput-feasibility boundary is a cliff — the longer
+  steady window keeps Poisson count noise from flipping probes at the
+  knife edge.
+
+Everything is simulated and seeded, so the numbers are
+bit-deterministic for a given code state;
+``tools/bench_regression.py --mode fleet`` gates the knees and the
+sim-throughput (``events_per_s``) of every row.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py                # sweep + knees
+    PYTHONPATH=src python benchmarks/bench_fleet.py --quick        # CI smoke
+    PYTHONPATH=src python benchmarks/bench_fleet.py --update-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+if str(ROOT / "benchmarks") not in sys.path:
+    sys.path.insert(0, str(ROOT / "benchmarks"))
+
+import bench_capacity  # noqa: E402  (shared engine + measurement geometry)
+from bench_capacity import (  # noqa: E402
+    CTX_BUCKET,
+    LO_RPS,
+    MAX_PROBES,
+    PROFILE_SLOS,
+    RATE_TOL_RPS,
+    SEED,
+    _curve_row,
+    _engine,
+    _strip_wall,
+)
+from repro.serving import (  # noqa: E402
+    FleetConfig,
+    SchedulerLimits,
+    ServingConfig,
+    find_knee,
+    goodput_feasible,
+    list_profiles,
+    run_open_loop,
+)
+
+# ----------------------------------------------------------------------
+# Fleet measurement geometry (see module docstring for why it differs)
+# ----------------------------------------------------------------------
+N_REPLICAS = 4
+LIMITS = SchedulerLimits(max_num_seqs=64, max_batched_tokens=8192)
+DURATION_S = 30.0
+WARMUP_S = 5.0
+COOLDOWN_S = 5.0
+
+#: Knee-search brackets: a fleet knee can sit at N× the single-replica
+#: one, so the fleet bracket top scales with the replica count.
+SINGLE_HI_RPS = 64.0
+FLEET_HI_RPS = 256.0
+
+#: Curve sample points as fractions of the measured knee.
+CURVE_FRACTIONS = (0.5, 0.75, 0.9, 1.0, 1.1)
+
+#: --quick mode: no bisection, this fixed grid only (CI smoke).
+QUICK_RATES = (8.0, 24.0)
+QUICK_PROFILES = ("fixed_length", "chat")
+
+DEFAULT_BASELINE = ROOT / "benchmarks" / "BENCH_fleet_baseline.json"
+DEFAULT_OUTPUT = ROOT / "benchmarks" / "BENCH_fleet.json"
+
+
+def _single_config() -> ServingConfig:
+    return ServingConfig(
+        prefill_mode="chunked", cost_bucket=CTX_BUCKET, limits=LIMITS
+    )
+
+
+def _fleet_config(routing: str) -> ServingConfig:
+    return ServingConfig(
+        mode="fleet", prefill_mode="chunked", cost_bucket=CTX_BUCKET,
+        limits=LIMITS,
+        fleet=FleetConfig(
+            n_replicas=N_REPLICAS, routing=routing,
+            instance=_single_config(),
+        ),
+    )
+
+
+#: Configurations under test: name -> (config factory, knee bracket top).
+CONFIGS = {
+    "single": (_single_config, SINGLE_HI_RPS),
+    "fleet4_round_robin": (
+        lambda: _fleet_config("round_robin"), FLEET_HI_RPS
+    ),
+    "fleet4_least_kv": (
+        lambda: _fleet_config("least_kv_occupancy"), FLEET_HI_RPS
+    ),
+}
+
+
+def _serve_fn(config: ServingConfig):
+    engine = _engine()
+    return lambda requests, deadline_s: engine.serve(
+        requests, config=config, deadline_s=deadline_s
+    )
+
+
+def _measure_at(serve, profile: str, rate_rps: float):
+    return run_open_loop(
+        serve, profile, rate_rps, DURATION_S,
+        warmup_s=WARMUP_S, cooldown_s=COOLDOWN_S, seed=SEED,
+        slo=PROFILE_SLOS.get(profile),
+    )
+
+
+def measure_config(
+    profile: str, config: ServingConfig, hi_rps: float,
+    curves: bool = True,
+) -> dict:
+    """Knee + (optionally) the rate curve for one profile × config."""
+    serve = _serve_fn(config)
+    steps = 0
+
+    def probe(rate: float) -> bool:
+        nonlocal steps
+        measurement = _measure_at(serve, profile, rate)
+        steps += measurement.result.n_steps
+        return goodput_feasible(measurement)
+
+    knee = find_knee(
+        probe, LO_RPS, hi_rps,
+        rate_tol_rps=RATE_TOL_RPS, max_probes=MAX_PROBES,
+    )
+    row = {
+        "knee_rps": round(knee.knee_rps, 4),
+        "n_probes": knee.n_probes,
+    }
+    if curves and knee.knee_rps > 0:
+        samples = [
+            _measure_at(serve, profile, frac * knee.knee_rps)
+            for frac in CURVE_FRACTIONS
+        ]
+        steps += sum(m.result.n_steps for m in samples)
+        row["curve"] = [_curve_row(m) for m in samples]
+    row["n_steps"] = steps
+    return row
+
+
+def measure_fleet(quick: bool = False, curves: bool = True) -> dict:
+    """The fleet surface: {profile: {config: {knee, curve, n_steps}}}."""
+    profiles = QUICK_PROFILES if quick else tuple(list_profiles())
+    surface: dict = {}
+    for profile in profiles:
+        surface[profile] = {}
+        for name, (config_fn, hi_rps) in CONFIGS.items():
+            start = time.perf_counter()
+            config = config_fn()
+            if quick:
+                serve = _serve_fn(config)
+                samples = [
+                    _measure_at(serve, profile, rate)
+                    for rate in QUICK_RATES
+                ]
+                row = {
+                    "curve": [_curve_row(m) for m in samples],
+                    "n_steps": sum(m.result.n_steps for m in samples),
+                }
+            else:
+                row = measure_config(profile, config, hi_rps, curves=curves)
+            row["wall_s"] = round(time.perf_counter() - start, 3)
+            row["events_per_s"] = round(row["n_steps"] / row["wall_s"], 1)
+            surface[profile][name] = row
+            knee = row.get("knee_rps")
+            label = (
+                f"knee={knee:8.3f} rps" if knee is not None
+                else f"{len(row['curve'])} rates"
+            )
+            print(
+                f"  {profile:18s} {name:18s} {label}"
+                f"  wall={row['wall_s']:6.3f}s"
+            )
+    return {
+        "config": {
+            "n_replicas": N_REPLICAS,
+            "max_num_seqs": LIMITS.max_num_seqs,
+            "duration_s": DURATION_S,
+            "warmup_s": WARMUP_S,
+            "cooldown_s": COOLDOWN_S,
+            "seed": SEED,
+            "lo_rps": LO_RPS,
+            "single_hi_rps": SINGLE_HI_RPS,
+            "fleet_hi_rps": FLEET_HI_RPS,
+            "rate_tol_rps": RATE_TOL_RPS,
+            "profile_slos": {
+                name: {"ttft_s": slo.ttft_s, "tpot_s": slo.tpot_s}
+                for name, slo in sorted(PROFILE_SLOS.items())
+            },
+            "quick": quick,
+        },
+        "profiles": surface,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help=f"no bisection: {QUICK_RATES} x {QUICK_PROFILES} only",
+    )
+    parser.add_argument(
+        "--no-curves", action="store_true",
+        help="knees only (what the regression gate compares)",
+    )
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="re-bless the committed fleet baseline",
+    )
+    args = parser.parse_args(argv)
+
+    print("running fleet capacity sweep...")
+    report = measure_fleet(quick=args.quick, curves=not args.no_curves)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    if args.update_baseline:
+        if args.quick:
+            print(
+                "FAIL: --quick runs measure no knees; refusing to bless"
+                " a baseline from them", file=sys.stderr,
+            )
+            return 1
+        DEFAULT_BASELINE.write_text(
+            json.dumps(_strip_wall(report), indent=2) + "\n"
+        )
+        print(f"updated baseline {DEFAULT_BASELINE}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -356,6 +356,53 @@ def _serve_large_disagg():
 
 
 # ----------------------------------------------------------------------
+# Fleet scenarios: router + N replicas on one kernel
+# ----------------------------------------------------------------------
+#: The fleet trace offers N_FLEET_REPLICAS × the single-replica rate, so
+#: each replica sees the same load as the colocated scenarios.
+N_FLEET_REPLICAS = 4
+FLEET_RATE_RPS = N_FLEET_REPLICAS * RATE_RPS
+LARGE_N_FLEET = 100_000
+
+
+def _fleet_core():
+    from repro.serving.fleet import FleetConfig, FleetCore
+
+    config = ServingConfig(
+        mode="fleet", prefill_mode="chunked", cost_bucket=CTX_BUCKET,
+        limits=LIMITS,
+        fleet=FleetConfig(
+            n_replicas=N_FLEET_REPLICAS, routing="least_kv_occupancy",
+        ),
+    )
+    return _record(FleetCore(
+        EngineCostModel(_MODEL, _GPU, _BACKEND), _KV_SPEC,
+        _PLAN.kv_bytes, config,
+    ))
+
+
+def _serve_fleet():
+    """500-request trace routed across a 4-replica colocated fleet."""
+    return _fleet_core().serve(
+        poisson_trace(N_REQUESTS, FLEET_RATE_RPS, seed=SEED)
+    )
+
+
+def _serve_large_fleet():
+    """100k-request fleet trace: the scale-out sim-throughput gate.
+
+    The router must wake only the replicas it delivers into
+    (:meth:`~repro.serving.kernel.Stage.notify`); a router that
+    invalidates the whole fleet per arrival puts the kernel back on the
+    O(stages) re-poll path and this scenario blows its events/s and
+    wall budgets.
+    """
+    return _fleet_core().serve(
+        poisson_trace(LARGE_N_FLEET, FLEET_RATE_RPS, seed=SEED)
+    )
+
+
+# ----------------------------------------------------------------------
 # The scenario registry (shared with tools/bench_regression.py)
 # ----------------------------------------------------------------------
 #: Deterministic serving scenarios: name -> zero-arg runner returning a
@@ -369,6 +416,8 @@ SCENARIOS = {
     "auto_codec": lambda: _serve_auto("best_ratio"),
     "large_trace_colocated": _serve_large_colocated,
     "large_trace_disagg": _serve_large_disagg,
+    "fleet_router": _serve_fleet,
+    "large_trace_fleet": _serve_large_fleet,
 }
 
 

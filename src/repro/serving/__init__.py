@@ -64,11 +64,19 @@ from .engine import (
     InferenceEngine,
     ServeResult,
 )
+from .fleet import (
+    AutoscalerConfig,
+    AutoscalerStage,
+    FleetConfig,
+    FleetCore,
+    ScaleEvent,
+)
 from .kvcache import CompressedKVCacheSpec, KVCacheSpec, PagedKVCache
 from .memory_plan import MemoryPlan, plan_memory
 from .metrics import (
     LatencySummary,
     PoolStats,
+    ReplicaStats,
     RequestTiming,
     ServingMetrics,
     SLOTarget,
@@ -111,6 +119,18 @@ from .scheduler import (
     get_policy,
 )
 from .kernel import EventKernel, Stage
+from .router import (
+    ROUTING_POLICIES,
+    LeastKVOccupancyPolicy,
+    LeastOutstandingPolicy,
+    RoundRobinPolicy,
+    RouterStage,
+    RoutingPolicy,
+    SessionAffinityPolicy,
+    get_routing_policy,
+    list_routing_policies,
+    register_routing_policy,
+)
 from .serve import (
     AUTO_CODEC,
     BackpressureConfig,
@@ -184,6 +204,22 @@ __all__ = [
     "TransferLinkStage",
     "DecodePoolStage",
     "resolve_transfer_ratio",
+    "RoutingPolicy",
+    "RoundRobinPolicy",
+    "LeastOutstandingPolicy",
+    "LeastKVOccupancyPolicy",
+    "SessionAffinityPolicy",
+    "ROUTING_POLICIES",
+    "register_routing_policy",
+    "get_routing_policy",
+    "list_routing_policies",
+    "RouterStage",
+    "FleetConfig",
+    "FleetCore",
+    "AutoscalerConfig",
+    "AutoscalerStage",
+    "ScaleEvent",
+    "ReplicaStats",
     "SLOTarget",
     "LatencySummary",
     "PoolStats",

@@ -351,6 +351,11 @@ class InferenceEngine:
                 costs, kv_spec, kv_bytes, config
             )
             return disagg_core.serve(requests, deadline_s=deadline_s)
+        if config.mode == "fleet":
+            from .fleet import FleetCore
+
+            fleet_core = FleetCore(costs, kv_spec, kv_bytes, config)
+            return fleet_core.serve(requests, deadline_s=deadline_s)
         core = ServingCore(costs, kv_spec, kv_bytes, config)
         return core.serve(requests, deadline_s=deadline_s)
 

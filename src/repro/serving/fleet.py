@@ -1,0 +1,745 @@
+"""Fleet-scale serving: N engine instances behind a router, on one kernel.
+
+One engine — colocated or disaggregated — tops out at its capacity knee;
+"millions of users" means a *fleet* of them behind a load balancer, the
+shape the multi-instance k8s deployments shipped with
+inference-benchmarker (replicas behind a service) deploy in production.
+This module makes that shape simulable without a new simulator: a fleet
+run is just more :class:`~repro.serving.kernel.Stage` objects on the
+same :class:`~repro.serving.kernel.EventKernel`.
+
+Composition (selected by ``ServingConfig(mode="fleet",
+fleet=FleetConfig(...))`` through ``InferenceEngine.serve``):
+
+* :class:`~repro.serving.router.RouterStage` — consumes the arrival
+  stream and hands each request to a replica via a registered
+  :class:`~repro.serving.router.RoutingPolicy`;
+* N **replicas**, each a full engine instance with its own scheduler
+  and KV cache: a colocated
+  :class:`~repro.serving.serve.ColocatedStage`, or an entire disagg
+  stage-trio (prefill pool → transfer link → decode pool).  Each
+  replica has its *own* :class:`ServingConfig`, so mixed fleets — a
+  few big disagg cells plus cheap colocated spot instances — are
+  expressible (``FleetConfig.instances``);
+* an optional :class:`AutoscalerStage` — a periodic control loop that
+  *activates* standby replicas when the fleet's projected KV occupancy
+  crosses the high watermark (or backpressure stall time grows), after
+  a configurable warm-up delay, and *drains* idle replicas at the low
+  watermark — never one holding in-flight work.
+
+Costs are resolved **once** at the fleet level: the engine's codec
+stack (weights/KV/wire, auto slots, calibration) feeds every replica,
+and replicas sharing a ``cost_bucket`` share one memoized cost model —
+a 4-replica fleet warms one step-price cache, not four.
+
+Fast-forward correctness: a colocated replica's decode window may not
+overshoot an arrival the router has not delivered yet, so each replica
+caps its window at :meth:`RouterStage.next_arrival_s` (the fleet twin
+of the disagg upstream-horizon cap); disagg replicas get the router
+appended to their decode pool's upstream set.  Conservation — every
+offered request is finished, in flight, or still queued somewhere, and
+``sum(per-replica finished) == fleet finished`` — is tested in
+``tests/test_fleet.py`` and surfaced per replica on
+:class:`~repro.serving.metrics.ContinuousResult.replicas`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..errors import ConfigError
+from ..utils import ceil_div
+from .costs import StepCostModel, maybe_memoize
+from .disagg import (
+    ChunkedPrefillPoolStage,
+    DecodePoolStage,
+    PrefillPoolStage,
+    TransferLinkStage,
+    resolve_transfer_ratio,
+)
+from .kernel import EventKernel, Stage
+from .kvcache import KVCacheSpec, PagedKVCache
+from .metrics import ContinuousResult, PoolStats, ReplicaStats, TransferStats
+from .router import RouterStage, get_routing_policy
+from .scheduler import ContinuousBatchScheduler, Request, get_policy
+from .serve import ColocatedStage, ServingConfig
+
+__all__ = [
+    "AutoscalerConfig",
+    "AutoscalerStage",
+    "FleetConfig",
+    "FleetCore",
+    "ScaleEvent",
+]
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """The fleet autoscaler's control loop.
+
+    Every ``interval_s`` of simulated time (while work exists) the
+    controller reads the fleet's signals and may take one action:
+
+    * **scale up** — when the worst active replica's projected KV
+      occupancy reaches ``kv_high_frac``, or any prefill pool's
+      backpressure stall time grew since the last tick, activate one
+      standby replica; it starts taking traffic ``warmup_s`` later
+      (model load + cache warm time);
+    * **scale down** — when the worst occupancy is at or below
+      ``kv_low_frac`` and more than ``min_replicas`` are active, drain
+      one replica — always the highest-indexed one with **zero
+      outstanding work** (never a replica holding in-flight requests;
+      the invariant ``tests/test_fleet.py`` pins).
+
+    ``min_replicas`` is also the initially-active count; replicas
+    beyond it start standby.  ``max_replicas=None`` caps at the fleet
+    size.
+    """
+
+    min_replicas: int = 1
+    max_replicas: int | None = None
+    interval_s: float = 1.0
+    warmup_s: float = 0.0
+    kv_high_frac: float = 0.85
+    kv_low_frac: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.min_replicas < 1:
+            raise ConfigError("min_replicas must be >= 1")
+        if (
+            self.max_replicas is not None
+            and self.max_replicas < self.min_replicas
+        ):
+            raise ConfigError("max_replicas must be >= min_replicas")
+        if not self.interval_s > 0:
+            raise ConfigError("interval_s must be positive")
+        if self.warmup_s < 0:
+            raise ConfigError("warmup_s must be >= 0")
+        if not 0.0 <= self.kv_low_frac < self.kv_high_frac <= 1.0:
+            raise ConfigError(
+                "need 0 <= kv_low_frac < kv_high_frac <= 1, got"
+                f" [{self.kv_low_frac}, {self.kv_high_frac}]"
+            )
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Geometry and routing of a replica fleet (``mode="fleet"``).
+
+    ``instance`` is the per-replica :class:`ServingConfig` template
+    (``mode="colocated"`` or ``"disaggregated"``); ``None`` derives it
+    from the fleet-level config (same policy, limits, prefill mode and
+    cost bucket, colocated).  ``instances`` instead lists one config
+    per replica for heterogeneous fleets and overrides
+    ``n_replicas``/``instance``.  Instance configs may not set codec
+    slots or calibration — compression resolves once at the fleet
+    level (``InferenceEngine.serve``) and feeds every replica — and
+    may not nest fleets.
+    """
+
+    n_replicas: int = 2
+    routing: object = "round_robin"
+    instance: ServingConfig | None = None
+    instances: tuple[ServingConfig, ...] = ()
+    autoscaler: AutoscalerConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_replicas < 1:
+            raise ConfigError("n_replicas must be >= 1")
+        get_routing_policy(self.routing)  # raises UnknownSpecError
+        for cfg in (self.instance, *self.instances):
+            if cfg is None:
+                continue
+            if not isinstance(cfg, ServingConfig):
+                raise ConfigError(
+                    "fleet instances must be ServingConfig values,"
+                    f" got {type(cfg).__name__}"
+                )
+            if cfg.mode == "fleet":
+                raise ConfigError("fleet instances cannot nest fleets")
+            for slot in (cfg.weight_codec, cfg.kv_codec,
+                         cfg.transfer_codec):
+                if slot is not None:
+                    raise ConfigError(
+                        "instance codec slots must be None: compression"
+                        " resolves once at the fleet level (set the"
+                        " slots on the mode='fleet' config)"
+                    )
+            if cfg.calibration is not None:
+                raise ConfigError(
+                    "instance calibration must be None (set it on the"
+                    " mode='fleet' config)"
+                )
+        n = len(self.instances) or self.n_replicas
+        if self.autoscaler is not None and self.autoscaler.min_replicas > n:
+            raise ConfigError(
+                f"autoscaler min_replicas ({self.autoscaler.min_replicas})"
+                f" exceeds the fleet size ({n})"
+            )
+
+    @property
+    def size(self) -> int:
+        """Total replicas (active + standby)."""
+        return len(self.instances) or self.n_replicas
+
+    def resolve_instances(
+        self, outer: ServingConfig
+    ) -> tuple[ServingConfig, ...]:
+        """Settle the per-replica configs against the fleet-level one.
+
+        Fleet-level codec state propagates down where an instance needs
+        it: the (already policy-resolved) ``transfer_codec`` to disagg
+        instances, ``calibration`` to everyone — so wire pricing inside
+        a replica sees the same measured ratios the fleet's cost stack
+        was built with.
+        """
+        if self.instances:
+            base = self.instances
+        else:
+            template = self.instance
+            if template is None:
+                template = replace(
+                    outer, mode="colocated", fleet=None,
+                    weight_codec=None, kv_codec=None,
+                    transfer_codec=None, calibration=None,
+                )
+            base = (template,) * self.n_replicas
+        resolved = []
+        for cfg in base:
+            updates: dict = {}
+            if (
+                outer.transfer_codec is not None
+                and cfg.mode == "disaggregated"
+            ):
+                updates["transfer_codec"] = outer.transfer_codec
+            if outer.calibration is not None:
+                updates["calibration"] = outer.calibration
+            resolved.append(replace(cfg, **updates) if updates else cfg)
+        return tuple(resolved)
+
+
+class _SignalKVCache(PagedKVCache):
+    """A KV cache that retires router block commitments on allocation.
+
+    The router commits a request's landing footprint at the routing
+    instant (so ``least_kv_occupancy`` sees queued work before any KV
+    is allocated); the first real allocation for that sequence retires
+    the commitment — after which the live block table carries the
+    signal.  Re-allocations after preemption find nothing to retire.
+    """
+
+    def __init__(self, spec, capacity_bytes, on_allocate) -> None:
+        super().__init__(spec, capacity_bytes)
+        self._on_allocate = on_allocate
+
+    def allocate(self, seq_id: int, n_tokens: int) -> None:
+        self._on_allocate(seq_id)
+        super().allocate(seq_id, n_tokens)
+
+
+class _ColocatedReplica:
+    """One fleet replica wrapping a colocated engine stage."""
+
+    mode = "colocated"
+
+    def __init__(
+        self,
+        index: int,
+        costs: StepCostModel,
+        kv_spec: KVCacheSpec,
+        kv_bytes: float,
+        config: ServingConfig,
+    ):
+        self.index = index
+        self.config = config
+        kv = _SignalKVCache(kv_spec, kv_bytes, self._retire_commitment)
+        self.scheduler = ContinuousBatchScheduler(
+            kv, config.limits, config.policy
+        )
+        self.pending: list[Request] = []
+        self.stage = ColocatedStage(
+            costs, self.scheduler, self.pending, config
+        )
+        self.stage.name = f"engine[{index}]"
+        self._block_size = kv_spec.block_size
+        self._committed: dict[int, int] = {}
+        self._committed_blocks = 0
+        self.n_routed = 0
+        #: When this replica (became / will become) active; ``None`` =
+        #: standby or drained.  Set by the core and the autoscaler.
+        self.active_since: float | None = None
+
+    # -- router surface -------------------------------------------------
+    @property
+    def stages(self) -> tuple[Stage, ...]:
+        return (self.stage,)
+
+    @property
+    def entry_stage(self) -> Stage:
+        return self.stage
+
+    def attach_router(self, router: RouterStage) -> None:
+        self.stage.horizon = router.next_arrival_s
+
+    def is_active(self, now: float) -> bool:
+        return self.active_since is not None and self.active_since <= now
+
+    def deliver(self, req: Request) -> None:
+        # The router routes in arrival order, so appending keeps the
+        # replica's pending queue sorted — the ColocatedStage contract.
+        self.pending.append(req)
+        self.n_routed += 1
+        blocks = ceil_div(req.prompt_len, self._block_size)
+        self._committed[req.request_id] = blocks
+        self._committed_blocks += blocks
+
+    def _retire_commitment(self, seq_id: int) -> None:
+        blocks = self._committed.pop(seq_id, None)
+        if blocks is not None:
+            self._committed_blocks -= blocks
+
+    # -- routing signals ------------------------------------------------
+    @property
+    def n_outstanding(self) -> int:
+        return self.n_routed - len(self.scheduler.finished)
+
+    def kv_occupancy(self) -> float:
+        """Projected block occupancy: allocated + router-committed."""
+        kv = self.scheduler.kv
+        return (kv.used_blocks + self._committed_blocks) / max(
+            kv.n_blocks, 1
+        )
+
+    stall_s = 0.0
+
+    # -- result surface -------------------------------------------------
+    @property
+    def finished(self) -> list[Request]:
+        return self.scheduler.finished
+
+    @property
+    def clock_s(self) -> float:
+        return self.stage.clock
+
+    @property
+    def n_steps(self) -> int:
+        return self.stage.n_steps
+
+    @property
+    def peak_running(self) -> int:
+        return self.stage.peak_running
+
+    @property
+    def n_preemptions(self) -> int:
+        return self.scheduler.n_preemptions
+
+    def stats(self, makespan_s: float) -> ReplicaStats:
+        pool = PoolStats.from_busy(
+            f"replica{self.index}/engine", [self.stage.busy_s],
+            makespan_s, n_steps=self.stage.n_steps,
+            peak_kv_frac=self.stage.peak_kv_frac,
+        )
+        return ReplicaStats(
+            index=self.index,
+            mode=self.mode,
+            n_routed=self.n_routed,
+            n_finished=len(self.finished),
+            n_unfinished=self.n_outstanding,
+            pools=(pool,),
+        )
+
+
+class _DisaggReplica:
+    """One fleet replica wrapping a full disaggregated stage-trio."""
+
+    mode = "disaggregated"
+
+    def __init__(
+        self,
+        index: int,
+        costs: StepCostModel,
+        kv_spec: KVCacheSpec,
+        kv_bytes: float,
+        config: ServingConfig,
+    ):
+        self.index = index
+        self.config = config
+        self.transfer_ratio = resolve_transfer_ratio(config)
+        self.decode_pool = DecodePoolStage(
+            costs, kv_spec, kv_bytes, config
+        )
+        self.link = TransferLinkStage(
+            config, kv_spec, self.transfer_ratio, self.decode_pool
+        )
+        if config.disagg.prefill_mode == "chunked":
+            self.prefill: Stage = ChunkedPrefillPoolStage(
+                [], costs, kv_spec, kv_bytes, config,
+                self.link, self.decode_pool,
+            )
+        else:
+            self.prefill = PrefillPoolStage(
+                [], costs, config, self.link, self.decode_pool
+            )
+        for stage, label in (
+            (self.prefill, "prefill"),
+            (self.link, "transfer"),
+            (self.decode_pool, "decode"),
+        ):
+            stage.name = f"{label}[{index}]"
+        self.n_routed = 0
+        self.active_since: float | None = None
+        self._chunked = config.disagg.prefill_mode == "chunked"
+
+    # -- router surface -------------------------------------------------
+    @property
+    def stages(self) -> tuple[Stage, ...]:
+        return (self.prefill, self.link, self.decode_pool)
+
+    @property
+    def entry_stage(self) -> Stage:
+        return self.prefill
+
+    def attach_router(self, router: RouterStage) -> None:
+        self.decode_pool.set_upstream(self.prefill, self.link, router)
+
+    def is_active(self, now: float) -> bool:
+        return self.active_since is not None and self.active_since <= now
+
+    def deliver(self, req: Request) -> None:
+        # Arrival-ordered append, matching both pool flavours' pending
+        # contract (they pop arrivals from the front in order).
+        self.prefill.pending.append(req)
+        self.n_routed += 1
+
+    # -- routing signals ------------------------------------------------
+    @property
+    def n_outstanding(self) -> int:
+        return self.n_routed - self.n_finished
+
+    def _queued_requests(self) -> list[Request]:
+        """Requests routed here whose KV is not yet committed downstream."""
+        queued = list(self.prefill.pending)
+        if self._chunked:
+            for rep in self.prefill.replicas:
+                queued += [r for _, _, r in rep.pending]
+                queued += list(rep.scheduler.waiting)
+        else:
+            queued += list(self.prefill.waiting)
+        return queued
+
+    def kv_occupancy(self) -> float:
+        """Projected decode-pool occupancy, queue included.
+
+        ``projected_free_frac`` already counts blocks committed by
+        started/admitted prefills; folding the not-yet-committed queue
+        in as ``extra_blocks`` makes a backlogged cell look as full as
+        it is about to be.
+        """
+        extra = sum(
+            self.decode_pool.blocks_for(r) for r in self._queued_requests()
+        )
+        return 1.0 - self.decode_pool.projected_free_frac(extra)
+
+    @property
+    def stall_s(self) -> float:
+        return self.prefill.stall_s
+
+    # -- result surface -------------------------------------------------
+    @property
+    def n_finished(self) -> int:
+        return sum(
+            len(r.scheduler.finished) for r in self.decode_pool.replicas
+        )
+
+    @property
+    def finished(self) -> list[Request]:
+        out: list[Request] = []
+        for rep in self.decode_pool.replicas:
+            out.extend(rep.scheduler.finished)
+        return out
+
+    @property
+    def clock_s(self) -> float:
+        times = [r.clock for r in self.decode_pool.replicas]
+        times += [t.done_s for t in self.link.records]
+        times += [t.ready_s for t in self.link.records]
+        return max(times, default=0.0)
+
+    @property
+    def n_steps(self) -> int:
+        return self.prefill.n_prefills + sum(
+            r.n_steps for r in self.decode_pool.replicas
+        )
+
+    @property
+    def peak_running(self) -> int:
+        return max(
+            (r.peak_running for r in self.decode_pool.replicas), default=0
+        )
+
+    @property
+    def n_preemptions(self) -> int:
+        return sum(
+            r.scheduler.n_preemptions for r in self.decode_pool.replicas
+        )
+
+    def stats(self, makespan_s: float) -> ReplicaStats:
+        pools = (
+            PoolStats.from_busy(
+                f"replica{self.index}/prefill", self.prefill.busy,
+                makespan_s, n_steps=self.prefill.n_prefills,
+                stall_s=self.prefill.stall_s,
+            ),
+            PoolStats.from_busy(
+                f"replica{self.index}/decode",
+                [r.busy_s for r in self.decode_pool.replicas],
+                makespan_s,
+                n_steps=sum(
+                    r.n_steps for r in self.decode_pool.replicas
+                ),
+                peak_kv_frac=self.decode_pool.peak_kv_frac,
+            ),
+        )
+        return ReplicaStats(
+            index=self.index,
+            mode=self.mode,
+            n_routed=self.n_routed,
+            n_finished=self.n_finished,
+            n_unfinished=self.n_outstanding,
+            pools=pools,
+            transfer=TransferStats.from_records(
+                self.link.records, makespan_s, self.transfer_ratio,
+                n_links=self.link.n_links,
+                peak_queue_depth=self.link.peak_queue_depth,
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class ScaleEvent:
+    """One autoscaler action, for the scaling timeline."""
+
+    t_s: float
+    action: str  # "up" | "down"
+    replica: int
+    reason: str  # "kv" | "stall" | "idle"
+    #: For "up": when the replica starts taking traffic (t_s + warmup).
+    active_at_s: float | None = None
+    #: The replica's outstanding work at action time (always 0 on
+    #: "down" — the never-drain-in-flight invariant, pinned in tests).
+    n_outstanding: int = 0
+
+
+class AutoscalerStage(Stage):
+    """Periodic scale-up/scale-down control loop as a kernel stage.
+
+    Ticks every ``interval_s`` while the fleet has work (unrouted
+    arrivals or outstanding requests); reports no event otherwise, so
+    an idle fleet drains without the autoscaler keeping the kernel
+    alive.  Each tick reads the same signals backpressure uses —
+    projected KV occupancy (committed blocks included) and prefill
+    stall growth — and takes at most one action; activations take
+    effect ``warmup_s`` later, which the router observes through
+    ``replica.is_active``.
+    """
+
+    name = "autoscaler"
+
+    def __init__(
+        self,
+        config: AutoscalerConfig,
+        router: RouterStage,
+        replicas: list,
+    ):
+        self.config = config
+        self.router = router
+        self.replicas = replicas
+        self.events: list[ScaleEvent] = []
+        self._next = config.interval_s
+        self._last_stall = 0.0
+
+    def _has_work(self) -> bool:
+        if self.router.n_unrouted:
+            return True
+        return any(r.n_outstanding for r in self.replicas)
+
+    def next_event_time(self) -> float | None:
+        return self._next if self._has_work() else None
+
+    def advance(self, now: float) -> None:
+        while self._next <= now:
+            self._evaluate(self._next)
+            self._next += self.config.interval_s
+
+    def _evaluate(self, t: float) -> None:
+        cfg = self.config
+        active = [
+            r for r in self.replicas
+            if r.active_since is not None and r.active_since <= t
+        ]
+        warming = [
+            r for r in self.replicas
+            if r.active_since is not None and r.active_since > t
+        ]
+        standby = [r for r in self.replicas if r.active_since is None]
+        occupancy = max((r.kv_occupancy() for r in active), default=0.0)
+        stall = sum(r.stall_s for r in self.replicas)
+        stalled = stall > self._last_stall
+        self._last_stall = stall
+        cap = cfg.max_replicas
+        if cap is None:
+            cap = len(self.replicas)
+        if (
+            (occupancy >= cfg.kv_high_frac or stalled)
+            and standby
+            and len(active) + len(warming) < cap
+        ):
+            replica = standby[0]
+            replica.active_since = t + cfg.warmup_s
+            self.events.append(ScaleEvent(
+                t_s=t,
+                action="up",
+                replica=replica.index,
+                reason="kv" if occupancy >= cfg.kv_high_frac else "stall",
+                active_at_s=replica.active_since,
+            ))
+        elif (
+            occupancy <= cfg.kv_low_frac
+            and len(active) > cfg.min_replicas
+        ):
+            # Drain the highest-indexed idle replica; a replica with
+            # outstanding work is never drained.
+            for replica in reversed(active):
+                if replica.n_outstanding == 0:
+                    replica.active_since = None
+                    self.events.append(ScaleEvent(
+                        t_s=t,
+                        action="down",
+                        replica=replica.index,
+                        reason="idle",
+                        n_outstanding=replica.n_outstanding,
+                    ))
+                    break
+
+
+class FleetCore:
+    """Fleet serving: router → N replicas (+ autoscaler) on one kernel.
+
+    Drop-in sibling of :class:`~repro.serving.serve.ServingCore` and
+    :class:`~repro.serving.disagg.DisaggregatedCore` — same constructor
+    shape, same :meth:`serve` contract — selected by
+    ``ServingConfig(mode="fleet")``.  The result reports ``mode="fleet"``
+    with per-replica breakdowns on ``result.replicas`` (and their pools
+    flattened into ``result.pools`` under ``replica<i>/...`` names).
+
+    After :meth:`serve`, ``last_router`` and ``scale_events`` expose the
+    run's routing assignments and autoscaler timeline for inspection.
+    """
+
+    def __init__(
+        self,
+        costs: StepCostModel,
+        kv_spec: KVCacheSpec,
+        kv_bytes: float,
+        config: ServingConfig | None = None,
+    ):
+        self.config = config or ServingConfig(mode="fleet")
+        if self.config.mode != "fleet":
+            raise ConfigError(
+                f"FleetCore requires mode='fleet', got"
+                f" {self.config.mode!r}"
+            )
+        self.costs = costs
+        self.kv_spec = kv_spec
+        self.kv_bytes = kv_bytes
+        self.policy = get_policy(self.config.policy)
+        # Replicas sharing a cost bucket share one memoized cost model:
+        # the fleet warms one step-price cache, not one per replica.
+        self._memoized: dict[int, StepCostModel] = {}
+        self.last_router: RouterStage | None = None
+        self.scale_events: tuple[ScaleEvent, ...] = ()
+
+    # ------------------------------------------------------------------
+    def _costs_for(self, bucket: int) -> StepCostModel:
+        if bucket not in self._memoized:
+            self._memoized[bucket] = maybe_memoize(self.costs, bucket)
+        return self._memoized[bucket]
+
+    def _build_replica(self, index: int, cfg: ServingConfig):
+        costs = self._costs_for(cfg.cost_bucket)
+        cls = (
+            _DisaggReplica if cfg.mode == "disaggregated"
+            else _ColocatedReplica
+        )
+        return cls(index, costs, self.kv_spec, self.kv_bytes, cfg)
+
+    # ------------------------------------------------------------------
+    def serve(
+        self,
+        requests: list[Request],
+        deadline_s: float | None = None,
+    ) -> ContinuousResult:
+        """Replay a trace through the fleet; same contract as the cores.
+
+        ``deadline_s`` bounds the simulation exactly as in the single
+        cores; conservation holds by construction —
+        ``n_requests + n_unfinished == n_offered`` — so
+        :func:`~repro.serving.openloop.run_open_loop` (and therefore
+        ``find_knee``) drives a fleet unchanged.
+        """
+        if not requests:
+            raise ConfigError("serve needs at least one request")
+        fleet = self.config.fleet
+        instance_configs = fleet.resolve_instances(self.config)
+        replicas = [
+            self._build_replica(i, cfg)
+            for i, cfg in enumerate(instance_configs)
+        ]
+        router = RouterStage(requests, fleet.routing, replicas)
+        n_active = len(replicas)
+        if fleet.autoscaler is not None:
+            n_active = min(fleet.autoscaler.min_replicas, len(replicas))
+        for replica in replicas[:n_active]:
+            replica.active_since = 0.0
+        for replica in replicas:
+            replica.attach_router(router)
+        stages: list[Stage] = [router]
+        for replica in replicas:
+            stages.extend(replica.stages)
+        autoscaler = None
+        if fleet.autoscaler is not None:
+            autoscaler = AutoscalerStage(
+                fleet.autoscaler, router, replicas
+            )
+            stages.append(autoscaler)
+        EventKernel(stages).run(until=deadline_s)
+        self.last_router = router
+        self.scale_events = (
+            tuple(autoscaler.events) if autoscaler is not None else ()
+        )
+
+        finished: list[Request] = []
+        for replica in replicas:
+            finished.extend(replica.finished)
+        finished.sort(key=lambda r: r.request_id)
+        finished_ids = {r.request_id for r in finished}
+        unfinished = [
+            r for r in requests if r.request_id not in finished_ids
+        ]
+        makespan = max((r.clock_s for r in replicas), default=0.0)
+        stats = tuple(r.stats(makespan) for r in replicas)
+        return ContinuousResult.from_run(
+            finished,
+            makespan_s=makespan,
+            n_steps=sum(r.n_steps for r in replicas),
+            peak_running=max((r.peak_running for r in replicas), default=0),
+            slo=self.config.slo,
+            n_preemptions=sum(r.n_preemptions for r in replicas),
+            policy=self.policy.name,
+            prefill_mode=self.config.prefill_mode,
+            mode="fleet",
+            pools=tuple(p for s in stats for p in s.pools),
+            unfinished=unfinished,
+            deadline_s=deadline_s,
+            replicas=stats,
+        )

@@ -360,6 +360,29 @@ class TransferStats:
         )
 
 
+@dataclass(frozen=True)
+class ReplicaStats:
+    """Per-instance breakdown of one fleet run (``mode="fleet"``).
+
+    One row per replica, active or not: how many requests the router
+    sent it (``n_routed``), how many it finished, and its engine pools'
+    utilization (one ``PoolStats`` for a colocated replica; prefill +
+    decode, plus ``transfer``, for a disaggregated one).  Conservation
+    holds per replica — ``n_routed == n_finished + n_unfinished`` — and
+    across the fleet: the per-replica finished counts sum to the
+    result's ``n_requests`` (tested in ``tests/test_fleet.py``).
+    """
+
+    index: int
+    mode: str
+    n_routed: int
+    n_finished: int
+    n_unfinished: int
+    pools: tuple[PoolStats, ...] = ()
+    #: KV-transfer accounting (disaggregated replicas only).
+    transfer: TransferStats | None = None
+
+
 @dataclass
 class ContinuousResult:
     """Outcome of a continuous-batching trace run.
@@ -403,6 +426,13 @@ class ContinuousResult:
     n_rejected: int = 0
     #: The hard simulation deadline the run was bounded by, if any.
     deadline_s: float | None = None
+    #: Per-replica breakdown (``mode="fleet"`` only; empty otherwise).
+    replicas: tuple[ReplicaStats, ...] = ()
+
+    @property
+    def routing_histogram(self) -> tuple[int, ...]:
+        """Requests routed per replica, in index order (fleet runs)."""
+        return tuple(r.n_routed for r in self.replicas)
 
     @property
     def n_offered(self) -> int:
@@ -473,6 +503,7 @@ class ContinuousResult:
         unfinished=(),
         n_rejected: int = 0,
         deadline_s: float | None = None,
+        replicas: tuple["ReplicaStats", ...] = (),
     ) -> "ContinuousResult":
         """Build the result from the finished set (guards the empty case).
 
@@ -508,4 +539,5 @@ class ContinuousResult:
             n_unfinished=len(unfinished),
             n_rejected=n_rejected,
             deadline_s=deadline_s,
+            replicas=replicas,
         )

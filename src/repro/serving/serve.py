@@ -73,7 +73,7 @@ from .scheduler import (
 )
 
 PREFILL_MODES = ("group", "chunked")
-SERVING_MODES = ("colocated", "disaggregated")
+SERVING_MODES = ("colocated", "disaggregated", "fleet")
 LINK_TOPOLOGIES = ("shared", "per_replica")
 
 #: Sentinel for the codec slots: resolve the slot through the codec
@@ -257,9 +257,17 @@ class ServingConfig:
     #: ``"colocated"`` runs prefill and decode on one engine
     #: (:class:`ServingCore`); ``"disaggregated"`` splits them into two
     #: pools joined by a KV-transfer link
-    #: (:class:`repro.serving.disagg.DisaggregatedCore`).
+    #: (:class:`repro.serving.disagg.DisaggregatedCore`); ``"fleet"``
+    #: composes N replica instances behind a routing stage
+    #: (:class:`repro.serving.fleet.FleetCore`), geometry in ``fleet``.
     mode: str = "colocated"
     disagg: DisaggConfig = field(default_factory=DisaggConfig)
+    #: Fleet geometry and routing
+    #: (:class:`repro.serving.fleet.FleetConfig`); defaults to a
+    #: two-replica round-robin fleet when ``mode="fleet"``, ignored
+    #: otherwise.  (Typed ``object`` to keep the import lazy — the
+    #: fleet layer builds on this module.)
+    fleet: object = None
     #: Weight storage/execution codec (``None`` = the backend's scheme;
     #: ``"auto"`` = per-layer-class policy selection).
     weight_codec: str | None = None
@@ -294,6 +302,17 @@ class ServingConfig:
         for slot in (self.weight_codec, self.kv_codec, self.transfer_codec):
             if slot is not None and slot != AUTO_CODEC:
                 get_codec(slot)  # raises UnknownSpecError if absent
+        if self.mode == "fleet" or self.fleet is not None:
+            # Imported lazily: the fleet layer builds on this module.
+            from .fleet import FleetConfig
+
+            if self.fleet is None:
+                object.__setattr__(self, "fleet", FleetConfig())
+            elif not isinstance(self.fleet, FleetConfig):
+                raise ConfigError(
+                    "fleet must be a FleetConfig, got"
+                    f" {type(self.fleet).__name__}"
+                )
         # A bad policy name should fail at config construction, not at
         # the first serve() with an "auto" slot.
         get_codec_policy(self.codec_policy)
@@ -353,10 +372,28 @@ class ColocatedStage(Stage):
         self.clock = 0.0
         self.n_steps = 0
         self.peak_running = 0
+        #: Accumulated compute time and peak KV occupancy — the
+        #: per-replica ``PoolStats`` signals a fleet reports; pure
+        #: accounting, never consulted by the clock arithmetic.
+        self.busy_s = 0.0
+        self.peak_kv_frac = 0.0
+        #: Optional external fast-forward horizon (set by the fleet
+        #: layer): a side-effect-free callable returning the next event
+        #: this stage cannot see — the router's next undelivered
+        #: arrival.  A decode window may not overshoot it.  ``None``
+        #: (default) keeps the single-engine behaviour bit-exactly.
+        self.horizon = None
         self._body = (
             self._advance_group if config.prefill_mode == "group"
             else self._advance_chunked
         )
+
+    # ------------------------------------------------------------------
+    def _sample_kv(self) -> None:
+        kv = self.scheduler.kv
+        frac = kv.used_blocks / kv.n_blocks
+        if frac > self.peak_kv_frac:
+            self.peak_kv_frac = frac
 
     # ------------------------------------------------------------------
     def next_event_time(self) -> float | None:
@@ -376,9 +413,9 @@ class ColocatedStage(Stage):
         admitted = scheduler.admit()
         if admitted:
             prompt = max(r.prefill_remaining for r in admitted)
-            self.clock += self.costs.prefill_step(
-                len(admitted), prompt
-            ).total_s
+            step_s = self.costs.prefill_step(len(admitted), prompt).total_s
+            self.clock += step_s
+            self.busy_s += step_s
             for req in admitted:
                 req.prefill_remaining = 0
                 if req.first_token_s is None:
@@ -397,11 +434,14 @@ class ColocatedStage(Stage):
         mean_ctx = int(
             sum(r.context_len for r in scheduler.running) / batch
         )
-        self.clock += self.costs.decode_step(batch, max(mean_ctx, 1)).total_s
+        step_s = self.costs.decode_step(batch, max(mean_ctx, 1)).total_s
+        self.clock += step_s
+        self.busy_s += step_s
         self.n_steps += 1
         for req in scheduler.step():
             if req.done:
                 req.finish_s = self.clock
+        self._sample_kv()
 
     # ------------------------------------------------------------------
     def _advance_chunked(self) -> None:
@@ -430,6 +470,10 @@ class ColocatedStage(Stage):
             plan.n_prefill_tokens,
         )
         next_event = pending[0].arrival_s if pending else None
+        if self.horizon is not None:
+            h = self.horizon()
+            if h is not None and (next_event is None or h < next_event):
+                next_event = h
         k = decode_window_len(
             scheduler, plan, next_event,
             self.clock, breakdown.total_s, self.config.cost_bucket,
@@ -439,13 +483,17 @@ class ColocatedStage(Stage):
                 scheduler, self.costs, plan, next_event, self.clock,
                 self.config.cost_bucket, breakdown.total_s, k,
                 preemption=self.config.preemption,
+                on_segment=self._sample_kv,
             )
-            for _, ki in segments:
+            for step_s, ki in segments:
+                self.busy_s += step_s * ki
                 self.n_steps += ki
         else:
             self.clock += breakdown.total_s
+            self.busy_s += breakdown.total_s
             self.n_steps += 1
             scheduler.apply_step(plan, self.clock)
+            self._sample_kv()
 
 
 class ServingCore:

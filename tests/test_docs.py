@@ -94,6 +94,16 @@ class TestEntryPoints:
         assert "repro.serving.openloop.run_open_loop" in entry_points
         assert "repro.serving.openloop.find_knee" in entry_points
 
+    def test_recipe_covers_routing_policies(self, entry_points):
+        """Recipe 7 (fleet layer) stays pinned."""
+        assert "repro.serving.router.RoutingPolicy" in entry_points
+        assert "repro.serving.router.register_routing_policy" in entry_points
+        assert "repro.serving.router.RouterStage" in entry_points
+        assert "repro.serving.fleet.FleetConfig" in entry_points
+        assert "repro.serving.fleet.FleetCore" in entry_points
+        assert "repro.serving.fleet.AutoscalerConfig" in entry_points
+        assert "repro.serving.metrics.ReplicaStats" in entry_points
+
 
 class TestReadmeCommands:
     """The README quickstart's moving parts exist."""

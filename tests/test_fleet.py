@@ -1,0 +1,447 @@
+"""Tests for the fleet layer: router policies, FleetCore, autoscaler.
+
+The invariants that make a fleet simulation trustworthy:
+
+* **determinism** — routing decisions are a pure function of the trace
+  and replica state (no RNG, platform-stable tenant hash), so the same
+  trace routes identically across runs;
+* **conservation** — across replicas, under overload and deadlines:
+  ``sum(per-replica finished) == fleet finished`` and
+  ``finished + unfinished + rejected == offered``;
+* **stickiness** — session affinity keeps a tenant on one replica for
+  as long as that replica exists;
+* **safety** — the autoscaler never drains a replica with in-flight
+  work, and scale-ups respect the warm-up delay;
+* **equivalence** — a 1-replica round-robin fleet is the colocated
+  engine, bit for bit.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, SchedulingError, UnknownSpecError
+from repro.gpu.specs import get_gpu
+from repro.serving import (
+    ROUTING_POLICIES,
+    AutoscalerConfig,
+    AutoscalerStage,
+    DisaggConfig,
+    FleetConfig,
+    FleetCore,
+    InferenceEngine,
+    LeastKVOccupancyPolicy,
+    RoundRobinPolicy,
+    RoutingPolicy,
+    SchedulerLimits,
+    ServingConfig,
+    SLOTarget,
+    find_knee,
+    get_backend,
+    get_model,
+    get_routing_policy,
+    goodput_feasible,
+    list_routing_policies,
+    multi_tenant_trace,
+    poisson_trace,
+    register_routing_policy,
+    run_open_loop,
+)
+
+LIMITS = SchedulerLimits(max_num_seqs=16, max_batched_tokens=8192)
+BUILTINS = (
+    "round_robin",
+    "least_outstanding",
+    "least_kv_occupancy",
+    "session_affinity",
+)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return InferenceEngine(
+        get_model("llama3.1-8b"), get_gpu("rtx4090"), get_backend("zipserv")
+    )
+
+
+def fleet_config(n=4, routing="round_robin", **fleet_kw) -> ServingConfig:
+    return ServingConfig(
+        mode="fleet", prefill_mode="chunked", cost_bucket=64, limits=LIMITS,
+        fleet=FleetConfig(n_replicas=n, routing=routing, **fleet_kw),
+    )
+
+
+def serve_fleet(engine, config, n=120, rate=8.0, seed=0, deadline_s=None):
+    return engine.serve(
+        poisson_trace(n, rate, seed=seed), config=config,
+        deadline_s=deadline_s,
+    )
+
+
+def fleet_core(engine, config) -> FleetCore:
+    """A FleetCore on the engine's stack, for router/autoscaler inspection."""
+    return FleetCore(
+        engine.costs, engine.kv_spec, engine.plan.kv_bytes, config
+    )
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+class TestRoutingRegistry:
+    def test_builtins_registered(self):
+        assert set(BUILTINS) <= set(list_routing_policies())
+
+    def test_get_by_name_case_insensitive(self):
+        assert isinstance(
+            get_routing_policy("Round_Robin"), RoundRobinPolicy
+        )
+
+    def test_instance_passes_through(self):
+        policy = LeastKVOccupancyPolicy()
+        assert get_routing_policy(policy) is policy
+
+    def test_unknown_name_suggests(self):
+        with pytest.raises(UnknownSpecError) as excinfo:
+            get_routing_policy("round_robbin")
+        assert "round_robin" in str(excinfo.value)
+
+    def test_unknown_name_rejected_at_config_time(self):
+        with pytest.raises(UnknownSpecError):
+            FleetConfig(routing="nope")
+
+    def test_register_custom_policy(self, engine):
+        @register_routing_policy
+        class AlwaysFirstPolicy(RoutingPolicy):
+            name = "always_first"
+
+            def select(self, req, active, now):
+                return active[0]
+
+        try:
+            result = serve_fleet(
+                engine, fleet_config(n=3, routing="always_first"), n=40
+            )
+            assert result.routing_histogram == (40, 0, 0)
+        finally:
+            del ROUTING_POLICIES["always_first"]
+
+    def test_register_collision_raises(self):
+        class Impostor(RoutingPolicy):
+            name = "round_robin"
+
+            def select(self, req, active, now):
+                return active[0]
+
+        with pytest.raises(SchedulingError):
+            register_routing_policy(Impostor)
+
+
+# ----------------------------------------------------------------------
+# Routing behaviour
+# ----------------------------------------------------------------------
+class TestRouting:
+    def test_round_robin_even_split(self, engine):
+        result = serve_fleet(engine, fleet_config(n=4), n=200)
+        assert result.routing_histogram == (50, 50, 50, 50)
+        assert result.n_requests == 200
+
+    @pytest.mark.parametrize("routing", BUILTINS)
+    def test_all_policies_serve_everything(self, engine, routing):
+        result = serve_fleet(engine, fleet_config(n=3, routing=routing))
+        assert result.n_requests == 120
+        assert sum(result.routing_histogram) == 120
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        routing=st.sampled_from(BUILTINS),
+    )
+    def test_routing_is_deterministic(self, engine, seed, routing):
+        """Same trace, same policy → identical decisions, twice over."""
+        config = fleet_config(n=3, routing=routing)
+        first = serve_fleet(engine, config, n=60, seed=seed)
+        second = serve_fleet(engine, config, n=60, seed=seed)
+        assert first.routing_histogram == second.routing_histogram
+        assert first.timings == second.timings
+        assert first.makespan_s == second.makespan_s
+
+    def test_session_affinity_stickiness(self, engine):
+        """Same tenant → same replica, for every tenant in the trace."""
+        requests = multi_tenant_trace(seed=3)
+        tenant_of = {r.request_id: r.tenant for r in requests}
+        core = fleet_core(
+            engine, fleet_config(n=4, routing="session_affinity")
+        )
+        result = core.serve(requests)
+        homes: dict[str, int] = {}
+        for request_id, replica_index in core.last_router.assignments.items():
+            tenant = tenant_of[request_id]
+            homes.setdefault(tenant, replica_index)
+            assert homes[tenant] == replica_index, tenant
+        # Multi-tenant means this test saw more than one tenant.
+        assert len(homes) >= 2
+        assert result.n_requests == len(requests)
+
+    def test_one_replica_fleet_is_the_colocated_engine(self, engine):
+        """``n_replicas=1`` reproduces colocated serving bit for bit."""
+        trace = lambda: poisson_trace(150, 10.0, seed=5)  # noqa: E731
+        colocated = engine.serve(
+            trace(),
+            config=ServingConfig(
+                prefill_mode="chunked", cost_bucket=64, limits=LIMITS
+            ),
+        )
+        fleet = engine.serve(trace(), config=fleet_config(n=1))
+        assert fleet.makespan_s == colocated.makespan_s
+        # The fleet result sorts finished requests by id; the timings
+        # themselves (every float) must match bit for bit.
+        key = lambda t: t.request_id  # noqa: E731
+        assert sorted(fleet.timings, key=key) == sorted(
+            colocated.timings, key=key
+        )
+        assert fleet.n_steps == colocated.n_steps
+
+
+# ----------------------------------------------------------------------
+# Conservation + per-replica breakdown
+# ----------------------------------------------------------------------
+class TestConservation:
+    def test_per_replica_finished_sums_to_fleet(self, engine):
+        result = serve_fleet(
+            engine, fleet_config(n=4, routing="least_kv_occupancy"), n=200
+        )
+        assert sum(s.n_finished for s in result.replicas) == result.n_requests
+        assert sum(result.routing_histogram) == 200
+
+    @pytest.mark.parametrize(
+        "routing", ("round_robin", "least_outstanding", "session_affinity")
+    )
+    def test_conservation_under_overload_and_deadline(self, engine, routing):
+        """The satellite invariant: overload + deadline loses nothing."""
+        result = serve_fleet(
+            engine, fleet_config(n=2, routing=routing),
+            n=400, rate=80.0, deadline_s=4.0,
+        )
+        assert (
+            result.n_requests + result.n_unfinished + result.n_rejected
+            == 400
+        )
+        assert sum(s.n_finished for s in result.replicas) == result.n_requests
+        assert result.n_unfinished > 0  # the deadline actually bit
+        per_replica_seen = sum(
+            s.n_finished + s.n_unfinished for s in result.replicas
+        )
+        assert per_replica_seen == sum(result.routing_histogram)
+
+    def test_replica_stats_shape(self, engine):
+        result = serve_fleet(engine, fleet_config(n=3), n=90)
+        assert len(result.replicas) == 3
+        for i, stats in enumerate(result.replicas):
+            assert stats.index == i
+            assert stats.mode == "colocated"
+            assert [p.name for p in stats.pools] == [f"replica{i}/engine"]
+        assert [p.name for p in result.pools] == [
+            f"replica{i}/engine" for i in range(3)
+        ]
+
+    def test_mixed_fleet_reports_per_mode_stats(self, engine):
+        colocated = ServingConfig(
+            prefill_mode="chunked", cost_bucket=64, limits=LIMITS
+        )
+        disagg = ServingConfig(
+            mode="disaggregated", cost_bucket=64, limits=LIMITS,
+            disagg=DisaggConfig(prefill_mode="chunked"),
+        )
+        config = ServingConfig(
+            mode="fleet", cost_bucket=64, limits=LIMITS,
+            fleet=FleetConfig(
+                routing="least_outstanding",
+                instances=(colocated, disagg),
+            ),
+        )
+        result = serve_fleet(engine, config, n=80, rate=5.0)
+        assert result.n_requests == 80
+        assert [s.mode for s in result.replicas] == [
+            "colocated", "disaggregated"
+        ]
+        assert result.replicas[0].transfer is None
+        transfer = result.replicas[1].transfer
+        assert transfer is not None
+        assert transfer.n_transfers == result.replicas[1].n_finished
+        names = [p.name for p in result.replicas[1].pools]
+        assert names == ["replica1/prefill", "replica1/decode"]
+
+
+# ----------------------------------------------------------------------
+# Autoscaler
+# ----------------------------------------------------------------------
+class _StubReplica:
+    def __init__(self, index, occupancy=0.0, outstanding=0, active=0.0):
+        self.index = index
+        self._occupancy = occupancy
+        self.n_outstanding = outstanding
+        self.active_since = active
+        self.stall_s = 0.0
+
+    def kv_occupancy(self):
+        return self._occupancy
+
+
+class _StubRouter:
+    n_unrouted = 1  # keeps the stage ticking
+
+
+class TestAutoscalerUnit:
+    def test_scales_up_past_high_watermark_with_warmup(self):
+        config = AutoscalerConfig(
+            min_replicas=1, interval_s=1.0, warmup_s=2.5, kv_high_frac=0.8
+        )
+        replicas = [
+            _StubReplica(0, occupancy=0.9, outstanding=4),
+            _StubReplica(1, active=None),
+        ]
+        stage = AutoscalerStage(config, _StubRouter(), replicas)
+        stage.advance(1.0)
+        (event,) = stage.events
+        assert event.action == "up"
+        assert event.replica == 1
+        assert event.active_at_s == pytest.approx(1.0 + 2.5)
+        assert replicas[1].active_since == pytest.approx(3.5)
+
+    def test_never_drains_replica_with_inflight_work(self):
+        config = AutoscalerConfig(min_replicas=1, interval_s=1.0,
+                                  kv_low_frac=0.2)
+        replicas = [
+            _StubReplica(0, occupancy=0.01, outstanding=0),
+            _StubReplica(1, occupancy=0.05, outstanding=3),
+        ]
+        stage = AutoscalerStage(config, _StubRouter(), replicas)
+        stage.advance(1.0)
+        # Replica 1 is busy: the only drain candidate is idle replica 0,
+        # and draining it would violate min_replicas=1 only if replica 1
+        # were inactive — here replica 0 drains, replica 1 survives.
+        (event,) = stage.events
+        assert event.action == "down"
+        assert event.replica == 0
+        assert event.n_outstanding == 0
+        assert replicas[1].active_since is not None
+
+    def test_no_drain_when_every_active_is_busy(self):
+        config = AutoscalerConfig(min_replicas=1, interval_s=1.0,
+                                  kv_low_frac=0.2)
+        replicas = [
+            _StubReplica(0, occupancy=0.05, outstanding=2),
+            _StubReplica(1, occupancy=0.05, outstanding=1),
+        ]
+        stage = AutoscalerStage(config, _StubRouter(), replicas)
+        stage.advance(1.0)
+        assert stage.events == []
+
+    def test_respects_min_replicas_floor(self):
+        config = AutoscalerConfig(min_replicas=2, interval_s=1.0,
+                                  kv_low_frac=0.2)
+        replicas = [
+            _StubReplica(0, occupancy=0.0, outstanding=0),
+            _StubReplica(1, occupancy=0.0, outstanding=0),
+        ]
+        stage = AutoscalerStage(config, _StubRouter(), replicas)
+        stage.advance(1.0)
+        assert stage.events == []
+
+
+class TestAutoscalerEndToEnd:
+    def test_burst_scales_up_and_serves_everything(self, engine):
+        config = fleet_config(
+            n=4, routing="least_outstanding",
+            autoscaler=AutoscalerConfig(
+                min_replicas=1, interval_s=0.25, warmup_s=0.5,
+                kv_low_frac=0.01, kv_high_frac=0.05,
+            ),
+        )
+        core = fleet_core(engine, config)
+        result = core.serve(poisson_trace(200, 30.0, seed=0))
+        assert result.n_requests == 200
+        events = core.scale_events
+        assert any(e.action == "up" for e in events)
+        # Scaled-up replicas actually took traffic.
+        assert sum(1 for n in result.routing_histogram if n > 0) >= 2
+        for event in events:
+            if event.action == "down":
+                assert event.n_outstanding == 0
+
+    def test_without_autoscaler_all_replicas_active(self, engine):
+        result = serve_fleet(engine, fleet_config(n=4), n=100, rate=20.0)
+        assert all(n > 0 for n in result.routing_histogram)
+
+
+# ----------------------------------------------------------------------
+# Config validation
+# ----------------------------------------------------------------------
+class TestConfigValidation:
+    def test_defaults_fleet_config_for_fleet_mode(self):
+        config = ServingConfig(mode="fleet")
+        assert isinstance(config.fleet, FleetConfig)
+        assert config.fleet.n_replicas == 2
+
+    def test_rejects_non_config_fleet(self):
+        with pytest.raises(ConfigError):
+            ServingConfig(mode="fleet", fleet="nope")
+
+    def test_rejects_nonpositive_replicas(self):
+        with pytest.raises(ConfigError):
+            FleetConfig(n_replicas=0)
+
+    def test_rejects_nested_fleet_instance(self):
+        with pytest.raises(ConfigError):
+            FleetConfig(instance=ServingConfig(mode="fleet"))
+
+    def test_rejects_codec_slots_on_instances(self):
+        with pytest.raises(ConfigError):
+            FleetConfig(instance=ServingConfig(weight_codec="kvcomp"))
+
+    def test_rejects_autoscaler_floor_above_fleet(self):
+        with pytest.raises(ConfigError):
+            FleetConfig(
+                n_replicas=2,
+                autoscaler=AutoscalerConfig(min_replicas=3),
+            )
+
+    def test_autoscaler_watermark_ordering(self):
+        with pytest.raises(ConfigError):
+            AutoscalerConfig(kv_low_frac=0.9, kv_high_frac=0.8)
+
+    def test_instances_tuple_sets_size(self):
+        inner = ServingConfig(prefill_mode="chunked")
+        config = FleetConfig(instances=(inner, inner, inner))
+        assert config.size == 3
+
+
+# ----------------------------------------------------------------------
+# Engine dispatch + open-loop driver
+# ----------------------------------------------------------------------
+class TestEngineAndOpenLoop:
+    def test_engine_dispatches_fleet_mode(self, engine):
+        result = serve_fleet(engine, fleet_config(n=2), n=50)
+        assert result.mode == "fleet"
+        assert result.policy == "fcfs"
+
+    def test_find_knee_works_on_a_fleet(self, engine):
+        """The open-loop driver needs no fleet-specific plumbing."""
+        config = fleet_config(n=2, routing="least_kv_occupancy")
+
+        def serve(requests, deadline_s):
+            return engine.serve(
+                requests, config=config, deadline_s=deadline_s
+            )
+
+        def probe(rate):
+            return goodput_feasible(run_open_loop(
+                serve, "fixed_length", rate, 6.0, warmup_s=1.0,
+                cooldown_s=1.0, seed=0, slo=SLOTarget(2.0, 0.25),
+            ))
+
+        knee = find_knee(probe, 0.5, 64.0, rate_tol_rps=4.0, max_probes=6)
+        assert 0.5 < knee.knee_rps < 64.0
+        assert knee.infeasible_rps > knee.knee_rps
+        assert knee.n_probes >= 2

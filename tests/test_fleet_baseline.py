@@ -1,0 +1,115 @@
+"""Structural checks on the committed fleet capacity baseline.
+
+``benchmarks/BENCH_fleet_baseline.json`` is a measured artifact (blessed
+by ``bench_fleet.py --update-baseline``), so these tests read it rather
+than re-measuring: they pin the shape the tooling depends on and the two
+headline scale-out properties —
+
+* **KV-aware routing wins**: per profile, the ``least_kv_occupancy``
+  fleet's knee is at least the round-robin fleet's (strictly above on
+  the heterogeneous ``chat`` mix, where one long prompt occupies the KV
+  of many short ones);
+* **scale-out is near-linear**: a 4-replica fleet sustains at least
+  0.8 × 4 × the single-instance knee, for *both* routing policies.
+
+If a re-bless breaks one of these, the fleet story regressed, not the
+test.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.serving import list_profiles
+
+BASELINE_PATH = (
+    Path(__file__).parent.parent
+    / "benchmarks" / "BENCH_fleet_baseline.json"
+)
+
+CONFIG_NAMES = ("single", "fleet4_round_robin", "fleet4_least_kv")
+
+#: The scale-out acceptance floor: fleet knee ≥ this × N × single knee.
+SCALE_OUT_FLOOR = 0.8
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return json.loads(BASELINE_PATH.read_text())
+
+
+def test_baseline_committed(baseline):
+    assert not baseline["config"]["quick"], (
+        "the committed baseline must come from a full (bisecting) run,"
+        " not --quick"
+    )
+    assert baseline["config"]["n_replicas"] == 4
+
+
+def test_every_profile_and_config_present(baseline):
+    assert set(baseline["profiles"]) == set(list_profiles())
+    for profile, configs in baseline["profiles"].items():
+        assert set(configs) == set(CONFIG_NAMES), profile
+
+
+def test_knees_positive_and_converged(baseline):
+    for profile, configs in baseline["profiles"].items():
+        for config, row in configs.items():
+            assert row["knee_rps"] > 0, f"{profile}/{config}"
+            assert row["n_probes"] >= 2, f"{profile}/{config}"
+
+
+def test_sim_throughput_fields_present(baseline):
+    """Every row carries the sim-speed gate inputs bench_regression reads."""
+    for profile, configs in baseline["profiles"].items():
+        for config, row in configs.items():
+            assert row["n_steps"] > 0, f"{profile}/{config}"
+            assert row["events_per_s"] > 0, f"{profile}/{config}"
+
+
+def test_kv_routing_knee_at_least_round_robin(baseline):
+    """KV-occupancy routing never loses to round-robin, any profile."""
+    for profile, configs in baseline["profiles"].items():
+        rr = configs["fleet4_round_robin"]["knee_rps"]
+        lkv = configs["fleet4_least_kv"]["knee_rps"]
+        assert lkv >= rr, (
+            f"{profile}: least_kv_occupancy knee {lkv} rps below"
+            f" round-robin knee {rr} rps"
+        )
+
+
+def test_kv_routing_strictly_wins_on_heterogeneous_chat(baseline):
+    """On the mixed-length chat workload the occupancy signal must pay."""
+    configs = baseline["profiles"]["chat"]
+    rr = configs["fleet4_round_robin"]["knee_rps"]
+    lkv = configs["fleet4_least_kv"]["knee_rps"]
+    assert lkv > rr
+
+
+def test_scale_out_is_near_linear(baseline):
+    """4 replicas sustain ≥ 0.8 × 4 × the single knee, both policies."""
+    n = baseline["config"]["n_replicas"]
+    for profile, configs in baseline["profiles"].items():
+        single = configs["single"]["knee_rps"]
+        floor = SCALE_OUT_FLOOR * n * single
+        for fleet in ("fleet4_round_robin", "fleet4_least_kv"):
+            knee = configs[fleet]["knee_rps"]
+            assert knee >= floor, (
+                f"{profile}/{fleet}: knee {knee} rps below the"
+                f" scale-out floor {floor} rps"
+                f" ({SCALE_OUT_FLOOR} x {n} x {single})"
+            )
+
+
+def test_curves_cover_the_knee(baseline):
+    """Committed curves bracket saturation: sub- and super-knee rates."""
+    for profile, configs in baseline["profiles"].items():
+        for config, row in configs.items():
+            curve = row["curve"]
+            knee = row["knee_rps"]
+            rates = [point["rate_rps"] for point in curve]
+            assert min(rates) < knee < max(rates), f"{profile}/{config}"
+            for point in curve:
+                assert point["goodput_rps"] >= 0
+                assert 0 <= point["slo_violation_rate"] <= 1

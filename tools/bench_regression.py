@@ -15,7 +15,7 @@ regression:
   ratio shift), never CI noise.
 * **sim-throughput** — kernel events per wall second
   (``events_per_s``) dropping more than ``SIM_THROUGHPUT_TOLERANCE``
-  (25%) below the baseline.  Unlike the accuracy metrics this one is
+  (50%) below the baseline.  Unlike the accuracy metrics this one is
   wall-clock dependent: the committed baseline captures the machine it
   was blessed on, and the wide tolerance absorbs host noise while still
   catching the order-of-change a simulator-core regression produces (an
@@ -36,15 +36,27 @@ re-measures every workload profile × serving configuration knee via
 than ``KNEE_TOLERANCE`` (10%) below the committed
 ``benchmarks/BENCH_capacity_baseline.json``.  Knees are simulated and
 seeded, so — like the accuracy metrics — any drop is a real capacity
-regression, never CI noise.
+regression, never CI noise.  Capacity rows are additionally
+speed-gated like the serving scenarios: each profile × config row's
+``events_per_s`` (kernel events across the whole sweep for that row
+per wall second) must stay within ``SIM_THROUGHPUT_TOLERANCE`` of the
+baseline, and each row must finish inside ``WALL_BUDGET_S``.
+
+``--mode fleet`` applies the identical gate to the scale-out surface
+(``benchmarks/bench_fleet.py`` /
+``benchmarks/BENCH_fleet_baseline.json``): per-profile knees for a
+single replica vs a 4-replica fleet under round-robin and
+least-KV-occupancy routing.
 
 Usage::
 
     python tools/bench_regression.py                  # gate against baseline
     python tools/bench_regression.py --update-baseline  # re-bless the numbers
     python tools/bench_regression.py --mode capacity  # gate the knees
+    python tools/bench_regression.py --mode fleet     # gate fleet scale-out
 
-CI runs both gates in the tests job (see ``.github/workflows/ci.yml``).
+CI runs all three gates in the tests job (see
+``.github/workflows/ci.yml``).
 """
 
 from __future__ import annotations
@@ -65,8 +77,11 @@ import bench_serving  # noqa: E402
 TOLERANCE = 0.10
 
 #: Allowed relative regression of events/s before the gate fails.  Wide
-#: enough for host noise, tight enough to catch a simulator-core slip.
-SIM_THROUGHPUT_TOLERANCE = 0.25
+#: enough for host noise — shared CI runners have been measured
+#: drifting ±40% on multi-second windows — while still catching a
+#: simulator-core slip, which costs 2-10x (an accidental O(stages)
+#: re-poll, a de-vectorized hot loop), not tens of percent.
+SIM_THROUGHPUT_TOLERANCE = 0.50
 
 #: Hard wall-clock ceiling per scenario (seconds).  The 100k-request
 #: colocated trace runs in well under a quarter of this on the blessing
@@ -87,6 +102,9 @@ DEFAULT_OUTPUT = ROOT / "benchmarks" / "BENCH_serving.json"
 
 CAPACITY_BASELINE = ROOT / "benchmarks" / "BENCH_capacity_baseline.json"
 CAPACITY_OUTPUT = ROOT / "benchmarks" / "BENCH_capacity.json"
+
+FLEET_BASELINE = ROOT / "benchmarks" / "BENCH_fleet_baseline.json"
+FLEET_OUTPUT = ROOT / "benchmarks" / "BENCH_fleet.json"
 
 
 def measure() -> dict:
@@ -168,23 +186,32 @@ def measure_capacity() -> dict:
     return bench_capacity.measure_capacity(quick=False, curves=False)
 
 
-def compare_capacity(measured: dict, baseline: dict) -> list[str]:
+def compare_capacity(
+    measured: dict, baseline: dict, bench_name: str = "bench_capacity.py"
+) -> list[str]:
     """Knee drops beyond KNEE_TOLERANCE, as failure lines.
 
     Knees may *rise* freely (that is the point of the work); only drops
     gate.  A profile × config pair present in the baseline but missing
     from the run — or vice versa — fails loudly rather than silently
-    shrinking coverage.
+    shrinking coverage.  Rows are also speed-gated: wall budget per
+    row, and ``events_per_s`` within ``SIM_THROUGHPUT_TOLERANCE`` of
+    the baseline (skipped for baselines that predate the key).
     """
     failures = []
     got_profiles = measured["profiles"]
     base_profiles = baseline["profiles"]
     for profile, configs in got_profiles.items():
-        for config in configs:
+        for config, got_row in configs.items():
             if base_profiles.get(profile, {}).get(config) is None:
                 failures.append(
                     f"{profile}/{config}: no baseline entry — run"
-                    " bench_capacity.py --update-baseline and commit it"
+                    f" {bench_name} --update-baseline and commit it"
+                )
+            if got_row.get("wall_s", 0.0) > WALL_BUDGET_S:
+                failures.append(
+                    f"{profile}/{config}: wall {got_row['wall_s']:.1f}s"
+                    f" over the {WALL_BUDGET_S:.0f}s budget"
                 )
     for profile, configs in base_profiles.items():
         for config, base_row in configs.items():
@@ -202,14 +229,33 @@ def compare_capacity(measured: dict, baseline: dict) -> list[str]:
                     f" baseline {base_knee:.3f} rps"
                     f" ({got_knee / base_knee - 1:.1%})"
                 )
+            base_eps = base_row.get("events_per_s")
+            if base_eps and got_row.get("events_per_s", 0.0) < base_eps * (
+                1 - SIM_THROUGHPUT_TOLERANCE
+            ):
+                failures.append(
+                    f"{profile}/{config}: sim-throughput"
+                    f" {got_row['events_per_s']:,.0f} events/s vs"
+                    f" baseline {base_eps:,.0f}"
+                    f" ({got_row['events_per_s'] / base_eps - 1:.1%})"
+                )
     return failures
 
 
 def _run_capacity_mode(args) -> int:
+    """Shared driver for the surface gates (capacity and fleet modes)."""
     import bench_capacity
 
-    print("running open-loop capacity scenarios...")
-    measured = measure_capacity()
+    if args.mode == "fleet":
+        import bench_fleet
+
+        print("running fleet capacity scenarios...")
+        measured = bench_fleet.measure_fleet(quick=False, curves=False)
+        bench_name = "bench_fleet.py"
+    else:
+        print("running open-loop capacity scenarios...")
+        measured = measure_capacity()
+        bench_name = "bench_capacity.py"
     args.output.write_text(json.dumps(measured, indent=2) + "\n")
     print(f"wrote {args.output}")
 
@@ -228,17 +274,23 @@ def _run_capacity_mode(args) -> int:
         )
         return 1
 
-    failures = compare_capacity(measured, json.loads(args.baseline.read_text()))
+    failures = compare_capacity(
+        measured, json.loads(args.baseline.read_text()), bench_name
+    )
     if failures:
         print(
-            f"FAIL: capacity knee regressed (> {KNEE_TOLERANCE:.0%} drop):",
+            f"FAIL: {args.mode} surface regressed"
+            f" (knee > {KNEE_TOLERANCE:.0%} drop, sim-throughput"
+            f" > {SIM_THROUGHPUT_TOLERANCE:.0%} drop, or wall budget):",
             file=sys.stderr,
         )
         for line in failures:
             print(f"  {line}", file=sys.stderr)
         return 1
     print(
-        f"ok: all capacity knees within {KNEE_TOLERANCE:.0%} of the baseline"
+        f"ok: all {args.mode} knees within {KNEE_TOLERANCE:.0%} and"
+        f" sim-throughput within {SIM_THROUGHPUT_TOLERANCE:.0%} of the"
+        " baseline"
     )
     return 0
 
@@ -246,9 +298,11 @@ def _run_capacity_mode(args) -> int:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--mode", choices=("serving", "capacity"), default="serving",
+        "--mode", choices=("serving", "capacity", "fleet"),
+        default="serving",
         help="serving: scenario makespans/throughput;"
-        " capacity: open-loop knees per profile x config",
+        " capacity: open-loop knees per profile x config;"
+        " fleet: scale-out knees per routing policy",
     )
     parser.add_argument("--baseline", type=Path, default=None)
     parser.add_argument("--output", type=Path, default=None)
@@ -259,15 +313,17 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.baseline is None:
-        args.baseline = (
-            CAPACITY_BASELINE if args.mode == "capacity" else DEFAULT_BASELINE
-        )
+        args.baseline = {
+            "capacity": CAPACITY_BASELINE,
+            "fleet": FLEET_BASELINE,
+        }.get(args.mode, DEFAULT_BASELINE)
     if args.output is None:
-        args.output = (
-            CAPACITY_OUTPUT if args.mode == "capacity" else DEFAULT_OUTPUT
-        )
+        args.output = {
+            "capacity": CAPACITY_OUTPUT,
+            "fleet": FLEET_OUTPUT,
+        }.get(args.mode, DEFAULT_OUTPUT)
 
-    if args.mode == "capacity":
+    if args.mode in ("capacity", "fleet"):
         return _run_capacity_mode(args)
 
     print("running serving benchmark scenarios...")

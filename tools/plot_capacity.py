@@ -1,0 +1,150 @@
+#!/usr/bin/env python
+"""Render the committed capacity curves as QPS-vs-latency/goodput plots.
+
+Reads a capacity-surface baseline — the committed
+``benchmarks/BENCH_capacity_baseline.json`` by default, or the fleet
+surface (``benchmarks/BENCH_fleet_baseline.json``) via ``--baseline``;
+both carry the same shape — and renders one figure per workload
+profile: offered rate on the x-axis against p95 TTFT, p95 ITL and
+steady-state SLO goodput, one line per serving configuration, with the
+measured knee marked per config.
+
+matplotlib is an **optional** dependency of this repository (nothing in
+the simulator or the test suite needs it): when it is missing, the tool
+says so and exits cleanly instead of tracebacking.
+
+Usage::
+
+    python tools/plot_capacity.py                        # capacity baseline
+    python tools/plot_capacity.py --baseline benchmarks/BENCH_fleet_baseline.json
+    python tools/plot_capacity.py --out-dir /tmp/plots --profile chat
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+DEFAULT_BASELINE = ROOT / "benchmarks" / "BENCH_capacity_baseline.json"
+DEFAULT_OUT_DIR = ROOT / "benchmarks" / "plots"
+
+#: (curve column, y label, log scale) per panel, left to right.
+PANELS = (
+    ("ttft_p95_s", "TTFT p95 (s)", True),
+    ("itl_p95_s", "ITL p95 (s)", True),
+    ("goodput_rps", "SLO goodput (req/s)", False),
+)
+
+
+def _load_matplotlib():
+    """The optional-dependency guard: pyplot or None, never a traceback."""
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")  # headless: files, not windows
+        import matplotlib.pyplot as plt
+    except ImportError:
+        return None
+    return plt
+
+
+def plot_profile(plt, profile: str, configs: dict, out_path: Path) -> bool:
+    """One figure for one profile; False when no config has a curve."""
+    curves = {
+        name: row for name, row in configs.items() if row.get("curve")
+    }
+    if not curves:
+        return False
+    fig, axes = plt.subplots(
+        1, len(PANELS), figsize=(4.5 * len(PANELS), 3.6), sharex=True
+    )
+    for ax, (column, label, log) in zip(axes, PANELS):
+        for name, row in curves.items():
+            rates = [point["rate_rps"] for point in row["curve"]]
+            values = [point[column] for point in row["curve"]]
+            (line,) = ax.plot(rates, values, marker="o", label=name)
+            knee = row.get("knee_rps")
+            if knee:
+                ax.axvline(
+                    knee, color=line.get_color(), linestyle=":", alpha=0.6
+                )
+        if log:
+            ax.set_yscale("log")
+        if column == "goodput_rps":
+            # The feasibility reference: goodput tracking offered rate.
+            lo = min(p["rate_rps"] for r in curves.values()
+                     for p in r["curve"])
+            hi = max(p["rate_rps"] for r in curves.values()
+                     for p in r["curve"])
+            ax.plot([lo, hi], [lo, hi], color="grey", linestyle="--",
+                    alpha=0.5, label="offered = goodput")
+        ax.set_xlabel("offered rate (req/s)")
+        ax.set_ylabel(label)
+        ax.grid(True, alpha=0.3)
+    axes[-1].legend(fontsize=8)
+    fig.suptitle(f"{profile}: capacity curves (knees dotted)")
+    fig.tight_layout()
+    fig.savefig(out_path, dpi=120)
+    plt.close(fig)
+    return True
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE,
+        help="capacity- or fleet-surface JSON to plot",
+    )
+    parser.add_argument("--out-dir", type=Path, default=DEFAULT_OUT_DIR)
+    parser.add_argument(
+        "--profile", action="append", default=None,
+        help="plot only this profile (repeatable; default: all)",
+    )
+    args = parser.parse_args(argv)
+
+    plt = _load_matplotlib()
+    if plt is None:
+        print(
+            "matplotlib is not installed; plotting is optional —"
+            " install it (pip install matplotlib) to render the curves",
+            file=sys.stderr,
+        )
+        return 1
+    if not args.baseline.exists():
+        print(f"no baseline at {args.baseline}", file=sys.stderr)
+        return 1
+
+    report = json.loads(args.baseline.read_text())
+    profiles = report["profiles"]
+    selected = args.profile or sorted(profiles)
+    unknown = [p for p in selected if p not in profiles]
+    if unknown:
+        print(
+            f"unknown profile(s) {unknown}; baseline has"
+            f" {sorted(profiles)}", file=sys.stderr,
+        )
+        return 1
+
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+    stem = args.baseline.stem.lower()
+    prefix = "fleet" if "fleet" in stem else "capacity"
+    n_plotted = 0
+    for profile in selected:
+        out_path = args.out_dir / f"{prefix}_{profile}.png"
+        if plot_profile(plt, profile, profiles[profile], out_path):
+            print(f"wrote {out_path}")
+            n_plotted += 1
+        else:
+            print(f"{profile}: no curves in baseline (gate-only row)")
+    if n_plotted == 0:
+        print("nothing plotted — baseline carries no curves", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
