@@ -41,6 +41,7 @@ from repro.gpu.specs import get_gpu  # noqa: E402
 from repro.serving import (  # noqa: E402
     DisaggConfig,
     InferenceEngine,
+    PrefixCacheConfig,
     SchedulerLimits,
     ServingConfig,
     SLOTarget,
@@ -161,6 +162,60 @@ CONFIGS = {
     "auto_codec": _auto_codec_config,
 }
 
+# ----------------------------------------------------------------------
+# Session-only configurations (the prefix-cache comparison)
+# ----------------------------------------------------------------------
+#: The profile whose turns actually share prefixes; on the other
+#: profiles a prefix cache only costs KV capacity, so the session
+#: configs are swept on this one only (the ``colocated`` row doubles as
+#: their cache-off baseline).
+SESSION_PROFILE = "chat_sessions"
+
+#: Both cache variants carve the same fraction of KV — the comparison
+#: is strictly how the carve is *organised* (all raw vs hot+compressed).
+#: 0.1 puts the carve under genuine LRU pressure at the probe rate
+#: (a larger carve holds every live session and the two variants
+#: measure identically — nothing to compare).
+PREFIX_CAPACITY_FRAC = 0.1
+
+#: Fixed equal-load probe rate for the committed ``token_hit_rate``
+#: column: hit rates compared at each config's own knee would be taken
+#: at different offered loads, so the raw-vs-compressed tier claim is
+#: pinned at one shared rate instead — chosen inside the contended
+#: regime (evictions happening in both variants).
+HIT_RATE_PROBE_RPS = 4.0
+
+
+def _prefix_raw_config() -> ServingConfig:
+    """Whole carve held as raw KV (hot tier only): hits are free but
+    the carve holds the fewest prefixes."""
+    return ServingConfig(
+        prefill_mode="chunked", cost_bucket=CTX_BUCKET, limits=LIMITS,
+        prefix_cache=PrefixCacheConfig(
+            capacity_frac=PREFIX_CAPACITY_FRAC, hot_frac=1.0, codec=None,
+        ),
+    )
+
+
+def _prefix_compressed_config() -> ServingConfig:
+    """Half the carve hot (raw), half cold (Vector-TBE compressed):
+    same memory, ratio x more prefixes resident, cold hits pay the
+    modelled decompress delay."""
+    return ServingConfig(
+        prefill_mode="chunked", cost_bucket=CTX_BUCKET, limits=LIMITS,
+        prefix_cache=PrefixCacheConfig(
+            capacity_frac=PREFIX_CAPACITY_FRAC, hot_frac=0.5,
+            codec="kvcomp",
+        ),
+    )
+
+
+#: Extra configs swept on :data:`SESSION_PROFILE` only.
+SESSION_CONFIGS = {
+    "prefix_raw": _prefix_raw_config,
+    "prefix_compressed": _prefix_compressed_config,
+}
+
 
 def _serve_fn(config: ServingConfig):
     engine = _engine()
@@ -180,7 +235,7 @@ def _measure_at(serve, profile: str, rate_rps: float):
 def _curve_row(measurement) -> dict:
     """One rate sample's emitted metrics (the QPS-vs-latency curve)."""
     steady = measurement.steady
-    return {
+    row = {
         "rate_rps": round(measurement.rate_rps, 4),
         "offered_rps": round(measurement.steady_offered_rps, 4),
         "goodput_rps": round(steady.goodput_rps, 4),
@@ -191,10 +246,15 @@ def _curve_row(measurement) -> dict:
         ),
         "unfinished_rate": round(measurement.result.unfinished_rate, 4),
     }
+    cache = measurement.result.prefix_cache
+    if cache is not None:
+        row["prefix_hit_rate"] = round(cache.token_hit_rate, 4)
+    return row
 
 
 def measure_config(
-    profile: str, config: ServingConfig, curves: bool = True
+    profile: str, config: ServingConfig, curves: bool = True,
+    hit_rate_probe_rps: float | None = None,
 ) -> dict:
     """Knee + (optionally) the rate curve for one profile × config.
 
@@ -202,6 +262,11 @@ def measure_config(
     the row required (probes + curve samples) — the numerator of the
     row's sim-throughput gate (``events_per_s``, filled in by the
     caller once it has the wall clock).
+
+    ``hit_rate_probe_rps`` (prefix-cache configs) adds one fixed-rate
+    sample and commits its steady token hit rate as ``token_hit_rate``
+    — the equal-load column the raw-vs-compressed tier claim is pinned
+    on (knee-rate samples sit at different offered loads per config).
     """
     serve = _serve_fn(config)
     steps = 0
@@ -227,6 +292,14 @@ def measure_config(
         ]
         steps += sum(m.result.n_steps for m in samples)
         row["curve"] = [_curve_row(m) for m in samples]
+    if hit_rate_probe_rps is not None:
+        sample = _measure_at(serve, profile, hit_rate_probe_rps)
+        steps += sample.result.n_steps
+        cache = sample.result.prefix_cache
+        row["hit_rate_probe_rps"] = hit_rate_probe_rps
+        row["token_hit_rate"] = round(
+            cache.token_hit_rate if cache is not None else 0.0, 4
+        )
     row["n_steps"] = steps
     return row
 
@@ -242,9 +315,13 @@ def measure_capacity(quick: bool = False, curves: bool = True) -> dict:
     surface: dict = {}
     for profile in profiles:
         surface[profile] = {}
-        for name, config_fn in CONFIGS.items():
+        configs = dict(CONFIGS)
+        if profile == SESSION_PROFILE and not quick:
+            configs.update(SESSION_CONFIGS)
+        for name, config_fn in configs.items():
             start = time.perf_counter()
             config = config_fn()
+            session = name in SESSION_CONFIGS
             if quick:
                 serve = _serve_fn(config)
                 samples = [
@@ -256,7 +333,12 @@ def measure_capacity(quick: bool = False, curves: bool = True) -> dict:
                     "n_steps": sum(m.result.n_steps for m in samples),
                 }
             else:
-                row = measure_config(profile, config, curves=curves)
+                row = measure_config(
+                    profile, config, curves=curves,
+                    hit_rate_probe_rps=(
+                        HIT_RATE_PROBE_RPS if session else None
+                    ),
+                )
             row["wall_s"] = round(time.perf_counter() - start, 3)
             row["events_per_s"] = round(row["n_steps"] / row["wall_s"], 1)
             surface[profile][name] = row

@@ -59,17 +59,21 @@ if str(ROOT / "benchmarks") not in sys.path:
 import bench_capacity  # noqa: E402  (shared engine + measurement geometry)
 from bench_capacity import (  # noqa: E402
     CTX_BUCKET,
+    HIT_RATE_PROBE_RPS,
     LO_RPS,
     MAX_PROBES,
+    PREFIX_CAPACITY_FRAC,
     PROFILE_SLOS,
     RATE_TOL_RPS,
     SEED,
+    SESSION_PROFILE,
     _curve_row,
     _engine,
     _strip_wall,
 )
 from repro.serving import (  # noqa: E402
     FleetConfig,
+    PrefixCacheConfig,
     SchedulerLimits,
     ServingConfig,
     find_knee,
@@ -132,6 +136,44 @@ CONFIGS = {
 }
 
 
+def _session_fleet_config(routing: str) -> ServingConfig:
+    """4 replicas, each carving a hot+compressed prefix cache.
+
+    ``prefix_cache`` sits on the outer config and propagates to every
+    replica (each carves its own); the routing policy is the variable —
+    per-replica caches only pay off if a session's turns keep landing
+    on the same replica.
+    """
+    return ServingConfig(
+        mode="fleet", prefill_mode="chunked", cost_bucket=CTX_BUCKET,
+        limits=LIMITS,
+        prefix_cache=PrefixCacheConfig(
+            capacity_frac=PREFIX_CAPACITY_FRAC, hot_frac=0.5,
+            codec="kvcomp",
+        ),
+        fleet=FleetConfig(
+            n_replicas=N_REPLICAS, routing=routing,
+            instance=_single_config(),
+        ),
+    )
+
+
+#: Extra configs swept on the session profile only: the same cached
+#: fleet under session-sticky vs occupancy-balancing routing.
+SESSION_CONFIGS = {
+    "fleet4_session_affinity": (
+        lambda: _session_fleet_config("session_affinity"), FLEET_HI_RPS
+    ),
+    "fleet4_session_least_kv": (
+        lambda: _session_fleet_config("least_kv_occupancy"), FLEET_HI_RPS
+    ),
+}
+
+#: The fleet's equal-load hit-rate probe offers N× the single-replica
+#: probe rate, so each replica sees the same per-replica load.
+FLEET_HIT_RATE_PROBE_RPS = N_REPLICAS * HIT_RATE_PROBE_RPS
+
+
 def _serve_fn(config: ServingConfig):
     engine = _engine()
     return lambda requests, deadline_s: engine.serve(
@@ -149,9 +191,15 @@ def _measure_at(serve, profile: str, rate_rps: float):
 
 def measure_config(
     profile: str, config: ServingConfig, hi_rps: float,
-    curves: bool = True,
+    curves: bool = True, hit_rate_probe_rps: float | None = None,
 ) -> dict:
-    """Knee + (optionally) the rate curve for one profile × config."""
+    """Knee + (optionally) the rate curve for one profile × config.
+
+    ``hit_rate_probe_rps`` (prefix-cache configs) adds one fixed-rate
+    sample and commits its fleet-merged token hit rate as
+    ``token_hit_rate`` — the equal-load column the routing-policy
+    hit-rate claim is pinned on.
+    """
     serve = _serve_fn(config)
     steps = 0
 
@@ -176,6 +224,14 @@ def measure_config(
         ]
         steps += sum(m.result.n_steps for m in samples)
         row["curve"] = [_curve_row(m) for m in samples]
+    if hit_rate_probe_rps is not None:
+        sample = _measure_at(serve, profile, hit_rate_probe_rps)
+        steps += sample.result.n_steps
+        cache = sample.result.prefix_cache
+        row["hit_rate_probe_rps"] = hit_rate_probe_rps
+        row["token_hit_rate"] = round(
+            cache.token_hit_rate if cache is not None else 0.0, 4
+        )
     row["n_steps"] = steps
     return row
 
@@ -186,9 +242,13 @@ def measure_fleet(quick: bool = False, curves: bool = True) -> dict:
     surface: dict = {}
     for profile in profiles:
         surface[profile] = {}
-        for name, (config_fn, hi_rps) in CONFIGS.items():
+        configs = dict(CONFIGS)
+        if profile == SESSION_PROFILE and not quick:
+            configs.update(SESSION_CONFIGS)
+        for name, (config_fn, hi_rps) in configs.items():
             start = time.perf_counter()
             config = config_fn()
+            session = name in SESSION_CONFIGS
             if quick:
                 serve = _serve_fn(config)
                 samples = [
@@ -200,7 +260,12 @@ def measure_fleet(quick: bool = False, curves: bool = True) -> dict:
                     "n_steps": sum(m.result.n_steps for m in samples),
                 }
             else:
-                row = measure_config(profile, config, hi_rps, curves=curves)
+                row = measure_config(
+                    profile, config, hi_rps, curves=curves,
+                    hit_rate_probe_rps=(
+                        FLEET_HIT_RATE_PROBE_RPS if session else None
+                    ),
+                )
             row["wall_s"] = round(time.perf_counter() - start, 3)
             row["events_per_s"] = round(row["n_steps"] / row["wall_s"], 1)
             surface[profile][name] = row

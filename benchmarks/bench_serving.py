@@ -39,13 +39,18 @@ from repro.serving.kvcache import KVCacheSpec
 from repro.serving.memory_plan import plan_memory
 from repro.serving.models import get_model
 from repro.serving.scheduler import SchedulerLimits
+from repro.serving.prefixcache import PrefixCacheConfig
 from repro.serving.serve import (
     BackpressureConfig,
     DisaggConfig,
     ServingConfig,
     ServingCore,
 )
-from repro.serving.trace import multi_tenant_trace, poisson_trace
+from repro.serving.trace import (
+    multi_tenant_trace,
+    poisson_trace,
+    session_trace,
+)
 
 N_REQUESTS = 500
 RATE_RPS = 20.0
@@ -244,6 +249,59 @@ def test_backpressure_bounds_decode_occupancy():
 
 
 # ----------------------------------------------------------------------
+# Multi-turn sessions through the compressed prefix cache
+# ----------------------------------------------------------------------
+#: Enough concurrent sessions that the carve thrashes a little (the
+#: interesting regime), at a rate that backs the replica up like the
+#: colocated scenarios do.
+SESSION_N_SESSIONS = 150
+SESSION_RATE_RPS = 6.0
+SESSION_SEED = 3
+
+
+def _session_requests():
+    return session_trace(
+        SESSION_N_SESSIONS, SESSION_RATE_RPS, seed=SESSION_SEED
+    )
+
+
+def _serve_sessions(cache: bool = True):
+    """Session trace through the colocated core, prefix cache on/off."""
+    config = ServingConfig(
+        prefill_mode="chunked", cost_bucket=CTX_BUCKET, limits=LIMITS,
+        prefix_cache=(
+            PrefixCacheConfig(hot_frac=0.5, codec="kvcomp")
+            if cache else None
+        ),
+    )
+    core = _record(ServingCore(
+        EngineCostModel(_MODEL, _GPU, _BACKEND), _KV_SPEC,
+        _PLAN.kv_bytes, config,
+    ))
+    return core.serve(_session_requests())
+
+
+def test_prefix_cache_speeds_session_trace():
+    """Acceptance: skipping cached prefill beats recomputing it.
+
+    Same session trace, same engine: with the prefix cache the run must
+    hit (turns share their history), generate the identical output
+    work, and finish no later than the cache-off run; without the cache
+    the result must carry no cache stats at all (the off-path is the
+    bit-compat baseline, not a zeroed cache).
+    """
+    off = _serve_sessions(cache=False)
+    on = _serve_sessions(cache=True)
+    assert off.prefix_cache is None
+    stats = on.prefix_cache
+    assert stats is not None and stats.n_hits > 0
+    assert stats.hit_tokens <= stats.offered_prefix_tokens
+    assert on.n_requests == off.n_requests == len(_session_requests())
+    assert on.tokens_generated == off.tokens_generated
+    assert on.makespan_s <= off.makespan_s
+
+
+# ----------------------------------------------------------------------
 # Auto codec selection (measured calibration + policy layer)
 # ----------------------------------------------------------------------
 _CALIBRATION_PROFILE = None
@@ -414,6 +472,7 @@ SCENARIOS = {
     "disagg_kvcomp": lambda: _serve_mode("disaggregated", "kvcomp"),
     "disagg_backpressure": lambda: _serve_backpressure(True),
     "auto_codec": lambda: _serve_auto("best_ratio"),
+    "sessions_prefix_cache": lambda: _serve_sessions(True),
     "large_trace_colocated": _serve_large_colocated,
     "large_trace_disagg": _serve_large_disagg,
     "fleet_router": _serve_fleet,
@@ -436,6 +495,20 @@ def _print_cache_info() -> None:
             f" misses={stats['misses']:>6,d}"
             f" size={stats['size']:>6,d} hit-rate={rate:6.1%}"
         )
+
+
+def _print_prefix_cache_info(result) -> None:
+    """Prefix-cache hit rates of the scenario result (if cache was on)."""
+    stats = getattr(result, "prefix_cache", None)
+    if stats is None:
+        return
+    print(
+        f"  prefix cache: token hit-rate={stats.token_hit_rate:6.1%}"
+        f" request hit-rate={stats.request_hit_rate:6.1%}"
+        f" hits={stats.n_hits:,d}/{stats.n_lookups:,d}"
+        f" demotions={stats.n_demotions:,d}"
+        f" evictions={stats.n_evictions:,d}"
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -477,6 +550,7 @@ def main(argv: list[str] | None = None) -> int:
         f" sim-s/wall-s={result.makespan_s / wall:,.1f}"
     )
     _print_cache_info()
+    _print_prefix_cache_info(result)
     if profiler is not None:
         stats = pstats.Stats(profiler)
         stats.sort_stats("cumulative")

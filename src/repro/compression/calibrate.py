@@ -112,6 +112,7 @@ def default_tensor_classes() -> list[TensorClass]:
         TensorClass("weight:generic", "weight", 0.02),
         TensorClass("kv:block", "kv", ACTIVATION_SIGMA),
         TensorClass("wire:kv", "wire", ACTIVATION_SIGMA),
+        TensorClass("prefix:block", "prefix", ACTIVATION_SIGMA),
     ]
 
 
@@ -140,6 +141,8 @@ def tensor_classes_for_model(model, sample_shape=DEFAULT_SAMPLE_SHAPE):
     classes.append(TensorClass("kv:block", "kv", ACTIVATION_SIGMA,
                                sample_shape))
     classes.append(TensorClass("wire:kv", "wire", ACTIVATION_SIGMA,
+                               sample_shape))
+    classes.append(TensorClass("prefix:block", "prefix", ACTIVATION_SIGMA,
                                sample_shape))
     return classes
 

@@ -119,6 +119,22 @@ def _hot_path_time_cached(
                 **_PROXY_ATTENTION,
             )
         return profile.time_s
+    if placement == "prefix":
+        # Prefix-cache cold tier: a hit streams the compressed blocks out
+        # of HBM (derated by the codec's stream bandwidth fraction), pays
+        # the decode ALU cost per element, and writes the raw KV bytes
+        # back so the batch reads them at full speed.  2 bytes/element
+        # raw (fp16 KV), compressed at the measured ratio.
+        stream_s = (
+            (2.0 / max(ratio, 1.0))
+            / (gpu.dram_bytes_per_s * codec.stream_bw_frac)
+        )
+        decode_s = (
+            codec.decode_cycles_factor * decode_cycles_per_element()
+            / gpu.sm_cycles_per_s
+        )
+        writeback_s = 2.0 / gpu.dram_bytes_per_s
+        return stream_s + decode_s + writeback_s
     # Wire: serialization dominates — bytes per element over the link,
     # plus the receiver-side decode ALU cost (tiny, but it orders
     # equal-ratio codecs by their hooks).  Normalised to a 1 GB/s link;
@@ -143,8 +159,10 @@ def hot_path_time(
     Weights: one decode-shaped linear layer through
     :func:`~repro.kernels.pipeline.linear_profile` under the codec's
     ``linear_mode``.  KV: one paged-attention decode step, compressed
-    streaming priced by the codec's cycle/bandwidth hooks.  Wire: the
-    serialized bytes per element plus the receiver decode cost.
+    streaming priced by the codec's cycle/bandwidth hooks.  Prefix: a
+    cold-tier cache hit — compressed HBM stream + decode ALU + raw
+    writeback.  Wire: the serialized bytes per element plus the
+    receiver decode cost.
     """
     if placement not in PLACEMENTS:
         raise ConfigError(

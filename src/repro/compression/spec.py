@@ -56,8 +56,11 @@ import numpy as np
 from ..errors import CodecError, ConfigError, UnknownSpecError
 from ..kernels.base import WeightCompression
 
-#: Where a codec can be applied in the serving stack.
-PLACEMENTS = ("weight", "kv", "wire")
+#: Where a codec can be applied in the serving stack.  ``prefix`` is the
+#: cold tier of the prefix cache: KV blocks held compressed at rest and
+#: decompressed on hit, so it prices like KV (the bits are KV bits) but
+#: is selected and calibrated as its own class.
+PLACEMENTS = ("weight", "kv", "wire", "prefix")
 
 #: Default activation scale for KV/wire ratio estimation (matches the
 #: kvcomp extension's historical default).

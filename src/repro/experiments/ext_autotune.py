@@ -86,7 +86,7 @@ def run(quick: bool = False) -> ExperimentResult:
     )
 
     # Per-placement measured-vs-analytic gap (the calibration headline).
-    gap_by_placement = {p: 0.0 for p in ("weight", "kv", "wire")}
+    gap_by_placement = {p: 0.0 for p in ("weight", "kv", "wire", "prefix")}
     for rec in profile.records:
         gap_by_placement[rec.placement] = max(
             gap_by_placement[rec.placement], abs(rec.analytic_gap)

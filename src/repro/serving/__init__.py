@@ -95,8 +95,15 @@ from .openloop import (
     run_open_loop,
 )
 from .parallel import TensorParallelLayout, allreduce_time, shard_layer
+from .prefixcache import (
+    PrefixCache,
+    PrefixCacheConfig,
+    PrefixCacheStats,
+    cold_hit_seconds_per_token,
+)
 from .profiles import (
     PROFILES,
+    SessionProfile,
     WorkloadProfile,
     WorkloadStream,
     get_profile,
@@ -124,6 +131,7 @@ from .router import (
     LeastKVOccupancyPolicy,
     LeastOutstandingPolicy,
     RoundRobinPolicy,
+    RouterConfig,
     RouterStage,
     RoutingPolicy,
     SessionAffinityPolicy,
@@ -138,13 +146,17 @@ from .serve import (
     DisaggConfig,
     ServingConfig,
     ServingCore,
+    build_prefix_cache,
 )
 from .trace import (
+    DEFAULT_SESSION_OUTPUTS,
+    DEFAULT_SESSION_USER_TURNS,
     LengthDistribution,
     TenantSpec,
     closed_loop_trace,
     multi_tenant_trace,
     poisson_trace,
+    session_trace,
     total_tokens,
 )
 from .weights import (
@@ -213,7 +225,13 @@ __all__ = [
     "register_routing_policy",
     "get_routing_policy",
     "list_routing_policies",
+    "RouterConfig",
     "RouterStage",
+    "PrefixCache",
+    "PrefixCacheConfig",
+    "PrefixCacheStats",
+    "cold_hit_seconds_per_token",
+    "build_prefix_cache",
     "FleetConfig",
     "FleetCore",
     "AutoscalerConfig",
@@ -233,10 +251,14 @@ __all__ = [
     "TenantSpec",
     "poisson_trace",
     "multi_tenant_trace",
+    "session_trace",
+    "DEFAULT_SESSION_USER_TURNS",
+    "DEFAULT_SESSION_OUTPUTS",
     "closed_loop_trace",
     "total_tokens",
     "WorkloadStream",
     "WorkloadProfile",
+    "SessionProfile",
     "PROFILES",
     "register_profile",
     "get_profile",

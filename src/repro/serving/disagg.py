@@ -78,10 +78,12 @@ from .metrics import (
     TransferRecord,
     TransferStats,
 )
+from .prefixcache import PrefixCacheStats
 from .scheduler import ContinuousBatchScheduler, Request, get_policy
 from .serve import (
     ServingConfig,
     _raise_stranded,
+    build_prefix_cache,
     decode_window_len,
     run_decode_window,
 )
@@ -350,8 +352,15 @@ class _PrefillReplica:
         self.index = index
         self.costs = costs
         self.config = config
+        # The prefix cache lives on the *prefill* side — that is where
+        # cached tokens skip work.  Each replica carves a private cache
+        # out of its own KV budget (None when no cache is configured).
+        self.prefix_cache, batch_bytes = build_prefix_cache(
+            config, kv_spec, kv_bytes, costs
+        )
         self.scheduler = ContinuousBatchScheduler(
-            PagedKVCache(kv_spec, kv_bytes), config.limits, config.policy
+            PagedKVCache(kv_spec, batch_bytes), config.limits,
+            config.policy, prefix_cache=self.prefix_cache,
         )
         #: (arrival_s, tiebreak, request) — dispatched, not yet due.
         self.pending: list[tuple[float, int, Request]] = []
@@ -514,6 +523,13 @@ class ChunkedPrefillPoolStage(Stage):
                 # clears.)
                 _raise_stranded(scheduler)
             return
+        if scheduler.prefix_cache is not None:
+            # Cold-tier hits pay their decompression before the step
+            # that uses the restored KV (mirrors the colocated stage).
+            delay_s = scheduler.consume_cache_delay()
+            if delay_s > 0.0:
+                replica.clock += delay_s
+                replica.busy_s += delay_s
         breakdown = self.costs.mixed_step(
             0, 1, plan.n_prefill_seqs, plan.n_prefill_tokens
         )
@@ -558,6 +574,14 @@ class ChunkedPrefillPoolStage(Stage):
     @property
     def n_prefills(self) -> int:
         return sum(r.n_steps for r in self.replicas)
+
+    def cache_stats(self) -> list[PrefixCacheStats]:
+        """Per-replica prefix-cache counters (empty when cache off)."""
+        return [
+            r.prefix_cache.stats()
+            for r in self.replicas
+            if r.prefix_cache is not None
+        ]
 
 
 # ----------------------------------------------------------------------
@@ -936,6 +960,15 @@ class DisaggregatedCore:
                 "DisaggregatedCore requires mode='disaggregated',"
                 f" got {self.config.mode!r}"
             )
+        if (
+            self.config.prefix_cache is not None
+            and self.config.disagg.prefill_mode != "chunked"
+        ):
+            raise ConfigError(
+                "prefix_cache requires DisaggConfig("
+                "prefill_mode='chunked'): the group prefill pool has no"
+                " per-replica scheduler to skip cached tokens with"
+            )
         self.costs = maybe_memoize(costs, self.config.cost_bucket)
         self.kv_spec = kv_spec
         self.kv_bytes = kv_bytes
@@ -1032,4 +1065,11 @@ class DisaggregatedCore:
             ),
             unfinished=unfinished,
             deadline_s=deadline_s,
+            prefix_cache=(
+                PrefixCacheStats.merge(cache_stats)
+                if (cache_stats := getattr(
+                    prefill, "cache_stats", lambda: []
+                )())
+                else None
+            ),
         )

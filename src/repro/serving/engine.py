@@ -388,13 +388,16 @@ class InferenceEngine:
         classes["wire:kv"] = TensorClass(
             "wire:kv", "wire", ACTIVATION_SIGMA
         )
+        classes["prefix:block"] = TensorClass(
+            "prefix:block", "prefix", ACTIVATION_SIGMA
+        )
         return classes
 
     def resolve_codecs(self, config: ServingConfig) -> dict:
         """What the codec slots of ``config`` resolve to on this engine.
 
         Returns ``{"policy": <name>, "weight": {layer kind: spec},
-        "kv": spec, "transfer": spec}`` with settled
+        "kv": spec, "transfer": spec, "prefix": spec}`` with settled
         :class:`~repro.compression.CompressionSpec` values — ``"auto"``
         slots through the policy, named slots through the same
         per-class, calibration-aware resolution ``serve`` prices with.
@@ -418,6 +421,7 @@ class InferenceEngine:
             name = slot
             if name is None:
                 name = (
+                    "none" if placement == "prefix" else
                     config.resolved_transfer_codec
                     if placement == "wire" else
                     self.costs.kv_spec_c if placement == "kv"
@@ -441,6 +445,13 @@ class InferenceEngine:
             "transfer": slot_spec(
                 config.transfer_codec, "wire", "wire:kv"
             ),
+            "prefix": slot_spec(
+                (
+                    config.prefix_cache.codec
+                    if config.prefix_cache is not None else None
+                ),
+                "prefix", "prefix:block",
+            ),
         }
 
     def _resolve_auto(
@@ -457,7 +468,7 @@ class InferenceEngine:
             return config, None
         selection = self.resolve_codecs(config)
         layer_specs = None
-        updates: dict[str, str] = {}
+        updates: dict[str, object] = {}
         if config.weight_codec == "auto":
             layer_specs = selection["weight"]
             # The dominant name keeps the rewritten config readable; the
@@ -469,6 +480,13 @@ class InferenceEngine:
             updates["kv_codec"] = selection["kv"].codec
         if config.transfer_codec == "auto":
             updates["transfer_codec"] = selection["transfer"].codec
+        if (
+            config.prefix_cache is not None
+            and config.prefix_cache.codec == "auto"
+        ):
+            updates["prefix_cache"] = replace(
+                config.prefix_cache, codec=selection["prefix"].codec
+            )
         return replace(config, **updates), layer_specs
 
     def _codec_stack(

@@ -60,9 +60,10 @@ from .disagg import (
 from .kernel import EventKernel, Stage
 from .kvcache import KVCacheSpec, PagedKVCache
 from .metrics import ContinuousResult, PoolStats, ReplicaStats, TransferStats
-from .router import RouterStage, get_routing_policy
+from .prefixcache import PrefixCacheStats
+from .router import RouterConfig, RouterStage, get_routing_policy
 from .scheduler import ContinuousBatchScheduler, Request, get_policy
-from .serve import ColocatedStage, ServingConfig
+from .serve import ColocatedStage, ServingConfig, build_prefix_cache
 
 __all__ = [
     "AutoscalerConfig",
@@ -142,10 +143,21 @@ class FleetConfig:
     instance: ServingConfig | None = None
     instances: tuple[ServingConfig, ...] = ()
     autoscaler: AutoscalerConfig | None = None
+    #: Front-door admission control
+    #: (:class:`~repro.serving.router.RouterConfig`); ``None`` admits
+    #: everything.
+    router: RouterConfig | None = None
 
     def __post_init__(self) -> None:
         if self.n_replicas < 1:
             raise ConfigError("n_replicas must be >= 1")
+        if self.router is not None and not isinstance(
+            self.router, RouterConfig
+        ):
+            raise ConfigError(
+                "FleetConfig.router must be a RouterConfig,"
+                f" got {type(self.router).__name__}"
+            )
         get_routing_policy(self.routing)  # raises UnknownSpecError
         for cfg in (self.instance, *self.instances):
             if cfg is None:
@@ -191,7 +203,10 @@ class FleetConfig:
         it: the (already policy-resolved) ``transfer_codec`` to disagg
         instances, ``calibration`` to everyone — so wire pricing inside
         a replica sees the same measured ratios the fleet's cost stack
-        was built with.
+        was built with — and ``prefix_cache`` to any instance that does
+        not set its own (every replica carves a private cache; a fleet
+        of N replicas holds N independent prefix caches, which is why
+        ``session_affinity`` routing changes fleet hit rates).
         """
         if self.instances:
             base = self.instances
@@ -214,6 +229,17 @@ class FleetConfig:
                 updates["transfer_codec"] = outer.transfer_codec
             if outer.calibration is not None:
                 updates["calibration"] = outer.calibration
+            if (
+                outer.prefix_cache is not None
+                and cfg.prefix_cache is None
+                # Group-mode disagg prefill has no scheduler to skip
+                # cached tokens with — such instances run cache-less.
+                and not (
+                    cfg.mode == "disaggregated"
+                    and cfg.disagg.prefill_mode != "chunked"
+                )
+            ):
+                updates["prefix_cache"] = outer.prefix_cache
             resolved.append(replace(cfg, **updates) if updates else cfg)
         return tuple(resolved)
 
@@ -252,9 +278,19 @@ class _ColocatedReplica:
     ):
         self.index = index
         self.config = config
-        kv = _SignalKVCache(kv_spec, kv_bytes, self._retire_commitment)
+        # Each replica carves a *private* prefix cache out of its own
+        # KV budget — sessions only hit where their finished turns
+        # landed, which is what makes routing policy show up in fleet
+        # hit rates.
+        self.prefix_cache, batch_bytes = build_prefix_cache(
+            config, kv_spec, kv_bytes, costs
+        )
+        kv = _SignalKVCache(
+            kv_spec, batch_bytes, self._retire_commitment
+        )
         self.scheduler = ContinuousBatchScheduler(
-            kv, config.limits, config.policy
+            kv, config.limits, config.policy,
+            prefix_cache=self.prefix_cache,
         )
         self.pending: list[Request] = []
         self.stage = ColocatedStage(
@@ -332,6 +368,11 @@ class _ColocatedReplica:
     @property
     def n_preemptions(self) -> int:
         return self.scheduler.n_preemptions
+
+    def cache_stats(self) -> list[PrefixCacheStats]:
+        if self.prefix_cache is None:
+            return []
+        return [self.prefix_cache.stats()]
 
     def stats(self, makespan_s: float) -> ReplicaStats:
         pool = PoolStats.from_busy(
@@ -482,6 +523,10 @@ class _DisaggReplica:
         return sum(
             r.scheduler.n_preemptions for r in self.decode_pool.replicas
         )
+
+    def cache_stats(self) -> list[PrefixCacheStats]:
+        # Only the chunked prefill pool carries prefix caches.
+        return getattr(self.prefill, "cache_stats", lambda: [])()
 
     def stats(self, makespan_s: float) -> ReplicaStats:
         pools = (
@@ -695,7 +740,9 @@ class FleetCore:
             self._build_replica(i, cfg)
             for i, cfg in enumerate(instance_configs)
         ]
-        router = RouterStage(requests, fleet.routing, replicas)
+        router = RouterStage(
+            requests, fleet.routing, replicas, config=fleet.router
+        )
         n_active = len(replicas)
         if fleet.autoscaler is not None:
             n_active = min(fleet.autoscaler.min_replicas, len(replicas))
@@ -722,12 +769,16 @@ class FleetCore:
         for replica in replicas:
             finished.extend(replica.finished)
         finished.sort(key=lambda r: r.request_id)
-        finished_ids = {r.request_id for r in finished}
+        done_ids = {r.request_id for r in finished}
+        done_ids.update(r.request_id for r in router.rejected)
         unfinished = [
-            r for r in requests if r.request_id not in finished_ids
+            r for r in requests if r.request_id not in done_ids
         ]
         makespan = max((r.clock_s for r in replicas), default=0.0)
         stats = tuple(r.stats(makespan) for r in replicas)
+        cache_stats = [
+            s for replica in replicas for s in replica.cache_stats()
+        ]
         return ContinuousResult.from_run(
             finished,
             makespan_s=makespan,
@@ -740,6 +791,11 @@ class FleetCore:
             mode="fleet",
             pools=tuple(p for s in stats for p in s.pools),
             unfinished=unfinished,
+            n_rejected=len(router.rejected),
             deadline_s=deadline_s,
             replicas=stats,
+            prefix_cache=(
+                PrefixCacheStats.merge(cache_stats)
+                if cache_stats else None
+            ),
         )

@@ -428,6 +428,11 @@ class ContinuousResult:
     deadline_s: float | None = None
     #: Per-replica breakdown (``mode="fleet"`` only; empty otherwise).
     replicas: tuple[ReplicaStats, ...] = ()
+    #: Prefix-cache counters
+    #: (:class:`~repro.serving.prefixcache.PrefixCacheStats`; summed
+    #: across replicas in fleet mode).  ``None`` when no cache was
+    #: configured.
+    prefix_cache: object = None
 
     @property
     def routing_histogram(self) -> tuple[int, ...]:
@@ -504,6 +509,7 @@ class ContinuousResult:
         n_rejected: int = 0,
         deadline_s: float | None = None,
         replicas: tuple["ReplicaStats", ...] = (),
+        prefix_cache=None,
     ) -> "ContinuousResult":
         """Build the result from the finished set (guards the empty case).
 
@@ -540,4 +546,5 @@ class ContinuousResult:
             n_rejected=n_rejected,
             deadline_s=deadline_s,
             replicas=replicas,
+            prefix_cache=prefix_cache,
         )

@@ -34,6 +34,9 @@ Built-in shapes (all deterministic per seed, golden-pinned in
 * ``rag_long_context`` — retrieval-augmented generation: very long
   stuffed-context prompts with medium answers.  KV-heaviest shape per
   request, so compressed KV (residency *and* wire) pays most here.
+* ``chat_sessions`` — multi-turn sessions (:class:`SessionProfile`):
+  a shared system prompt plus per-turn growing history, so consecutive
+  turns share a long prompt prefix.  The prefix-cache workload.
 """
 
 from __future__ import annotations
@@ -49,6 +52,7 @@ from .trace import LengthDistribution, TenantSpec
 __all__ = [
     "WorkloadStream",
     "WorkloadProfile",
+    "SessionProfile",
     "PROFILES",
     "register_profile",
     "get_profile",
@@ -203,6 +207,70 @@ class WorkloadProfile:
         ]
 
 
+@dataclass(frozen=True)
+class SessionProfile(WorkloadProfile):
+    """A multi-turn session shape: arrivals are turns, not requests.
+
+    The open-loop driver hands any profile a flat arrival-stamp array;
+    a session profile reinterprets stamp ``i`` as **turn ``i // S`` of
+    session ``i % S``** with ``S = ceil(n / mean_turns)`` concurrent
+    sessions — every arrival keeps its stamp and its draw order (the
+    stream's prompt distribution supplies the *user turn* lengths), but
+    prompts grow with the session's accumulated history on top of the
+    shared ``system_prompt_len``, and each request carries
+    ``session_id`` and ``prefix_tokens`` (the context cached by the
+    previous turn).  Rate sweeps therefore scale the *session count*,
+    not the turns per session, keeping the prefix-reuse structure
+    comparable across rates.
+    """
+
+    system_prompt_len: int = 256
+    mean_turns: float = 4.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.system_prompt_len < 0:
+            raise ConfigError("system_prompt_len must be >= 0")
+        if self.mean_turns < 1.0:
+            raise ConfigError("mean_turns must be >= 1")
+
+    def trace(
+        self,
+        arrivals: np.ndarray | list[float],
+        seed: int = 0,
+    ) -> list[Request]:
+        arrivals = np.asarray(arrivals, dtype=float)
+        if arrivals.size == 0:
+            raise ConfigError("trace needs at least one arrival")
+        if np.any(np.diff(arrivals) < 0):
+            raise ConfigError("arrival stamps must be non-decreasing")
+        rng = np.random.default_rng(seed)
+        n = int(arrivals.size)
+        tenants, user_lens, outputs, priorities = self.sample(n, rng)
+        n_sessions = max(1, -(-n // int(round(self.mean_turns))))
+        context: dict[int, int] = {}
+        requests = []
+        for i in range(n):
+            sid = i % n_sessions
+            cached = context.get(sid, 0)
+            prompt = (
+                (cached if cached else self.system_prompt_len)
+                + int(user_lens[i])
+            )
+            requests.append(Request(
+                request_id=i,
+                prompt_len=prompt,
+                max_new_tokens=int(outputs[i]),
+                arrival_s=float(arrivals[i]),
+                tenant=tenants[i],
+                priority=priorities[i],
+                session_id=sid,
+                prefix_tokens=cached,
+            ))
+            context[sid] = prompt + int(outputs[i])
+        return requests
+
+
 # ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
@@ -306,6 +374,28 @@ register_profile(WorkloadProfile(
                                        maximum=192),
         ),
     },
+))
+
+register_profile(SessionProfile(
+    name="chat_sessions",
+    description=(
+        "Multi-turn chat sessions: a shared system prompt plus history"
+        " that grows every turn, so consecutive turns share a long"
+        " prompt prefix. The prefix-cache workload — cached prefill is"
+        " skipped, turning cache capacity (and cold-tier compression"
+        " ratio) into knee throughput."
+    ),
+    streams={
+        "sessions": WorkloadStream(
+            weight=1.0,
+            prompts=LengthDistribution(mean=64, cv=0.6, minimum=8,
+                                       maximum=256),
+            outputs=LengthDistribution(mean=128, cv=0.7, minimum=16,
+                                       maximum=384),
+        ),
+    },
+    system_prompt_len=256,
+    mean_turns=4.0,
 ))
 
 register_profile(WorkloadProfile(

@@ -23,10 +23,23 @@ any ``FleetConfig(routing="<name>")`` picks it up.  Builtins:
   the routing instant, the signal self-balances before any KV is
   allocated — under heterogeneous prompt lengths this beats counting
   requests, since one RAG prompt occupies the KV of fifty chat turns.
-* ``session_affinity`` — sticky tenant→replica mapping (first pick by
-  tenant-name hash over the active set), so multi-turn sessions land
-  where their prefix KV lives.  A tenant whose replica is drained by
-  the autoscaler is re-homed on its next request.
+* ``session_affinity`` — sticky key→replica mapping (first pick by
+  key hash over the active set), so multi-turn sessions land where
+  their prefix KV lives.  Requests are keyed by ``session_id`` when
+  set, else by a non-default ``tenant`` name; **unkeyed** requests
+  cycle round-robin instead of hashing, so a mixed keyed/unkeyed
+  stream cannot convoy its unkeyed half onto one replica.  A key whose
+  replica is drained by the autoscaler is re-homed on its next
+  request.
+
+The router also owns front-door **admission control**:
+:class:`RouterConfig(max_outstanding_per_replica=...)` caps each
+replica's routed-but-unfinished backlog; a request whose selected
+replica is at the cap is *rejected* at the routing instant — recorded
+on :attr:`RouterStage.rejected`, surfaced as
+``ContinuousResult.n_rejected`` and (being offered-but-not-good)
+counted by ``steady_slo_violation_rate``.  The default (``None``)
+admits everything, byte-identical to the pre-admission-control fleet.
 
 Determinism: every builtin is a pure function of the routing history
 and replica state — no RNG, and the tenant hash is ``zlib.crc32`` (not
@@ -45,8 +58,9 @@ the PR 6 heap kernel removed, and the 100k-request fleet trace gate in
 from __future__ import annotations
 
 import zlib
+from dataclasses import dataclass
 
-from ..errors import SchedulingError, UnknownSpecError
+from ..errors import ConfigError, SchedulingError, UnknownSpecError
 from .kernel import Stage
 from .scheduler import Request
 
@@ -60,6 +74,7 @@ __all__ = [
     "register_routing_policy",
     "get_routing_policy",
     "list_routing_policies",
+    "RouterConfig",
     "RouterStage",
 ]
 
@@ -163,26 +178,45 @@ class LeastKVOccupancyPolicy(RoutingPolicy):
 
 
 class SessionAffinityPolicy(RoutingPolicy):
-    """Sticky tenant→replica mapping (hash first, then pinned).
+    """Sticky key→replica mapping (hash first, then pinned).
 
-    The first request of a tenant picks ``crc32(tenant) % len(active)``
-    — a platform-stable hash, deliberately not Python's per-process
-    seeded ``hash()`` — and every later request follows the pin while
-    that replica stays active.  A pin to a drained replica is re-homed
-    (and re-pinned) on the tenant's next request.
+    The affinity key is ``session_id`` when the request carries one
+    (multi-turn session traces — the prefix cache lives on the replica
+    the session is pinned to), else a non-``"default"`` ``tenant``
+    name.  The first request of a key picks ``crc32(key) %
+    len(active)`` — a platform-stable hash, deliberately not Python's
+    per-process seeded ``hash()`` — and every later request follows
+    the pin while that replica stays active.  A pin to a drained
+    replica is re-homed (and re-pinned) on the key's next request.
+
+    **Unkeyed** requests (no session, default tenant) are *not*
+    pinned: they cycle round-robin over the active set.  Hashing them
+    would put every unkeyed request behind one shared ``"default"``
+    key and convoy the whole stream onto a single replica — the bug
+    class this branch exists to avoid.
     """
 
     name = "session_affinity"
 
     def __init__(self) -> None:
         self._pins: dict[str, object] = {}
+        self._cursor = 0
 
     def select(self, req: Request, active: list, now: float):
-        tenant = getattr(req, "tenant", "default")
-        replica = self._pins.get(tenant)
+        session = getattr(req, "session_id", None)
+        if session is not None:
+            key = f"s{session}"
+        else:
+            tenant = getattr(req, "tenant", "default")
+            if tenant == "default":
+                replica = active[self._cursor % len(active)]
+                self._cursor += 1
+                return replica
+            key = f"t{tenant}"
+        replica = self._pins.get(key)
         if replica is None or replica not in active:
-            replica = active[zlib.crc32(tenant.encode()) % len(active)]
-            self._pins[tenant] = replica
+            replica = active[zlib.crc32(key.encode()) % len(active)]
+            self._pins[key] = replica
         return replica
 
 
@@ -230,6 +264,28 @@ def list_routing_policies() -> list[str]:
     return sorted(ROUTING_POLICIES)
 
 
+@dataclass(frozen=True)
+class RouterConfig:
+    """Front-door admission control (``FleetConfig(router=...)``).
+
+    ``max_outstanding_per_replica`` caps a replica's
+    routed-but-unfinished backlog: a request whose policy-selected
+    replica is at the cap is **rejected** at the routing instant
+    instead of delivered — the request never enters any queue, exactly
+    like a load balancer returning 503 when the backend's connection
+    pool is exhausted.  ``None`` (the default) admits everything.
+    """
+
+    max_outstanding_per_replica: int | None = None
+
+    def __post_init__(self) -> None:
+        cap = self.max_outstanding_per_replica
+        if cap is not None and cap < 1:
+            raise ConfigError(
+                f"max_outstanding_per_replica must be >= 1, got {cap}"
+            )
+
+
 class RouterStage(Stage):
     """The fleet's front door: routes the arrival stream to replicas.
 
@@ -242,19 +298,29 @@ class RouterStage(Stage):
     1000-replica fleet from waking wholesale on every arrival.
 
     ``assignments`` records ``request_id → replica index`` for the
-    routing histogram and the determinism tests.
+    routing histogram and the determinism tests; requests refused by
+    admission control (:class:`RouterConfig`) land on ``rejected``
+    instead and are never delivered anywhere.
     """
 
     name = "router"
 
-    def __init__(self, requests: list[Request], policy, replicas: list):
+    def __init__(
+        self,
+        requests: list[Request],
+        policy,
+        replicas: list,
+        config: RouterConfig | None = None,
+    ):
         self.policy = get_routing_policy(policy)
         self.replicas = replicas
+        self.config = config or RouterConfig()
         self._pending = sorted(
             requests, key=lambda r: (r.arrival_s, r.request_id)
         )
         self._cursor = 0
         self.assignments: dict[int, int] = {}
+        self.rejected: list[Request] = []
 
     # ------------------------------------------------------------------
     @property
@@ -281,6 +347,7 @@ class RouterStage(Stage):
 
     def advance(self, now: float) -> None:
         pending, replicas = self._pending, self.replicas
+        cap = self.config.max_outstanding_per_replica
         touched = set()
         while self._cursor < len(pending):
             req = pending[self._cursor]
@@ -294,6 +361,9 @@ class RouterStage(Stage):
                     f" {req.request_id} at t={now}"
                 )
             replica = self.policy.select(req, active, now)
+            if cap is not None and replica.n_outstanding >= cap:
+                self.rejected.append(req)
+                continue
             replica.deliver(req)
             self.assignments[req.request_id] = replica.index
             touched.add(replica)

@@ -81,6 +81,14 @@ class Request:
     tenant: str = "default"
     prefill_remaining: int = 0
     n_preemptions: int = 0
+    #: Session this request belongs to (multi-turn traces); ``None``
+    #: for single-turn requests.  Keys the prefix cache and session-
+    #: affinity routing.
+    session_id: int | None = None
+    #: Leading prompt tokens shared with the session's previous turn —
+    #: what a prefix cache could skip.  0 for first turns and
+    #: single-turn requests.
+    prefix_tokens: int = 0
 
     def __post_init__(self) -> None:
         if self.prompt_len <= 0:
@@ -416,10 +424,19 @@ class ContinuousBatchScheduler:
         kv: PagedKVCache,
         limits: SchedulerLimits | None = None,
         policy: str | SchedulerPolicy = "fcfs",
+        prefix_cache=None,
     ):
         self.kv = kv
         self.limits = limits or SchedulerLimits()
         self.policy = get_policy(policy)
+        #: Optional :class:`~repro.serving.prefixcache.PrefixCache`.
+        #: With one set, admission skips the cached leading tokens of a
+        #: session request's prompt (``prefill_remaining`` starts at the
+        #: first uncached token) and finished/released requests
+        #: repopulate the cache.  ``None`` (default) leaves every code
+        #: path bit-identical to the cache-less scheduler.
+        self.prefix_cache = prefix_cache
+        self._cache_delay_s = 0.0
         self.waiting: list[Request] = []
         self.running: list[Request] = []
         self.finished: list[Request] = []
@@ -521,6 +538,24 @@ class ContinuousBatchScheduler:
             self.kv.allocate(head.request_id, restart_len)
             head.state = RequestState.RUNNING
             head.prefill_remaining = restart_len
+            cache = self.prefix_cache
+            if (
+                cache is not None
+                and head.n_preemptions == 0
+                and head.session_id is not None
+                and head.prefix_tokens > 0
+            ):
+                # Skip the cached leading tokens: prefill starts at the
+                # first uncached token.  At least one token always
+                # prefills (the first-token stamp needs a chunk), and
+                # re-admissions after preemption recompute everything —
+                # their KV was freed, the cache entry may be stale.
+                hit, delay_s = cache.lookup(
+                    head.session_id,
+                    min(head.prefix_tokens, restart_len - 1),
+                )
+                head.prefill_remaining = restart_len - hit
+                self._cache_delay_s += delay_s
             if enforce_token_budget:
                 budget -= restart_len
             self.running.append(head)
@@ -586,11 +621,34 @@ class ContinuousBatchScheduler:
             if req.done:
                 req.state = RequestState.FINISHED
                 req.finish_s = clock
+                self._store_prefix(req)
                 self.kv.free(req.request_id)
                 self.running.remove(req)
                 self.finished.append(req)
                 done.append(req)
         return done
+
+    # ------------------------------------------------------------------
+    # Prefix cache hooks
+    # ------------------------------------------------------------------
+    def _store_prefix(self, req: Request) -> None:
+        """Repopulate the prefix cache with a request's final context.
+
+        The next turn of the session shares exactly this context —
+        prompt plus everything generated — as its prompt prefix.
+        """
+        if self.prefix_cache is not None and req.session_id is not None:
+            self.prefix_cache.store(req.session_id, req.context_len)
+
+    def consume_cache_delay(self) -> float:
+        """Drain the decompress delay accrued by cold-tier cache hits.
+
+        The serving stage charges it to the clock alongside the step
+        that admitted the hitting requests; reading resets to zero.
+        """
+        delay_s = self._cache_delay_s
+        self._cache_delay_s = 0.0
+        return delay_s
 
     # ------------------------------------------------------------------
     # Hand-off (disaggregated pipelines)
@@ -610,6 +668,7 @@ class ContinuousBatchScheduler:
             raise SchedulingError(
                 f"request {req.request_id} is not running"
             )
+        self._store_prefix(req)
         self.kv.free(req.request_id)
         self.running.remove(req)
         req.state = RequestState.WAITING
@@ -680,6 +739,7 @@ class ContinuousBatchScheduler:
             stepped.append(req)
             if req.done:
                 req.state = RequestState.FINISHED
+                self._store_prefix(req)
                 self.kv.free(req.request_id)
                 self.running.remove(req)
                 self.finished.append(req)

@@ -55,13 +55,23 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-from ..compression import get_codec, get_codec_policy
+from ..compression import (
+    ACTIVATION_SIGMA,
+    get_codec,
+    get_codec_policy,
+    resolve_spec,
+)
 from ..errors import CapacityError, ConfigError
 from ..utils import ceil_div
 from .costs import StepCostModel, maybe_memoize
 from .kernel import EventKernel, Stage
 from .kvcache import KVCacheSpec, PagedKVCache
 from .metrics import ContinuousResult, SLOTarget
+from .prefixcache import (
+    PrefixCache,
+    PrefixCacheConfig,
+    cold_hit_seconds_per_token,
+)
 from .scheduler import (
     ContinuousBatchScheduler,
     DecodeWindowState,
@@ -286,6 +296,14 @@ class ServingConfig:
     #: (:class:`~repro.compression.MeasuredRatioProfile`); ``None``
     #: keeps analytic ratio resolution (bit-compatible).
     calibration: object = None
+    #: Prefix-cache provisioning
+    #: (:class:`~repro.serving.prefixcache.PrefixCacheConfig`): carve a
+    #: fraction of the KV budget into a two-tier session-prefix cache so
+    #: repeated prompts skip their cached prefill.  Applies to every
+    #: topology (per-replica caches in fleet and disaggregated chunked-
+    #: prefill pools).  ``None`` (default) disables the cache and keeps
+    #: every existing config bit-compatible.
+    prefix_cache: PrefixCacheConfig | None = None
 
     def __post_init__(self) -> None:
         if self.prefill_mode not in PREFILL_MODES:
@@ -313,6 +331,13 @@ class ServingConfig:
                     "fleet must be a FleetConfig, got"
                     f" {type(self.fleet).__name__}"
                 )
+        if self.prefix_cache is not None and not isinstance(
+            self.prefix_cache, PrefixCacheConfig
+        ):
+            raise ConfigError(
+                "prefix_cache must be a PrefixCacheConfig, got"
+                f" {type(self.prefix_cache).__name__}"
+            )
         # A bad policy name should fail at config construction, not at
         # the first serve() with an "auto" slot.
         get_codec_policy(self.codec_policy)
@@ -320,11 +345,16 @@ class ServingConfig:
     @property
     def auto_slots(self) -> tuple[str, ...]:
         """Which codec slots are set to ``"auto"``."""
+        prefix_slot = (
+            self.prefix_cache.codec
+            if self.prefix_cache is not None else None
+        )
         return tuple(
             name for name, slot in (
                 ("weight", self.weight_codec),
                 ("kv", self.kv_codec),
                 ("transfer", self.transfer_codec),
+                ("prefix", prefix_slot),
             )
             if slot == AUTO_CODEC
         )
@@ -341,6 +371,69 @@ class ServingConfig:
     def with_limits(self, limits: SchedulerLimits | None) -> "ServingConfig":
         """A copy with ``limits`` swapped in (if given)."""
         return self if limits is None else replace(self, limits=limits)
+
+
+def _discover_gpu(costs):
+    """The GpuSpec a cost model prices on, if reachable (memoization
+    wrappers keep it on their inner model)."""
+    gpu = getattr(costs, "gpu", None)
+    if gpu is None:
+        gpu = getattr(getattr(costs, "inner", None), "gpu", None)
+    return gpu
+
+
+def build_prefix_cache(
+    config: ServingConfig, kv_spec, kv_bytes: float, costs,
+) -> tuple[PrefixCache | None, float]:
+    """Provision one engine's prefix cache from its serving config.
+
+    Returns ``(cache, batch_kv_bytes)``: the cache holds
+    ``capacity_frac`` of ``kv_bytes`` and the block allocator gets the
+    remainder — cache capacity is charged against the KV memory plan,
+    never conjured.  With ``config.prefix_cache=None`` this is the
+    identity: ``(None, kv_bytes)``, the bit-compatibility fast path
+    every topology shares.
+
+    The cold tier's codec resolves like every other slot:
+    ``InferenceEngine.serve`` settles ``"auto"`` at config time; a core
+    constructed directly resolves it here through ``codec_policy``
+    against the cost model's GPU (same policy, same placement class,
+    same answer).  Ratios honour ``config.calibration``.
+    """
+    pc = config.prefix_cache
+    if pc is None:
+        return None, kv_bytes
+    cache_bytes = kv_bytes * pc.capacity_frac
+    cold_ratio, cold_s = 1.0, 0.0
+    if pc.codec is not None:
+        codec = pc.codec
+        gpu = _discover_gpu(costs)
+        if codec == AUTO_CODEC:
+            if gpu is None:
+                raise ConfigError(
+                    "prefix codec 'auto' needs a GPU-bearing cost model"
+                    " to resolve; name the codec explicitly"
+                )
+            spec = get_codec_policy(config.codec_policy).select(
+                "prefix", gpu, profile=config.calibration,
+                sigma=ACTIVATION_SIGMA, cls="prefix:block",
+            )
+        else:
+            spec = resolve_spec(
+                codec, "prefix", sigma=ACTIVATION_SIGMA,
+                cls="prefix:block", profile=config.calibration,
+            )
+        cold_ratio = spec.ratio
+        cold_s = cold_hit_seconds_per_token(
+            kv_spec, spec.codec, cold_ratio, gpu
+        )
+    cache = PrefixCache(
+        kv_spec, cache_bytes,
+        hot_frac=pc.hot_frac,
+        cold_ratio=cold_ratio,
+        cold_hit_s_per_token=cold_s,
+    )
+    return cache, kv_bytes - cache_bytes
 
 
 class ColocatedStage(Stage):
@@ -463,6 +556,15 @@ class ColocatedStage(Stage):
                 _raise_stranded(scheduler)
             return
         self.peak_running = max(self.peak_running, len(scheduler.running))
+        if scheduler.prefix_cache is not None:
+            # Cold-tier hits owe a decompress stream before the first
+            # chunk of the admitted prompt runs; charge it with the
+            # admitting step.  Cache-off schedulers never enter (zero
+            # extra float ops on the bit-compat path).
+            delay_s = scheduler.consume_cache_delay()
+            if delay_s > 0.0:
+                self.clock += delay_s
+                self.busy_s += delay_s
         breakdown = self.costs.mixed_step(
             len(plan.decode),
             max(plan.mean_decode_ctx, 1),
@@ -540,9 +642,13 @@ class ServingCore:
         """
         if not requests:
             raise ConfigError("serve needs at least one request")
-        kv = PagedKVCache(self.kv_spec, self.kv_bytes)
+        cache, batch_bytes = build_prefix_cache(
+            self.config, self.kv_spec, self.kv_bytes, self.costs
+        )
+        kv = PagedKVCache(self.kv_spec, batch_bytes)
         scheduler = ContinuousBatchScheduler(
-            kv, self.config.limits, self.config.policy
+            kv, self.config.limits, self.config.policy,
+            prefix_cache=cache,
         )
         pending = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
         stage = ColocatedStage(self.costs, scheduler, pending, self.config)
@@ -562,6 +668,7 @@ class ServingCore:
             prefill_mode=self.config.prefill_mode,
             unfinished=unfinished,
             deadline_s=deadline_s,
+            prefix_cache=cache.stats() if cache is not None else None,
         )
 
 
@@ -641,6 +748,7 @@ def commit_decode_window(
         if req.done:
             req.state = RequestState.FINISHED
             req.finish_s = clock
+            scheduler._store_prefix(req)
             kv.free(req.request_id)
             scheduler.running.remove(req)
             scheduler.finished.append(req)

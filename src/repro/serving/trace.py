@@ -5,11 +5,13 @@ generates them with the usual shape assumptions: Poisson arrivals and
 log-normal prompt/output lengths (heavy-tailed, like real chat traffic).
 Everything is seeded for reproducibility.
 
-Two generators: :func:`poisson_trace` (one homogeneous stream) and
+Three generators: :func:`poisson_trace` (one homogeneous stream),
 :func:`multi_tenant_trace` (several streams with per-tenant arrival rates,
-length mixes and priorities — the priority scheduler's natural workload).
-Both take an explicit ``start_at`` time origin instead of silently
-rewriting the first arrival.
+length mixes and priorities — the priority scheduler's natural workload)
+and :func:`session_trace` (multi-turn sessions with a shared system
+prompt, growing history and think-time gaps — the prefix-cache
+workload).  All take an explicit ``start_at`` time origin instead of
+silently rewriting the first arrival.
 """
 
 from __future__ import annotations
@@ -190,6 +192,106 @@ def multi_tenant_trace(
             priority=spec.priority,
         )
         for i, (arrival, name, prompt, output, spec) in enumerate(drafts)
+    ]
+
+
+#: Session defaults: short user turns, medium answers — history does the
+#: growing, so per-turn drafts stay small.
+DEFAULT_SESSION_USER_TURNS = LengthDistribution(
+    mean=64, cv=0.6, minimum=8, maximum=256
+)
+DEFAULT_SESSION_OUTPUTS = LengthDistribution(
+    mean=128, cv=0.7, minimum=16, maximum=384
+)
+
+
+def session_trace(
+    n_sessions: int,
+    session_rate_rps: float,
+    mean_turns: float = 4.0,
+    max_turns: int = 16,
+    system_prompt_len: int = 256,
+    user_turns: LengthDistribution = DEFAULT_SESSION_USER_TURNS,
+    outputs: LengthDistribution = DEFAULT_SESSION_OUTPUTS,
+    think_time_s: float = 2.0,
+    seed: int = 0,
+    start_at: float | None = 0.0,
+) -> list[Request]:
+    """Generate a multi-turn session trace (prefix-reuse workload).
+
+    Sessions open as a Poisson process at ``session_rate_rps``.  Each
+    session draws a geometric turn count (mean ``mean_turns``, capped at
+    ``max_turns``); its first prompt is the shared system prompt plus a
+    user turn, and every later turn's prompt is the **whole previous
+    context** (prompt + generated answer) plus a fresh user turn —
+    conversation history grows monotonically.  Turns are spaced by
+    exponential think-time gaps (mean ``think_time_s``) from the
+    previous turn's *arrival* (open-loop stamps are fixed up front, so
+    gaps cannot depend on simulated completions).
+
+    Every request carries ``session_id`` and ``prefix_tokens`` — the
+    leading tokens shared with the previous turn, i.e. what a prefix
+    cache can skip.  First turns have ``prefix_tokens=0``.
+
+    Deterministic per seed: one RNG, sessions drawn in index order
+    (turn count, user lengths, output lengths, think gaps), merged by
+    arrival stamp and renumbered, with ``start_at`` anchoring the
+    earliest arrival like the other generators.
+    """
+    if n_sessions <= 0:
+        raise ConfigError("need at least one session")
+    if session_rate_rps <= 0:
+        raise ConfigError("session arrival rate must be positive")
+    if mean_turns < 1.0:
+        raise ConfigError("mean_turns must be >= 1")
+    if max_turns < 1:
+        raise ConfigError("max_turns must be >= 1")
+    if system_prompt_len < 0:
+        raise ConfigError("system_prompt_len must be >= 0")
+    if think_time_s < 0:
+        raise ConfigError("think_time_s must be >= 0")
+    rng = np.random.default_rng(seed)
+    starts = _poisson_arrivals(
+        n_sessions, session_rate_rps, rng, start_at=None
+    )
+    drafts: list[tuple[float, int, int, int, int, int]] = []
+    for sid in range(n_sessions):
+        n_turns = min(int(rng.geometric(1.0 / mean_turns)), max_turns)
+        user_lens = user_turns.sample(n_turns, rng)
+        output_lens = outputs.sample(n_turns, rng)
+        gaps = (
+            rng.exponential(think_time_s, size=n_turns - 1)
+            if n_turns > 1 and think_time_s > 0
+            else np.zeros(max(n_turns - 1, 0))
+        )
+        arrival = float(starts[sid])
+        context = 0
+        for turn in range(n_turns):
+            if turn:
+                arrival += float(gaps[turn - 1])
+            prefix = context
+            prompt = (
+                (context if context else system_prompt_len)
+                + int(user_lens[turn])
+            )
+            drafts.append((
+                arrival, sid, turn, prompt, int(output_lens[turn]),
+                prefix,
+            ))
+            context = prompt + int(output_lens[turn])
+    drafts.sort(key=lambda d: (d[0], d[1], d[2]))
+    shift = start_at - drafts[0][0] if start_at is not None else 0.0
+    return [
+        Request(
+            request_id=i,
+            prompt_len=prompt,
+            max_new_tokens=output,
+            arrival_s=arrival + shift,
+            session_id=sid,
+            prefix_tokens=prefix,
+        )
+        for i, (arrival, sid, turn, prompt, output, prefix)
+        in enumerate(drafts)
     ]
 
 

@@ -23,6 +23,12 @@ BASELINE_PATH = (
 
 CONFIG_NAMES = ("colocated", "disagg", "auto_codec")
 
+#: Extra configs measured on the session profile only (see
+#: ``bench_capacity.SESSION_CONFIGS``): the prefix-cache comparison,
+#: with the plain ``colocated`` row as their cache-off baseline.
+SESSION_PROFILE = "chat_sessions"
+SESSION_CONFIG_NAMES = ("prefix_raw", "prefix_compressed")
+
 
 @pytest.fixture(scope="module")
 def baseline():
@@ -40,7 +46,10 @@ def test_baseline_committed(baseline):
 def test_every_profile_and_config_present(baseline):
     assert set(baseline["profiles"]) == set(list_profiles())
     for profile, configs in baseline["profiles"].items():
-        assert set(configs) == set(CONFIG_NAMES), profile
+        expected = set(CONFIG_NAMES)
+        if profile == SESSION_PROFILE:
+            expected |= set(SESSION_CONFIG_NAMES)
+        assert set(configs) == expected, profile
 
 
 def test_knees_positive_and_converged(baseline):
@@ -64,6 +73,40 @@ def test_auto_codec_knee_strictly_above_raw_on_starved_link(baseline):
             f"{profile}: auto_codec knee {auto} rps not strictly above"
             f" raw-transfer knee {raw} rps"
         )
+
+
+def test_prefix_cache_knee_above_cache_off(baseline):
+    """The session headline: skipping cached prefill buys request rate.
+
+    On the multi-turn session profile, both prefix-cache configs must
+    sustain a strictly higher knee than the cache-off ``colocated``
+    stack — the KV carved away from the batch pool pays for itself in
+    skipped prefill, with margin.
+    """
+    configs = baseline["profiles"][SESSION_PROFILE]
+    off = configs["colocated"]["knee_rps"]
+    for name in SESSION_CONFIG_NAMES:
+        on = configs[name]["knee_rps"]
+        assert on > off, (
+            f"{name}: cache-on knee {on} rps not strictly above the"
+            f" cache-off knee {off} rps"
+        )
+
+
+def test_compressed_cold_tier_beats_raw_at_equal_memory(baseline):
+    """Same carve, better organisation: hot+compressed over all-raw.
+
+    Both session configs carve the identical KV fraction; the
+    compressed variant holds ratio x more prefixes in its cold tier,
+    so at the committed equal-load probe it must hit strictly more
+    tokens, and its knee must not fall below the raw variant's.
+    """
+    configs = baseline["profiles"][SESSION_PROFILE]
+    raw = configs["prefix_raw"]
+    comp = configs["prefix_compressed"]
+    assert raw["hit_rate_probe_rps"] == comp["hit_rate_probe_rps"]
+    assert comp["token_hit_rate"] > raw["token_hit_rate"]
+    assert comp["knee_rps"] >= raw["knee_rps"]
 
 
 def test_curves_cover_the_knee(baseline):

@@ -104,6 +104,16 @@ class TestEntryPoints:
         assert "repro.serving.fleet.AutoscalerConfig" in entry_points
         assert "repro.serving.metrics.ReplicaStats" in entry_points
 
+    def test_recipe_covers_sessions_and_prefix_cache(self, entry_points):
+        """Recipe 8 (session workloads + prefix cache) stays pinned."""
+        assert "repro.serving.trace.session_trace" in entry_points
+        assert "repro.serving.profiles.SessionProfile" in entry_points
+        assert "repro.serving.prefixcache.PrefixCache" in entry_points
+        assert "repro.serving.prefixcache.PrefixCacheConfig" in entry_points
+        assert "repro.serving.prefixcache.PrefixCacheStats" in entry_points
+        assert "repro.serving.serve.build_prefix_cache" in entry_points
+        assert "repro.serving.router.RouterConfig" in entry_points
+
 
 class TestReadmeCommands:
     """The README quickstart's moving parts exist."""

@@ -1,0 +1,242 @@
+"""Tests for the two-tier prefix cache (`repro.serving.prefixcache`).
+
+The counter invariants pinned here are the ones the serving-level
+session tests build on: hits never exceed what was offered, every
+lookup is a hit or a miss, and bytes are conserved across hot→cold
+demotion by exactly the cold codec ratio.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, UnknownSpecError
+from repro.serving.kvcache import KVCacheSpec
+from repro.serving.prefixcache import (
+    PrefixCache,
+    PrefixCacheConfig,
+    PrefixCacheStats,
+    cold_hit_seconds_per_token,
+)
+
+#: Tiny geometry: 64 B/token, 1024 B/block (block_size 16).
+SPEC = KVCacheSpec(n_layers=2, kv_heads=2, head_dim=4, block_size=16)
+BLOCK = SPEC.block_size
+BPB = SPEC.bytes_per_block
+
+
+def make_cache(blocks_hot=4, blocks_cold=4, cold_ratio=1.0, cold_s=0.0):
+    total = (blocks_hot + blocks_cold) * BPB
+    return PrefixCache(
+        SPEC, total,
+        hot_frac=blocks_hot / (blocks_hot + blocks_cold),
+        cold_ratio=cold_ratio,
+        cold_hit_s_per_token=cold_s,
+    )
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        cfg = PrefixCacheConfig()
+        assert 0.0 < cfg.capacity_frac < 1.0
+        assert cfg.codec == "auto"
+
+    @pytest.mark.parametrize("frac", [0.0, 1.0, -0.1, 1.5])
+    def test_capacity_frac_bounds(self, frac):
+        with pytest.raises(ConfigError):
+            PrefixCacheConfig(capacity_frac=frac)
+
+    @pytest.mark.parametrize("frac", [-0.01, 1.01])
+    def test_hot_frac_bounds(self, frac):
+        with pytest.raises(ConfigError):
+            PrefixCacheConfig(hot_frac=frac)
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(UnknownSpecError):
+            PrefixCacheConfig(codec="no_such_codec")
+
+    def test_none_codec_means_raw_cold_tier(self):
+        assert PrefixCacheConfig(codec=None).codec is None
+
+    def test_cache_rejects_nonpositive_capacity(self):
+        with pytest.raises(ConfigError):
+            PrefixCache(SPEC, 0.0)
+
+    def test_cache_rejects_sub_unit_cold_ratio(self):
+        with pytest.raises(ConfigError):
+            PrefixCache(SPEC, BPB, cold_ratio=0.5)
+
+
+class TestLookupStore:
+    def test_empty_cache_misses(self):
+        cache = make_cache()
+        hit, delay = cache.lookup(0, 100)
+        assert (hit, delay) == (0, 0.0)
+        assert cache.n_misses == 1 and cache.n_hits == 0
+
+    def test_hit_is_block_floored_min_of_cached_and_offered(self):
+        cache = make_cache(blocks_hot=64, blocks_cold=64)
+        cache.store(7, 3 * BLOCK + 5)
+        hit, _ = cache.lookup(7, 10 * BLOCK)
+        assert hit == 3 * BLOCK  # cached side floors
+        hit, _ = cache.lookup(7, BLOCK + 3)
+        assert hit == BLOCK  # offered side floors
+
+    def test_zero_prefix_offer_is_a_miss(self):
+        cache = make_cache()
+        cache.store(1, 2 * BLOCK)
+        hit, _ = cache.lookup(1, 0)
+        assert hit == 0
+        assert cache.n_misses == 1
+
+    def test_store_never_truncates(self):
+        cache = make_cache(blocks_hot=64, blocks_cold=64)
+        cache.store(1, 4 * BLOCK)
+        cache.store(1, 2 * BLOCK)
+        hit, _ = cache.lookup(1, 8 * BLOCK)
+        assert hit == 4 * BLOCK
+
+    def test_hot_hit_has_no_delay(self):
+        cache = make_cache(cold_s=1.0)
+        cache.store(1, BLOCK)
+        hit, delay = cache.lookup(1, BLOCK)
+        assert hit == BLOCK and delay == 0.0
+
+
+class TestTiers:
+    def test_demotion_conserves_bytes_by_exact_ratio(self):
+        ratio = 2.5
+        cache = make_cache(blocks_hot=2, blocks_cold=8, cold_ratio=ratio)
+        cache.store(1, 2 * BLOCK)  # fills the hot tier exactly
+        assert cache.bytes_hot == 2 * BPB and cache.bytes_cold == 0.0
+        cache.store(2, 2 * BLOCK)  # overflows: entry 1 demotes
+        assert cache.n_demotions == 1
+        assert cache.bytes_hot == 2 * BPB
+        assert cache.bytes_cold == pytest.approx(2 * BPB / ratio)
+
+    def test_lru_demotes_the_oldest(self):
+        cache = make_cache(blocks_hot=2, blocks_cold=8)
+        cache.store(1, 2 * BLOCK)
+        cache.store(2, 2 * BLOCK)  # demotes 1 (older)
+        stats = cache.stats()
+        assert stats.n_demotions == 1
+        # 2 still hits hot (no delay even with a cold charge set).
+        cache.cold_hit_s_per_token = 1.0
+        _, delay = cache.lookup(2, 2 * BLOCK)
+        assert delay == 0.0
+
+    def test_cold_hit_pays_delay_and_promotes(self):
+        cache = make_cache(blocks_hot=2, blocks_cold=8, cold_s=0.25)
+        cache.store(1, 2 * BLOCK)
+        cache.store(2, 2 * BLOCK)  # 1 now cold
+        hit, delay = cache.lookup(1, 2 * BLOCK)
+        assert hit == 2 * BLOCK
+        assert delay == pytest.approx(hit * 0.25)
+        # Promotion put 1 back hot, demoting 2.
+        assert cache.stats().n_demotions == 2
+        _, delay2 = cache.lookup(1, 2 * BLOCK)
+        assert delay2 == 0.0
+
+    def test_eviction_when_cold_overflows(self):
+        cache = make_cache(blocks_hot=2, blocks_cold=2)
+        for key in range(4):
+            cache.store(key, 2 * BLOCK)
+        # hot holds one 2-block entry, cold one; two were evicted.
+        stats = cache.stats()
+        assert stats.n_evictions == 2
+        assert stats.n_entries_hot + stats.n_entries_cold == 2
+        assert cache.bytes_hot <= cache.hot_capacity_bytes
+        assert cache.bytes_cold <= cache.cold_capacity_bytes
+
+    def test_compressed_cold_tier_holds_more_entries(self):
+        raw = make_cache(blocks_hot=2, blocks_cold=4, cold_ratio=1.0)
+        comp = make_cache(blocks_hot=2, blocks_cold=4, cold_ratio=2.0)
+        for key in range(6):
+            raw.store(key, 2 * BLOCK)
+            comp.store(key, 2 * BLOCK)
+        assert comp.n_entries > raw.n_entries
+        assert comp.n_evictions < raw.n_evictions
+
+
+class TestCounterInvariants:
+    def test_randomised_counter_invariants(self):
+        rng = np.random.default_rng(11)
+        cache = make_cache(blocks_hot=3, blocks_cold=3, cold_ratio=1.7,
+                           cold_s=0.01)
+        for _ in range(500):
+            key = int(rng.integers(0, 12))
+            tokens = int(rng.integers(1, 6)) * BLOCK
+            if rng.random() < 0.5:
+                cache.lookup(key, tokens)
+            else:
+                cache.store(key, tokens)
+            assert cache.n_hits + cache.n_misses == cache.n_lookups
+            assert cache.hit_tokens <= cache.offered_prefix_tokens
+            assert cache.bytes_hot <= cache.hot_capacity_bytes + 1e-9
+            assert cache.bytes_cold <= cache.cold_capacity_bytes + 1e-9
+            # Gauges always reconcile against the entry table.
+            stats = cache.stats()
+            hot = sum(
+                cache._tier_bytes(e)
+                for e in cache._entries.values() if e.tier == "hot"
+            )
+            cold = sum(
+                cache._tier_bytes(e)
+                for e in cache._entries.values() if e.tier == "cold"
+            )
+            assert stats.bytes_hot == pytest.approx(hot)
+            assert stats.bytes_cold == pytest.approx(cold)
+
+    def test_stats_rates(self):
+        cache = make_cache()
+        cache.store(1, 2 * BLOCK)
+        cache.lookup(1, 2 * BLOCK)
+        cache.lookup(2, 2 * BLOCK)
+        stats = cache.stats()
+        assert stats.request_hit_rate == pytest.approx(0.5)
+        assert stats.token_hit_rate == pytest.approx(0.5)
+
+    def test_empty_stats_rates_are_zero(self):
+        stats = PrefixCacheStats()
+        assert stats.token_hit_rate == 0.0
+        assert stats.request_hit_rate == 0.0
+
+
+class TestMerge:
+    def test_merge_sums_counters(self):
+        a = PrefixCacheStats(n_lookups=3, n_hits=1, n_misses=2,
+                             hit_tokens=16, offered_prefix_tokens=64,
+                             bytes_hot=10.0)
+        b = PrefixCacheStats(n_lookups=1, n_hits=1, n_misses=0,
+                             hit_tokens=32, offered_prefix_tokens=32,
+                             bytes_cold=5.0)
+        m = PrefixCacheStats.merge([a, b, None])
+        assert m.n_lookups == 4 and m.n_hits == 2 and m.n_misses == 2
+        assert m.hit_tokens == 48 and m.offered_prefix_tokens == 96
+        assert m.bytes_hot == 10.0 and m.bytes_cold == 5.0
+        assert m.token_hit_rate == pytest.approx(0.5)
+
+    def test_merge_of_nothing_is_zero(self):
+        assert PrefixCacheStats.merge([]) == PrefixCacheStats()
+
+
+class TestColdHitPricing:
+    def test_identity_codec_is_free(self):
+        assert cold_hit_seconds_per_token(SPEC, "none", 1.0) == 0.0
+
+    def test_real_codec_costs_time(self):
+        s = cold_hit_seconds_per_token(SPEC, "vector_tbe", 1.6)
+        assert s > 0.0
+
+    def test_higher_ratio_streams_fewer_bytes(self):
+        lo = cold_hit_seconds_per_token(SPEC, "vector_tbe", 1.2)
+        hi = cold_hit_seconds_per_token(SPEC, "vector_tbe", 2.4)
+        assert hi < lo
+
+    def test_gpu_rates_change_the_price(self):
+        from repro.gpu.specs import get_gpu
+        default = cold_hit_seconds_per_token(SPEC, "vector_tbe", 1.6)
+        priced = cold_hit_seconds_per_token(
+            SPEC, "vector_tbe", 1.6, gpu=get_gpu("rtx4090")
+        )
+        assert priced != default
+        assert priced > 0.0

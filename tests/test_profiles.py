@@ -162,7 +162,10 @@ class TestGoldens:
         return json.loads(GOLDEN_PATH.read_text())
 
     def test_every_builtin_has_a_golden(self, goldens):
-        assert set(goldens) == set(BUILTINS)
+        # Superset, not equality: session profiles (``chat_sessions``)
+        # keep their goldens in the same file but are pinned by
+        # ``tests/test_sessions.py`` (their rows carry extra fields).
+        assert set(BUILTINS) <= set(goldens)
 
     @pytest.mark.parametrize("name", BUILTINS)
     def test_matches_golden(self, goldens, name):
