@@ -21,6 +21,13 @@ cumulative-time functions — how the simulator's hot loop is observed
 before and after an optimisation.  Each run also reports sim-throughput
 (kernel events per wall second, simulated seconds per wall second) and,
 when the scenario's cost model memoizes, its per-kind cache statistics.
+
+``--trace out.json`` re-runs the same scenario under ambient telemetry
+(:func:`repro.serving.telemetry.recording`), exports the run as Chrome
+trace JSON, and prints the latency phase-share table next to the cache
+statistics.  Telemetry stays off (and zero-cost) unless the flag is
+given; ``tools/trace_report.py`` is the richer consumer of the same
+hook.
 """
 
 from __future__ import annotations
@@ -46,6 +53,7 @@ from repro.serving.serve import (
     ServingConfig,
     ServingCore,
 )
+from repro.serving import telemetry
 from repro.serving.trace import (
     multi_tenant_trace,
     poisson_trace,
@@ -460,6 +468,37 @@ def _serve_large_fleet():
     )
 
 
+def _serve_fleet_disagg_sessions():
+    """Session trace through a fleet of chunked disagg cells.
+
+    The observability acceptance scenario: session affinity keeps each
+    tenant's turns on one replica's prefix cache, every request's KV
+    crosses a transfer link (flow arrows in the exported trace), and
+    the per-replica pools land on their own tracks.  CI validates the
+    Chrome trace this scenario exports via ``tools/trace_report.py``.
+    """
+    from repro.serving.fleet import FleetConfig, FleetCore
+
+    instance = ServingConfig(
+        mode="disaggregated", prefill_mode="chunked",
+        cost_bucket=CTX_BUCKET, limits=LIMITS,
+        disagg=DisaggConfig(prefill_mode="chunked"),
+    )
+    config = ServingConfig(
+        mode="fleet", prefill_mode="chunked", cost_bucket=CTX_BUCKET,
+        limits=LIMITS,
+        fleet=FleetConfig(
+            n_replicas=2, routing="session_affinity", instance=instance,
+        ),
+        prefix_cache=PrefixCacheConfig(hot_frac=0.5, codec="kvcomp"),
+    )
+    core = _record(FleetCore(
+        EngineCostModel(_MODEL, _GPU, _BACKEND), _KV_SPEC,
+        _PLAN.kv_bytes, config,
+    ))
+    return core.serve(_session_requests())
+
+
 # ----------------------------------------------------------------------
 # The scenario registry (shared with tools/bench_regression.py)
 # ----------------------------------------------------------------------
@@ -477,6 +516,7 @@ SCENARIOS = {
     "large_trace_disagg": _serve_large_disagg,
     "fleet_router": _serve_fleet,
     "large_trace_fleet": _serve_large_fleet,
+    "fleet_disagg_sessions": _serve_fleet_disagg_sessions,
 }
 
 
@@ -495,6 +535,21 @@ def _print_cache_info() -> None:
             f" misses={stats['misses']:>6,d}"
             f" size={stats['size']:>6,d} hit-rate={rate:6.1%}"
         )
+
+
+def _print_phase_shares(recorder) -> None:
+    """Latency attribution of the traced run, next to the cache stats."""
+    if recorder is None:
+        return
+    shares = recorder.phase_shares()
+    cells = " ".join(
+        f"{phase}={share:.1%}"
+        for phase, share in shares.items() if share > 0.0
+    )
+    print(
+        f"  phase shares ({len(recorder.attributions):,d} requests):"
+        f" {cells}"
+    )
 
 
 def _print_prefix_cache_info(result) -> None:
@@ -527,12 +582,24 @@ def main(argv: list[str] | None = None) -> int:
         "--top", type=int, default=20,
         help="how many profile rows to print (default 20)",
     )
+    parser.add_argument(
+        "--trace", type=str, default=None, metavar="PATH",
+        help="record telemetry and export the run as Chrome trace JSON",
+    )
     args = parser.parse_args(argv)
     runner = SCENARIOS[args.scenario]
 
     profiler = cProfile.Profile() if args.profile else None
+    recorder = None
     start = time.perf_counter()
-    if profiler is not None:
+    if args.trace is not None:
+        with telemetry.recording() as handle:
+            if profiler is not None:
+                result = profiler.runcall(runner)
+            else:
+                result = runner()
+        recorder = handle.recorder
+    elif profiler is not None:
         result = profiler.runcall(runner)
     else:
         result = runner()
@@ -550,7 +617,11 @@ def main(argv: list[str] | None = None) -> int:
         f" sim-s/wall-s={result.makespan_s / wall:,.1f}"
     )
     _print_cache_info()
+    _print_phase_shares(recorder)
     _print_prefix_cache_info(result)
+    if recorder is not None:
+        recorder.write_chrome_trace(args.trace)
+        print(f"  wrote Chrome trace to {args.trace}")
     if profiler is not None:
         stats = pstats.Stats(profiler)
         stats.sort_stats("cumulative")

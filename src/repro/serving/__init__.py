@@ -148,6 +148,16 @@ from .serve import (
     ServingCore,
     build_prefix_cache,
 )
+from .telemetry import (
+    PHASES,
+    MetricsRegistry,
+    RequestAttribution,
+    TelemetryConfig,
+    TraceEvent,
+    TraceRecorder,
+    build_recorder,
+    recording,
+)
 from .trace import (
     DEFAULT_SESSION_OUTPUTS,
     DEFAULT_SESSION_USER_TURNS,
@@ -238,6 +248,14 @@ __all__ = [
     "AutoscalerStage",
     "ScaleEvent",
     "ReplicaStats",
+    "PHASES",
+    "TelemetryConfig",
+    "TraceEvent",
+    "TraceRecorder",
+    "RequestAttribution",
+    "MetricsRegistry",
+    "build_recorder",
+    "recording",
     "SLOTarget",
     "LatencySummary",
     "PoolStats",

@@ -87,6 +87,7 @@ from .serve import (
     decode_window_len,
     run_decode_window,
 )
+from .telemetry import build_recorder
 
 __all__ = [
     "DisaggregatedCore",
@@ -147,6 +148,12 @@ class _BackpressureGate:
         self.decode_pool = decode_pool
         self.stall_s = 0.0
         self._stall_since: float | None = None
+        #: Optional :class:`~repro.serving.telemetry.TraceRecorder` plus
+        #: the track stall events land on; the owning stage attaches
+        #: both (and the fleet layer re-points ``track`` after renaming
+        #: its stages).
+        self.recorder = None
+        self.track = "prefill"
 
     def stalled(self, head: Request, t: float) -> bool:
         """Whether admitting ``head`` at time ``t`` must wait."""
@@ -164,6 +171,8 @@ class _BackpressureGate:
         )
         if over and self._stall_since is None:
             self._stall_since = t
+            if self.recorder is not None:
+                self.recorder.on_stall(t, self.track)
         return over
 
     def resumed(self, now: float) -> bool:
@@ -172,6 +181,8 @@ class _BackpressureGate:
             return False
         self.stall_s += max(0.0, now - self._stall_since)
         self._stall_since = None
+        if self.recorder is not None:
+            self.recorder.on_stall_clear(now, self.track)
         return True
 
     def raise_stranded(self, stranded_ids) -> None:
@@ -211,6 +222,7 @@ class PrefillPoolStage(Stage):
         config: ServingConfig,
         link: "TransferLinkStage",
         decode_pool: "DecodePoolStage",
+        recorder=None,
     ):
         disagg = config.disagg
         self.costs = costs
@@ -219,6 +231,10 @@ class PrefillPoolStage(Stage):
         self.link = link
         self.decode_pool = decode_pool
         self.gate = _BackpressureGate(disagg.backpressure, link, decode_pool)
+        self._rec = recorder
+        if recorder is not None:
+            self.gate.recorder = recorder
+            self.gate.track = self.name
         n = disagg.prefill_replicas
         self._free: list[tuple[float, int]] = [(0.0, i) for i in range(n)]
         heapq.heapify(self._free)
@@ -323,6 +339,11 @@ class PrefillPoolStage(Stage):
         # the link.
         if req.first_token_s is None:
             req.first_token_s = done
+        rec = self._rec
+        if rec is not None:
+            rec.transition(req, start, "prefill")
+            rec.span(start, duration, "prefill", f"{self.name}/r{idx}",
+                     args={"tokens": req.prompt_len})
         heapq.heappush(self._inflight, (done, req.request_id, req))
         self.decode_pool.commit_blocks(req)
         heapq.heappush(self._free, (done, idx))
@@ -401,6 +422,7 @@ class ChunkedPrefillPoolStage(Stage):
         config: ServingConfig,
         link: "TransferLinkStage",
         decode_pool: "DecodePoolStage",
+        recorder=None,
     ):
         self.costs = costs
         self.config = config
@@ -414,6 +436,9 @@ class ChunkedPrefillPoolStage(Stage):
             _PrefillReplica(i, costs, kv_spec, kv_bytes, config)
             for i in range(config.disagg.prefill_replicas)
         ]
+        self._rec = recorder
+        if recorder is not None:
+            self.attach_recorder(recorder)
         self.pending = sorted(
             requests, key=lambda r: (r.arrival_s, r.request_id)
         )
@@ -423,6 +448,25 @@ class ChunkedPrefillPoolStage(Stage):
         #: instant — delivering early would inflate the link queue the
         #: backpressure watermark reads).
         self._inflight: list[tuple[float, int, Request]] = []
+
+    def attach_recorder(self, recorder) -> None:
+        """Point every telemetry hook of this pool at ``recorder``.
+
+        Track names derive from ``self.name``; the fleet layer calls
+        this again after renaming the stage so a replica's lanes read
+        ``prefill[2]/r0`` rather than a bare ``prefill/r0``.
+        """
+        self._rec = recorder
+        self.gate.recorder = recorder
+        self.gate.track = self.name
+        for replica in self.replicas:
+            replica.scheduler.telemetry = recorder
+            replica.scheduler.track = f"{self.name}/r{replica.index}"
+            if replica.prefix_cache is not None:
+                replica.prefix_cache.telemetry = recorder
+                replica.prefix_cache.track = (
+                    f"{self.name}/r{replica.index}/cache"
+                )
 
     # ------------------------------------------------------------------
     def _replica_event(self, replica: _PrefillReplica) -> float | None:
@@ -496,6 +540,9 @@ class ChunkedPrefillPoolStage(Stage):
             # never retroactively (the chunked twin of the group pool's
             # start floor).
             replica.clock = now
+        rec = self._rec
+        if rec is not None:
+            scheduler._now = replica.clock
         # Admit one request at a time so the backpressure gate sees each
         # admission's committed KV before judging the next head — a
         # whole-round admit could flood the decode pool in one go.
@@ -528,11 +575,19 @@ class ChunkedPrefillPoolStage(Stage):
             # that uses the restored KV (mirrors the colocated stage).
             delay_s = scheduler.consume_cache_delay()
             if delay_s > 0.0:
+                if rec is not None:
+                    rec.span(replica.clock, delay_s, "decompress",
+                             scheduler.track)
                 replica.clock += delay_s
                 replica.busy_s += delay_s
         breakdown = self.costs.mixed_step(
             0, 1, plan.n_prefill_seqs, plan.n_prefill_tokens
         )
+        if rec is not None:
+            rec.span(replica.clock, breakdown.total_s, "prefill",
+                     scheduler.track,
+                     args={"tokens": plan.n_prefill_tokens,
+                           "seqs": plan.n_prefill_seqs})
         replica.clock += breakdown.total_s
         replica.busy_s += breakdown.total_s
         replica.n_steps += 1
@@ -550,6 +605,8 @@ class ChunkedPrefillPoolStage(Stage):
             heapq.heappush(
                 self._inflight, (replica.clock, req.request_id, req)
             )
+        if rec is not None:
+            rec.sample_engine(scheduler.track, replica.clock, scheduler)
 
     def finish(self) -> None:
         stranded = [r.request_id for r in self.pending] + [
@@ -610,7 +667,9 @@ class TransferLinkStage(Stage):
         kv_spec: KVCacheSpec,
         transfer_ratio: float,
         decode_pool: "DecodePoolStage",
+        recorder=None,
     ):
+        self._rec = recorder
         disagg = config.disagg
         self.latency = disagg.link_latency_s
         self.bandwidth = disagg.link_gb_per_s * 1e9
@@ -646,6 +705,11 @@ class TransferLinkStage(Stage):
             self._queues[channel], (ready, req.request_id, req, target)
         )
         self.peak_queue_depth = max(self.peak_queue_depth, self.queue_depth)
+        if self._rec is not None:
+            self._rec.on_transfer_enqueue(req, ready, self.name, target)
+            self._rec.metrics.gauge(
+                f"{self.name}/queue_depth", ready, float(self.queue_depth)
+            )
         # A hand-off may be due earlier than this stage's cached next
         # event — tell the kernel to re-poll (the heap contract).
         self.notify()
@@ -678,6 +742,11 @@ class TransferLinkStage(Stage):
                     done_s=done,
                     link=channel,
                 ))
+                if self._rec is not None:
+                    self._rec.on_transfer(
+                        req, ready, start, done, nbytes, self.name,
+                        channel,
+                    )
                 self.decode_pool.deliver(target, req, done)
 
     def finish(self) -> None:
@@ -750,12 +819,16 @@ class DecodePoolStage(Stage):
         kv_spec: KVCacheSpec,
         kv_bytes: float,
         config: ServingConfig,
+        recorder=None,
     ):
         self.config = config
         self.replicas = [
             _DecodeReplica(i, costs, kv_spec, kv_bytes, config)
             for i in range(config.disagg.decode_replicas)
         ]
+        self._rec = recorder
+        if recorder is not None:
+            self.attach_recorder(recorder)
         self.block_size = kv_spec.block_size
         self.total_blocks = sum(
             r.scheduler.kv.n_blocks for r in self.replicas
@@ -767,6 +840,17 @@ class DecodePoolStage(Stage):
     def set_upstream(self, *stages: Stage) -> None:
         """Register the stages whose events cap fast-forward windows."""
         self._upstream = stages
+
+    def attach_recorder(self, recorder) -> None:
+        """Point every replica's telemetry hooks at ``recorder``.
+
+        Re-called by the fleet layer after renaming the stage so track
+        names carry the replica-qualified stage name.
+        """
+        self._rec = recorder
+        for replica in self.replicas:
+            replica.scheduler.telemetry = recorder
+            replica.scheduler.track = f"{self.name}/r{replica.index}"
 
     # ------------------------------------------------------------------
     # Backpressure bookkeeping (read by the prefill stage)
@@ -821,6 +905,10 @@ class DecodePoolStage(Stage):
         heapq.heappush(
             replica.pending, (release_s, req.request_id, req)
         )
+        if self._rec is not None:
+            self._rec.on_deliver(
+                req, release_s, f"{self.name}/r{index}"
+            )
         replica._quiescent = False
         # The landing may predate this stage's cached next event — tell
         # the kernel to re-poll (the heap contract).
@@ -859,6 +947,9 @@ class DecodePoolStage(Stage):
     def _step_replica(self, replica: _DecodeReplica) -> None:
         """One scheduling iteration: the sequential replica loop body."""
         scheduler = replica.scheduler
+        rec = self._rec
+        if rec is not None:
+            scheduler._now = replica.clock
         while replica.pending and replica.pending[0][0] <= replica.clock:
             _, _, req = heapq.heappop(replica.pending)
             scheduler.submit(req)
@@ -866,6 +957,10 @@ class DecodePoolStage(Stage):
             if req.n_preemptions == 0:
                 req.prefill_remaining = 0
                 self._uncommit_blocks(req)
+                if rec is not None:
+                    # The KV landed over the link — no prefill is owed;
+                    # decode residency starts at this admission.
+                    rec.transition(req, replica.clock, "decode")
         plan = scheduler.plan_step()
         if self.config.preemption and plan.decode:
             victims = scheduler.ensure_decode_capacity(plan.decode)
@@ -907,6 +1002,7 @@ class DecodePoolStage(Stage):
             breakdown.total_s, self.config.cost_bucket,
         )
         if k > 1:
+            win_start = replica.clock
             replica.clock, segments = run_decode_window(
                 scheduler, replica.costs, plan, next_event,
                 replica.clock, self.config.cost_bucket,
@@ -917,12 +1013,33 @@ class DecodePoolStage(Stage):
             for step_s, ki in segments:
                 replica.busy_s += step_s * ki
                 replica.n_steps += ki
+            if rec is not None:
+                t = win_start
+                for step_s, ki in segments:
+                    rec.span(t, step_s * ki, "decode", scheduler.track,
+                             args={"steps": ki,
+                                   "batch": len(plan.decode)})
+                    t += step_s * ki
+                rec.sample_engine(
+                    scheduler.track, replica.clock, scheduler
+                )
         else:
+            if rec is not None:
+                rec.span(
+                    replica.clock, breakdown.total_s, "step",
+                    scheduler.track,
+                    args={"decode": len(plan.decode),
+                          "prefill_tokens": plan.n_prefill_tokens},
+                )
             replica.clock += breakdown.total_s
             replica.busy_s += breakdown.total_s
             replica.n_steps += 1
             scheduler.apply_step(plan, replica.clock)
             self._sample_occupancy()
+            if rec is not None:
+                rec.sample_engine(
+                    scheduler.track, replica.clock, scheduler
+                )
 
     def finish(self) -> None:
         for replica in self.replicas:
@@ -994,24 +1111,35 @@ class DisaggregatedCore:
         """
         if not requests:
             raise ConfigError("serve needs at least one request")
+        rec = build_recorder(self.config.telemetry)
         disagg = self.config.disagg
         decode_pool = DecodePoolStage(
-            self.costs, self.kv_spec, self.kv_bytes, self.config
+            self.costs, self.kv_spec, self.kv_bytes, self.config,
+            recorder=rec,
         )
         link = TransferLinkStage(
-            self.config, self.kv_spec, self.transfer_ratio, decode_pool
+            self.config, self.kv_spec, self.transfer_ratio, decode_pool,
+            recorder=rec,
         )
         if disagg.prefill_mode == "chunked":
             prefill: Stage = ChunkedPrefillPoolStage(
                 requests, self.costs, self.kv_spec, self.kv_bytes,
-                self.config, link, decode_pool,
+                self.config, link, decode_pool, recorder=rec,
             )
         else:
             prefill = PrefillPoolStage(
-                requests, self.costs, self.config, link, decode_pool
+                requests, self.costs, self.config, link, decode_pool,
+                recorder=rec,
             )
+        if rec is not None:
+            for req in sorted(
+                requests, key=lambda r: (r.arrival_s, r.request_id)
+            ):
+                rec.on_arrival(req, track=prefill.name)
         decode_pool.set_upstream(prefill, link)
-        EventKernel([prefill, link, decode_pool]).run(until=deadline_s)
+        EventKernel(
+            [prefill, link, decode_pool], recorder=rec
+        ).run(until=deadline_s)
 
         replicas = decode_pool.replicas
         transfers = link.records
@@ -1072,4 +1200,5 @@ class DisaggregatedCore:
                 )())
                 else None
             ),
+            telemetry=rec,
         )

@@ -64,6 +64,7 @@ from .prefixcache import PrefixCacheStats
 from .router import RouterConfig, RouterStage, get_routing_policy
 from .scheduler import ContinuousBatchScheduler, Request, get_policy
 from .serve import ColocatedStage, ServingConfig, build_prefix_cache
+from .telemetry import build_recorder
 
 __all__ = [
     "AutoscalerConfig",
@@ -217,6 +218,9 @@ class FleetConfig:
                     outer, mode="colocated", fleet=None,
                     weight_codec=None, kv_codec=None,
                     transfer_codec=None, calibration=None,
+                    # One recorder per fleet run, threaded explicitly by
+                    # FleetCore — never one per replica config.
+                    telemetry=None,
                 )
             base = (template,) * self.n_replicas
         resolved = []
@@ -275,6 +279,7 @@ class _ColocatedReplica:
         kv_spec: KVCacheSpec,
         kv_bytes: float,
         config: ServingConfig,
+        recorder=None,
     ):
         self.index = index
         self.config = config
@@ -294,9 +299,17 @@ class _ColocatedReplica:
         )
         self.pending: list[Request] = []
         self.stage = ColocatedStage(
-            costs, self.scheduler, self.pending, config
+            costs, self.scheduler, self.pending, config,
+            recorder=recorder,
         )
         self.stage.name = f"engine[{index}]"
+        if recorder is not None:
+            # Re-point the tracks the stage derived from its pre-rename
+            # name.
+            self.scheduler.track = self.stage.name
+            if self.prefix_cache is not None:
+                self.prefix_cache.telemetry = recorder
+                self.prefix_cache.track = f"{self.stage.name}/cache"
         self._block_size = kv_spec.block_size
         self._committed: dict[int, int] = {}
         self._committed_blocks = 0
@@ -402,24 +415,27 @@ class _DisaggReplica:
         kv_spec: KVCacheSpec,
         kv_bytes: float,
         config: ServingConfig,
+        recorder=None,
     ):
         self.index = index
         self.config = config
         self.transfer_ratio = resolve_transfer_ratio(config)
         self.decode_pool = DecodePoolStage(
-            costs, kv_spec, kv_bytes, config
+            costs, kv_spec, kv_bytes, config, recorder=recorder
         )
         self.link = TransferLinkStage(
-            config, kv_spec, self.transfer_ratio, self.decode_pool
+            config, kv_spec, self.transfer_ratio, self.decode_pool,
+            recorder=recorder,
         )
         if config.disagg.prefill_mode == "chunked":
             self.prefill: Stage = ChunkedPrefillPoolStage(
                 [], costs, kv_spec, kv_bytes, config,
-                self.link, self.decode_pool,
+                self.link, self.decode_pool, recorder=recorder,
             )
         else:
             self.prefill = PrefillPoolStage(
-                [], costs, config, self.link, self.decode_pool
+                [], costs, config, self.link, self.decode_pool,
+                recorder=recorder,
             )
         for stage, label in (
             (self.prefill, "prefill"),
@@ -427,6 +443,15 @@ class _DisaggReplica:
             (self.decode_pool, "decode"),
         ):
             stage.name = f"{label}[{index}]"
+        if recorder is not None:
+            # Re-derive track names from the replica-qualified stage
+            # names (the link reads its name lazily at emit time).
+            attach = getattr(self.prefill, "attach_recorder", None)
+            if attach is not None:
+                attach(recorder)
+            else:
+                self.prefill.gate.track = self.prefill.name
+            self.decode_pool.attach_recorder(recorder)
         self.n_routed = 0
         self.active_since: float | None = None
         self._chunked = config.disagg.prefill_mode == "chunked"
@@ -595,10 +620,12 @@ class AutoscalerStage(Stage):
         config: AutoscalerConfig,
         router: RouterStage,
         replicas: list,
+        recorder=None,
     ):
         self.config = config
         self.router = router
         self.replicas = replicas
+        self._rec = recorder
         self.events: list[ScaleEvent] = []
         self._next = config.interval_s
         self._last_stall = 0.0
@@ -641,13 +668,16 @@ class AutoscalerStage(Stage):
         ):
             replica = standby[0]
             replica.active_since = t + cfg.warmup_s
-            self.events.append(ScaleEvent(
+            event = ScaleEvent(
                 t_s=t,
                 action="up",
                 replica=replica.index,
                 reason="kv" if occupancy >= cfg.kv_high_frac else "stall",
                 active_at_s=replica.active_since,
-            ))
+            )
+            self.events.append(event)
+            if self._rec is not None:
+                self._rec.on_scale(event)
         elif (
             occupancy <= cfg.kv_low_frac
             and len(active) > cfg.min_replicas
@@ -657,13 +687,16 @@ class AutoscalerStage(Stage):
             for replica in reversed(active):
                 if replica.n_outstanding == 0:
                     replica.active_since = None
-                    self.events.append(ScaleEvent(
+                    event = ScaleEvent(
                         t_s=t,
                         action="down",
                         replica=replica.index,
                         reason="idle",
                         n_outstanding=replica.n_outstanding,
-                    ))
+                    )
+                    self.events.append(event)
+                    if self._rec is not None:
+                        self._rec.on_scale(event)
                     break
 
 
@@ -710,13 +743,16 @@ class FleetCore:
             self._memoized[bucket] = maybe_memoize(self.costs, bucket)
         return self._memoized[bucket]
 
-    def _build_replica(self, index: int, cfg: ServingConfig):
+    def _build_replica(self, index: int, cfg: ServingConfig, recorder=None):
         costs = self._costs_for(cfg.cost_bucket)
         cls = (
             _DisaggReplica if cfg.mode == "disaggregated"
             else _ColocatedReplica
         )
-        return cls(index, costs, self.kv_spec, self.kv_bytes, cfg)
+        return cls(
+            index, costs, self.kv_spec, self.kv_bytes, cfg,
+            recorder=recorder,
+        )
 
     # ------------------------------------------------------------------
     def serve(
@@ -734,15 +770,22 @@ class FleetCore:
         """
         if not requests:
             raise ConfigError("serve needs at least one request")
+        rec = build_recorder(self.config.telemetry)
         fleet = self.config.fleet
         instance_configs = fleet.resolve_instances(self.config)
         replicas = [
-            self._build_replica(i, cfg)
+            self._build_replica(i, cfg, recorder=rec)
             for i, cfg in enumerate(instance_configs)
         ]
         router = RouterStage(
-            requests, fleet.routing, replicas, config=fleet.router
+            requests, fleet.routing, replicas, config=fleet.router,
+            recorder=rec,
         )
+        if rec is not None:
+            for req in sorted(
+                requests, key=lambda r: (r.arrival_s, r.request_id)
+            ):
+                rec.on_arrival(req, track=router.name)
         n_active = len(replicas)
         if fleet.autoscaler is not None:
             n_active = min(fleet.autoscaler.min_replicas, len(replicas))
@@ -756,10 +799,10 @@ class FleetCore:
         autoscaler = None
         if fleet.autoscaler is not None:
             autoscaler = AutoscalerStage(
-                fleet.autoscaler, router, replicas
+                fleet.autoscaler, router, replicas, recorder=rec
             )
             stages.append(autoscaler)
-        EventKernel(stages).run(until=deadline_s)
+        EventKernel(stages, recorder=rec).run(until=deadline_s)
         self.last_router = router
         self.scale_events = (
             tuple(autoscaler.events) if autoscaler is not None else ()
@@ -798,4 +841,6 @@ class FleetCore:
                 PrefixCacheStats.merge(cache_stats)
                 if cache_stats else None
             ),
+            scale_events=self.scale_events,
+            telemetry=rec,
         )

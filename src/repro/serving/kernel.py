@@ -159,10 +159,15 @@ class EventKernel:
     takes effect on the next kernel iteration at the same instant.
     """
 
-    def __init__(self, stages: list[Stage]):
+    def __init__(self, stages: list[Stage], recorder=None):
         if not stages:
             raise SchedulingError("EventKernel needs at least one stage")
         self.stages = list(stages)
+        #: Optional :class:`~repro.serving.telemetry.TraceRecorder`;
+        #: the kernel reports loop-level counters (iterations, stage
+        #: advances) into its metrics registry after :meth:`run` — once
+        #: per run, never inside the hot loop.
+        self.recorder = recorder
         #: The kernel's monotone clock: the latest instant processed.
         self.now = 0.0
         # Lazy-invalidation heap state, live only while run() executes.
@@ -213,7 +218,10 @@ class EventKernel:
         try:
             stalled_iterations = 0
             timed_out = False
+            n_iterations = 0
+            n_advances = 0
             while True:
+                n_iterations += 1
                 # Re-poll stages whose cache is stale (dirty) or whose
                 # last answer was None (idle/stalled stages can be woken
                 # by any other stage's progress, with no notification).
@@ -256,9 +264,15 @@ class EventKernel:
                 for i in due:
                     self.stages[i].advance(self.now)
                     self._dirty.add(i)
+                n_advances += len(due)
             if not timed_out:
                 for stage in self.stages:
                     stage.finish()
+            if self.recorder is not None:
+                metrics = self.recorder.metrics
+                metrics.count("kernel/iterations", n_iterations)
+                metrics.count("kernel/advances", n_advances)
+                metrics.gauge("kernel/now", self.now, self.now)
         finally:
             for stage in self.stages:
                 stage._kernel = None

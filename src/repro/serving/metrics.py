@@ -433,6 +433,12 @@ class ContinuousResult:
     #: across replicas in fleet mode).  ``None`` when no cache was
     #: configured.
     prefix_cache: object = None
+    #: Autoscaler decisions (:class:`~repro.serving.fleet.ScaleEvent`
+    #: tuples; ``mode="fleet"`` with an autoscaler only, else empty).
+    scale_events: tuple = ()
+    #: The run's :class:`~repro.serving.telemetry.TraceRecorder` when
+    #: telemetry was enabled; ``None`` otherwise (the default).
+    telemetry: object = None
 
     @property
     def routing_histogram(self) -> tuple[int, ...]:
@@ -510,6 +516,8 @@ class ContinuousResult:
         deadline_s: float | None = None,
         replicas: tuple["ReplicaStats", ...] = (),
         prefix_cache=None,
+        scale_events: tuple = (),
+        telemetry=None,
     ) -> "ContinuousResult":
         """Build the result from the finished set (guards the empty case).
 
@@ -547,4 +555,6 @@ class ContinuousResult:
             deadline_s=deadline_s,
             replicas=replicas,
             prefix_cache=prefix_cache,
+            scale_events=scale_events,
+            telemetry=telemetry,
         )

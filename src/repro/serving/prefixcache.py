@@ -259,6 +259,13 @@ class PrefixCache:
         self.n_demotions = 0
         self.n_evictions = 0
         self.cold_delay_s = 0.0
+        #: Optional :class:`~repro.serving.telemetry.TraceRecorder`.
+        #: The scheduler that owns this cache attaches it and refreshes
+        #: ``now`` (sim time) before calling in; guarded by ``is None``
+        #: everywhere, so the default is free.
+        self.telemetry = None
+        self.now = 0.0
+        self.track = "cache"
 
     # ------------------------------------------------------------------
     def _raw_bytes(self, n_tokens: int) -> float:
@@ -298,6 +305,7 @@ class PrefixCache:
         self.n_hits += 1
         self.hit_tokens += hit
         delay_s = 0.0
+        tier = entry.tier
         if entry.tier == "cold":
             delay_s = hit * self.cold_hit_s_per_token
             self.cold_delay_s += delay_s
@@ -307,6 +315,11 @@ class PrefixCache:
             self.bytes_hot += self._tier_bytes(entry)
         self._touch(entry)
         self._rebalance()
+        if self.telemetry is not None:
+            self.telemetry.on_cache(
+                "cache_hit", self.now, self.track,
+                args={"tokens": hit, "tier": tier, "delay_s": delay_s},
+            )
         return hit, delay_s
 
     def store(self, prefix_id, n_tokens: int) -> None:
@@ -359,6 +372,11 @@ class PrefixCache:
             entry.tier = "cold"
             self.bytes_cold += self._tier_bytes(entry)
             self.n_demotions += 1
+            if self.telemetry is not None:
+                self.telemetry.on_cache(
+                    "cache_demote", self.now, self.track,
+                    args={"tokens": entry.n_tokens},
+                )
         while self.bytes_cold > self.cold_capacity_bytes:
             key = self._lru("cold")
             if key is None:
@@ -366,6 +384,11 @@ class PrefixCache:
             entry = self._entries.pop(key)
             self.bytes_cold -= self._tier_bytes(entry)
             self.n_evictions += 1
+            if self.telemetry is not None:
+                self.telemetry.on_cache(
+                    "cache_evict", self.now, self.track,
+                    args={"tokens": entry.n_tokens},
+                )
 
     # ------------------------------------------------------------------
     @property

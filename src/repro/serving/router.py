@@ -311,10 +311,12 @@ class RouterStage(Stage):
         policy,
         replicas: list,
         config: RouterConfig | None = None,
+        recorder=None,
     ):
         self.policy = get_routing_policy(policy)
         self.replicas = replicas
         self.config = config or RouterConfig()
+        self._rec = recorder
         self._pending = sorted(
             requests, key=lambda r: (r.arrival_s, r.request_id)
         )
@@ -363,10 +365,14 @@ class RouterStage(Stage):
             replica = self.policy.select(req, active, now)
             if cap is not None and replica.n_outstanding >= cap:
                 self.rejected.append(req)
+                if self._rec is not None:
+                    self._rec.on_reject(req, now, self.name)
                 continue
             replica.deliver(req)
             self.assignments[req.request_id] = replica.index
             touched.add(replica)
+            if self._rec is not None:
+                self._rec.on_route(req, now, replica.index)
         for replica in touched:
             replica.entry_stage.notify()
 

@@ -441,6 +441,14 @@ class ContinuousBatchScheduler:
         self.running: list[Request] = []
         self.finished: list[Request] = []
         self.n_preemptions = 0
+        #: Optional :class:`~repro.serving.telemetry.TraceRecorder`.
+        #: The owning stage attaches it and keeps ``_now`` / ``track``
+        #: fresh so scheduler-internal events (admit, prefill chunk,
+        #: finish, preempt) can be stamped with sim time; every use is
+        #: guarded by ``is None``, so the default costs nothing.
+        self.telemetry = None
+        self._now = 0.0
+        self.track = "engine"
         self._waiting_dirty = False
         #: Built-in policies admit in ``waiting_key`` order, so the
         #: waiting queue can be kept sorted by O(log n) insorts instead
@@ -539,6 +547,7 @@ class ContinuousBatchScheduler:
             head.state = RequestState.RUNNING
             head.prefill_remaining = restart_len
             cache = self.prefix_cache
+            hit, delay_s = 0, 0.0
             if (
                 cache is not None
                 and head.n_preemptions == 0
@@ -550,6 +559,8 @@ class ContinuousBatchScheduler:
                 # prefills (the first-token stamp needs a chunk), and
                 # re-admissions after preemption recompute everything —
                 # their KV was freed, the cache entry may be stale.
+                if self.telemetry is not None:
+                    cache.now = self._now
                 hit, delay_s = cache.lookup(
                     head.session_id,
                     min(head.prefix_tokens, restart_len - 1),
@@ -560,6 +571,10 @@ class ContinuousBatchScheduler:
                 budget -= restart_len
             self.running.append(head)
             admitted.append(head)
+            if self.telemetry is not None:
+                self.telemetry.on_admit(
+                    head, self._now, self.track, hit, delay_s
+                )
         return admitted
 
     # ------------------------------------------------------------------
@@ -605,6 +620,9 @@ class ContinuousBatchScheduler:
         Decoding sequences append one token each and finish when done.
         Returns the requests that finished this step.
         """
+        tel = self.telemetry
+        if tel is not None:
+            self._now = clock
         for req, chunk in plan.prefill:
             if chunk <= 0 or chunk > req.prefill_remaining:
                 raise SchedulingError(
@@ -614,6 +632,8 @@ class ContinuousBatchScheduler:
             req.prefill_remaining -= chunk
             if req.prefill_remaining == 0 and req.first_token_s is None:
                 req.first_token_s = clock
+            if tel is not None:
+                tel.on_prefill_chunk(req, clock, self.track, chunk)
         self.kv.append_decode([req.request_id for req in plan.decode])
         done = []
         for req in plan.decode:
@@ -626,6 +646,8 @@ class ContinuousBatchScheduler:
                 self.running.remove(req)
                 self.finished.append(req)
                 done.append(req)
+                if tel is not None:
+                    tel.on_finish(req, clock, self.track)
         return done
 
     # ------------------------------------------------------------------
@@ -638,6 +660,8 @@ class ContinuousBatchScheduler:
         prompt plus everything generated — as its prompt prefix.
         """
         if self.prefix_cache is not None and req.session_id is not None:
+            if self.telemetry is not None:
+                self.prefix_cache.now = self._now
             self.prefix_cache.store(req.session_id, req.context_len)
 
     def consume_cache_delay(self) -> float:
@@ -696,6 +720,8 @@ class ContinuousBatchScheduler:
         req.n_preemptions += 1
         self.n_preemptions += 1
         self._enqueue_waiting(req)
+        if self.telemetry is not None:
+            self.telemetry.on_preempt(req, self._now, self.track)
 
     def ensure_decode_capacity(self, decode: list[Request]) -> list[Request]:
         """Preempt until every request in ``decode`` can append one token.

@@ -81,6 +81,7 @@ from .scheduler import (
     SchedulerPolicy,
     get_policy,
 )
+from .telemetry import TelemetryConfig, build_recorder
 
 PREFILL_MODES = ("group", "chunked")
 SERVING_MODES = ("colocated", "disaggregated", "fleet")
@@ -304,6 +305,13 @@ class ServingConfig:
     #: prefill pools).  ``None`` (default) disables the cache and keeps
     #: every existing config bit-compatible.
     prefix_cache: PrefixCacheConfig | None = None
+    #: Telemetry capture (:class:`~repro.serving.telemetry.TelemetryConfig`):
+    #: per-request spans, sim-time metric timelines and latency
+    #: attribution, surfaced on ``ContinuousResult.telemetry``.  ``None``
+    #: (default) records nothing and costs nothing — the clock
+    #: arithmetic is bit-identical either way (telemetry only *reads*
+    #: simulation state).
+    telemetry: TelemetryConfig | None = None
 
     def __post_init__(self) -> None:
         if self.prefill_mode not in PREFILL_MODES:
@@ -337,6 +345,13 @@ class ServingConfig:
             raise ConfigError(
                 "prefix_cache must be a PrefixCacheConfig, got"
                 f" {type(self.prefix_cache).__name__}"
+            )
+        if self.telemetry is not None and not isinstance(
+            self.telemetry, TelemetryConfig
+        ):
+            raise ConfigError(
+                "telemetry must be a TelemetryConfig, got"
+                f" {type(self.telemetry).__name__}"
             )
         # A bad policy name should fail at config construction, not at
         # the first serve() with an "auto" slot.
@@ -457,11 +472,20 @@ class ColocatedStage(Stage):
         scheduler: ContinuousBatchScheduler,
         pending: list[Request],
         config: ServingConfig,
+        recorder=None,
     ):
         self.costs = costs
         self.scheduler = scheduler
         self.pending = pending
         self.config = config
+        #: Optional :class:`~repro.serving.telemetry.TraceRecorder`;
+        #: also attached to the scheduler so admission/finish events
+        #: carry sim time.  ``None`` leaves every body untouched but
+        #: for dead ``is None`` checks.
+        self._rec = recorder
+        if recorder is not None:
+            scheduler.telemetry = recorder
+            scheduler.track = self.name
         self.clock = 0.0
         self.n_steps = 0
         self.peak_running = 0
@@ -501,18 +525,27 @@ class ColocatedStage(Stage):
     def _advance_group(self) -> None:
         """One iteration of the seed-compatible whole-prompt-prefill loop."""
         scheduler, pending = self.scheduler, self.pending
+        rec = self._rec
+        if rec is not None:
+            scheduler._now = self.clock
+            scheduler.track = self.name
         while pending and pending[0].arrival_s <= self.clock:
             scheduler.submit(pending.pop(0))
         admitted = scheduler.admit()
         if admitted:
             prompt = max(r.prefill_remaining for r in admitted)
             step_s = self.costs.prefill_step(len(admitted), prompt).total_s
+            if rec is not None:
+                rec.span(self.clock, step_s, "prefill", self.name,
+                         args={"batch": len(admitted), "tokens": prompt})
             self.clock += step_s
             self.busy_s += step_s
             for req in admitted:
                 req.prefill_remaining = 0
                 if req.first_token_s is None:
                     req.first_token_s = self.clock
+                if rec is not None:
+                    rec.transition(req, self.clock, "decode")
         if not scheduler.running:
             if pending:
                 self.clock = max(self.clock, pending[0].arrival_s)
@@ -521,6 +554,8 @@ class ColocatedStage(Stage):
                 _raise_stranded(scheduler)
             return
         if self.config.preemption:
+            if rec is not None:
+                scheduler._now = self.clock
             scheduler.ensure_decode_capacity(list(scheduler.running))
         batch = len(scheduler.running)
         self.peak_running = max(self.peak_running, batch)
@@ -528,18 +563,31 @@ class ColocatedStage(Stage):
             sum(r.context_len for r in scheduler.running) / batch
         )
         step_s = self.costs.decode_step(batch, max(mean_ctx, 1)).total_s
+        if rec is not None:
+            rec.span(self.clock, step_s, "decode", self.name,
+                     args={"batch": batch})
         self.clock += step_s
         self.busy_s += step_s
         self.n_steps += 1
+        if rec is not None:
+            scheduler._now = self.clock
         for req in scheduler.step():
             if req.done:
                 req.finish_s = self.clock
+                if rec is not None:
+                    rec.on_finish(req, self.clock, self.name)
         self._sample_kv()
+        if rec is not None:
+            rec.sample_engine(self.name, self.clock, scheduler)
 
     # ------------------------------------------------------------------
     def _advance_chunked(self) -> None:
         """One iteration of the chunked-prefill co-scheduling loop."""
         scheduler, pending = self.scheduler, self.pending
+        rec = self._rec
+        if rec is not None:
+            scheduler._now = self.clock
+            scheduler.track = self.name
         while pending and pending[0].arrival_s <= self.clock:
             scheduler.submit(pending.pop(0))
         scheduler.admit(enforce_token_budget=False)
@@ -563,6 +611,8 @@ class ColocatedStage(Stage):
             # extra float ops on the bit-compat path).
             delay_s = scheduler.consume_cache_delay()
             if delay_s > 0.0:
+                if rec is not None:
+                    rec.span(self.clock, delay_s, "decompress", self.name)
                 self.clock += delay_s
                 self.busy_s += delay_s
         breakdown = self.costs.mixed_step(
@@ -581,6 +631,7 @@ class ColocatedStage(Stage):
             self.clock, breakdown.total_s, self.config.cost_bucket,
         )
         if k > 1:
+            win_start = self.clock
             self.clock, segments = run_decode_window(
                 scheduler, self.costs, plan, next_event, self.clock,
                 self.config.cost_bucket, breakdown.total_s, k,
@@ -590,12 +641,30 @@ class ColocatedStage(Stage):
             for step_s, ki in segments:
                 self.busy_s += step_s * ki
                 self.n_steps += ki
+            if rec is not None:
+                # Reconstruct the fast-forwarded window as spans after
+                # the fact — the hot loop itself stays untouched.
+                t = win_start
+                for step_s, ki in segments:
+                    rec.span(t, step_s * ki, "decode", self.name,
+                             args={"steps": ki,
+                                   "batch": len(plan.decode)})
+                    t += step_s * ki
+                rec.sample_engine(self.name, self.clock, scheduler)
         else:
+            if rec is not None:
+                rec.span(
+                    self.clock, breakdown.total_s, "step", self.name,
+                    args={"decode": len(plan.decode),
+                          "prefill_tokens": plan.n_prefill_tokens},
+                )
             self.clock += breakdown.total_s
             self.busy_s += breakdown.total_s
             self.n_steps += 1
             scheduler.apply_step(plan, self.clock)
             self._sample_kv()
+            if rec is not None:
+                rec.sample_engine(self.name, self.clock, scheduler)
 
 
 class ServingCore:
@@ -642,17 +711,25 @@ class ServingCore:
         """
         if not requests:
             raise ConfigError("serve needs at least one request")
+        rec = build_recorder(self.config.telemetry)
         cache, batch_bytes = build_prefix_cache(
             self.config, self.kv_spec, self.kv_bytes, self.costs
         )
+        if rec is not None and cache is not None:
+            cache.telemetry = rec
         kv = PagedKVCache(self.kv_spec, batch_bytes)
         scheduler = ContinuousBatchScheduler(
             kv, self.config.limits, self.config.policy,
             prefix_cache=cache,
         )
         pending = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
-        stage = ColocatedStage(self.costs, scheduler, pending, self.config)
-        EventKernel([stage]).run(until=deadline_s)
+        if rec is not None:
+            for req in pending:
+                rec.on_arrival(req, track="engine")
+        stage = ColocatedStage(
+            self.costs, scheduler, pending, self.config, recorder=rec
+        )
+        EventKernel([stage], recorder=rec).run(until=deadline_s)
         unfinished = (
             list(stage.pending) + list(scheduler.waiting)
             + list(scheduler.running)
@@ -669,6 +746,7 @@ class ServingCore:
             unfinished=unfinished,
             deadline_s=deadline_s,
             prefix_cache=cache.stats() if cache is not None else None,
+            telemetry=rec,
         )
 
 
@@ -742,6 +820,9 @@ def commit_decode_window(
     the same ``finish_s`` the stepwise loop would have stamped.
     """
     kv = scheduler.kv
+    tel = scheduler.telemetry
+    if tel is not None:
+        scheduler._now = clock
     for req in plan.decode:
         kv.append_token(req.request_id, k)
         req.generated += k
@@ -752,6 +833,8 @@ def commit_decode_window(
             kv.free(req.request_id)
             scheduler.running.remove(req)
             scheduler.finished.append(req)
+            if tel is not None:
+                tel.on_finish(req, clock, scheduler.track)
 
 
 def run_decode_window(

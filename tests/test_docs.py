@@ -114,6 +114,16 @@ class TestEntryPoints:
         assert "repro.serving.serve.build_prefix_cache" in entry_points
         assert "repro.serving.router.RouterConfig" in entry_points
 
+    def test_recipe_covers_telemetry(self, entry_points):
+        """Recipe 9 (telemetry consumers) stays pinned."""
+        assert "repro.serving.telemetry.TelemetryConfig" in entry_points
+        assert "repro.serving.telemetry.TraceRecorder" in entry_points
+        assert (
+            "repro.serving.telemetry.RequestAttribution" in entry_points
+        )
+        assert "repro.serving.telemetry.MetricsRegistry" in entry_points
+        assert "repro.serving.telemetry.recording" in entry_points
+
 
 class TestReadmeCommands:
     """The README quickstart's moving parts exist."""

@@ -26,6 +26,17 @@ large-trace scenarios (100k requests colocated, 20k disaggregated)
 exist precisely to keep raw simulator speed from regressing below what
 roadmap-scale studies need.
 
+The serving mode additionally gates **telemetry overhead**: after the
+baseline compare, the 20k-request disaggregated trace is replayed once
+more under ambient telemetry
+(:func:`repro.serving.telemetry.recording`), and its events/s must stay
+within ``SIM_THROUGHPUT_TOLERANCE`` of the telemetry-off value measured
+moments earlier in the same process — recording every span, transfer
+and attribution may cost tens of percent, never the order-of-change of
+a hot-loop slip.  Telemetry *off* needs no gate of its own: with no
+recorder the instrumentation short-circuits to ``None`` checks, and
+the bit-identical baseline metrics above already pin that path.
+
 ``wall_s`` and ``sim_s_per_wall_s`` (simulated seconds advanced per
 wall second) are recorded in the per-run report for humans but not
 gated directly and not committed in the baseline.
@@ -130,6 +141,44 @@ def measure() -> dict:
             f" wall={wall:6.3f}s"
         )
     return out
+
+
+def check_telemetry_overhead(measured: dict) -> list[str]:
+    """Replay the 20k disagg trace recording; gate the events/s ratio.
+
+    Compares against the telemetry-off ``large_trace_disagg`` row just
+    measured in this process (same host, same cache warmth), so the
+    check is a genuine overhead ratio, not a cross-machine number.
+    """
+    from repro.serving import telemetry
+
+    base_eps = measured["large_trace_disagg"]["events_per_s"]
+    start = time.perf_counter()
+    with telemetry.recording() as handle:
+        result = bench_serving.SCENARIOS["large_trace_disagg"]()
+    wall = time.perf_counter() - start
+    eps = result.n_steps / wall
+    recorder = handle.recorder
+    n_attr = len(recorder.attributions) if recorder is not None else 0
+    print(
+        f"  telemetry overhead: {eps:,.0f} events/s recording"
+        f" vs {base_eps:,.0f} off"
+        f" ({eps / base_eps - 1:+.1%}, {n_attr:,d} requests attributed)"
+    )
+    failures = []
+    if recorder is None or n_attr != result.n_requests:
+        failures.append(
+            "telemetry run attributed"
+            f" {n_attr:,d}/{result.n_requests:,d} requests"
+        )
+    if eps < base_eps * (1 - SIM_THROUGHPUT_TOLERANCE):
+        failures.append(
+            f"telemetry overhead: {eps:,.0f} events/s recording vs"
+            f" {base_eps:,.0f} telemetry-off"
+            f" ({eps / base_eps - 1:.1%}, tolerance"
+            f" {SIM_THROUGHPUT_TOLERANCE:.0%})"
+        )
+    return failures
 
 
 def compare(measured: dict, baseline: dict) -> list[str]:
@@ -356,6 +405,7 @@ def main(argv: list[str] | None = None) -> int:
 
     baseline = json.loads(args.baseline.read_text())
     failures = compare(measured, baseline)
+    failures += check_telemetry_overhead(measured)
     if failures:
         print(
             "FAIL: serving benchmark regressed"

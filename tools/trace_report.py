@@ -1,0 +1,282 @@
+#!/usr/bin/env python
+"""Latency-attribution and Chrome-trace reports over serving telemetry.
+
+Runs one registered benchmark scenario (``benchmarks/bench_serving.py``
+``SCENARIOS``) — or the built-in ``--quick`` fleet-of-disagg session
+scenario — under ambient telemetry
+(:func:`repro.serving.telemetry.recording`), then reports:
+
+* the **phase-share table**: what fraction of total attributed seconds
+  went to each of {queue, prefill, transfer_wait, wire, decode,
+  preempt_recompute, decompress};
+* the **top-N slowest requests** with their per-phase breakdown — each
+  row's phases sum to its end-to-end latency, the conservation
+  invariant ``tests/test_telemetry.py`` proves across topologies;
+* with ``--export PATH``, the full run as Chrome trace event JSON
+  (load in ``chrome://tracing`` or Perfetto: one thread per
+  pool/replica/link, flow arrows following each request's KV across
+  the disaggregated stages, counter series for KV occupancy and queue
+  depths);
+* with ``--validate``, a schema check over the exported trace —
+  :func:`validate_chrome_trace` below, the same checks CI runs on the
+  ``--quick`` artifact: known ``ph`` types only, monotone timestamps,
+  matched B/E stall pairs per track, and every flow finish preceded by
+  its matching start.
+
+Usage::
+
+    PYTHONPATH=src python tools/trace_report.py sessions_prefix_cache
+    PYTHONPATH=src python tools/trace_report.py disagg_kvcomp --top 5
+    PYTHONPATH=src python tools/trace_report.py --quick \\
+        --export trace.json --validate
+
+The telemetry itself is off by default and zero-cost when off; this
+tool is the consumer side — see ``docs/adding-a-scenario.md`` Recipe 9
+for wiring a custom consumer in code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+sys.path.insert(0, str(ROOT / "benchmarks"))
+
+import bench_serving  # noqa: E402
+
+from repro.serving import telemetry  # noqa: E402
+from repro.serving.costs import EngineCostModel  # noqa: E402
+from repro.serving.fleet import FleetConfig, FleetCore  # noqa: E402
+from repro.serving.prefixcache import PrefixCacheConfig  # noqa: E402
+from repro.serving.scheduler import SchedulerLimits  # noqa: E402
+from repro.serving.serve import DisaggConfig, ServingConfig  # noqa: E402
+from repro.serving.trace import session_trace  # noqa: E402
+
+#: Every ``ph`` value the exporter may legally emit (a subset of the
+#: Chrome trace event format): complete spans, stall begin/end pairs,
+#: flow start/finish, instants, counters, metadata.
+VALID_PH = frozenset("XBEsfiCM")
+
+#: Keys every event row must carry (metadata rows included).
+REQUIRED_KEYS = ("ph", "pid", "tid", "ts", "name")
+
+
+def validate_chrome_trace(data: object) -> list[str]:
+    """Schema-check an exported trace; returns human-readable problems.
+
+    An empty list means the trace is valid.  Checks, in order: the
+    top-level shape, per-row required keys and ``ph`` membership,
+    non-negative ``X`` durations, globally monotone timestamps in file
+    order (metadata rows excepted — they pin ``ts=0`` up front),
+    matched ``B``/``E`` stall nesting per ``(pid, tid)``, and flow
+    pairing (every ``f`` preceded by an ``s`` with the same id, no
+    dangling starts).
+    """
+    problems: list[str] = []
+    if not isinstance(data, dict) or not isinstance(
+        data.get("traceEvents"), list
+    ):
+        return ["top level must be a dict with a 'traceEvents' list"]
+    events = data["traceEvents"]
+    last_ts = None
+    stall_depth: dict[tuple, int] = {}
+    flow_starts: set = set()
+    flow_ends: set = set()
+    for i, row in enumerate(events):
+        if not isinstance(row, dict):
+            problems.append(f"row {i}: not an object")
+            continue
+        missing = [k for k in REQUIRED_KEYS if k not in row]
+        if missing:
+            problems.append(f"row {i}: missing keys {missing}")
+            continue
+        ph = row["ph"]
+        if ph not in VALID_PH:
+            problems.append(f"row {i}: unknown ph {ph!r}")
+            continue
+        if ph == "M":
+            continue
+        ts = row["ts"]
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"row {i}: bad ts {ts!r}")
+            continue
+        if last_ts is not None and ts < last_ts:
+            problems.append(
+                f"row {i}: ts {ts} rewinds past {last_ts} (not monotone)"
+            )
+        last_ts = ts
+        key = (row["pid"], row["tid"])
+        if ph == "X":
+            if row.get("dur", -1.0) < 0:
+                problems.append(f"row {i}: X event with bad dur")
+        elif ph == "B":
+            stall_depth[key] = stall_depth.get(key, 0) + 1
+        elif ph == "E":
+            depth = stall_depth.get(key, 0) - 1
+            stall_depth[key] = depth
+            if depth < 0:
+                problems.append(f"row {i}: E without matching B on {key}")
+        elif ph == "s":
+            flow_starts.add(row.get("id"))
+        elif ph == "f":
+            if row.get("id") not in flow_starts:
+                problems.append(
+                    f"row {i}: flow finish id={row.get('id')!r} before"
+                    " its start"
+                )
+            flow_ends.add(row.get("id"))
+    for key, depth in stall_depth.items():
+        if depth > 0:
+            problems.append(f"{depth} unclosed B event(s) on track {key}")
+    dangling = flow_starts - flow_ends
+    if dangling:
+        problems.append(
+            f"{len(dangling)} flow start(s) never finished:"
+            f" {sorted(dangling)[:5]}"
+        )
+    return problems
+
+
+# ----------------------------------------------------------------------
+# The --quick scenario: every telemetry surface in one small run
+# ----------------------------------------------------------------------
+#: Small enough for a CI docs job (a few seconds), rich enough to
+#: exercise flows (disagg transfer), routing, sessions and the cache.
+QUICK_N_SESSIONS = 40
+QUICK_SESSION_RATE_RPS = 4.0
+QUICK_SEED = 3
+
+
+def _serve_quick():
+    """Sessions through a 2-replica fleet of chunked disagg cells."""
+    limits = SchedulerLimits(max_num_seqs=8, max_batched_tokens=4096)
+    instance = ServingConfig(
+        mode="disaggregated", prefill_mode="chunked", cost_bucket=64,
+        limits=limits, disagg=DisaggConfig(prefill_mode="chunked"),
+    )
+    config = ServingConfig(
+        mode="fleet", prefill_mode="chunked", cost_bucket=64,
+        limits=limits,
+        fleet=FleetConfig(
+            n_replicas=2, routing="session_affinity", instance=instance,
+        ),
+        prefix_cache=PrefixCacheConfig(hot_frac=0.5, codec="kvcomp"),
+    )
+    core = FleetCore(
+        EngineCostModel(
+            bench_serving._MODEL, bench_serving._GPU, bench_serving._BACKEND
+        ),
+        bench_serving._KV_SPEC, bench_serving._PLAN.kv_bytes, config,
+    )
+    return core.serve(session_trace(
+        QUICK_N_SESSIONS, QUICK_SESSION_RATE_RPS, seed=QUICK_SEED
+    ))
+
+
+def print_phase_shares(recorder) -> None:
+    """The phase-share table: share of attributed seconds per phase."""
+    shares = recorder.phase_shares()
+    print(f"  phase shares ({len(recorder.attributions)} requests):")
+    for phase in telemetry.PHASES:
+        share = shares[phase]
+        bar = "#" * round(share * 40)
+        print(f"    {phase:18s} {share:7.2%}  {bar}")
+
+
+def print_slowest(recorder, top: int) -> None:
+    """Top-N slowest requests with their per-phase attribution."""
+    rows = recorder.slowest(top)
+    if not rows:
+        print("  no finished requests attributed")
+        return
+    header = "    {:>8s} {:>9s}".format("request", "e2e_s") + "".join(
+        f" {p:>10s}" for p in telemetry.PHASES
+    )
+    print(f"  slowest {len(rows)} requests:")
+    print(header)
+    for attr in rows:
+        cells = "".join(
+            f" {attr.phase_seconds()[p]:10.4f}" for p in telemetry.PHASES
+        )
+        print(f"    {attr.request_id:>8d} {attr.e2e_s:9.3f}{cells}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="attribution + Chrome-trace report for one scenario"
+    )
+    parser.add_argument(
+        "scenario", nargs="?", default=None,
+        choices=sorted(bench_serving.SCENARIOS),
+        help="registered benchmark scenario to trace",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="run the built-in small fleet-of-disagg session scenario"
+        " instead of a registered one (the CI docs-job variant)",
+    )
+    parser.add_argument(
+        "--top", type=int, default=10,
+        help="how many slowest requests to tabulate (default 10)",
+    )
+    parser.add_argument(
+        "--export", type=Path, default=None, metavar="PATH",
+        help="write the run as Chrome trace event JSON",
+    )
+    parser.add_argument(
+        "--validate", action="store_true",
+        help="schema-check the exported trace (requires --export)",
+    )
+    args = parser.parse_args(argv)
+    if args.validate and args.export is None:
+        parser.error("--validate requires --export")
+    if args.quick:
+        name, runner = "quick_fleet_disagg_sessions", _serve_quick
+    elif args.scenario is not None:
+        name, runner = args.scenario, bench_serving.SCENARIOS[args.scenario]
+    else:
+        parser.error("pick a scenario or pass --quick")
+
+    start = time.perf_counter()
+    with telemetry.recording() as handle:
+        result = runner()
+    wall = time.perf_counter() - start
+    recorder = handle.recorder
+    if recorder is None:
+        print("FAIL: scenario recorded no telemetry", file=sys.stderr)
+        return 1
+
+    print(f"{name}: {result.n_requests} requests, wall={wall:.3f}s")
+    print(
+        f"  makespan={result.makespan_s:.3f}s"
+        f" events={len(recorder.events):,d}"
+        f" attributed={len(recorder.attributions):,d}"
+    )
+    print_phase_shares(recorder)
+    print_slowest(recorder, args.top)
+
+    if args.export is not None:
+        recorder.write_chrome_trace(args.export)
+        size_kb = args.export.stat().st_size / 1024
+        print(f"  wrote {args.export} ({size_kb:,.0f} KiB)")
+    if args.validate:
+        problems = validate_chrome_trace(
+            json.loads(args.export.read_text())
+        )
+        if problems:
+            print("FAIL: exported trace is not schema-valid:",
+                  file=sys.stderr)
+            for line in problems[:20]:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print("  trace schema ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
